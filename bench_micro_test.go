@@ -1,0 +1,145 @@
+// Substrate micro-benchmarks: raw throughput of the simulation kernel, the
+// MVCC store, the replicated store, and the informer pipeline. These are
+// not paper experiments (see bench_test.go for E1–E8); they exist to keep
+// the simulator fast enough that campaigns of hundreds of executions stay
+// cheap, and to catch performance regressions in the substrates.
+package partialhist
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apiserver"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/history"
+	"repro/internal/raftlite"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func BenchmarkMicro_KernelScheduleAndRun(b *testing.B) {
+	k := sim.NewKernel(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(sim.Duration(i%100), func() {})
+		if i%1024 == 0 {
+			k.Drain()
+		}
+	}
+	k.Drain()
+}
+
+func BenchmarkMicro_StorePut(b *testing.B) {
+	s := store.New()
+	s.SetRetainLimit(4096)
+	val := []byte("some-object-payload-of-plausible-size-for-a-pod")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("/registry/pods/p-%d", i%512), val)
+	}
+}
+
+func BenchmarkMicro_StoreCAS(b *testing.B) {
+	s := store.New()
+	s.SetRetainLimit(4096)
+	rev := s.Put("/lock", []byte("v"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, newRev := s.CompareAndSwap("/lock", rev, []byte("v"))
+		if !ok {
+			b.Fatal("CAS failed against the tracked revision")
+		}
+		rev = newRev
+	}
+}
+
+func BenchmarkMicro_StoreWatchFanout(b *testing.B) {
+	s := store.New()
+	s.SetRetainLimit(4096)
+	sink := 0
+	for i := 0; i < 16; i++ {
+		if _, err := s.Watch("/registry/", s.Revision(), func(events []history.Event) {
+			sink += len(events)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	val := []byte("payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put("/registry/pods/p", val)
+	}
+	if sink == 0 {
+		b.Fatal("watchers saw nothing")
+	}
+}
+
+func BenchmarkMicro_ReplicatedStoreCommit(b *testing.B) {
+	w := sim.NewWorld(sim.WorldConfig{Seed: 1, Latency: sim.Millisecond, Jitter: sim.Millisecond / 2})
+	replicas := store.NewReplicaGroup(w, 3, raftlite.DefaultConfig())
+	w.Kernel().RunFor(2 * sim.Second)
+	var leader *store.ReplicaServer
+	for _, r := range replicas {
+		if r.Raft().Role() == raftlite.Leader {
+			leader = r
+		}
+	}
+	if leader == nil {
+		b.Fatal("no leader")
+	}
+	before := leader.Raft().CommitIndex()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := leader.Raft().Propose([]byte("command")); !ok {
+			b.Fatal("leader refused proposal")
+		}
+		if i%64 == 0 {
+			w.Kernel().RunFor(200 * sim.Millisecond)
+		}
+	}
+	w.Kernel().RunFor(2 * sim.Second)
+	if leader.Raft().CommitIndex()-before < uint64(b.N) {
+		b.Fatalf("committed %d of %d", leader.Raft().CommitIndex()-before, b.N)
+	}
+}
+
+func BenchmarkMicro_InformerEventPipeline(b *testing.B) {
+	w := sim.NewWorld(sim.WorldConfig{Seed: 1, Latency: sim.Millisecond})
+	store.NewServer(w, "etcd", store.New())
+	apiserver.New(w, "api-1", apiserver.DefaultConfig("etcd"))
+	conn := client.NewConn(w, "comp", "api-1", 300*sim.Millisecond)
+	w.Network().Register("comp", sim.HandlerFunc(func(m *sim.Message) { conn.HandleMessage(m) }))
+	writer := client.NewConn(w, "writer", "api-1", 300*sim.Millisecond)
+	w.Network().Register("writer", sim.HandlerFunc(func(m *sim.Message) { writer.HandleMessage(m) }))
+	w.Kernel().RunFor(300 * sim.Millisecond)
+
+	inf := client.NewInformer(conn, cluster.KindPod, client.InformerConfig{})
+	events := 0
+	inf.AddHandler(client.HandlerFuncs{
+		AddFunc:    func(*cluster.Object) { events++ },
+		UpdateFunc: func(_, _ *cluster.Object) { events++ },
+	})
+	inf.Run()
+	w.Kernel().RunFor(100 * sim.Millisecond)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("p-%d", i)
+		writer.Create(cluster.NewPod(name, name, cluster.PodSpec{NodeName: "k1"}), nil)
+		if i%128 == 0 {
+			w.Kernel().RunFor(500 * sim.Millisecond)
+		}
+	}
+	w.Kernel().RunFor(2 * sim.Second)
+	b.StopTimer()
+	if events == 0 {
+		b.Fatal("informer processed nothing")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestSelectTargets(t *testing.T) {
+	all, err := selectTargets("all")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("all: %d targets, err=%v", len(all), err)
+	}
+	two, err := selectTargets("k8s-59848, cass-op-402")
+	if err != nil || len(two) != 2 || two[0].Name != "k8s-59848" || two[1].Name != "cass-op-402" {
+		t.Fatalf("subset: %+v err=%v", two, err)
+	}
+	if _, err := selectTargets("no-such-bug"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestSelectStrategies(t *testing.T) {
+	all, err := selectStrategies("all", 1, 10)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("all: %d strategies, err=%v", len(all), err)
+	}
+	names := map[string]bool{}
+	for _, s := range all {
+		names[s.Name()] = true
+	}
+	for _, want := range []string{"partial-history", "crashtuner", "cofi", "random"} {
+		if !names[want] {
+			t.Fatalf("missing strategy %q in %v", want, names)
+		}
+	}
+	if _, err := selectStrategies("quantum", 1, 10); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

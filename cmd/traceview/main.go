@@ -1,0 +1,118 @@
+// Command traceview records a reference execution of a target workload and
+// prints the partial-history analysis the planner works from: the committed
+// ground-truth history, each component's subscriptions and deliveries, the
+// causal acted-on sets, and the perturbation plans the tool would generate.
+//
+// Usage:
+//
+//	traceview [-target k8s-59848|k8s-56261|cass-op-398|cass-op-400|cass-op-402]
+//	          [-events] [-plans N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	targetName := flag.String("target", "k8s-59848", "target workload to trace")
+	showEvents := flag.Bool("events", false, "dump every delivery")
+	planN := flag.Int("plans", 20, "how many generated plans to list")
+	flag.Parse()
+
+	var target core.Target
+	found := false
+	for _, t := range workload.AllTargets() {
+		if t.Name == *targetName {
+			target, found = t, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown target %q\n", *targetName)
+		os.Exit(2)
+	}
+
+	ref, violations := core.Reference(target)
+
+	fmt.Printf("reference execution of %s (horizon %s)\n", target.Name, target.Horizon)
+	fmt.Printf("committed events (|H|): %d\n", len(ref.Commits))
+	fmt.Printf("watch deliveries:       %d\n", len(ref.Deliveries))
+	fmt.Printf("component writes:       %d\n", len(ref.Writes))
+	if len(violations) > 0 {
+		fmt.Println("UNEXPECTED reference violations:")
+		for _, v := range violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+
+	fmt.Println("\nper-component view (H' consumers):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "component\tsubscribes\tdeliveries\tdeletions-seen\twrites")
+	for _, comp := range ref.Components() {
+		var kinds []string
+		for k := range ref.Subscriptions[comp] {
+			kinds = append(kinds, string(k))
+		}
+		sort.Strings(kinds)
+		deliveries := ref.DeliveriesTo(comp)
+		deletions := 0
+		for _, d := range deliveries {
+			if d.EventType == "DELETED" || d.Terminating {
+				deletions++
+			}
+		}
+		writes := 0
+		for _, w := range ref.Writes {
+			if w.From == comp {
+				writes++
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t%d\n", comp, kinds, len(deliveries), deletions, writes)
+	}
+	tw.Flush()
+
+	if *showEvents {
+		fmt.Println("\ndeliveries:")
+		for _, d := range ref.Deliveries {
+			mark := ""
+			if d.Terminating {
+				mark = " [terminating]"
+			}
+			fmt.Printf("  %-10s rev=%-5d %-8s %s/%s -> %s (#%d)%s\n",
+				d.Time, d.Revision, d.EventType, d.Kind, d.Name, d.To, d.Occurrence, mark)
+		}
+	}
+
+	graph := trace.NewCausalGraph(ref, 0)
+	fmt.Println("\nhottest deliveries (most component actions within the reaction window):")
+	for i, d := range graph.HotDeliveries(8) {
+		effects := graph.EffectsOf(d.Revision)
+		mark := ""
+		if d.Terminating || d.EventType == "DELETED" {
+			mark = " [deletion-adjacent]"
+		}
+		fmt.Printf("  %d. rev=%-5d %-8s %s/%s -> %s (%d downstream writes)%s\n",
+			i+1, d.Revision, d.EventType, d.Kind, d.Name, d.To, len(effects), mark)
+	}
+
+	planner := core.NewPlanner()
+	plans := planner.Plans(target, ref)
+	fam := core.PlanFamilies(plans)
+	fmt.Printf("\ngenerated plans: %d total (gap=%d timetravel=%d staleness=%d)\n",
+		len(plans), fam["gap"], fam["timetravel"], fam["staleness"])
+	for i, p := range plans {
+		if i >= *planN {
+			fmt.Printf("  ... %d more\n", len(plans)-*planN)
+			break
+		}
+		fmt.Printf("  %3d. %s\n", i+1, p.Describe())
+	}
+}

@@ -1,0 +1,92 @@
+package apiserver
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func TestQuorumListBypassesStaleCache(t *testing.T) {
+	h := newHarness(t, 2)
+	if _, err := h.cl.call("api-1", MethodCreate, &CreateRequest{Object: mkPod("p1", "k1")}); err != nil {
+		t.Fatal(err)
+	}
+	h.w.Kernel().RunFor(50 * sim.Millisecond)
+
+	// Hold all store->api-2 pushes so its cache misses the second pod.
+	h.w.Network().AddInterceptor(sim.InterceptorFunc(func(m *sim.Message) sim.Decision {
+		if m.Kind == store.KindWatchPush && m.To == "api-2" {
+			return sim.Decision{Verdict: sim.Drop}
+		}
+		return sim.Decision{Verdict: sim.Pass}
+	}))
+	if _, err := h.cl.call("api-1", MethodCreate, &CreateRequest{Object: mkPod("p2", "k2")}); err != nil {
+		t.Fatal(err)
+	}
+	h.w.Kernel().RunFor(50 * sim.Millisecond)
+
+	cached, err := h.cl.call("api-2", MethodList, &ListRequest{Kind: cluster.KindPod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cached.(*ListResponse).Objects); n != 1 {
+		t.Skipf("staleness window missed (cache already has %d)", n)
+	}
+	quorum, err := h.cl.call("api-2", MethodList, &ListRequest{Kind: cluster.KindPod, Quorum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(quorum.(*ListResponse).Objects); n != 2 {
+		t.Fatalf("quorum list = %d pods, want 2", n)
+	}
+}
+
+func TestNotReadyRejection(t *testing.T) {
+	w := sim.NewWorld(sim.WorldConfig{Seed: 1, Latency: sim.Millisecond})
+	// No store at all: the apiserver can never finish bootstrapping.
+	api := New(w, "api-1", DefaultConfig("etcd-missing"))
+	cl := &testClient{id: "client", w: w}
+	cl.rpc = sim.NewRPCClient(w.Network(), "client", 300*sim.Millisecond)
+	w.Network().Register("client", cl)
+	w.Kernel().RunFor(sim.Second)
+
+	if api.Ready() {
+		t.Fatal("apiserver ready without a store")
+	}
+	if _, err := cl.call("api-1", MethodList, &ListRequest{Kind: cluster.KindPod}); !IsNotReady(err) {
+		t.Fatalf("list on syncing apiserver: %v", err)
+	}
+	if _, err := cl.call("api-1", MethodCreate, &CreateRequest{Object: mkPod("p", "k")}); !IsNotReady(err) {
+		t.Fatalf("create on syncing apiserver: %v", err)
+	}
+}
+
+func TestErrorHelpers(t *testing.T) {
+	cases := []struct {
+		err  error
+		is   func(error) bool
+		name string
+	}{
+		{ErrConflict, IsConflict, "conflict"},
+		{ErrAlreadyExists, IsAlreadyExists, "exists"},
+		{ErrNotFound, IsNotFound, "notfound"},
+		{ErrTooOldResourceVersion, IsTooOld, "tooold"},
+		{ErrNotReady, IsNotReady, "notready"},
+	}
+	for _, c := range cases {
+		if !c.is(c.err) {
+			t.Errorf("%s: direct sentinel not matched", c.name)
+		}
+		if !c.is(sim.ErrRemote{Msg: c.err.Error()}) {
+			t.Errorf("%s: remote form not matched", c.name)
+		}
+		if c.is(nil) {
+			t.Errorf("%s: nil matched", c.name)
+		}
+	}
+	if IsConflict(ErrNotFound) {
+		t.Error("cross-sentinel match")
+	}
+}

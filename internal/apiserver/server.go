@@ -1,0 +1,619 @@
+package apiserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// ErrNotReady is returned while the apiserver is (re)building its watch
+// cache from the store; clients retry.
+var ErrNotReady = errors.New("apiserver: not ready, cache syncing")
+
+// IsNotReady reports whether err is a not-ready rejection.
+func IsNotReady(err error) bool { return matchesSentinel(err, ErrNotReady) }
+
+// Config tunes an apiserver.
+type Config struct {
+	// StoreNode is the store server this apiserver syncs from.
+	StoreNode sim.NodeID
+	// WindowSize bounds the retained event window used to serve client
+	// watch backlogs; older start revisions get ErrTooOldResourceVersion.
+	WindowSize int
+	// ResyncInterval is how often the apiserver polls the store for missed
+	// events when the watch stream is silent. Larger values widen the
+	// staleness windows failures can create.
+	ResyncInterval sim.Duration
+	// RecoverGaps controls whether a detected revision gap in the incoming
+	// stream triggers an immediate catch-up pull. Disabling it models an
+	// apiserver that trusts its (lossy) stream.
+	RecoverGaps bool
+	// RPCTimeout bounds calls to the store.
+	RPCTimeout sim.Duration
+}
+
+// DefaultConfig returns production-like settings.
+func DefaultConfig(storeNode sim.NodeID) Config {
+	return Config{
+		StoreNode:      storeNode,
+		WindowSize:     1024,
+		ResyncInterval: 500 * sim.Millisecond,
+		RecoverGaps:    true,
+		RPCTimeout:     200 * sim.Millisecond,
+	}
+}
+
+type clientSub struct {
+	subID    uint64
+	client   sim.NodeID
+	kind     cluster.Kind
+	lastSent int64 // highest revision pushed
+}
+
+// Server is one apiserver instance: a watch cache over the store plus a
+// typed API. Multiple Servers can sync from the same store, and each can
+// lag independently — the precondition for time-travel bugs.
+type Server struct {
+	id    sim.NodeID
+	world *sim.World
+	cfg   Config
+
+	rpcSrv *sim.RPCServer
+	rpcCl  *sim.RPCClient
+
+	down  bool
+	ready bool
+	epoch uint64 // bumped on restart; stale async callbacks check it
+
+	cache       map[string]store.KV
+	cachedRev   int64
+	window      []history.Event
+	minStartRev int64 // newest revision no longer replayable from the window
+	subs        map[string]*clientSub
+	storeSubID  uint64
+	lastEventAt sim.Time
+}
+
+// New creates and wires an apiserver into the world and begins its initial
+// cache sync.
+func New(w *sim.World, id sim.NodeID, cfg Config) *Server {
+	s := &Server{
+		id:    id,
+		world: w,
+		cfg:   cfg,
+		cache: make(map[string]store.KV),
+		subs:  make(map[string]*clientSub),
+	}
+	s.rpcSrv = sim.NewRPCServer(w.Network(), id)
+	s.rpcCl = sim.NewRPCClient(w.Network(), id, cfg.RPCTimeout)
+	s.register()
+	w.Network().Register(id, s)
+	w.AddProcess(s)
+	s.bootstrap()
+	s.scheduleResync()
+	return s
+}
+
+// ID returns the apiserver's node ID.
+func (s *Server) ID() sim.NodeID { return s.id }
+
+// Ready reports whether the watch cache is synced and serving.
+func (s *Server) Ready() bool { return s.ready && !s.down }
+
+// CachedRevision returns the cache frontier (the apiserver's H' position).
+func (s *Server) CachedRevision() int64 { return s.cachedRev }
+
+// CacheLen returns the number of cached objects.
+func (s *Server) CacheLen() int { return len(s.cache) }
+
+// Crash implements sim.Process: the watch cache is volatile.
+func (s *Server) Crash() {
+	s.down = true
+	s.ready = false
+	s.epoch++
+	s.rpcCl.Reset()
+	s.cache = make(map[string]store.KV)
+	s.window = nil
+	s.cachedRev = 0
+	s.subs = make(map[string]*clientSub)
+}
+
+// Restart implements sim.Process: rebuild the cache from the store.
+func (s *Server) Restart() {
+	s.down = false
+	s.bootstrap()
+	s.scheduleResync()
+}
+
+// HandleMessage implements sim.Handler.
+func (s *Server) HandleMessage(m *sim.Message) {
+	if s.down {
+		return
+	}
+	if s.rpcCl.HandleResponse(m) {
+		return
+	}
+	if push, ok := m.Payload.(*store.WatchPush); ok {
+		s.onStoreEvents(push)
+		return
+	}
+	s.rpcSrv.HandleRequest(m)
+}
+
+// bootstrap lists the full registry from the store, then watches from the
+// listed revision. Retries on timeout.
+func (s *Server) bootstrap() {
+	epoch := s.epoch
+	s.rpcCl.Call(s.cfg.StoreNode, store.MethodRange, &store.RangeRequest{Prefix: cluster.RegistryPrefix},
+		func(body any, err error) {
+			if s.down || epoch != s.epoch {
+				return
+			}
+			if err != nil {
+				s.world.Kernel().Schedule(s.cfg.RPCTimeout, func() {
+					if !s.down && epoch == s.epoch {
+						s.bootstrap()
+					}
+				})
+				return
+			}
+			resp := body.(*store.RangeResponse)
+			s.cache = make(map[string]store.KV, len(resp.KVs))
+			for _, kv := range resp.KVs {
+				s.cache[kv.Key] = kv
+			}
+			s.cachedRev = resp.Revision
+			s.window = nil
+			// Events before the relist revision cannot be replayed to
+			// clients anymore.
+			s.minStartRev = resp.Revision
+			s.startStoreWatch(epoch)
+		})
+}
+
+func (s *Server) startStoreWatch(epoch uint64) {
+	s.storeSubID++
+	subID := s.storeSubID
+	s.rpcCl.Call(s.cfg.StoreNode, store.MethodWatch,
+		&store.WatchRequest{Prefix: cluster.RegistryPrefix, StartRev: s.cachedRev, SubID: subID},
+		func(body any, err error) {
+			if s.down || epoch != s.epoch {
+				return
+			}
+			if err != nil {
+				// Compacted or timeout: full relist.
+				s.world.Kernel().Schedule(s.cfg.RPCTimeout, func() {
+					if !s.down && epoch == s.epoch {
+						s.bootstrap()
+					}
+				})
+				return
+			}
+			s.ready = true
+			s.lastEventAt = s.world.Now()
+		})
+}
+
+// onStoreEvents folds a store push into the cache and relays to clients.
+func (s *Server) onStoreEvents(push *store.WatchPush) {
+	if push.SubID != s.storeSubID {
+		return // stale stream from before a restart/rewatch
+	}
+	s.applyEvents(push.Events, true)
+}
+
+func (s *Server) applyEvents(events []history.Event, allowRecover bool) {
+	for i, e := range events {
+		if e.Revision <= s.cachedRev {
+			continue // duplicate
+		}
+		if e.Revision > s.cachedRev+1 && allowRecover && s.cfg.RecoverGaps {
+			// Gap detected: pull the missing span, then the rest.
+			rest := events[i:]
+			s.recoverGap(rest)
+			return
+		}
+		s.applyOne(e)
+	}
+	s.lastEventAt = s.world.Now()
+}
+
+func (s *Server) recoverGap(pending []history.Event) {
+	epoch := s.epoch
+	s.rpcCl.Call(s.cfg.StoreNode, store.MethodEventsSince,
+		&store.EventsSinceRequest{Prefix: cluster.RegistryPrefix, Rev: s.cachedRev},
+		func(body any, err error) {
+			if s.down || epoch != s.epoch {
+				return
+			}
+			if err != nil {
+				// Compacted or unreachable: schedule a full relist; apply
+				// nothing now (the resync timer also backstops this).
+				if remote := (sim.ErrRemote{}); errors.As(err, &remote) && remote.Msg == store.ErrCompacted.Error() {
+					s.bootstrap()
+				}
+				return
+			}
+			resp := body.(*store.EventsSinceResponse)
+			// The pulled span is contiguous and covers pending too.
+			s.applyEvents(resp.Events, false)
+			_ = pending
+		})
+}
+
+func (s *Server) applyOne(e history.Event) {
+	var relay WatchEvent
+	switch e.Type {
+	case history.Put:
+		prev, existed := s.cache[e.Key]
+		kv := store.KV{Key: e.Key, Value: e.Value, ModRevision: e.Revision}
+		if existed && e.PrevRev != 0 {
+			kv.CreateRevision = prev.CreateRevision
+			kv.Version = prev.Version + 1
+		} else {
+			kv.CreateRevision = e.Revision
+			kv.Version = 1
+		}
+		s.cache[e.Key] = kv
+		obj, err := cluster.Decode(e.Value, e.Revision)
+		if err != nil {
+			return
+		}
+		if kv.Version == 1 {
+			relay = WatchEvent{Type: Added, Object: obj, Revision: e.Revision}
+		} else {
+			relay = WatchEvent{Type: Modified, Object: obj, Revision: e.Revision}
+		}
+	case history.Delete:
+		prev, existed := s.cache[e.Key]
+		delete(s.cache, e.Key)
+		var obj *cluster.Object
+		if existed {
+			if o, err := cluster.Decode(prev.Value, e.Revision); err == nil {
+				obj = o
+			}
+		}
+		if obj == nil {
+			// Deletion of a key we never cached: synthesize a tombstone
+			// with only the identity filled in.
+			kind, name, err := cluster.ParseKey(e.Key)
+			if err != nil {
+				return
+			}
+			obj = &cluster.Object{Meta: cluster.Meta{Kind: kind, Name: name, ResourceVersion: e.Revision}}
+		}
+		relay = WatchEvent{Type: Deleted, Object: obj, Revision: e.Revision}
+	}
+	s.cachedRev = e.Revision
+	s.window = append(s.window, e)
+	if s.cfg.WindowSize > 0 && len(s.window) > s.cfg.WindowSize {
+		trim := len(s.window) - s.cfg.WindowSize
+		s.minStartRev = s.window[trim-1].Revision
+		s.window = append([]history.Event(nil), s.window[trim:]...)
+	}
+	s.relay(relay, e.Key)
+}
+
+func (s *Server) relay(ev WatchEvent, key string) {
+	kind, _, err := cluster.ParseKey(key)
+	if err != nil {
+		return
+	}
+	for _, sk := range sortedSubKeys(s.subs) {
+		sub := s.subs[sk]
+		if sub.kind != kind || ev.Revision <= sub.lastSent {
+			continue
+		}
+		sub.lastSent = ev.Revision
+		s.world.Network().Send(s.id, sub.client, KindWatchPush,
+			&WatchPushMsg{SubID: sub.subID, Events: []WatchEvent{cloneEvent(ev)}})
+	}
+}
+
+func cloneEvent(ev WatchEvent) WatchEvent {
+	ev.Object = ev.Object.Clone()
+	return ev
+}
+
+func sortedSubKeys(m map[string]*clientSub) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// scheduleResync keeps a liveness timer: if the store stream has been
+// silent for ResyncInterval, pull any missed events.
+func (s *Server) scheduleResync() {
+	epoch := s.epoch
+	s.world.Kernel().Schedule(s.cfg.ResyncInterval, func() {
+		if s.down || epoch != s.epoch {
+			return
+		}
+		if s.ready && s.world.Now().Sub(s.lastEventAt) >= s.cfg.ResyncInterval {
+			s.recoverGap(nil)
+		}
+		s.scheduleResync()
+	})
+}
+
+func (s *Server) register() {
+	// Cached reads answer immediately; quorum reads read through to the
+	// store asynchronously.
+	s.rpcSrv.HandleAsync(MethodGet, func(_ sim.NodeID, body any, reply sim.Reply) {
+		if !s.ready {
+			reply(nil, ErrNotReady)
+			return
+		}
+		req := body.(*GetRequest)
+		if !req.Quorum {
+			reply(s.getCached(req.Kind, req.Name))
+			return
+		}
+		epoch := s.epoch
+		s.rpcCl.Call(s.cfg.StoreNode, store.MethodGet, &store.GetRequest{Key: cluster.Key(req.Kind, req.Name)},
+			func(b any, err error) {
+				if s.down || epoch != s.epoch {
+					return
+				}
+				if err != nil {
+					reply(nil, err)
+					return
+				}
+				resp := b.(*store.GetResponse)
+				out := &GetResponse{Found: resp.Found, Revision: resp.Revision}
+				if resp.Found {
+					obj, derr := cluster.Decode(resp.KV.Value, resp.KV.ModRevision)
+					if derr != nil {
+						reply(nil, derr)
+						return
+					}
+					out.Object = obj
+				}
+				reply(out, nil)
+			})
+	})
+	s.rpcSrv.HandleAsync(MethodList, func(_ sim.NodeID, body any, reply sim.Reply) {
+		if !s.ready {
+			reply(nil, ErrNotReady)
+			return
+		}
+		req := body.(*ListRequest)
+		if !req.Quorum {
+			reply(s.listCached(req.Kind))
+			return
+		}
+		epoch := s.epoch
+		s.rpcCl.Call(s.cfg.StoreNode, store.MethodRange, &store.RangeRequest{Prefix: cluster.KindPrefix(req.Kind)},
+			func(b any, err error) {
+				if s.down || epoch != s.epoch {
+					return
+				}
+				if err != nil {
+					reply(nil, err)
+					return
+				}
+				resp := b.(*store.RangeResponse)
+				out := &ListResponse{Revision: resp.Revision}
+				for _, kv := range resp.KVs {
+					obj, derr := cluster.Decode(kv.Value, kv.ModRevision)
+					if derr != nil {
+						continue
+					}
+					out.Objects = append(out.Objects, obj)
+				}
+				reply(out, nil)
+			})
+	})
+	s.rpcSrv.HandleAsync(MethodCreate, func(_ sim.NodeID, body any, reply sim.Reply) {
+		if !s.ready {
+			reply(nil, ErrNotReady)
+			return
+		}
+		req := body.(*CreateRequest)
+		obj := req.Object.Clone()
+		data, err := cluster.Encode(obj)
+		if err != nil {
+			reply(nil, err)
+			return
+		}
+		key := cluster.Key(obj.Meta.Kind, obj.Meta.Name)
+		s.storeTxn(&store.TxnRequest{
+			Guards:    []store.Cmp{{Key: key, Target: store.CmpExists, IntVal: 0}},
+			OnSuccess: []store.Op{{Type: store.OpPut, Key: key, Value: data}},
+		}, func(resp *store.TxnResponse, err error) {
+			switch {
+			case err != nil:
+				reply(nil, err)
+			case !resp.Succeeded:
+				reply(nil, ErrAlreadyExists)
+			default:
+				obj.Meta.ResourceVersion = resp.Revision
+				reply(&WriteResponse{Object: obj, Revision: resp.Revision}, nil)
+			}
+		})
+	})
+	s.rpcSrv.HandleAsync(MethodUpdate, func(_ sim.NodeID, body any, reply sim.Reply) {
+		if !s.ready {
+			reply(nil, ErrNotReady)
+			return
+		}
+		req := body.(*UpdateRequest)
+		obj := req.Object.Clone()
+		data, err := cluster.Encode(obj)
+		if err != nil {
+			reply(nil, err)
+			return
+		}
+		key := cluster.Key(obj.Meta.Kind, obj.Meta.Name)
+		var guards []store.Cmp
+		if rv := obj.Meta.ResourceVersion; rv != 0 {
+			guards = []store.Cmp{{Key: key, Target: store.CmpModRevision, IntVal: rv}}
+		} else {
+			guards = []store.Cmp{{Key: key, Target: store.CmpExists, IntVal: 1}}
+		}
+		s.storeTxn(&store.TxnRequest{
+			Guards:    guards,
+			OnSuccess: []store.Op{{Type: store.OpPut, Key: key, Value: data}},
+		}, func(resp *store.TxnResponse, err error) {
+			switch {
+			case err != nil:
+				reply(nil, err)
+			case !resp.Succeeded:
+				reply(nil, ErrConflict)
+			default:
+				obj.Meta.ResourceVersion = resp.Revision
+				reply(&WriteResponse{Object: obj, Revision: resp.Revision}, nil)
+			}
+		})
+	})
+	s.rpcSrv.HandleAsync(MethodDelete, func(_ sim.NodeID, body any, reply sim.Reply) {
+		if !s.ready {
+			reply(nil, ErrNotReady)
+			return
+		}
+		req := body.(*DeleteRequest)
+		key := cluster.Key(req.Kind, req.Name)
+		guards := []store.Cmp{{Key: key, Target: store.CmpExists, IntVal: 1}}
+		conflictErr := error(ErrNotFound)
+		if req.ExpectRV != 0 {
+			guards = []store.Cmp{{Key: key, Target: store.CmpModRevision, IntVal: req.ExpectRV}}
+			conflictErr = ErrConflict
+		}
+		s.storeTxn(&store.TxnRequest{
+			Guards:    guards,
+			OnSuccess: []store.Op{{Type: store.OpDelete, Key: key}},
+		}, func(resp *store.TxnResponse, err error) {
+			switch {
+			case err != nil:
+				reply(nil, err)
+			case !resp.Succeeded:
+				reply(nil, conflictErr)
+			default:
+				reply(&WriteResponse{Revision: resp.Revision}, nil)
+			}
+		})
+	})
+	s.rpcSrv.Handle(MethodWatch, func(from sim.NodeID, body any) (any, error) {
+		if !s.ready {
+			return nil, ErrNotReady
+		}
+		req := body.(*WatchRequest)
+		if req.StartRev < s.minStartRev {
+			return nil, ErrTooOldResourceVersion
+		}
+		key := fmt.Sprintf("%s/%d", from, req.SubID)
+		sub := &clientSub{subID: req.SubID, client: from, kind: req.Kind, lastSent: req.StartRev}
+		s.subs[key] = sub
+		// Replay the window backlog beyond the client's start revision.
+		var backlog []WatchEvent
+		for _, e := range s.window {
+			if e.Revision <= req.StartRev {
+				continue
+			}
+			if !strings.HasPrefix(e.Key, cluster.KindPrefix(req.Kind)) {
+				continue
+			}
+			if we, ok := s.eventFromWindow(e); ok {
+				backlog = append(backlog, we)
+				sub.lastSent = e.Revision
+			}
+		}
+		if len(backlog) > 0 {
+			s.world.Network().Send(s.id, from, KindWatchPush, &WatchPushMsg{SubID: req.SubID, Events: backlog})
+		}
+		return &WatchResponse{Revision: s.cachedRev}, nil
+	})
+	s.rpcSrv.Handle(MethodCancelWatch, func(from sim.NodeID, body any) (any, error) {
+		req := body.(*CancelWatchRequest)
+		delete(s.subs, fmt.Sprintf("%s/%d", from, req.SubID))
+		return &struct{}{}, nil
+	})
+}
+
+// eventFromWindow converts a retained raw event into a typed WatchEvent.
+// Unlike the live path it cannot consult pre-event cache state, so Added vs
+// Modified is derived from PrevRev and deletions are served as tombstones
+// from the current cache (or identity-only if re-created since).
+func (s *Server) eventFromWindow(e history.Event) (WatchEvent, bool) {
+	switch e.Type {
+	case history.Put:
+		obj, err := cluster.Decode(e.Value, e.Revision)
+		if err != nil {
+			return WatchEvent{}, false
+		}
+		t := Modified
+		if e.PrevRev == 0 {
+			t = Added
+		}
+		return WatchEvent{Type: t, Object: obj, Revision: e.Revision}, true
+	case history.Delete:
+		kind, name, err := cluster.ParseKey(e.Key)
+		if err != nil {
+			return WatchEvent{}, false
+		}
+		obj := &cluster.Object{Meta: cluster.Meta{Kind: kind, Name: name, ResourceVersion: e.Revision}}
+		return WatchEvent{Type: Deleted, Object: obj, Revision: e.Revision}, true
+	}
+	return WatchEvent{}, false
+}
+
+func (s *Server) storeTxn(req *store.TxnRequest, cb func(*store.TxnResponse, error)) {
+	epoch := s.epoch
+	s.rpcCl.Call(s.cfg.StoreNode, store.MethodTxn, req, func(b any, err error) {
+		if s.down || epoch != s.epoch {
+			return
+		}
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(b.(*store.TxnResponse), nil)
+	})
+}
+
+func (s *Server) listCached(kind cluster.Kind) (*ListResponse, error) {
+	prefix := cluster.KindPrefix(kind)
+	out := &ListResponse{Revision: s.cachedRev}
+	for _, key := range sortedCacheKeys(s.cache) {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		kv := s.cache[key]
+		obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+		if err != nil {
+			continue
+		}
+		out.Objects = append(out.Objects, obj)
+	}
+	return out, nil
+}
+
+func sortedCacheKeys(m map[string]store.KV) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (s *Server) getCached(kind cluster.Kind, name string) (*GetResponse, error) {
+	kv, ok := s.cache[cluster.Key(kind, name)]
+	if !ok {
+		return &GetResponse{Found: false, Revision: s.cachedRev}, nil
+	}
+	obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+	if err != nil {
+		return nil, err
+	}
+	return &GetResponse{Object: obj, Found: true, Revision: s.cachedRev}, nil
+}

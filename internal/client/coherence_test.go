@@ -1,0 +1,90 @@
+package client
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// TestPropertyInformerConvergesToGroundTruth: under an unperturbed but
+// randomized workload, after quiescence the informer cache S' equals the
+// ground-truth S exactly — names, UIDs, and resource versions. This is the
+// baseline the perturbation experiments diverge from; if it failed, every
+// "bug" the tool finds could be an artifact of the cache layer itself.
+func TestPropertyInformerConvergesToGroundTruth(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			w := sim.NewWorld(sim.WorldConfig{Seed: seed, Latency: sim.Millisecond, Jitter: sim.Millisecond / 2})
+			st := store.New()
+			store.NewServer(w, "etcd", st)
+			apiserver.New(w, "api-1", apiserver.DefaultConfig("etcd"))
+
+			writer := NewConn(w, "writer", "api-1", 300*sim.Millisecond)
+			w.Network().Register("writer", sim.HandlerFunc(func(m *sim.Message) { writer.HandleMessage(m) }))
+			observer := NewConn(w, "observer", "api-1", 300*sim.Millisecond)
+			w.Network().Register("observer", sim.HandlerFunc(func(m *sim.Message) { observer.HandleMessage(m) }))
+			w.Kernel().RunFor(300 * sim.Millisecond)
+
+			inf := NewInformer(observer, cluster.KindPod, InformerConfig{WatchTimeout: sim.Second})
+			inf.Run()
+			w.Kernel().RunFor(100 * sim.Millisecond)
+
+			// Random workload: create/update/delete pods over 3 seconds.
+			rng := w.Kernel().Rand()
+			names := []string{"a", "b", "c", "d", "e"}
+			live := map[string]bool{}
+			for i := 0; i < 60; i++ {
+				name := names[rng.Intn(len(names))]
+				switch {
+				case !live[name]:
+					writer.Create(cluster.NewPod(name, fmt.Sprintf("u-%s-%d", name, i), cluster.PodSpec{NodeName: "k1"}), nil)
+					live[name] = true
+				case rng.Intn(3) == 0:
+					writer.Delete(cluster.KindPod, name, 0, nil)
+					live[name] = false
+				default:
+					name := name
+					writer.Get(cluster.KindPod, name, true, func(obj *cluster.Object, found bool, err error) {
+						if err != nil || !found {
+							return
+						}
+						upd := obj.Clone()
+						upd.Pod.Image = fmt.Sprintf("v%d", i)
+						writer.Update(upd, nil)
+					})
+				}
+				w.Kernel().RunFor(sim.Duration(rng.Intn(50)) * sim.Millisecond)
+			}
+			w.Kernel().RunFor(2 * sim.Second) // quiesce
+
+			// Compare S' against S.
+			kvs, _ := st.Range(cluster.KindPrefix(cluster.KindPod))
+			truth := map[string]*cluster.Object{}
+			for _, kv := range kvs {
+				obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+				if err != nil {
+					t.Fatal(err)
+				}
+				truth[obj.Meta.Name] = obj
+			}
+			if inf.Len() != len(truth) {
+				t.Fatalf("cache has %d pods, truth has %d", inf.Len(), len(truth))
+			}
+			for name, want := range truth {
+				got, ok := inf.Get(name)
+				if !ok {
+					t.Fatalf("cache missing %q", name)
+				}
+				if got.Meta.UID != want.Meta.UID || got.Meta.ResourceVersion != want.Meta.ResourceVersion {
+					t.Fatalf("cache entry %q = (uid %s, rv %d), truth (uid %s, rv %d)",
+						name, got.Meta.UID, got.Meta.ResourceVersion, want.Meta.UID, want.Meta.ResourceVersion)
+				}
+			}
+		})
+	}
+}

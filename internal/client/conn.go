@@ -1,0 +1,172 @@
+// Package client is the client-side library every component uses to talk
+// to apiservers — the analog of k8s.io/client-go. It provides a typed
+// asynchronous Conn (CRUD + watch) and an Informer: a local object cache
+// (S') kept up to date by list+watch, with relist on window expiry and
+// upstream source switching.
+//
+// The paper singles this layer out (§6.2): "a common shared library often
+// contains the caches for (H', S'), such as the client-side cache employed
+// by all Kubernetes services [10]". Informer is that cache; the testing
+// tool's perturbations aim squarely at it.
+package client
+
+import (
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Conn is a component's connection to its current upstream apiserver. It
+// multiplexes RPC responses and watch pushes; components forward incoming
+// messages to HandleMessage.
+//
+// The upstream can be switched at runtime (SwitchAPIServer): components
+// that fail over between apiservers — kubelets in the Figure 2 scenario —
+// may land on a *staler* upstream, which is the germ of time traveling.
+type Conn struct {
+	world *sim.World
+	self  sim.NodeID
+	api   sim.NodeID
+	rpc   *sim.RPCClient
+
+	nextSub   uint64
+	informers map[uint64]*Informer
+}
+
+// NewConn creates a connection owned by node self, initially pointed at
+// the apiserver node api.
+func NewConn(w *sim.World, self, api sim.NodeID, timeout sim.Duration) *Conn {
+	return &Conn{
+		world:     w,
+		self:      self,
+		api:       api,
+		rpc:       sim.NewRPCClient(w.Network(), self, timeout),
+		informers: make(map[uint64]*Informer),
+	}
+}
+
+// Self returns the owning node's ID.
+func (c *Conn) Self() sim.NodeID { return c.self }
+
+// APIServer returns the current upstream apiserver.
+func (c *Conn) APIServer() sim.NodeID { return c.api }
+
+// World returns the connection's world.
+func (c *Conn) World() *sim.World { return c.world }
+
+// SwitchAPIServer repoints the connection at a different apiserver and
+// tells every informer to relist from it.
+func (c *Conn) SwitchAPIServer(api sim.NodeID) {
+	if api == c.api {
+		return
+	}
+	c.api = api
+	for _, inf := range c.sortedInformers() {
+		inf.relist("switched upstream")
+	}
+}
+
+// Reset drops all in-flight calls (crash semantics). Informers must be
+// recreated by the component's Restart.
+func (c *Conn) Reset() {
+	c.rpc.Reset()
+	c.informers = make(map[uint64]*Informer)
+}
+
+// HandleMessage routes a message; it reports whether it was consumed.
+func (c *Conn) HandleMessage(m *sim.Message) bool {
+	if c.rpc.HandleResponse(m) {
+		return true
+	}
+	if push, ok := m.Payload.(*apiserver.WatchPushMsg); ok {
+		if inf, ok := c.informers[push.SubID]; ok {
+			inf.onPush(push.Events)
+		}
+		return true
+	}
+	return false
+}
+
+// List fetches objects of a kind. quorum selects a read-through list.
+func (c *Conn) List(kind cluster.Kind, quorum bool, cb func([]*cluster.Object, int64, error)) {
+	c.rpc.Call(c.api, apiserver.MethodList, &apiserver.ListRequest{Kind: kind, Quorum: quorum},
+		func(body any, err error) {
+			if cb == nil {
+				return
+			}
+			if err != nil {
+				cb(nil, 0, err)
+				return
+			}
+			resp := body.(*apiserver.ListResponse)
+			cb(resp.Objects, resp.Revision, nil)
+		})
+}
+
+// Get fetches one object.
+func (c *Conn) Get(kind cluster.Kind, name string, quorum bool, cb func(*cluster.Object, bool, error)) {
+	c.rpc.Call(c.api, apiserver.MethodGet, &apiserver.GetRequest{Kind: kind, Name: name, Quorum: quorum},
+		func(body any, err error) {
+			if cb == nil {
+				return
+			}
+			if err != nil {
+				cb(nil, false, err)
+				return
+			}
+			resp := body.(*apiserver.GetResponse)
+			cb(resp.Object, resp.Found, nil)
+		})
+}
+
+// Create stores a new object.
+func (c *Conn) Create(obj *cluster.Object, cb func(*cluster.Object, error)) {
+	c.rpc.Call(c.api, apiserver.MethodCreate, &apiserver.CreateRequest{Object: obj.Clone()},
+		writeCB(cb))
+}
+
+// Update overwrites an object guarded by its ResourceVersion (0 = blind).
+func (c *Conn) Update(obj *cluster.Object, cb func(*cluster.Object, error)) {
+	c.rpc.Call(c.api, apiserver.MethodUpdate, &apiserver.UpdateRequest{Object: obj.Clone()},
+		writeCB(cb))
+}
+
+// Delete removes an object; expectRV of 0 deletes unconditionally.
+func (c *Conn) Delete(kind cluster.Kind, name string, expectRV int64, cb func(error)) {
+	c.rpc.Call(c.api, apiserver.MethodDelete, &apiserver.DeleteRequest{Kind: kind, Name: name, ExpectRV: expectRV},
+		func(_ any, err error) {
+			if cb != nil {
+				cb(err)
+			}
+		})
+}
+
+func writeCB(cb func(*cluster.Object, error)) func(any, error) {
+	return func(body any, err error) {
+		if cb == nil {
+			return
+		}
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(body.(*apiserver.WriteResponse).Object, nil)
+	}
+}
+
+func (c *Conn) sortedInformers() []*Informer {
+	ids := make([]uint64, 0, len(c.informers))
+	for id := range c.informers {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	out := make([]*Informer, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.informers[id])
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package client
+
+import (
+	"sort"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// EventHandler receives typed cache events from an Informer. For handlers
+// added after the cache is synced, the initial list is replayed as OnAdd
+// calls, matching client-go semantics.
+type EventHandler interface {
+	OnAdd(obj *cluster.Object)
+	OnUpdate(oldObj, newObj *cluster.Object)
+	OnDelete(obj *cluster.Object)
+}
+
+// HandlerFuncs adapts plain functions to EventHandler; nil funcs are
+// skipped.
+type HandlerFuncs struct {
+	AddFunc    func(obj *cluster.Object)
+	UpdateFunc func(oldObj, newObj *cluster.Object)
+	DeleteFunc func(obj *cluster.Object)
+}
+
+// OnAdd implements EventHandler.
+func (h HandlerFuncs) OnAdd(obj *cluster.Object) {
+	if h.AddFunc != nil {
+		h.AddFunc(obj)
+	}
+}
+
+// OnUpdate implements EventHandler.
+func (h HandlerFuncs) OnUpdate(oldObj, newObj *cluster.Object) {
+	if h.UpdateFunc != nil {
+		h.UpdateFunc(oldObj, newObj)
+	}
+}
+
+// OnDelete implements EventHandler.
+func (h HandlerFuncs) OnDelete(obj *cluster.Object) {
+	if h.DeleteFunc != nil {
+		h.DeleteFunc(obj)
+	}
+}
+
+// InformerConfig tunes informer behaviour.
+type InformerConfig struct {
+	// WatchTimeout re-establishes the watch (pulling a fresh list if
+	// needed) when no event has arrived for this long. 0 disables.
+	WatchTimeout sim.Duration
+	// RelistEvery forces a periodic full relist regardless of stream
+	// health — the defensive resync hardened controllers use to bound the
+	// damage of silently lost notifications. 0 disables (stock behaviour:
+	// a missed event is missed forever).
+	RelistEvery sim.Duration
+}
+
+// Informer maintains a component's local cache S' of one kind, fed by
+// list+watch from the component's current apiserver. It is the analog of a
+// client-go SharedIndexInformer and — per the paper — the canonical home of
+// partial histories in infrastructure services.
+type Informer struct {
+	conn *Conn
+	kind cluster.Kind
+	cfg  InformerConfig
+
+	subID    uint64
+	epoch    uint64 // guards async callbacks across relists
+	synced   bool
+	store    map[string]*cluster.Object // S'
+	lastRev  int64                      // frontier of H'
+	handlers []EventHandler
+
+	// Obs records the order in which revisions were observed — raw
+	// material for time-travel detection by oracles.
+	Obs history.ObservationLog
+
+	lastEventAt sim.Time
+	relists     int
+}
+
+// NewInformer creates (but does not start) an informer for kind on conn.
+func NewInformer(conn *Conn, kind cluster.Kind, cfg InformerConfig) *Informer {
+	inf := &Informer{
+		conn:  conn,
+		kind:  kind,
+		cfg:   cfg,
+		store: make(map[string]*cluster.Object),
+	}
+	conn.nextSub++
+	inf.subID = conn.nextSub
+	conn.informers[inf.subID] = inf
+	return inf
+}
+
+// AddHandler registers a handler. If the cache is already synced the
+// current contents are replayed to it as OnAdd calls.
+func (i *Informer) AddHandler(h EventHandler) {
+	i.handlers = append(i.handlers, h)
+	if i.synced {
+		for _, name := range i.sortedNames() {
+			h.OnAdd(i.store[name].Clone())
+		}
+	}
+}
+
+// Run starts the initial list+watch.
+func (i *Informer) Run() {
+	i.relist("initial sync")
+	if i.cfg.WatchTimeout > 0 {
+		i.scheduleLiveness()
+	}
+	if i.cfg.RelistEvery > 0 {
+		i.schedulePeriodicRelist()
+	}
+}
+
+func (i *Informer) schedulePeriodicRelist() {
+	i.conn.world.Kernel().Schedule(i.cfg.RelistEvery, func() {
+		if _, ok := i.conn.informers[i.subID]; !ok {
+			return // informer dropped (component crashed)
+		}
+		i.relist("periodic resync")
+		i.schedulePeriodicRelist()
+	})
+}
+
+// Synced reports whether the initial list completed.
+func (i *Informer) Synced() bool { return i.synced }
+
+// LastRevision returns the cache frontier (H' position).
+func (i *Informer) LastRevision() int64 { return i.lastRev }
+
+// Relists returns how many list operations the informer has performed.
+func (i *Informer) Relists() int { return i.relists }
+
+// Get returns the cached object by name.
+func (i *Informer) Get(name string) (*cluster.Object, bool) {
+	o, ok := i.store[name]
+	if !ok {
+		return nil, false
+	}
+	return o.Clone(), true
+}
+
+// ListCached returns all cached objects ordered by name — a sparse read of
+// S' in the paper's terms.
+func (i *Informer) ListCached() []*cluster.Object {
+	out := make([]*cluster.Object, 0, len(i.store))
+	for _, name := range i.sortedNames() {
+		out = append(out, i.store[name].Clone())
+	}
+	return out
+}
+
+// Len returns the number of cached objects.
+func (i *Informer) Len() int { return len(i.store) }
+
+func (i *Informer) sortedNames() []string {
+	names := make([]string, 0, len(i.store))
+	for n := range i.store {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// relist pulls a full list and reconciles the cache against it, emitting
+// synthetic Added/Modified/Deleted notifications for the difference — the
+// client-go "Replace" path. After a relist the informer re-watches from the
+// listed revision.
+//
+// Crucially, a relist against a stale upstream moves the cache *backwards*:
+// deleted objects reappear (OnAdd), recent objects vanish (OnDelete), and
+// lastRev regresses. Nothing in this layer prevents that — faithfully
+// reproducing the Kubernetes behaviour behind time-travel bugs.
+func (i *Informer) relist(reason string) {
+	i.epoch++
+	epoch := i.epoch
+	i.relists++
+	i.conn.List(i.kind, false, func(objs []*cluster.Object, rev int64, err error) {
+		if epoch != i.epoch {
+			return
+		}
+		if err != nil {
+			// Upstream unavailable: retry after a beat.
+			i.conn.world.Kernel().Schedule(100*sim.Millisecond, func() {
+				if epoch == i.epoch {
+					i.relist(reason)
+				}
+			})
+			return
+		}
+		i.replace(objs, rev)
+		i.startWatch(epoch)
+	})
+}
+
+func (i *Informer) replace(objs []*cluster.Object, rev int64) {
+	incoming := make(map[string]*cluster.Object, len(objs))
+	for _, o := range objs {
+		incoming[o.Meta.Name] = o
+	}
+	names := make([]string, 0, len(incoming))
+	for n := range incoming {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		newObj := incoming[name]
+		old, existed := i.store[name]
+		i.store[name] = newObj.Clone()
+		switch {
+		case !existed:
+			i.emitAdd(newObj)
+		case old.Meta.ResourceVersion != newObj.Meta.ResourceVersion:
+			i.emitUpdate(old, newObj)
+		}
+	}
+	for _, name := range i.sortedNames() {
+		if _, ok := incoming[name]; !ok {
+			old := i.store[name]
+			delete(i.store, name)
+			i.emitDelete(old)
+		}
+	}
+	i.lastRev = rev
+	i.Obs.Record(history.Observation{Revision: rev, Key: "(relist)", Time: int64(i.conn.world.Now())})
+	i.synced = true
+	i.lastEventAt = i.conn.world.Now()
+}
+
+func (i *Informer) startWatch(epoch uint64) {
+	i.conn.rpc.Call(i.conn.api, apiserver.MethodWatch,
+		&apiserver.WatchRequest{Kind: i.kind, StartRev: i.lastRev, SubID: i.subID},
+		func(_ any, err error) {
+			if epoch != i.epoch {
+				return
+			}
+			if err != nil {
+				if apiserver.IsTooOld(err) {
+					i.relist("watch window expired")
+					return
+				}
+				i.conn.world.Kernel().Schedule(100*sim.Millisecond, func() {
+					if epoch == i.epoch {
+						i.startWatch(epoch)
+					}
+				})
+				return
+			}
+			i.lastEventAt = i.conn.world.Now()
+		})
+}
+
+// onPush applies pushed watch events to the cache.
+func (i *Informer) onPush(events []apiserver.WatchEvent) {
+	for _, ev := range events {
+		if ev.Object == nil || ev.Object.Meta.Kind != i.kind {
+			continue
+		}
+		i.Obs.Record(history.Observation{
+			Revision: ev.Revision,
+			Key:      cluster.Key(i.kind, ev.Object.Meta.Name),
+			Time:     int64(i.conn.world.Now()),
+		})
+		if ev.Revision <= i.lastRev && ev.Revision != 0 {
+			// Duplicate or replayed event; client-go dedups by RV.
+			continue
+		}
+		name := ev.Object.Meta.Name
+		switch ev.Type {
+		case apiserver.Added:
+			old, existed := i.store[name]
+			i.store[name] = ev.Object.Clone()
+			if existed {
+				i.emitUpdate(old, ev.Object)
+			} else {
+				i.emitAdd(ev.Object)
+			}
+		case apiserver.Modified:
+			old, existed := i.store[name]
+			i.store[name] = ev.Object.Clone()
+			if existed {
+				i.emitUpdate(old, ev.Object)
+			} else {
+				i.emitAdd(ev.Object)
+			}
+		case apiserver.Deleted:
+			old, existed := i.store[name]
+			delete(i.store, name)
+			if existed {
+				i.emitDelete(old)
+			} else {
+				i.emitDelete(ev.Object)
+			}
+		}
+		if ev.Revision > i.lastRev {
+			i.lastRev = ev.Revision
+		}
+	}
+	i.lastEventAt = i.conn.world.Now()
+}
+
+func (i *Informer) scheduleLiveness() {
+	epoch := i.epoch
+	i.conn.world.Kernel().Schedule(i.cfg.WatchTimeout, func() {
+		if _, ok := i.conn.informers[i.subID]; !ok {
+			return // informer dropped (component crashed)
+		}
+		if i.synced && epoch == i.epoch &&
+			i.conn.world.Now().Sub(i.lastEventAt) >= i.cfg.WatchTimeout {
+			// Stream went quiet: the apiserver may have restarted and lost
+			// our subscription. Re-establish.
+			i.startWatch(i.epoch)
+		}
+		i.scheduleLiveness()
+	})
+}
+
+func (i *Informer) emitAdd(o *cluster.Object) {
+	for _, h := range i.handlers {
+		h.OnAdd(o.Clone())
+	}
+}
+
+func (i *Informer) emitUpdate(old, new *cluster.Object) {
+	for _, h := range i.handlers {
+		h.OnUpdate(old.Clone(), new.Clone())
+	}
+}
+
+func (i *Informer) emitDelete(o *cluster.Object) {
+	for _, h := range i.handlers {
+		h.OnDelete(o.Clone())
+	}
+}

@@ -1,0 +1,296 @@
+// Package cluster defines the object model of the simulated infrastructure:
+// the typed resources (pods, nodes, persistent volume claims, Cassandra
+// clusters, regions) that collectively form the cluster state S, plus the
+// codec that maps them onto the store's keyspace.
+//
+// The model mirrors the Kubernetes API machinery closely enough for the
+// paper's bugs to exist: objects carry a ResourceVersion (the store mod
+// revision) used for optimistic concurrency, a DeletionTimestamp used for
+// two-phase deletion (mark, then remove), and owner references used by
+// garbage-collecting controllers.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Kind identifies a resource type.
+type Kind string
+
+// Resource kinds known to the simulated cluster.
+const (
+	KindPod       Kind = "pods"
+	KindNode      Kind = "nodes"
+	KindPVC       Kind = "pvcs"
+	KindCassandra Kind = "cassandraclusters"
+	KindRegion    Kind = "regions"
+	KindAppSet    Kind = "appsets"
+)
+
+// Kinds lists every known kind in stable order.
+func Kinds() []Kind {
+	return []Kind{KindPod, KindNode, KindPVC, KindCassandra, KindRegion, KindAppSet}
+}
+
+// PodPhase is the lifecycle phase of a pod.
+type PodPhase string
+
+// Pod phases.
+const (
+	PodPending     PodPhase = "Pending"
+	PodScheduled   PodPhase = "Scheduled"
+	PodRunning     PodPhase = "Running"
+	PodTerminating PodPhase = "Terminating"
+	PodFailed      PodPhase = "Failed"
+)
+
+// PodSpec describes a pod: desired placement and observed phase.
+type PodSpec struct {
+	NodeName string   `json:"nodeName,omitempty"` // bound node ("" = unscheduled)
+	Phase    PodPhase `json:"phase,omitempty"`
+	Image    string   `json:"image,omitempty"` // version label; rolling upgrades change it
+	App      string   `json:"app,omitempty"`   // owning application/operator name
+}
+
+// NodeSpec describes a worker node.
+type NodeSpec struct {
+	Ready    bool `json:"ready"`
+	Capacity int  `json:"capacity"` // max pods
+}
+
+// PVCPhase is the lifecycle phase of a persistent volume claim.
+type PVCPhase string
+
+// PVC phases.
+const (
+	PVCBound    PVCPhase = "Bound"
+	PVCReleased PVCPhase = "Released"
+)
+
+// PVCSpec describes a persistent volume claim.
+type PVCSpec struct {
+	OwnerPod string   `json:"ownerPod,omitempty"` // pod this claim backs
+	Phase    PVCPhase `json:"phase,omitempty"`
+	SizeGB   int      `json:"sizeGB,omitempty"`
+}
+
+// CassandraSpec describes a Cassandra cluster custom resource managed by
+// the operator in internal/operators/cassandra.
+type CassandraSpec struct {
+	Replicas        int      `json:"replicas"`                  // desired members
+	ReadyMembers    []string `json:"readyMembers,omitempty"`    // status: member pods seen ready
+	Decommissioning string   `json:"decommissioning,omitempty"` // member currently draining
+}
+
+// AppSetSpec describes a replicated application (a Deployment/ReplicaSet
+// analog): the controller in internal/controllers keeps Replicas pod
+// copies running on the template Image, replacing pods one at a time when
+// the image changes (rolling upgrade).
+type AppSetSpec struct {
+	Replicas int    `json:"replicas"`
+	Image    string `json:"image,omitempty"`
+	// ReadyReplicas is status: pods observed Running on the current image.
+	ReadyReplicas int `json:"readyReplicas,omitempty"`
+}
+
+// RegionState is the assignment state of a region (HBase analog).
+type RegionState string
+
+// Region states.
+const (
+	RegionOffline RegionState = "Offline"
+	RegionOpening RegionState = "Opening"
+	RegionOnline  RegionState = "Online"
+	RegionClosing RegionState = "Closing"
+)
+
+// RegionSpec describes a region (shard) assignment for the HBASE-3136
+// experiment: ownership transitions must be atomic CAS operations.
+type RegionSpec struct {
+	Owner string      `json:"owner,omitempty"` // region server holding it
+	State RegionState `json:"state,omitempty"`
+}
+
+// Meta is object metadata common to all kinds.
+type Meta struct {
+	Kind Kind   `json:"kind"`
+	Name string `json:"name"`
+	// UID is unique per object incarnation: deleting and re-creating a name
+	// yields a different UID, which is how controllers are supposed to
+	// detect re-creation (and often fail to).
+	UID string `json:"uid"`
+	// ResourceVersion is the store mod revision of this object version. It
+	// is set by the apiserver on reads/watches and used as the CAS guard on
+	// updates.
+	ResourceVersion int64 `json:"resourceVersion,omitempty"`
+	// DeletionTimestamp, when nonzero, marks the object as being deleted
+	// (virtual time of the mark). Two-phase deletion: mark, finalize,
+	// remove.
+	DeletionTimestamp int64             `json:"deletionTimestamp,omitempty"`
+	OwnerUID          string            `json:"ownerUID,omitempty"`
+	Labels            map[string]string `json:"labels,omitempty"`
+}
+
+// Object is a typed cluster resource. Exactly one payload pointer matching
+// Meta.Kind is non-nil.
+type Object struct {
+	Meta      Meta           `json:"meta"`
+	Pod       *PodSpec       `json:"pod,omitempty"`
+	Node      *NodeSpec      `json:"node,omitempty"`
+	PVC       *PVCSpec       `json:"pvc,omitempty"`
+	Cassandra *CassandraSpec `json:"cassandra,omitempty"`
+	Region    *RegionSpec    `json:"region,omitempty"`
+	AppSet    *AppSetSpec    `json:"appSet,omitempty"`
+}
+
+// NewPod constructs a pod object.
+func NewPod(name, uid string, spec PodSpec) *Object {
+	return &Object{Meta: Meta{Kind: KindPod, Name: name, UID: uid}, Pod: &spec}
+}
+
+// NewNode constructs a node object.
+func NewNode(name, uid string, spec NodeSpec) *Object {
+	return &Object{Meta: Meta{Kind: KindNode, Name: name, UID: uid}, Node: &spec}
+}
+
+// NewPVC constructs a persistent volume claim object.
+func NewPVC(name, uid string, spec PVCSpec) *Object {
+	return &Object{Meta: Meta{Kind: KindPVC, Name: name, UID: uid}, PVC: &spec}
+}
+
+// NewCassandra constructs a Cassandra cluster custom resource.
+func NewCassandra(name, uid string, spec CassandraSpec) *Object {
+	return &Object{Meta: Meta{Kind: KindCassandra, Name: name, UID: uid}, Cassandra: &spec}
+}
+
+// NewRegion constructs a region object.
+func NewRegion(name, uid string, spec RegionSpec) *Object {
+	return &Object{Meta: Meta{Kind: KindRegion, Name: name, UID: uid}, Region: &spec}
+}
+
+// NewAppSet constructs a replicated-application object.
+func NewAppSet(name, uid string, spec AppSetSpec) *Object {
+	return &Object{Meta: Meta{Kind: KindAppSet, Name: name, UID: uid}, AppSet: &spec}
+}
+
+// Clone returns a deep copy of the object.
+func (o *Object) Clone() *Object {
+	if o == nil {
+		return nil
+	}
+	c := *o
+	if o.Meta.Labels != nil {
+		c.Meta.Labels = make(map[string]string, len(o.Meta.Labels))
+		for k, v := range o.Meta.Labels {
+			c.Meta.Labels[k] = v
+		}
+	}
+	if o.Pod != nil {
+		p := *o.Pod
+		c.Pod = &p
+	}
+	if o.Node != nil {
+		n := *o.Node
+		c.Node = &n
+	}
+	if o.PVC != nil {
+		p := *o.PVC
+		c.PVC = &p
+	}
+	if o.Cassandra != nil {
+		cs := *o.Cassandra
+		cs.ReadyMembers = append([]string(nil), o.Cassandra.ReadyMembers...)
+		c.Cassandra = &cs
+	}
+	if o.Region != nil {
+		r := *o.Region
+		c.Region = &r
+	}
+	if o.AppSet != nil {
+		a := *o.AppSet
+		c.AppSet = &a
+	}
+	return &c
+}
+
+// Terminating reports whether the object is marked for deletion.
+func (o *Object) Terminating() bool { return o.Meta.DeletionTimestamp != 0 }
+
+func (o *Object) String() string {
+	return fmt.Sprintf("%s/%s@rv%d", o.Meta.Kind, o.Meta.Name, o.Meta.ResourceVersion)
+}
+
+// RegistryPrefix is the root of the object keyspace in the store.
+const RegistryPrefix = "/registry/"
+
+// Key returns the store key for (kind, name).
+func Key(kind Kind, name string) string {
+	return RegistryPrefix + string(kind) + "/" + name
+}
+
+// KindPrefix returns the store key prefix holding all objects of a kind.
+func KindPrefix(kind Kind) string {
+	return RegistryPrefix + string(kind) + "/"
+}
+
+// ParseKey splits a store key into kind and name.
+func ParseKey(key string) (Kind, string, error) {
+	rest, ok := strings.CutPrefix(key, RegistryPrefix)
+	if !ok {
+		return "", "", fmt.Errorf("cluster: key %q outside registry", key)
+	}
+	kind, name, ok := strings.Cut(rest, "/")
+	if !ok || kind == "" || name == "" {
+		return "", "", fmt.Errorf("cluster: malformed key %q", key)
+	}
+	return Kind(kind), name, nil
+}
+
+// Encode serializes an object for storage. ResourceVersion is not encoded:
+// it is derived from the store revision on read, never trusted from bytes.
+func Encode(o *Object) ([]byte, error) {
+	c := o.Clone()
+	c.Meta.ResourceVersion = 0
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode %s: %w", o, err)
+	}
+	return b, nil
+}
+
+// Decode deserializes an object and stamps the given resource version.
+func Decode(data []byte, resourceVersion int64) (*Object, error) {
+	var o Object
+	if err := json.Unmarshal(data, &o); err != nil {
+		return nil, fmt.Errorf("cluster: decode: %w", err)
+	}
+	o.Meta.ResourceVersion = resourceVersion
+	return &o, nil
+}
+
+// MustEncode is Encode for objects constructed by this package; encoding
+// them cannot fail.
+func MustEncode(o *Object) []byte {
+	b, err := Encode(o)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// UIDGen deterministically generates unique object UIDs.
+type UIDGen struct {
+	prefix string
+	n      int
+}
+
+// NewUIDGen creates a generator whose UIDs carry the given prefix.
+func NewUIDGen(prefix string) *UIDGen { return &UIDGen{prefix: prefix} }
+
+// Next returns a fresh UID.
+func (g *UIDGen) Next() string {
+	g.n++
+	return fmt.Sprintf("%s-%04d", g.prefix, g.n)
+}

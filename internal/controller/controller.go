@@ -1,0 +1,167 @@
+// Package controller provides the reconcile-loop machinery shared by all
+// simulated control-plane components: a deduplicating, rate-limited work
+// queue and a Controller that binds informer events to a Reconcile
+// function — the analog of controller-runtime.
+package controller
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Result tells the queue what to do after a reconcile.
+type Result struct {
+	// Requeue re-enqueues the key after RequeueAfter (or the queue's
+	// default backoff when zero).
+	Requeue      bool
+	RequeueAfter sim.Duration
+}
+
+// Reconciler processes one key at a time. Returning an error requeues the
+// key with exponential backoff.
+type Reconciler interface {
+	Reconcile(key string) (Result, error)
+}
+
+// ReconcilerFunc adapts a function to Reconciler.
+type ReconcilerFunc func(key string) (Result, error)
+
+// Reconcile calls f(key).
+func (f ReconcilerFunc) Reconcile(key string) (Result, error) { return f(key) }
+
+// QueueConfig tunes a work queue.
+type QueueConfig struct {
+	// BaseDelay is the pause between dequeues (models work latency and
+	// rate limiting).
+	BaseDelay sim.Duration
+	// BaseBackoff is the initial retry backoff after a failed reconcile;
+	// it doubles per consecutive failure up to MaxBackoff.
+	BaseBackoff sim.Duration
+	MaxBackoff  sim.Duration
+}
+
+// DefaultQueueConfig returns production-like settings.
+func DefaultQueueConfig() QueueConfig {
+	return QueueConfig{
+		BaseDelay:   sim.Millisecond,
+		BaseBackoff: 5 * sim.Millisecond,
+		MaxBackoff:  time500ms,
+	}
+}
+
+const time500ms = 500 * sim.Millisecond
+
+// Queue is a deduplicating work queue driven by the simulation kernel.
+// A key present in the queue is not added twice; a key being processed is
+// re-queued if re-added during processing (client-go semantics).
+type Queue struct {
+	k        *sim.Kernel
+	cfg      QueueConfig
+	rec      Reconciler
+	order    []string
+	set      map[string]bool
+	failures map[string]int
+	running  bool
+	stopped  bool
+
+	// Counters for experiments.
+	Processed int
+	Errors    int
+}
+
+// NewQueue creates a queue that feeds keys to rec.
+func NewQueue(k *sim.Kernel, cfg QueueConfig, rec Reconciler) *Queue {
+	return &Queue{k: k, cfg: cfg, rec: rec, set: make(map[string]bool), failures: make(map[string]int)}
+}
+
+// Add enqueues key if not already queued.
+func (q *Queue) Add(key string) {
+	if q.stopped || q.set[key] {
+		return
+	}
+	q.set[key] = true
+	q.order = append(q.order, key)
+	q.kick()
+}
+
+// AddAfter enqueues key after a delay.
+func (q *Queue) AddAfter(key string, d sim.Duration) {
+	q.k.Schedule(d, func() { q.Add(key) })
+}
+
+// Len returns the number of queued keys.
+func (q *Queue) Len() int { return len(q.order) }
+
+// Stop permanently halts processing (crash semantics).
+func (q *Queue) Stop() { q.stopped = true }
+
+func (q *Queue) kick() {
+	if q.running || q.stopped || len(q.order) == 0 {
+		return
+	}
+	q.running = true
+	q.k.Schedule(q.cfg.BaseDelay, q.processNext)
+}
+
+func (q *Queue) processNext() {
+	q.running = false
+	if q.stopped || len(q.order) == 0 {
+		return
+	}
+	key := q.order[0]
+	q.order = q.order[1:]
+	delete(q.set, key)
+
+	q.Processed++
+	res, err := q.rec.Reconcile(key)
+	if q.stopped {
+		return
+	}
+	switch {
+	case err != nil:
+		q.Errors++
+		q.failures[key]++
+		backoff := q.cfg.BaseBackoff
+		for i := 1; i < q.failures[key]; i++ {
+			backoff *= 2
+			if backoff >= q.cfg.MaxBackoff {
+				backoff = q.cfg.MaxBackoff
+				break
+			}
+		}
+		q.AddAfter(key, backoff)
+	case res.Requeue:
+		delete(q.failures, key)
+		d := res.RequeueAfter
+		if d == 0 {
+			d = q.cfg.BaseBackoff
+		}
+		q.AddAfter(key, d)
+	default:
+		delete(q.failures, key)
+	}
+	q.kick()
+}
+
+// EnqueueHandler is an informer event handler that maps every object event
+// to its name on a queue — the standard controller wiring.
+type EnqueueHandler struct{ Queue *Queue }
+
+// OnAdd implements client.EventHandler.
+func (h EnqueueHandler) OnAdd(obj *cluster.Object) { h.Queue.Add(obj.Meta.Name) }
+
+// OnUpdate implements client.EventHandler.
+func (h EnqueueHandler) OnUpdate(_, newObj *cluster.Object) { h.Queue.Add(newObj.Meta.Name) }
+
+// OnDelete implements client.EventHandler.
+func (h EnqueueHandler) OnDelete(obj *cluster.Object) { h.Queue.Add(obj.Meta.Name) }
+
+// SortedKeys returns the queue's pending keys in deterministic order
+// (diagnostics).
+func (q *Queue) SortedKeys() []string {
+	out := append([]string(nil), q.order...)
+	sort.Strings(out)
+	return out
+}

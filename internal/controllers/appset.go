@@ -1,0 +1,324 @@
+package controllers
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/sim"
+)
+
+// AppSetConfig tunes the replicated-application controller.
+type AppSetConfig struct {
+	// APIServer is the controller's upstream.
+	APIServer sim.NodeID
+	// ResyncInterval re-enqueues every AppSet periodically.
+	ResyncInterval sim.Duration
+	// RPCTimeout bounds apiserver calls.
+	RPCTimeout sim.Duration
+	// MaxUnavailable bounds how many replicas a rolling upgrade may take
+	// down at once (>= 1).
+	MaxUnavailable int
+}
+
+// DefaultAppSetConfig returns production-like settings.
+func DefaultAppSetConfig(api sim.NodeID) AppSetConfig {
+	return AppSetConfig{
+		APIServer:      api,
+		ResyncInterval: 200 * sim.Millisecond,
+		RPCTimeout:     200 * sim.Millisecond,
+		MaxUnavailable: 1,
+	}
+}
+
+// AppSetController is the Deployment/ReplicaSet analog: it reconciles every
+// AppSet object into Replicas pods running the template image, replacing
+// pods one at a time when the image changes (the rolling-upgrade actor of
+// the Figure 2 scenario, here as a controller instead of a human).
+type AppSetController struct {
+	id    sim.NodeID
+	world *sim.World
+	cfg   AppSetConfig
+
+	conn   *client.Conn
+	appInf *client.Informer
+	podInf *client.Informer
+	queue  *controller.Queue
+	down   bool
+	epoch  uint64
+	uids   *cluster.UIDGen
+	// replacing tracks in-flight rolling replacements per app.
+	replacing map[string]int
+
+	// Metrics.
+	PodCreates int
+	PodDeletes int
+	Rollouts   int
+}
+
+// AppSetControllerID is the controller's network identity.
+const AppSetControllerID sim.NodeID = "appset-controller"
+
+// NewAppSetController wires the controller into the world.
+func NewAppSetController(w *sim.World, cfg AppSetConfig) *AppSetController {
+	if cfg.MaxUnavailable < 1 {
+		cfg.MaxUnavailable = 1
+	}
+	c := &AppSetController{
+		id:        AppSetControllerID,
+		world:     w,
+		cfg:       cfg,
+		uids:      cluster.NewUIDGen("appset"),
+		replacing: make(map[string]int),
+	}
+	w.Network().Register(c.id, c)
+	w.AddProcess(c)
+	c.boot()
+	return c
+}
+
+// ID implements sim.Process.
+func (c *AppSetController) ID() sim.NodeID { return c.id }
+
+// Crash implements sim.Process.
+func (c *AppSetController) Crash() {
+	c.down = true
+	c.epoch++
+	if c.conn != nil {
+		c.conn.Reset()
+	}
+	if c.queue != nil {
+		c.queue.Stop()
+	}
+	c.appInf, c.podInf = nil, nil
+	c.replacing = make(map[string]int)
+}
+
+// Restart implements sim.Process.
+func (c *AppSetController) Restart() {
+	c.down = false
+	c.boot()
+}
+
+// HandleMessage implements sim.Handler.
+func (c *AppSetController) HandleMessage(m *sim.Message) {
+	if c.down || c.conn == nil {
+		return
+	}
+	c.conn.HandleMessage(m)
+}
+
+func (c *AppSetController) boot() {
+	c.epoch++
+	epoch := c.epoch
+	c.conn = client.NewConn(c.world, c.id, c.cfg.APIServer, c.cfg.RPCTimeout)
+	c.queue = controller.NewQueue(c.world.Kernel(), controller.DefaultQueueConfig(),
+		controller.ReconcilerFunc(c.reconcile))
+	c.appInf = client.NewInformer(c.conn, cluster.KindAppSet, client.InformerConfig{WatchTimeout: sim.Second})
+	c.appInf.AddHandler(controller.EnqueueHandler{Queue: c.queue})
+	c.podInf = client.NewInformer(c.conn, cluster.KindPod, client.InformerConfig{WatchTimeout: sim.Second})
+	c.podInf.AddHandler(client.HandlerFuncs{
+		AddFunc:    func(p *cluster.Object) { c.enqueueOwner(p) },
+		UpdateFunc: func(_, p *cluster.Object) { c.enqueueOwner(p) },
+		DeleteFunc: func(p *cluster.Object) { c.enqueueOwner(p) },
+	})
+	c.appInf.Run()
+	c.podInf.Run()
+	c.scheduleResync(epoch)
+}
+
+func (c *AppSetController) enqueueOwner(p *cluster.Object) {
+	if p.Pod == nil || p.Pod.App == "" {
+		return
+	}
+	if _, ok := c.appInf.Get(p.Pod.App); ok {
+		c.queue.Add(p.Pod.App)
+	}
+}
+
+func (c *AppSetController) scheduleResync(epoch uint64) {
+	c.world.Kernel().Schedule(c.cfg.ResyncInterval, func() {
+		if c.down || epoch != c.epoch {
+			return
+		}
+		for _, app := range c.appInf.ListCached() {
+			c.queue.Add(app.Meta.Name)
+		}
+		c.scheduleResync(epoch)
+	})
+}
+
+func (c *AppSetController) podName(app string, ordinal int) string {
+	return app + "-" + strconv.Itoa(ordinal)
+}
+
+func (c *AppSetController) ordinalOf(app, podName string) int {
+	rest := strings.TrimPrefix(podName, app+"-")
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// reconcile drives one AppSet toward its spec.
+func (c *AppSetController) reconcile(name string) (controller.Result, error) {
+	if !c.appInf.Synced() || !c.podInf.Synced() {
+		return controller.Result{Requeue: true, RequeueAfter: 50 * sim.Millisecond}, nil
+	}
+	app, ok := c.appInf.Get(name)
+	if !ok || app.AppSet == nil {
+		return controller.Result{}, nil
+	}
+	epoch := c.epoch
+	if app.Terminating() {
+		c.teardown(epoch, app)
+		return controller.Result{}, nil
+	}
+
+	pods := c.ownedPods(name)
+	live := pods[:0:0]
+	for _, p := range pods {
+		if !p.Terminating() {
+			live = append(live, p)
+		}
+	}
+	desired := app.AppSet.Replicas
+
+	switch {
+	case len(live) < desired:
+		c.scaleUp(epoch, app, live, desired)
+	case len(live) > desired:
+		c.scaleDown(epoch, app, live, desired)
+	default:
+		if c.rollForward(epoch, app, live) {
+			c.Rollouts++
+		} else {
+			c.updateStatus(epoch, app, live)
+		}
+	}
+	return controller.Result{}, nil
+}
+
+// ownedPods returns this app's pods from the controller's view, sorted by
+// ordinal.
+func (c *AppSetController) ownedPods(app string) []*cluster.Object {
+	var out []*cluster.Object
+	for _, p := range c.podInf.ListCached() {
+		if p.Pod != nil && p.Pod.App == app && c.ordinalOf(app, p.Meta.Name) >= 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return c.ordinalOf(app, out[i].Meta.Name) < c.ordinalOf(app, out[j].Meta.Name)
+	})
+	return out
+}
+
+func (c *AppSetController) scaleUp(epoch uint64, app *cluster.Object, live []*cluster.Object, desired int) {
+	have := map[string]bool{}
+	for _, p := range live {
+		have[p.Meta.Name] = true
+	}
+	for i := 0; i < desired; i++ {
+		name := c.podName(app.Meta.Name, i)
+		if have[name] {
+			continue
+		}
+		if _, pending := c.podInf.Get(name); pending {
+			continue // terminating predecessor still being finalized
+		}
+		pod := cluster.NewPod(name, c.uids.Next(), cluster.PodSpec{
+			App:   app.Meta.Name,
+			Image: app.AppSet.Image,
+			Phase: cluster.PodPending,
+		})
+		pod.Meta.OwnerUID = app.Meta.UID
+		c.conn.Create(pod, func(_ *cluster.Object, err error) {
+			if c.down || epoch != c.epoch {
+				return
+			}
+			if err == nil {
+				c.PodCreates++
+			}
+			c.queue.AddAfter(app.Meta.Name, 20*sim.Millisecond)
+		})
+	}
+}
+
+func (c *AppSetController) scaleDown(epoch uint64, app *cluster.Object, live []*cluster.Object, desired int) {
+	// Remove highest ordinals first.
+	for i := len(live) - 1; i >= desired; i-- {
+		c.markDelete(epoch, app.Meta.Name, live[i])
+	}
+}
+
+// rollForward replaces at most MaxUnavailable pods running an outdated
+// image; it reports whether a replacement is in progress.
+func (c *AppSetController) rollForward(epoch uint64, app *cluster.Object, live []*cluster.Object) bool {
+	inFlight := 0
+	for _, p := range c.ownedPods(app.Meta.Name) {
+		if p.Terminating() {
+			inFlight++
+		}
+	}
+	rolled := false
+	for _, p := range live {
+		if inFlight >= c.cfg.MaxUnavailable {
+			break
+		}
+		if p.Pod.Image == app.AppSet.Image {
+			continue
+		}
+		c.markDelete(epoch, app.Meta.Name, p)
+		inFlight++
+		rolled = true
+	}
+	return rolled
+}
+
+func (c *AppSetController) markDelete(epoch uint64, app string, pod *cluster.Object) {
+	upd := pod.Clone()
+	upd.Meta.DeletionTimestamp = int64(c.world.Now())
+	c.conn.Update(upd, func(_ *cluster.Object, err error) {
+		if c.down || epoch != c.epoch {
+			return
+		}
+		if err != nil {
+			c.queue.AddAfter(app, 50*sim.Millisecond)
+			return
+		}
+		c.PodDeletes++
+		// Unscheduled pods have no kubelet finalizer.
+		if pod.Pod.NodeName == "" {
+			c.conn.Delete(cluster.KindPod, pod.Meta.Name, 0, nil)
+		}
+		c.queue.AddAfter(app, 50*sim.Millisecond)
+	})
+}
+
+func (c *AppSetController) teardown(epoch uint64, app *cluster.Object) {
+	for _, p := range c.ownedPods(app.Meta.Name) {
+		if !p.Terminating() {
+			c.markDelete(epoch, app.Meta.Name, p)
+		}
+	}
+}
+
+func (c *AppSetController) updateStatus(epoch uint64, app *cluster.Object, live []*cluster.Object) {
+	ready := 0
+	for _, p := range live {
+		if p.Pod.Phase == cluster.PodRunning && p.Pod.Image == app.AppSet.Image {
+			ready++
+		}
+	}
+	if app.AppSet.ReadyReplicas == ready {
+		return
+	}
+	upd := app.Clone()
+	upd.AppSet.ReadyReplicas = ready
+	c.conn.Update(upd, func(*cluster.Object, error) {})
+}

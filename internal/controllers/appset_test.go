@@ -1,0 +1,152 @@
+package controllers_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/controllers"
+	"repro/internal/infra"
+	"repro/internal/sim"
+)
+
+func appCluster(t *testing.T) *infra.Cluster {
+	t.Helper()
+	opts := infra.DefaultOptions()
+	opts.EnableVolumeController = false
+	opts.EnableAppController = true
+	c := infra.New(opts)
+	c.RunFor(500 * sim.Millisecond)
+	return c
+}
+
+func appPods(c *infra.Cluster, app string) []*cluster.Object {
+	var out []*cluster.Object
+	for _, p := range c.GroundTruth(cluster.KindPod) {
+		if p.Pod != nil && p.Pod.App == app && !p.Terminating() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestAppSetScaleUpSchedulesAndRuns(t *testing.T) {
+	c := appCluster(t)
+	c.Admin.CreateAppSet("web", 3, "v1", nil)
+	c.RunFor(3 * sim.Second)
+
+	pods := appPods(c, "web")
+	if len(pods) != 3 {
+		t.Fatalf("pods = %d, want 3", len(pods))
+	}
+	running := 0
+	for _, node := range c.Opts.Nodes {
+		running += len(c.Hosts[node].Running())
+	}
+	if running != 3 {
+		t.Fatalf("running containers = %d", running)
+	}
+	apps := c.GroundTruth(cluster.KindAppSet)
+	if len(apps) != 1 || apps[0].AppSet.ReadyReplicas != 3 {
+		t.Fatalf("status = %+v", apps[0].AppSet)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestAppSetScaleDown(t *testing.T) {
+	c := appCluster(t)
+	c.Admin.CreateAppSet("web", 3, "v1", nil)
+	c.RunFor(3 * sim.Second)
+	c.Admin.UpdateAppSet("web", 1, "v1", nil)
+	c.RunFor(3 * sim.Second)
+
+	pods := appPods(c, "web")
+	if len(pods) != 1 || pods[0].Meta.Name != "web-0" {
+		names := []string{}
+		for _, p := range pods {
+			names = append(names, p.Meta.Name)
+		}
+		t.Fatalf("pods after scale-down = %v", names)
+	}
+	running := 0
+	for _, node := range c.Opts.Nodes {
+		running += len(c.Hosts[node].Running())
+	}
+	if running != 1 {
+		t.Fatalf("containers after scale-down = %d", running)
+	}
+}
+
+func TestAppSetRollingUpgrade(t *testing.T) {
+	c := appCluster(t)
+	c.Admin.CreateAppSet("web", 3, "v1", nil)
+	c.RunFor(3 * sim.Second)
+	c.Admin.UpdateAppSet("web", 3, "v2", nil)
+	c.RunFor(6 * sim.Second)
+
+	pods := appPods(c, "web")
+	if len(pods) != 3 {
+		t.Fatalf("pods after rollout = %d", len(pods))
+	}
+	for _, p := range pods {
+		if p.Pod.Image != "v2" {
+			t.Fatalf("pod %s still on %s", p.Meta.Name, p.Pod.Image)
+		}
+	}
+	// Containers on hosts run the new image too.
+	for _, node := range c.Opts.Nodes {
+		for _, ctr := range c.Hosts[node].Running() {
+			if ctr.Image != "v2" {
+				t.Fatalf("container %s on %s still runs %s", ctr.PodName, node, ctr.Image)
+			}
+		}
+	}
+	if c.App.Rollouts == 0 {
+		t.Fatal("no rollout recorded")
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations during rollout: %v", v)
+	}
+}
+
+func TestAppSetControllerCrashRestartConverges(t *testing.T) {
+	c := appCluster(t)
+	c.Admin.CreateAppSet("web", 2, "v1", nil)
+	c.RunFor(2 * sim.Second)
+	if err := c.World.Crash(controllers.AppSetControllerID); err != nil {
+		t.Fatal(err)
+	}
+	c.Admin.UpdateAppSet("web", 4, "v1", nil)
+	c.RunFor(sim.Second)
+	if got := len(appPods(c, "web")); got != 2 {
+		t.Fatalf("pods changed while controller down: %d", got)
+	}
+	if err := c.World.Restart(controllers.AppSetControllerID); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(3 * sim.Second)
+	if got := len(appPods(c, "web")); got != 4 {
+		t.Fatalf("restarted controller did not converge: %d pods", got)
+	}
+}
+
+func TestAppSetTeardown(t *testing.T) {
+	c := appCluster(t)
+	c.Admin.CreateAppSet("web", 2, "v1", nil)
+	c.RunFor(2 * sim.Second)
+	// Mark the AppSet deleted: the controller tears its pods down.
+	c.Admin.Conn().Get(cluster.KindAppSet, "web", true, func(app *cluster.Object, found bool, err error) {
+		if err != nil || !found {
+			t.Errorf("get appset: %v %v", err, found)
+			return
+		}
+		upd := app.Clone()
+		upd.Meta.DeletionTimestamp = int64(c.World.Now())
+		c.Admin.Conn().Update(upd, nil)
+	})
+	c.RunFor(3 * sim.Second)
+	if got := len(appPods(c, "web")); got != 0 {
+		t.Fatalf("pods after teardown = %d", got)
+	}
+}

@@ -1,0 +1,174 @@
+package controllers_test
+
+import (
+	"testing"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/controllers"
+	"repro/internal/infra"
+	"repro/internal/kubelet"
+	"repro/internal/sim"
+)
+
+func volCluster(t *testing.T, fixed bool) *infra.Cluster {
+	t.Helper()
+	opts := infra.DefaultOptions()
+	opts.Nodes = []string{"k1"}
+	opts.EnableScheduler = false
+	opts.VolumeControllerFix = fixed
+	c := infra.New(opts)
+	c.RunFor(500 * sim.Millisecond)
+	return c
+}
+
+func TestVolumeControllerReleasesOnObservedTermination(t *testing.T) {
+	c := volCluster(t, false)
+	c.Admin.CreatePod("db", "k1", "v1", nil)
+	c.Admin.CreatePVC("db-data", "db", nil)
+	c.RunFor(sim.Second)
+
+	// Slow the kubelet's finalization by dropping its view of the mark
+	// briefly... simplest reliable route: mark, then hold the world long
+	// enough for a poll to land between mark and delete. Instead, delete
+	// slowly: only mark (kubelet finalizes ~ms later, so to guarantee the
+	// controller SEES the mark we drop the *delete* notification to it).
+	c.World.Network().AddInterceptor(sim.InterceptorFunc(func(m *sim.Message) sim.Decision {
+		if m.Kind != apiserver.KindWatchPush || m.To != controllers.VolumeControllerID {
+			return sim.Decision{Verdict: sim.Pass}
+		}
+		for _, ev := range m.Payload.(*apiserver.WatchPushMsg).Events {
+			if ev.Type == apiserver.Deleted && ev.Object.Meta.Kind == cluster.KindPod {
+				return sim.Decision{Verdict: sim.Drop}
+			}
+		}
+		return sim.Decision{Verdict: sim.Pass}
+	}))
+
+	c.Admin.MarkPodDeleted("db", nil)
+	c.RunFor(2 * sim.Second)
+	// The controller observed Terminating (the Modified event) and, on a
+	// later poll, released the PVC even though it kept "seeing" the pod.
+	pvcs := c.GroundTruth(cluster.KindPVC)
+	if len(pvcs) != 1 || pvcs[0].PVC.Phase != cluster.PVCReleased {
+		t.Fatalf("pvc = %+v", pvcs)
+	}
+	if c.Volume.Releases != 1 {
+		t.Fatalf("releases = %d", c.Volume.Releases)
+	}
+}
+
+func TestVolumeControllerGapBugAndFix(t *testing.T) {
+	for _, fixed := range []bool{false, true} {
+		c := volCluster(t, fixed)
+		c.Admin.CreatePod("db", "k1", "v1", nil)
+		c.Admin.CreatePVC("db-data", "db", nil)
+		c.RunFor(sim.Second)
+		// Drop the Modified(terminating) notification so the controller
+		// only ever observes the disappearance.
+		c.World.Network().AddInterceptor(sim.InterceptorFunc(func(m *sim.Message) sim.Decision {
+			if m.Kind != apiserver.KindWatchPush || m.To != controllers.VolumeControllerID {
+				return sim.Decision{Verdict: sim.Pass}
+			}
+			for _, ev := range m.Payload.(*apiserver.WatchPushMsg).Events {
+				if ev.Type == apiserver.Modified && ev.Object.Meta.DeletionTimestamp != 0 {
+					return sim.Decision{Verdict: sim.Drop}
+				}
+			}
+			return sim.Decision{Verdict: sim.Pass}
+		}))
+		c.Admin.MarkPodDeleted("db", nil)
+		c.RunFor(2 * sim.Second)
+		pvcs := c.GroundTruth(cluster.KindPVC)
+		released := len(pvcs) == 1 && pvcs[0].PVC.Phase == cluster.PVCReleased
+		if fixed && !released {
+			t.Fatalf("fixed controller orphaned the PVC: %+v", pvcs)
+		}
+		if !fixed && released {
+			t.Fatal("stock controller released without observing the mark (bug not reproduced)")
+		}
+	}
+}
+
+func TestVolumeControllerCrashRestart(t *testing.T) {
+	c := volCluster(t, true)
+	c.Admin.CreatePod("db", "k1", "v1", nil)
+	c.Admin.CreatePVC("db-data", "db", nil)
+	c.RunFor(sim.Second)
+	if err := c.World.Crash(controllers.VolumeControllerID); err != nil {
+		t.Fatal(err)
+	}
+	c.Admin.MarkPodDeleted("db", nil)
+	c.RunFor(sim.Second)
+	if err := c.World.Restart(controllers.VolumeControllerID); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * sim.Second)
+	pvcs := c.GroundTruth(cluster.KindPVC)
+	if len(pvcs) != 1 || pvcs[0].PVC.Phase != cluster.PVCReleased {
+		t.Fatalf("restarted fixed controller did not release: %+v", pvcs)
+	}
+}
+
+func TestNodeLifecycleMarksAndDeletesDeadNode(t *testing.T) {
+	opts := infra.DefaultOptions()
+	opts.Nodes = []string{"k1", "k2"}
+	opts.EnableScheduler = false
+	opts.EnableVolumeController = false
+	opts.EnableNodeLifecycle = true
+	c := infra.New(opts)
+	c.RunFor(sim.Second)
+
+	c.Admin.CreatePod("p1", "k1", "v1", nil)
+	c.RunFor(sim.Second)
+
+	// Kill k1's kubelet process AND its host: heartbeats stop.
+	if err := c.World.Crash(kubelet.NodeID("k1")); err != nil {
+		t.Fatal(err)
+	}
+	c.Hosts["k1"].Reset()
+
+	// After NotReadyAfter the node is marked; after DeleteAfter it is
+	// removed and its pods force-deleted.
+	c.RunFor(2 * sim.Second)
+	var k1Ready *bool
+	for _, n := range c.GroundTruth(cluster.KindNode) {
+		if n.Meta.Name == "k1" {
+			v := n.Node.Ready
+			k1Ready = &v
+		}
+	}
+	if k1Ready == nil || *k1Ready {
+		t.Fatalf("dead node not marked NotReady (ready=%v)", k1Ready)
+	}
+
+	c.RunFor(4 * sim.Second)
+	for _, n := range c.GroundTruth(cluster.KindNode) {
+		if n.Meta.Name == "k1" {
+			t.Fatal("dead node object not deleted")
+		}
+	}
+	for _, p := range c.GroundTruth(cluster.KindPod) {
+		if p.Pod.NodeName == "k1" {
+			t.Fatal("pod on dead node not evicted")
+		}
+	}
+	if c.NodeLC.DeletedNodes != 1 || c.NodeLC.MarkedNotReady < 1 {
+		t.Fatalf("nodeLC counters: %+v", *c.NodeLC)
+	}
+}
+
+func TestNodeLifecycleLeavesHealthyNodesAlone(t *testing.T) {
+	opts := infra.DefaultOptions()
+	opts.EnableScheduler = false
+	opts.EnableVolumeController = false
+	opts.EnableNodeLifecycle = true
+	c := infra.New(opts)
+	c.RunFor(6 * sim.Second)
+	if got := len(c.GroundTruth(cluster.KindNode)); got != 2 {
+		t.Fatalf("healthy nodes GCed: %d left", got)
+	}
+	if c.NodeLC.MarkedNotReady != 0 || c.NodeLC.DeletedNodes != 0 {
+		t.Fatalf("nodeLC acted on healthy nodes: %+v", *c.NodeLC)
+	}
+}

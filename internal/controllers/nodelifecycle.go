@@ -1,0 +1,182 @@
+package controllers
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// NodeLifecycleConfig tunes the node lifecycle controller.
+type NodeLifecycleConfig struct {
+	// APIServer is the controller's upstream.
+	APIServer sim.NodeID
+	// CheckInterval is the heartbeat scan period.
+	CheckInterval sim.Duration
+	// NotReadyAfter marks a node NotReady when its heartbeat is older than
+	// this.
+	NotReadyAfter sim.Duration
+	// DeleteAfter removes the node object (and force-deletes its pods)
+	// when the heartbeat is older than this.
+	DeleteAfter sim.Duration
+	// RPCTimeout bounds apiserver calls.
+	RPCTimeout sim.Duration
+}
+
+// DefaultNodeLifecycleConfig returns production-like settings.
+func DefaultNodeLifecycleConfig(api sim.NodeID) NodeLifecycleConfig {
+	return NodeLifecycleConfig{
+		APIServer:     api,
+		CheckInterval: 250 * sim.Millisecond,
+		NotReadyAfter: sim.Second,
+		DeleteAfter:   3 * sim.Second,
+		RPCTimeout:    200 * sim.Millisecond,
+	}
+}
+
+// NodeLifecycleController watches node heartbeats and garbage-collects
+// nodes whose kubelets stopped reporting: first marking them NotReady, then
+// deleting the node object and force-deleting its pods. It generates the
+// node-deletion and pod-eviction events whose (non-)observation drives the
+// membership-related bug family (§5 of the paper).
+type NodeLifecycleController struct {
+	id    sim.NodeID
+	world *sim.World
+	cfg   NodeLifecycleConfig
+
+	conn    *client.Conn
+	nodeInf *client.Informer
+	podInf  *client.Informer
+	down    bool
+	epoch   uint64
+
+	// Metrics.
+	MarkedNotReady int
+	DeletedNodes   int
+	EvictedPods    int
+}
+
+// NodeLifecycleID is the controller's network identity.
+const NodeLifecycleID sim.NodeID = "node-lifecycle"
+
+// NewNodeLifecycleController wires the controller into the world.
+func NewNodeLifecycleController(w *sim.World, cfg NodeLifecycleConfig) *NodeLifecycleController {
+	c := &NodeLifecycleController{id: NodeLifecycleID, world: w, cfg: cfg}
+	w.Network().Register(c.id, c)
+	w.AddProcess(c)
+	c.boot()
+	return c
+}
+
+// ID implements sim.Process.
+func (c *NodeLifecycleController) ID() sim.NodeID { return c.id }
+
+// Crash implements sim.Process.
+func (c *NodeLifecycleController) Crash() {
+	c.down = true
+	c.epoch++
+	if c.conn != nil {
+		c.conn.Reset()
+	}
+	c.nodeInf, c.podInf = nil, nil
+}
+
+// Restart implements sim.Process.
+func (c *NodeLifecycleController) Restart() {
+	c.down = false
+	c.boot()
+}
+
+// HandleMessage implements sim.Handler.
+func (c *NodeLifecycleController) HandleMessage(m *sim.Message) {
+	if c.down || c.conn == nil {
+		return
+	}
+	c.conn.HandleMessage(m)
+}
+
+func (c *NodeLifecycleController) boot() {
+	c.epoch++
+	epoch := c.epoch
+	c.conn = client.NewConn(c.world, c.id, c.cfg.APIServer, c.cfg.RPCTimeout)
+	c.nodeInf = client.NewInformer(c.conn, cluster.KindNode, client.InformerConfig{WatchTimeout: sim.Second})
+	c.podInf = client.NewInformer(c.conn, cluster.KindPod, client.InformerConfig{WatchTimeout: sim.Second})
+	c.nodeInf.Run()
+	c.podInf.Run()
+	c.scheduleCheck(epoch)
+}
+
+func (c *NodeLifecycleController) scheduleCheck(epoch uint64) {
+	c.world.Kernel().Schedule(c.cfg.CheckInterval, func() {
+		if c.down || epoch != c.epoch {
+			return
+		}
+		c.check(epoch)
+		c.scheduleCheck(epoch)
+	})
+}
+
+func (c *NodeLifecycleController) check(epoch uint64) {
+	if !c.nodeInf.Synced() || !c.podInf.Synced() {
+		return
+	}
+	now := int64(c.world.Now())
+	for _, node := range c.nodeInf.ListCached() {
+		if node.Node == nil {
+			continue
+		}
+		hb := heartbeatOf(node)
+		age := now - hb
+		switch {
+		case hb == 0:
+			// Never heartbeated (just registered); leave it alone.
+		case age > int64(c.cfg.DeleteAfter):
+			c.deleteNode(epoch, node)
+		case age > int64(c.cfg.NotReadyAfter) && node.Node.Ready:
+			upd := node.Clone()
+			upd.Node.Ready = false
+			c.conn.Update(upd, func(_ *cluster.Object, err error) {
+				if err == nil {
+					c.MarkedNotReady++
+				}
+			})
+		}
+	}
+}
+
+func (c *NodeLifecycleController) deleteNode(epoch uint64, node *cluster.Object) {
+	c.conn.Delete(cluster.KindNode, node.Meta.Name, node.Meta.ResourceVersion, func(err error) {
+		if c.down || epoch != c.epoch || err != nil {
+			return
+		}
+		c.DeletedNodes++
+		// Force-delete pods stranded on the dead node.
+		for _, pod := range c.podInf.ListCached() {
+			if pod.Pod == nil || pod.Pod.NodeName != node.Meta.Name {
+				continue
+			}
+			name := pod.Meta.Name
+			c.conn.Delete(cluster.KindPod, name, 0, func(err error) {
+				if err == nil {
+					c.EvictedPods++
+				}
+			})
+		}
+	})
+}
+
+func heartbeatOf(node *cluster.Object) int64 {
+	if node.Meta.Labels == nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(node.Meta.Labels["heartbeat"], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// HeartbeatLabel formats a heartbeat label value (shared with kubelet).
+func HeartbeatLabel(t sim.Time) string { return fmt.Sprint(int64(t)) }

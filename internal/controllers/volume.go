@@ -1,0 +1,158 @@
+// Package controllers hosts built-in control-plane controllers of the
+// simulated infrastructure: the volume releaser (the observability-gap bug
+// of paper §4.2.3 / cassandra-operator-398's generic form) and the node
+// lifecycle controller that garbage-collects dead nodes.
+package controllers
+
+import (
+	"sort"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// VolumeConfig tunes the volume releaser.
+type VolumeConfig struct {
+	// APIServer is the controller's upstream.
+	APIServer sim.NodeID
+	// PollInterval is the period between sparse reads of the controller's
+	// local view S'. The controller is deliberately level-triggered on a
+	// timer — it inspects state, it does not react to events — which is
+	// what makes the intermediate "terminating" state observable only if
+	// a poll happens to land between e1 (mark) and e2 (delete).
+	PollInterval sim.Duration
+	// ReleaseOnAbsentOwner enables the fix: release a PVC whose owner pod
+	// no longer exists at all. The buggy variant (false) releases only
+	// when it *sees* the owner in Terminating state, so a mark+delete pair
+	// falling between two polls orphans the PVC forever.
+	ReleaseOnAbsentOwner bool
+	// RPCTimeout bounds apiserver calls.
+	RPCTimeout sim.Duration
+}
+
+// DefaultVolumeConfig returns the stock (buggy) configuration.
+func DefaultVolumeConfig(api sim.NodeID) VolumeConfig {
+	return VolumeConfig{
+		APIServer:    api,
+		PollInterval: 100 * sim.Millisecond,
+		RPCTimeout:   200 * sim.Millisecond,
+	}
+}
+
+// VolumeController releases PVCs of deleted pods. It mirrors the
+// Kubernetes controller bug [17]: "the controller only learns of the state
+// of the system via sparse reads of its local view S'".
+type VolumeController struct {
+	id    sim.NodeID
+	world *sim.World
+	cfg   VolumeConfig
+
+	conn   *client.Conn
+	podInf *client.Informer
+	pvcInf *client.Informer
+	down   bool
+	epoch  uint64
+
+	// Releases counts successful PVC releases (experiment metric).
+	Releases int
+}
+
+// VolumeControllerID is the controller's network identity.
+const VolumeControllerID sim.NodeID = "volume-controller"
+
+// NewVolumeController wires the controller into the world.
+func NewVolumeController(w *sim.World, cfg VolumeConfig) *VolumeController {
+	c := &VolumeController{id: VolumeControllerID, world: w, cfg: cfg}
+	w.Network().Register(c.id, c)
+	w.AddProcess(c)
+	c.boot()
+	return c
+}
+
+// ID implements sim.Process.
+func (c *VolumeController) ID() sim.NodeID { return c.id }
+
+// Crash implements sim.Process.
+func (c *VolumeController) Crash() {
+	c.down = true
+	c.epoch++
+	if c.conn != nil {
+		c.conn.Reset()
+	}
+	c.podInf, c.pvcInf = nil, nil
+}
+
+// Restart implements sim.Process.
+func (c *VolumeController) Restart() {
+	c.down = false
+	c.boot()
+}
+
+// HandleMessage implements sim.Handler.
+func (c *VolumeController) HandleMessage(m *sim.Message) {
+	if c.down || c.conn == nil {
+		return
+	}
+	c.conn.HandleMessage(m)
+}
+
+func (c *VolumeController) boot() {
+	c.epoch++
+	epoch := c.epoch
+	c.conn = client.NewConn(c.world, c.id, c.cfg.APIServer, c.cfg.RPCTimeout)
+	c.podInf = client.NewInformer(c.conn, cluster.KindPod, client.InformerConfig{WatchTimeout: sim.Second})
+	c.pvcInf = client.NewInformer(c.conn, cluster.KindPVC, client.InformerConfig{WatchTimeout: sim.Second})
+	c.podInf.Run()
+	c.pvcInf.Run()
+	c.schedulePoll(epoch)
+}
+
+func (c *VolumeController) schedulePoll(epoch uint64) {
+	c.world.Kernel().Schedule(c.cfg.PollInterval, func() {
+		if c.down || epoch != c.epoch {
+			return
+		}
+		c.poll(epoch)
+		c.schedulePoll(epoch)
+	})
+}
+
+// poll is one sparse read of S': scan cached PVCs and decide releases.
+func (c *VolumeController) poll(epoch uint64) {
+	if !c.podInf.Synced() || !c.pvcInf.Synced() {
+		return
+	}
+	pvcs := c.pvcInf.ListCached()
+	sort.Slice(pvcs, func(i, j int) bool { return pvcs[i].Meta.Name < pvcs[j].Meta.Name })
+	for _, pvc := range pvcs {
+		if pvc.PVC == nil || pvc.PVC.Phase != cluster.PVCBound || pvc.PVC.OwnerPod == "" {
+			continue
+		}
+		owner, ok := c.podInf.Get(pvc.PVC.OwnerPod)
+		switch {
+		case ok && owner.Terminating():
+			// e1 observed: owner is being deleted → release.
+			c.release(epoch, pvc)
+		case !ok && c.cfg.ReleaseOnAbsentOwner:
+			// Fixed variant: owner vanished entirely (e1+e2 both fell
+			// between polls) → still release.
+			c.release(epoch, pvc)
+		case !ok:
+			// Buggy variant: the pod is gone and we never saw the mark.
+			// The controller assumes it will observe Terminating first,
+			// so it does nothing — the PVC is orphaned (§4.2.3).
+		}
+	}
+}
+
+func (c *VolumeController) release(epoch uint64, pvc *cluster.Object) {
+	upd := pvc.Clone()
+	upd.PVC.Phase = cluster.PVCReleased
+	c.conn.Update(upd, func(_ *cluster.Object, err error) {
+		if c.down || epoch != c.epoch || err != nil {
+			return
+		}
+		c.Releases++
+	})
+}

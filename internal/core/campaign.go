@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/infra"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Topology tells the planner what exists in the target cluster: which
+// apiservers can be frozen, which components can be crashed, and which of
+// those can be steered to a different upstream on restart.
+type Topology struct {
+	APIServers  []sim.NodeID
+	Restartable []sim.NodeID
+	Resteerable []sim.NodeID
+}
+
+// Target is one system-plus-workload under test: a deterministic cluster
+// builder, a workload that schedules admin operations on the virtual
+// clock, a run horizon, and the oracle whose violation constitutes
+// "bug found".
+type Target struct {
+	// Name identifies the target bug (e.g. "k8s-59848").
+	Name string
+	// Bug is the oracle name whose violation counts as detection.
+	Bug string
+	// Build constructs a fresh cluster with the buggy configuration.
+	Build func(seed int64) *infra.Cluster
+	// Workload schedules the admin operations that exercise the system.
+	Workload func(c *infra.Cluster)
+	// Horizon is how long each execution runs (virtual time).
+	Horizon sim.Duration
+	// Topology describes the fault surface.
+	Topology Topology
+}
+
+// Strategy generates an ordered list of perturbation plans for a target,
+// optionally informed by a reference trace.
+type Strategy interface {
+	Name() string
+	Plans(t Target, ref *trace.Trace) []Plan
+}
+
+// Execution is the outcome of running one plan against a target.
+type Execution struct {
+	Plan       Plan
+	Violations []oracle.Violation
+	Detected   bool // the target bug's oracle fired
+}
+
+// CampaignResult summarizes a bug-finding campaign.
+type CampaignResult struct {
+	Target     string
+	Strategy   string
+	PlansTotal int // plans the strategy generated
+	Executions int // executions actually run (including the detecting one)
+	Detected   bool
+	// DetectingPlan describes the first plan that triggered the bug.
+	DetectingPlan  string
+	FirstViolation *oracle.Violation
+}
+
+func (r CampaignResult) String() string {
+	if r.Detected {
+		return fmt.Sprintf("%-14s %-16s detected in %d/%d executions (%s)",
+			r.Target, r.Strategy, r.Executions, r.PlansTotal, r.DetectingPlan)
+	}
+	return fmt.Sprintf("%-14s %-16s NOT detected in %d executions", r.Target, r.Strategy, r.Executions)
+}
+
+// Reference runs the target once unperturbed and returns its trace. It is
+// the planning substrate and also a sanity check: a reference run that
+// already violates the oracle makes the campaign meaningless.
+func Reference(t Target) (*trace.Trace, []oracle.Violation) {
+	c := t.Build(1)
+	rec := trace.NewRecorder()
+	rec.Attach(c.World.Network(), c.Store.Store())
+	t.Workload(c)
+	c.RunFor(t.Horizon)
+	return rec.T, c.Violations()
+}
+
+// RunPlan executes one plan against a fresh instance of the target.
+func RunPlan(t Target, p Plan) Execution {
+	c := t.Build(1)
+	p.Apply(c)
+	t.Workload(c)
+	c.RunFor(t.Horizon)
+	return Execution{
+		Plan:       p,
+		Violations: c.Violations(),
+		Detected:   c.Oracles.Violated(t.Bug),
+	}
+}
+
+// RunCampaign executes the strategy's plans in order until the target bug
+// is detected or maxExecutions is reached.
+func RunCampaign(t Target, s Strategy, maxExecutions int) CampaignResult {
+	ref, refViolations := Reference(t)
+	res := CampaignResult{Target: t.Name, Strategy: s.Name()}
+	for _, v := range refViolations {
+		if v.Oracle == t.Bug {
+			// The bug manifests without perturbation; report detection at
+			// execution 1 (the reference run).
+			res.PlansTotal = 1
+			res.Executions = 1
+			res.Detected = true
+			res.DetectingPlan = NopPlan{}.Describe()
+			fv := v
+			res.FirstViolation = &fv
+			return res
+		}
+	}
+
+	plans := s.Plans(t, ref)
+	res.PlansTotal = len(plans)
+	for i, p := range plans {
+		if maxExecutions > 0 && i >= maxExecutions {
+			break
+		}
+		exec := RunPlan(t, p)
+		res.Executions = i + 1
+		if exec.Detected {
+			res.Detected = true
+			res.DetectingPlan = p.Describe()
+			for _, v := range exec.Violations {
+				if v.Oracle == t.Bug {
+					fv := v
+					res.FirstViolation = &fv
+					break
+				}
+			}
+			return res
+		}
+	}
+	return res
+}
+
+// Matrix runs every (target, strategy) pair — the Section 7 headline table.
+func Matrix(targets []Target, strategies []Strategy, maxExecutions int) []CampaignResult {
+	var out []CampaignResult
+	for _, t := range targets {
+		for _, s := range strategies {
+			out = append(out, RunCampaign(t, s, maxExecutions))
+		}
+	}
+	return out
+}

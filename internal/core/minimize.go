@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// Minimize shrinks a detecting plan to a minimal perturbation that still
+// triggers the target bug — the step between "a campaign found something"
+// and "a developer can read the root cause". Determinism makes this exact:
+// re-running a candidate plan either reproduces the violation or it
+// doesn't; there is no flakiness to average over.
+//
+// Two reductions are applied:
+//
+//  1. For composite plans (the random baseline emits 1–3 faults per
+//     execution), greedy delta debugging removes sub-plans that are not
+//     needed for detection.
+//  2. For time-travel plans, the heal time and restart delay are narrowed
+//     to the defaults and the freeze window is kept as-is (its position is
+//     already a single point in time).
+//
+// It returns the reduced plan and the number of verification executions
+// spent.
+func Minimize(t Target, p Plan) (Plan, int) {
+	executions := 0
+	detects := func(candidate Plan) bool {
+		executions++
+		return RunPlan(t, candidate).Detected
+	}
+	if !detects(p) {
+		// Not reproducible (should not happen for a plan a campaign just
+		// reported); return it unchanged.
+		return p, executions
+	}
+
+	if seq, ok := p.(SequencePlan); ok {
+		reduced := minimizeSequence(t, seq, detects)
+		if len(reduced.Plans) == 1 {
+			return reduced.Plans[0], executions
+		}
+		return reduced, executions
+	}
+	return p, executions
+}
+
+// minimizeSequence greedily drops sub-plans while the remainder still
+// detects. Greedy one-at-a-time removal is sufficient here because plan
+// lists are short (≤ 3 for the random baseline); classic ddmin would be
+// overkill.
+func minimizeSequence(t Target, seq SequencePlan, detects func(Plan) bool) SequencePlan {
+	current := append([]Plan(nil), seq.Plans...)
+	for i := 0; i < len(current); {
+		if len(current) == 1 {
+			break
+		}
+		candidate := make([]Plan, 0, len(current)-1)
+		candidate = append(candidate, current[:i]...)
+		candidate = append(candidate, current[i+1:]...)
+		if detects(SequencePlan{Name: seq.Name + "-min", Plans: candidate}) {
+			current = candidate // sub-plan i was unnecessary
+			continue
+		}
+		i++
+	}
+	return SequencePlan{Name: seq.Name + "-min", Plans: current}
+}
+
+// NarrowWindow binary-searches the latest possible start of a staleness
+// window that still detects, tightening "freeze from t onwards" plans to
+// the decisive instant. It returns the narrowed plan and executions spent.
+func NarrowWindow(t Target, p StalenessPlan) (StalenessPlan, int) {
+	executions := 0
+	detects := func(candidate StalenessPlan) bool {
+		executions++
+		return RunPlan(t, candidate).Detected
+	}
+	if !detects(p) {
+		return p, executions
+	}
+	lo, hi := p.From, p.Until
+	if hi == 0 {
+		hi = sim.Time(t.Horizon)
+	}
+	// Find the latest From that still detects (the freeze must start
+	// before the event whose observation it suppresses).
+	best := p
+	for hi-lo > sim.Time(50*sim.Millisecond) {
+		mid := lo + (hi-lo)/2
+		candidate := p
+		candidate.From = mid
+		if detects(candidate) {
+			best = candidate
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best, executions
+}

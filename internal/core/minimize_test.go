@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/infra"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+)
+
+// schedTarget is the 56261 setup: a gap on the node deletion to the
+// scheduler livelocks placement.
+func schedTarget() Target {
+	return Target{
+		Name: "sched-gap",
+		Bug:  oracle.NameSchedulerProgress,
+		Build: func(seed int64) *infra.Cluster {
+			opts := infra.DefaultOptions()
+			opts.Seed = seed
+			opts.Nodes = []string{"n1", "n2"}
+			opts.EnableVolumeController = false
+			return infra.New(opts)
+		},
+		Workload: func(c *infra.Cluster) {
+			c.World.Kernel().At(sim.Time(sim.Second), func() { c.Admin.DeleteNode("n1", nil) })
+			c.World.Kernel().At(sim.Time(1500*sim.Millisecond), func() { c.Admin.CreatePod("job", "", "v1", nil) })
+		},
+		Horizon: 7 * sim.Second,
+		Topology: Topology{
+			APIServers:  []sim.NodeID{infra.APIServerID(0), infra.APIServerID(1)},
+			Restartable: []sim.NodeID{"scheduler"},
+		},
+	}
+}
+
+func detectingGap() GapPlan {
+	return GapPlan{Victim: "scheduler", Kind: cluster.KindNode, Name: "n1", Type: apiserver.Deleted, Occurrence: 1}
+}
+
+func TestMinimizeDropsUnnecessarySubPlans(t *testing.T) {
+	target := schedTarget()
+	// A noisy composite: the gap that matters plus two irrelevant faults.
+	noisy := SequencePlan{Name: "noisy", Plans: []Plan{
+		CrashPlan{Component: "kubelet-n2", At: sim.Time(3 * sim.Second), RestartDelay: 100 * sim.Millisecond},
+		detectingGap(),
+		PartitionPlan{A: "kubelet-n2", B: infra.APIServerID(1), From: sim.Time(2 * sim.Second), Until: sim.Time(2500 * sim.Millisecond)},
+	}}
+	if !RunPlan(target, noisy).Detected {
+		t.Fatal("noisy plan does not detect; test setup broken")
+	}
+	minimal, execs := Minimize(target, noisy)
+	if execs == 0 {
+		t.Fatal("no verification executions recorded")
+	}
+	gap, ok := minimal.(GapPlan)
+	if !ok {
+		t.Fatalf("minimal plan = %T (%s), want the bare GapPlan", minimal, minimal.Describe())
+	}
+	if gap != detectingGap() {
+		t.Fatalf("minimal gap = %+v", gap)
+	}
+	if !RunPlan(target, minimal).Detected {
+		t.Fatal("minimized plan no longer detects")
+	}
+}
+
+func TestMinimizeKeepsNecessarySubPlans(t *testing.T) {
+	target := schedTarget()
+	only := SequencePlan{Name: "solo", Plans: []Plan{detectingGap()}}
+	minimal, _ := Minimize(target, only)
+	if !RunPlan(target, minimal).Detected {
+		t.Fatal("minimized plan no longer detects")
+	}
+}
+
+func TestMinimizeNonReproducingPlanUnchanged(t *testing.T) {
+	target := schedTarget()
+	dud := SequencePlan{Name: "dud", Plans: []Plan{
+		CrashPlan{Component: "kubelet-n2", At: sim.Time(3 * sim.Second), RestartDelay: 100 * sim.Millisecond},
+	}}
+	got, execs := Minimize(target, dud)
+	if execs != 1 {
+		t.Fatalf("executions = %d, want 1 (just the reproduction check)", execs)
+	}
+	if got.ID() != dud.ID() {
+		t.Fatalf("non-reproducing plan was altered: %s", got.ID())
+	}
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Planner is the partial-history testing strategy of Section 7. It mines
+// the reference trace and emits plans in three families, ordered by how
+// likely they are to flip a component's decision:
+//
+//  1. Observability gaps — drop a single high-value notification (deletion
+//     or deletion-mark events first), or black out one object's entire
+//     stream to one component.
+//  2. Time traveling — freeze an alternate apiserver at an interesting
+//     moment, crash a resteerable component later, and restart it against
+//     the frozen view.
+//  3. Staleness — freeze an apiserver for a window around each commit.
+//
+// Causality approximation: gap candidates are restricted to kinds the
+// victim actually subscribes to, and (when CausalFilter is set) to objects
+// the victim itself wrote to or deletion-adjacent events — "perturbing
+// events that are causally related to a component's action are likely to
+// trigger bugs" (§7).
+type Planner struct {
+	// CausalFilter restricts gap candidates to causally-suspect events;
+	// disabling it is the unguided ablation used by experiment E6.
+	CausalFilter bool
+	// CausalRanking orders one-shot drop plans by how many component
+	// actions each delivery plausibly caused (trace.CausalGraph.Score).
+	CausalRanking bool
+	// PrioritizeDeletionPaths puts deletion-adjacent drops first.
+	PrioritizeDeletionPaths bool
+	// BlackoutWindow is the duration of sustained object blackouts
+	// (0 = until the end of the execution).
+	BlackoutWindow sim.Duration
+	// MaxFreezePoints bounds how many commit times seed time-travel and
+	// staleness plans (stride-sampled when exceeded).
+	MaxFreezePoints int
+	// CrashDelays are the delays between a freeze point and the component
+	// crash in time-travel plans.
+	CrashDelays []sim.Duration
+	// MaxPlans caps the total plan list (0 = unlimited).
+	MaxPlans int
+	// Family toggles for the ablation experiment (all false = every
+	// family enabled).
+	DisableGaps       bool
+	DisableTimeTravel bool
+	DisableStaleness  bool
+}
+
+// NewPlanner returns the default tool configuration.
+func NewPlanner() *Planner {
+	return &Planner{
+		CausalFilter:            true,
+		CausalRanking:           true,
+		PrioritizeDeletionPaths: true,
+		BlackoutWindow:          2 * sim.Second,
+		MaxFreezePoints:         48,
+		CrashDelays:             []sim.Duration{sim.Second, 3 * sim.Second},
+	}
+}
+
+// Name implements Strategy.
+func (p *Planner) Name() string {
+	if p.CausalFilter {
+		return "partial-history"
+	}
+	return "ph-unguided"
+}
+
+// Plans implements Strategy.
+func (p *Planner) Plans(t Target, ref *trace.Trace) []Plan {
+	var high, mid, blackouts, travels, low []Plan
+	var highScore, midScore []int
+	graph := trace.NewCausalGraph(ref, 0)
+
+	// --- Family 1: observability gaps -------------------------------
+	type objKey struct {
+		to   sim.NodeID
+		kind cluster.Kind
+		name string
+	}
+	blackedOut := map[objKey]bool{}
+	deliveries := ref.Deliveries
+	if p.DisableGaps {
+		deliveries = nil
+	}
+	for _, d := range deliveries {
+		// Never perturb the admin's own view: the workload driver is the
+		// experimenter, not a system under test.
+		if d.To == "admin" {
+			continue
+		}
+		suspect := d.EventType == apiserver.Deleted || d.Terminating
+		acted := ref.ActedOn(d.To, d.Kind, d.Name)
+		if p.CausalFilter && !suspect && !acted {
+			continue
+		}
+
+		// One-shot drop of exactly this delivery, scored by how many
+		// component actions it plausibly caused (§7: "perturbing events
+		// that are causally related to a component's action are likely to
+		// trigger bugs").
+		drop := GapPlan{
+			Victim:     d.To,
+			Kind:       d.Kind,
+			Name:       d.Name,
+			Type:       d.EventType,
+			Occurrence: d.Occurrence,
+		}
+		score := graph.Score(d)
+		if suspect && p.PrioritizeDeletionPaths {
+			high = append(high, drop)
+			highScore = append(highScore, score)
+		} else {
+			mid = append(mid, drop)
+			midScore = append(midScore, score)
+		}
+
+		// Sustained blackout of this object's stream from its first
+		// delivery onward (one per object per victim).
+		ok := objKey{d.To, d.Kind, d.Name}
+		if !blackedOut[ok] {
+			blackedOut[ok] = true
+			until := sim.Time(0)
+			if p.BlackoutWindow > 0 {
+				until = d.Time.Add(p.BlackoutWindow)
+			}
+			blackouts = append(blackouts, GapPlan{
+				Victim: d.To,
+				Kind:   d.Kind,
+				Name:   d.Name,
+				From:   d.Time,
+				Until:  until,
+			})
+		}
+	}
+
+	// --- Family 2: time traveling ------------------------------------
+	freezePoints := p.sampleFreezePoints(ref)
+	resteerable := t.Topology.Resteerable
+	if p.DisableTimeTravel {
+		resteerable = nil
+	}
+	for _, comp := range resteerable {
+		for _, api := range t.Topology.APIServers {
+			for _, ft := range freezePoints {
+				for _, delay := range p.CrashDelays {
+					crashAt := ft.Add(delay)
+					if sim.Duration(crashAt) >= sim.Duration(t.Horizon) {
+						continue
+					}
+					travels = append(travels, TimeTravelPlan{
+						Component:    comp,
+						StaleAPI:     api,
+						FreezeAt:     ft.Add(5 * sim.Millisecond),
+						CrashAt:      crashAt,
+						RestartDelay: 100 * sim.Millisecond,
+						HealAt:       crashAt.Add(600 * sim.Millisecond),
+					})
+				}
+			}
+		}
+	}
+
+	// --- Family 3: staleness ------------------------------------------
+	staleAPIs := t.Topology.APIServers
+	if p.DisableStaleness {
+		staleAPIs = nil
+	}
+	for _, api := range staleAPIs {
+		for _, ft := range freezePoints {
+			low = append(low, StalenessPlan{
+				Victim: api,
+				From:   ft.Add(-sim.Millisecond),
+				Until:  ft.Add(2 * sim.Second),
+			})
+		}
+	}
+
+	// Order the one-shot drop buckets by causal score (stable, so equal
+	// scores keep trace order). Blackouts, time-travel, and staleness
+	// plans carry no per-delivery score and keep construction order.
+	if p.CausalRanking {
+		sortByScore(high, highScore)
+		sortByScore(mid, midScore)
+	}
+
+	plans := high
+	plans = append(plans, mid...)
+	plans = append(plans, blackouts...)
+	plans = append(plans, travels...)
+	plans = append(plans, low...)
+	plans = dedupePlans(plans)
+	if p.MaxPlans > 0 && len(plans) > p.MaxPlans {
+		plans = plans[:p.MaxPlans]
+	}
+	return plans
+}
+
+// sampleFreezePoints returns up to MaxFreezePoints commit times,
+// stride-sampled but always retaining the first and last.
+func (p *Planner) sampleFreezePoints(ref *trace.Trace) []sim.Time {
+	times := ref.CommitTimes()
+	max := p.MaxFreezePoints
+	if max <= 0 || len(times) <= max {
+		return times
+	}
+	out := make([]sim.Time, 0, max)
+	stride := float64(len(times)-1) / float64(max-1)
+	for i := 0; i < max; i++ {
+		out = append(out, times[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// sortByScore stably sorts plans[:len(scores)] by descending score; any
+// trailing unscored plans (blackouts appended after the scored drops) keep
+// their positions relative to each other at the end.
+func sortByScore(plans []Plan, scores []int) {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	scored := make([]Plan, n)
+	for out, in := range idx {
+		scored[out] = plans[in]
+	}
+	copy(plans, scored)
+}
+
+func dedupePlans(plans []Plan) []Plan {
+	seen := make(map[string]bool, len(plans))
+	out := plans[:0]
+	for _, p := range plans {
+		id := p.ID()
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// PlanFamilies reports how many plans of each family a list contains
+// (diagnostics for E6).
+func PlanFamilies(plans []Plan) map[string]int {
+	out := map[string]int{}
+	for _, p := range plans {
+		switch p.(type) {
+		case GapPlan:
+			out["gap"]++
+		case TimeTravelPlan:
+			out["timetravel"]++
+		case StalenessPlan:
+			out["staleness"]++
+		case CrashPlan:
+			out["crash"]++
+		case PartitionPlan:
+			out["partition"]++
+		default:
+			out["other"]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package history
+
+// This file implements the epoch-bounded view proposed in §6.2 of the
+// paper: break H into epochs and guarantee that if a service sees one event
+// of an epoch it sees all events of that epoch. Within an epoch this
+// eliminates staleness and observability gaps by construction; the epoch
+// size trades divergence bound against coordination cost (benchmarked in
+// E7 / internal/epochs).
+
+// Epoch is a contiguous, all-or-nothing-visible slice of a history.
+type Epoch struct {
+	Index    int   // 0-based epoch number
+	FirstRev int64 // first revision in the epoch
+	LastRev  int64 // last revision in the epoch
+	Events   []Event
+}
+
+// Epochs splits h into epochs of size events each (the final epoch may be
+// short). size must be >= 1.
+func Epochs(h *History, size int) []Epoch {
+	if size < 1 {
+		size = 1
+	}
+	events := h.Events()
+	var out []Epoch
+	for i := 0; i < len(events); i += size {
+		j := i + size
+		if j > len(events) {
+			j = len(events)
+		}
+		chunk := events[i:j]
+		out = append(out, Epoch{
+			Index:    len(out),
+			FirstRev: chunk[0].Revision,
+			LastRev:  chunk[len(chunk)-1].Revision,
+			Events:   chunk,
+		})
+	}
+	return out
+}
+
+// EpochViolation reports an epoch whose visibility guarantee is broken in a
+// partial history: the view contains some but not all of its events.
+type EpochViolation struct {
+	Epoch    Epoch
+	Seen     int // events of the epoch present in the view
+	Expected int // events in the epoch
+}
+
+// CheckEpochVisibility verifies the §6.2 guarantee: for every epoch of full
+// (of the given size), the view either contains the whole epoch or none of
+// it. Trailing epochs wholly beyond the view's frontier count as unseen,
+// which is permitted (lag is allowed; tearing is not).
+func CheckEpochVisibility(view, full *History, size int) []EpochViolation {
+	seen := make(map[int64]bool, view.Len())
+	for _, e := range view.Events() {
+		seen[e.Revision] = true
+	}
+	var violations []EpochViolation
+	for _, ep := range Epochs(full, size) {
+		n := 0
+		for _, e := range ep.Events {
+			if seen[e.Revision] {
+				n++
+			}
+		}
+		if n != 0 && n != len(ep.Events) {
+			violations = append(violations, EpochViolation{Epoch: ep, Seen: n, Expected: len(ep.Events)})
+		}
+	}
+	return violations
+}
+
+// TruncateToEpochBoundary returns the longest prefix of view that ends on
+// an epoch boundary of full — i.e. the view an epoch-bounded delivery layer
+// would expose to the service instead of a torn view.
+func TruncateToEpochBoundary(view, full *History, size int) *History {
+	boundaries := make(map[int64]bool)
+	for _, ep := range Epochs(full, size) {
+		boundaries[ep.LastRev] = true
+	}
+	out := New()
+	pending := make([]Event, 0, size)
+	for _, e := range view.Events() {
+		pending = append(pending, e)
+		if boundaries[e.Revision] {
+			for _, p := range pending {
+				// Events are already in order; Append cannot fail here.
+				_ = out.Append(p)
+			}
+			pending = pending[:0]
+		}
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package history
+
+import (
+	"sort"
+)
+
+// Item is one key's materialized entry in a state S.
+type Item struct {
+	Key            string
+	Value          []byte
+	ModRevision    int64 // revision of the event that last wrote the key
+	CreateRevision int64 // revision of the event that created this incarnation
+	Version        int64 // number of writes since creation (1 on create)
+}
+
+// State is a materialization of a history prefix: S = apply(H[:r]). Revision
+// is the revision of the last applied event. The zero value is the empty
+// state at revision 0.
+//
+// A central consequence of the paper's model (§3) is that sparse reads of S
+// cannot reconstruct H: State intentionally retains no tombstones or
+// per-key version chains, so Diff of two states under-approximates the
+// events between them.
+type State struct {
+	Revision int64
+	items    map[string]Item
+}
+
+// NewState returns an empty state at revision 0.
+func NewState() *State {
+	return &State{items: make(map[string]Item)}
+}
+
+// Apply folds one event into the state. Events must be applied in history
+// order; applying an event at or below the current revision is a no-op that
+// returns false (this models at-least-once notification delivery being
+// deduplicated by revision).
+func (s *State) Apply(e Event) bool {
+	if e.Revision <= s.Revision {
+		return false
+	}
+	switch e.Type {
+	case Put:
+		it, existed := s.items[e.Key]
+		if !existed || it.ModRevision != e.PrevRev || e.PrevRev == 0 {
+			// New incarnation (create, or re-create after delete).
+			if !existed || e.PrevRev == 0 {
+				it = Item{Key: e.Key, CreateRevision: e.Revision}
+			}
+		}
+		it.Key = e.Key
+		it.Value = append([]byte(nil), e.Value...)
+		it.ModRevision = e.Revision
+		if it.CreateRevision == 0 {
+			it.CreateRevision = e.Revision
+		}
+		it.Version++
+		s.items[e.Key] = it
+	case Delete:
+		delete(s.items, e.Key)
+	}
+	s.Revision = e.Revision
+	return true
+}
+
+// Materialize builds the state that results from applying every event of h
+// in order.
+func Materialize(h *History) *State {
+	s := NewState()
+	for _, e := range h.Events() {
+		s.Apply(e)
+	}
+	return s
+}
+
+// Get returns the item for key.
+func (s *State) Get(key string) (Item, bool) {
+	it, ok := s.items[key]
+	return it, ok
+}
+
+// Len returns the number of live keys.
+func (s *State) Len() int { return len(s.items) }
+
+// Keys returns all live keys in sorted order.
+func (s *State) Keys() []string {
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Items returns all items ordered by key.
+func (s *State) Items() []Item {
+	out := make([]Item, 0, len(s.items))
+	for _, k := range s.Keys() {
+		out = append(out, s.items[k])
+	}
+	return out
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{Revision: s.Revision, items: make(map[string]Item, len(s.items))}
+	for k, it := range s.items {
+		it.Value = append([]byte(nil), it.Value...)
+		c.items[k] = it
+	}
+	return c
+}
+
+// Equal reports whether two states contain identical items (ignoring the
+// frontier revision, which may differ when trailing events touched other
+// keys).
+func (s *State) Equal(o *State) bool {
+	if len(s.items) != len(o.items) {
+		return false
+	}
+	for k, it := range s.items {
+		ot, ok := o.items[k]
+		if !ok || it.ModRevision != ot.ModRevision || it.CreateRevision != ot.CreateRevision ||
+			it.Version != ot.Version || string(it.Value) != string(ot.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// StateDelta describes one key's difference between two states.
+type StateDelta struct {
+	Key    string
+	Before *Item // nil if absent in the older state
+	After  *Item // nil if absent in the newer state
+}
+
+// Diff returns per-key differences between old and new states, ordered by
+// key. Note — and this is the observability-gap argument of §4.2.3 — Diff is
+// lossy: a key marked-then-deleted between the two snapshots appears only as
+// a disappearance (or not at all if it was also created in between), so the
+// intermediate events cannot be recovered.
+func Diff(old, new *State) []StateDelta {
+	keys := map[string]bool{}
+	for k := range old.items {
+		keys[k] = true
+	}
+	for k := range new.items {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var deltas []StateDelta
+	for _, k := range sorted {
+		ob, oOK := old.items[k]
+		nb, nOK := new.items[k]
+		switch {
+		case oOK && !nOK:
+			o := ob
+			deltas = append(deltas, StateDelta{Key: k, Before: &o})
+		case !oOK && nOK:
+			n := nb
+			deltas = append(deltas, StateDelta{Key: k, After: &n})
+		case oOK && nOK && ob.ModRevision != nb.ModRevision:
+			o, n := ob, nb
+			deltas = append(deltas, StateDelta{Key: k, Before: &o, After: &n})
+		}
+	}
+	return deltas
+}

@@ -1,0 +1,84 @@
+package infra
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// runScenario drives a fixed workload and returns a fingerprint of the
+// resulting ground-truth history: (revision, type-ish key) pairs.
+func runScenario(seed int64) []string {
+	opts := DefaultOptions()
+	opts.Seed = seed
+	c := New(opts)
+	c.Admin.CreatePod("a", "", "v1", nil)
+	c.RunFor(sim.Second)
+	c.Admin.CreatePod("b", "", "v1", nil)
+	c.Admin.MarkPodDeleted("a", nil)
+	c.RunFor(2 * sim.Second)
+
+	var fp []string
+	for _, e := range c.Store.Store().History().Events() {
+		fp = append(fp, e.Key)
+	}
+	return fp
+}
+
+// TestClusterRunsAreDeterministic is the property the whole testing tool
+// rests on (DESIGN.md §3): a run is a pure function of its inputs, so a
+// plan that triggered a bug replays to the identical trace.
+func TestClusterRunsAreDeterministic(t *testing.T) {
+	a := runScenario(42)
+	b := runScenario(42)
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("histories diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := runScenario(42)
+	c := runScenario(43)
+	// Same workload, different jitter: the committed keys may match but
+	// some ordering or count difference is overwhelmingly likely. Weak
+	// assertion: not byte-identical OR identical is allowed only if
+	// lengths differ... accept either, but at least the run must complete.
+	if len(a) == 0 || len(c) == 0 {
+		t.Fatal("scenario produced no history")
+	}
+}
+
+func TestAdminQuorumViewUnaffectedByStaleAPI(t *testing.T) {
+	opts := DefaultOptions()
+	opts.EnableScheduler = false
+	opts.EnableVolumeController = false
+	c := New(opts)
+	c.RunFor(500 * sim.Millisecond)
+	c.Admin.CreatePod("p1", "k1", "v1", nil)
+	c.RunFor(500 * sim.Millisecond)
+
+	// Freeze the admin's own apiserver from the store: quorum operations
+	// must fail loudly rather than serve the stale cache.
+	c.World.Network().Partition(APIServerID(0), StoreID)
+	errs := 0
+	c.Admin.MarkPodDeleted("p1", func(err error) {
+		if err != nil {
+			errs++
+		}
+	})
+	c.RunFor(sim.Second)
+	if errs != 1 {
+		t.Fatalf("quorum write against cut-off apiserver: errs=%d, want explicit failure", errs)
+	}
+	// Ground truth unchanged.
+	pods := c.GroundTruth(cluster.KindPod)
+	if len(pods) != 1 || pods[0].Terminating() {
+		t.Fatalf("pod state changed despite failed admin op: %+v", pods)
+	}
+}

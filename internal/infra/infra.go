@@ -1,0 +1,247 @@
+// Package infra assembles complete simulated infrastructures: a store, a
+// set of apiservers, kubelets with hosts, the scheduler, built-in
+// controllers, the Cassandra operator, the region service, and the oracle
+// runner — the Figure 1 architecture in one call.
+//
+// Every experiment execution builds a fresh Cluster from an Options value
+// and a seed, runs a workload against it (optionally under a perturbation
+// plan), and reads the oracle runner for violations.
+package infra
+
+import (
+	"fmt"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/controllers"
+	"repro/internal/kubelet"
+	"repro/internal/operators/cassandra"
+	"repro/internal/oracle"
+	"repro/internal/regions"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// CassandraOptions enables the Cassandra operator.
+type CassandraOptions struct {
+	Name  string
+	Fixes cassandra.Fixes
+}
+
+// RegionOptions enables the region service.
+type RegionOptions struct {
+	Servers []string
+	Mode    regions.Mode
+}
+
+// Options selects the components of a cluster.
+type Options struct {
+	Seed          int64
+	NumAPIServers int
+	// Nodes are worker node names; each gets a host and a kubelet.
+	Nodes []string
+	// KubeletSafeRestart enables the 59848 mitigation on all kubelets.
+	KubeletSafeRestart bool
+	// EnableScheduler runs the pod scheduler.
+	EnableScheduler bool
+	// SchedulerEvictFix enables the 56261 fix.
+	SchedulerEvictFix bool
+	// EnableVolumeController runs the volume releaser.
+	EnableVolumeController bool
+	// VolumeControllerFix enables the release-on-absent-owner fix.
+	VolumeControllerFix bool
+	// EnableNodeLifecycle runs node heartbeat GC.
+	EnableNodeLifecycle bool
+	// EnableAppController runs the replicaset-style application controller.
+	EnableAppController bool
+	// Cassandra, when non-nil, runs the Cassandra operator.
+	Cassandra *CassandraOptions
+	// Regions, when non-nil, runs region servers and the assignment
+	// manager.
+	Regions *RegionOptions
+	// APIWindowSize overrides the apiserver watch window (0 = default).
+	APIWindowSize int
+	// StoreRetainLimit bounds the store's retained history (0 = unlimited).
+	StoreRetainLimit int
+	// OraclePeriod is how often invariants are evaluated.
+	OraclePeriod sim.Duration
+	// OraclePatience is the grace period for liveness oracles.
+	OraclePatience sim.Duration
+}
+
+// DefaultOptions returns a two-apiserver, two-node cluster with scheduler
+// and volume controller, all stock (buggy) variants.
+func DefaultOptions() Options {
+	return Options{
+		Seed:                   1,
+		NumAPIServers:          2,
+		Nodes:                  []string{"k1", "k2"},
+		EnableScheduler:        true,
+		EnableVolumeController: true,
+		OraclePeriod:           10 * sim.Millisecond,
+		OraclePatience:         2 * sim.Second,
+	}
+}
+
+// Cluster is an assembled simulated infrastructure.
+type Cluster struct {
+	Opts    Options
+	World   *sim.World
+	Store   *store.Server
+	APIs    []*apiserver.Server
+	Hosts   map[string]*kubelet.Host
+	Kubelet map[string]*kubelet.Kubelet
+
+	Scheduler *scheduler.Scheduler
+	Volume    *controllers.VolumeController
+	NodeLC    *controllers.NodeLifecycleController
+	App       *controllers.AppSetController
+	Cassandra *cassandra.Operator
+
+	RegionServers map[string]*regions.RegionServer
+	RegionManager *regions.Manager
+
+	Oracles *oracle.Runner
+	Admin   *Admin
+}
+
+// APIServerID returns the node ID of the i-th apiserver (0-based).
+func APIServerID(i int) sim.NodeID { return sim.NodeID(fmt.Sprintf("api-%d", i+1)) }
+
+// StoreID is the store server's node ID.
+const StoreID sim.NodeID = "etcd"
+
+// New builds a cluster.
+func New(opts Options) *Cluster {
+	if opts.NumAPIServers < 1 {
+		opts.NumAPIServers = 1
+	}
+	if opts.OraclePeriod == 0 {
+		opts.OraclePeriod = 10 * sim.Millisecond
+	}
+	if opts.OraclePatience == 0 {
+		opts.OraclePatience = 2 * sim.Second
+	}
+	w := sim.NewWorld(sim.WorldConfig{Seed: opts.Seed, Latency: sim.Millisecond, Jitter: sim.Millisecond / 2})
+	c := &Cluster{
+		Opts:          opts,
+		World:         w,
+		Hosts:         make(map[string]*kubelet.Host),
+		Kubelet:       make(map[string]*kubelet.Kubelet),
+		RegionServers: make(map[string]*regions.RegionServer),
+		Oracles:       oracle.NewRunner(),
+	}
+
+	st := store.New()
+	if opts.StoreRetainLimit > 0 {
+		st.SetRetainLimit(opts.StoreRetainLimit)
+	}
+	c.Store = store.NewServer(w, StoreID, st)
+
+	var apiIDs []sim.NodeID
+	for i := 0; i < opts.NumAPIServers; i++ {
+		cfg := apiserver.DefaultConfig(StoreID)
+		if opts.APIWindowSize > 0 {
+			cfg.WindowSize = opts.APIWindowSize
+		}
+		api := apiserver.New(w, APIServerID(i), cfg)
+		c.APIs = append(c.APIs, api)
+		apiIDs = append(apiIDs, api.ID())
+	}
+
+	for _, node := range opts.Nodes {
+		host := kubelet.NewHost(node)
+		cfg := kubelet.DefaultConfig(node, apiIDs)
+		cfg.SafeRestartSync = opts.KubeletSafeRestart
+		c.Hosts[node] = host
+		c.Kubelet[node] = kubelet.New(w, host, cfg)
+	}
+
+	if opts.EnableScheduler {
+		cfg := scheduler.DefaultConfig(apiIDs[0])
+		cfg.EvictUnknownNodes = opts.SchedulerEvictFix
+		c.Scheduler = scheduler.New(w, cfg)
+	}
+	if opts.EnableVolumeController {
+		cfg := controllers.DefaultVolumeConfig(apiIDs[0])
+		cfg.ReleaseOnAbsentOwner = opts.VolumeControllerFix
+		c.Volume = controllers.NewVolumeController(w, cfg)
+	}
+	if opts.EnableNodeLifecycle {
+		c.NodeLC = controllers.NewNodeLifecycleController(w, controllers.DefaultNodeLifecycleConfig(apiIDs[0]))
+	}
+	if opts.EnableAppController {
+		c.App = controllers.NewAppSetController(w, controllers.DefaultAppSetConfig(apiIDs[0]))
+	}
+	if opts.Cassandra != nil {
+		cfg := cassandra.DefaultConfig(apiIDs[0], opts.Cassandra.Name)
+		cfg.Fixes = opts.Cassandra.Fixes
+		c.Cassandra = cassandra.New(w, cfg)
+	}
+	if opts.Regions != nil {
+		for _, name := range opts.Regions.Servers {
+			c.RegionServers[name] = regions.NewRegionServer(w, name)
+		}
+		c.RegionManager = regions.NewManager(w, regions.ManagerConfig{
+			APIServer: apiIDs[0],
+			Mode:      opts.Regions.Mode,
+		})
+	}
+
+	c.Admin = newAdmin(c)
+	c.installOracles()
+	// Let apiservers/informers complete their initial sync before the
+	// workload starts.
+	w.Kernel().RunFor(200 * sim.Millisecond)
+	return c
+}
+
+func (c *Cluster) installOracles() {
+	st := c.Store.Store()
+	var hosts []*kubelet.Host
+	for _, node := range c.Opts.Nodes {
+		hosts = append(hosts, c.Hosts[node])
+	}
+	if len(hosts) > 0 {
+		c.Oracles.Add(oracle.UniquePod(hosts))
+	}
+	if c.Opts.EnableScheduler {
+		c.Oracles.Add(oracle.SchedulerProgress(st, c.Opts.OraclePatience))
+	}
+	if c.Opts.EnableVolumeController || c.Opts.Cassandra != nil {
+		c.Oracles.Add(oracle.NoOrphanPVC(st, c.Opts.OraclePatience))
+	}
+	if c.Opts.Cassandra != nil {
+		c.Oracles.Add(oracle.ScaleDownCompletes(st, c.Opts.Cassandra.Name, c.Opts.OraclePatience))
+		oracle.InstallNoLivePVCDeletion(st, c.Oracles)
+	}
+	if c.Opts.Regions != nil {
+		var servers []*regions.RegionServer
+		for _, name := range c.Opts.Regions.Servers {
+			servers = append(servers, c.RegionServers[name])
+		}
+		c.Oracles.Add(oracle.CASAtomicity(servers))
+	}
+	c.Oracles.InstallPeriodic(c.World, c.Opts.OraclePeriod)
+}
+
+// RunFor advances the simulation.
+func (c *Cluster) RunFor(d sim.Duration) { c.World.Kernel().RunFor(d) }
+
+// GroundTruth lists objects of a kind straight from the store.
+func (c *Cluster) GroundTruth(kind cluster.Kind) []*cluster.Object {
+	kvs, _ := c.Store.Store().Range(cluster.KindPrefix(kind))
+	out := make([]*cluster.Object, 0, len(kvs))
+	for _, kv := range kvs {
+		obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+		if err != nil {
+			continue
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+// Violations returns all oracle violations so far.
+func (c *Cluster) Violations() []oracle.Violation { return c.Oracles.Violations() }

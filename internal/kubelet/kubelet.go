@@ -1,0 +1,389 @@
+// Package kubelet implements the node agent: it watches the pods bound to
+// its node and reconciles the host's running containers against them,
+// reporting status back through an apiserver.
+//
+// A kubelet can synchronize with any one of several apiservers, and it
+// re-lists its pods after a restart — from whichever upstream it lands on.
+// That pair of behaviours is exactly what Kubernetes-59848 (paper Figure 2)
+// exploits: restart, resynchronize against a stale apiserver, and re-run a
+// pod that was already migrated elsewhere.
+package kubelet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Container is a running workload on a host.
+type Container struct {
+	PodName   string
+	PodUID    string
+	Image     string
+	StartedAt sim.Time
+}
+
+// Host models the machine under a kubelet: its containers outlive kubelet
+// *process* crashes (as real containers do) but are lost if the whole node
+// is reset.
+type Host struct {
+	Name    string
+	running map[string]Container
+}
+
+// NewHost creates an empty host.
+func NewHost(name string) *Host {
+	return &Host{Name: name, running: make(map[string]Container)}
+}
+
+// Running returns the running containers keyed by pod name (copy).
+func (h *Host) Running() map[string]Container {
+	out := make(map[string]Container, len(h.running))
+	for k, v := range h.running {
+		out[k] = v
+	}
+	return out
+}
+
+// RunningNames returns sorted names of running containers.
+func (h *Host) RunningNames() []string {
+	names := make([]string, 0, len(h.running))
+	for n := range h.running {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset kills all containers (whole-node failure).
+func (h *Host) Reset() { h.running = make(map[string]Container) }
+
+// Config tunes a kubelet.
+type Config struct {
+	// NodeName is the cluster node this kubelet manages.
+	NodeName string
+	// APIServers lists upstream apiservers in failover preference order.
+	APIServers []sim.NodeID
+	// SyncInterval is the period of the level-triggered pod sync.
+	SyncInterval sim.Duration
+	// HeartbeatInterval is how often the node object's heartbeat is
+	// renewed.
+	HeartbeatInterval sim.Duration
+	// Capacity is the node's pod capacity, advertised on registration.
+	Capacity int
+	// SafeRestartSync, when true, makes the first sync after a (re)start
+	// use a quorum list instead of the upstream's cache — the mitigation
+	// for the Figure 2 bug. False reproduces stock-Kubernetes behaviour.
+	SafeRestartSync bool
+	// RPCTimeout bounds apiserver calls.
+	RPCTimeout sim.Duration
+}
+
+// DefaultConfig returns production-like settings for a node.
+func DefaultConfig(node string, apis []sim.NodeID) Config {
+	return Config{
+		NodeName:          node,
+		APIServers:        apis,
+		SyncInterval:      100 * sim.Millisecond,
+		HeartbeatInterval: 250 * sim.Millisecond,
+		Capacity:          16,
+		RPCTimeout:        200 * sim.Millisecond,
+	}
+}
+
+// Kubelet is the node agent process.
+type Kubelet struct {
+	id    sim.NodeID
+	world *sim.World
+	cfg   Config
+	host  *Host
+	uids  *cluster.UIDGen
+
+	conn     *client.Conn
+	informer *client.Informer
+	down     bool
+	epoch    uint64
+	apiIdx   int
+	// restartPending marks that no sync has used verified (quorum) state
+	// since the last (re)start; SafeRestartSync refuses cached reconciles
+	// while it is set. safeSyncInFlight dedups the verification list.
+	// minTrustRev is the revision of the verified quorum list: cached
+	// reconciles are refused until the informer has caught up to it, so a
+	// restarted kubelet can never act on state older than what it already
+	// verified (the full 59848 mitigation).
+	restartPending   bool
+	safeSyncInFlight bool
+	minTrustRev      int64
+
+	// Starts and Stops count container transitions (experiment metrics).
+	Starts int
+	Stops  int
+}
+
+// NodeID returns the kubelet's network ID for a node name.
+func NodeID(nodeName string) sim.NodeID { return sim.NodeID("kubelet-" + nodeName) }
+
+// New wires a kubelet into the world and boots it against its first
+// apiserver.
+func New(w *sim.World, host *Host, cfg Config) *Kubelet {
+	k := &Kubelet{
+		id:    NodeID(cfg.NodeName),
+		world: w,
+		cfg:   cfg,
+		host:  host,
+		uids:  cluster.NewUIDGen("kubelet-" + cfg.NodeName),
+	}
+	w.Network().Register(k.id, k)
+	w.AddProcess(k)
+	k.boot()
+	return k
+}
+
+// ID implements sim.Process.
+func (k *Kubelet) ID() sim.NodeID { return k.id }
+
+// Host returns the machine this kubelet manages.
+func (k *Kubelet) Host() *Host { return k.host }
+
+// Upstream returns the apiserver the kubelet currently syncs from.
+func (k *Kubelet) Upstream() sim.NodeID { return k.cfg.APIServers[k.apiIdx] }
+
+// SetUpstreamIndex forces the kubelet onto a specific apiserver (used by
+// perturbation plans to steer a restarted kubelet to a stale source).
+func (k *Kubelet) SetUpstreamIndex(i int) {
+	k.apiIdx = i % len(k.cfg.APIServers)
+}
+
+// SetRestartUpstream steers the next (re)boot at the given apiserver if it
+// is among the configured upstreams (core.Resteerable).
+func (k *Kubelet) SetRestartUpstream(api sim.NodeID) {
+	for i, id := range k.cfg.APIServers {
+		if id == api {
+			k.apiIdx = i
+			return
+		}
+	}
+}
+
+// Crash implements sim.Process: the kubelet process dies; containers on
+// the host keep running.
+func (k *Kubelet) Crash() {
+	k.down = true
+	k.epoch++
+	if k.conn != nil {
+		k.conn.Reset()
+	}
+	k.informer = nil
+}
+
+// Restart implements sim.Process: reboot against the configured upstream.
+func (k *Kubelet) Restart() {
+	k.down = false
+	k.boot()
+}
+
+// HandleMessage implements sim.Handler.
+func (k *Kubelet) HandleMessage(m *sim.Message) {
+	if k.down || k.conn == nil {
+		return
+	}
+	k.conn.HandleMessage(m)
+}
+
+func (k *Kubelet) boot() {
+	k.epoch++
+	epoch := k.epoch
+	k.restartPending = true
+	k.conn = client.NewConn(k.world, k.id, k.cfg.APIServers[k.apiIdx], k.cfg.RPCTimeout)
+	k.registerNode(epoch)
+	k.informer = client.NewInformer(k.conn, cluster.KindPod, client.InformerConfig{
+		WatchTimeout: 4 * k.cfg.SyncInterval,
+	})
+	k.informer.AddHandler(client.HandlerFuncs{
+		AddFunc:    func(*cluster.Object) { k.scheduleSyncSoon(epoch) },
+		UpdateFunc: func(_, _ *cluster.Object) { k.scheduleSyncSoon(epoch) },
+		DeleteFunc: func(*cluster.Object) { k.scheduleSyncSoon(epoch) },
+	})
+	k.informer.Run()
+	k.schedulePeriodicSync(epoch)
+	k.scheduleHeartbeat(epoch)
+}
+
+// registerNode creates or refreshes this node's object.
+func (k *Kubelet) registerNode(epoch uint64) {
+	if k.down || epoch != k.epoch {
+		return
+	}
+	node := cluster.NewNode(k.cfg.NodeName, k.uids.Next(), cluster.NodeSpec{Ready: true, Capacity: k.cfg.Capacity})
+	node.Meta.Labels = map[string]string{"heartbeat": fmt.Sprint(int64(k.world.Now()))}
+	k.conn.Create(node, func(_ *cluster.Object, err error) {
+		if err == nil || k.down || epoch != k.epoch {
+			return
+		}
+		// Already registered: refresh via heartbeat path instead.
+		k.heartbeat(epoch)
+	})
+}
+
+func (k *Kubelet) scheduleHeartbeat(epoch uint64) {
+	k.world.Kernel().Schedule(k.cfg.HeartbeatInterval, func() {
+		if k.down || epoch != k.epoch {
+			return
+		}
+		k.heartbeat(epoch)
+		k.scheduleHeartbeat(epoch)
+	})
+}
+
+// heartbeat refreshes the node object's liveness label.
+func (k *Kubelet) heartbeat(epoch uint64) {
+	k.conn.Get(cluster.KindNode, k.cfg.NodeName, false, func(node *cluster.Object, found bool, err error) {
+		if k.down || epoch != k.epoch || err != nil {
+			return
+		}
+		if !found {
+			k.registerNode(epoch)
+			return
+		}
+		node = node.Clone()
+		if node.Meta.Labels == nil {
+			node.Meta.Labels = map[string]string{}
+		}
+		node.Meta.Labels["heartbeat"] = fmt.Sprint(int64(k.world.Now()))
+		node.Node.Ready = true
+		k.conn.Update(node, func(*cluster.Object, error) {})
+	})
+}
+
+func (k *Kubelet) schedulePeriodicSync(epoch uint64) {
+	k.world.Kernel().Schedule(k.cfg.SyncInterval, func() {
+		if k.down || epoch != k.epoch {
+			return
+		}
+		k.syncPods(epoch)
+		k.schedulePeriodicSync(epoch)
+	})
+}
+
+func (k *Kubelet) scheduleSyncSoon(epoch uint64) {
+	k.world.Kernel().Schedule(sim.Millisecond, func() {
+		if k.down || epoch != k.epoch {
+			return
+		}
+		k.syncPods(epoch)
+	})
+}
+
+// syncPods reconciles host containers against the pods bound to this node
+// in the kubelet's view S'. This is the decision point the paper's model
+// highlights: the desired set comes from a partial history.
+func (k *Kubelet) syncPods(epoch uint64) {
+	if !k.informer.Synced() {
+		return
+	}
+	if k.cfg.SafeRestartSync {
+		if k.restartPending {
+			// Fixed variant: until one quorum list has succeeded after a
+			// (re)start, never reconcile from the cached view — a stale
+			// cache here is exactly the Figure 2 hazard.
+			if k.safeSyncInFlight {
+				return
+			}
+			k.safeSyncInFlight = true
+			k.conn.List(cluster.KindPod, true, func(objs []*cluster.Object, rev int64, err error) {
+				if k.down || epoch != k.epoch {
+					return
+				}
+				k.safeSyncInFlight = false
+				if err != nil {
+					return // retry on next periodic sync
+				}
+				k.restartPending = false
+				k.minTrustRev = rev
+				k.reconcile(epoch, objs)
+			})
+			return
+		}
+		if k.informer.LastRevision() < k.minTrustRev {
+			// The cached view predates state this kubelet already verified
+			// (the upstream is still catching up): acting on it would be
+			// time traveling. Wait for the cache to reach the trust line.
+			return
+		}
+	}
+	k.restartPending = false
+	k.reconcile(epoch, k.informer.ListCached())
+}
+
+func (k *Kubelet) reconcile(epoch uint64, pods []*cluster.Object) {
+	desired := make(map[string]*cluster.Object)
+	for _, p := range pods {
+		if p.Pod == nil || p.Pod.NodeName != k.cfg.NodeName {
+			continue
+		}
+		if p.Terminating() {
+			continue
+		}
+		desired[p.Meta.Name] = p
+	}
+
+	// Stop containers that should no longer run here.
+	for _, name := range k.host.RunningNames() {
+		c := k.host.running[name]
+		want, ok := desired[name]
+		if ok && want.Meta.UID == c.PodUID {
+			continue
+		}
+		delete(k.host.running, name)
+		k.Stops++
+	}
+
+	// Start missing containers and report status.
+	names := make([]string, 0, len(desired))
+	for n := range desired {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := desired[name]
+		if c, ok := k.host.running[name]; ok && c.PodUID == p.Meta.UID {
+			continue
+		}
+		k.host.running[name] = Container{
+			PodName:   name,
+			PodUID:    p.Meta.UID,
+			Image:     p.Pod.Image,
+			StartedAt: k.world.Now(),
+		}
+		k.Starts++
+		k.reportRunning(epoch, p)
+	}
+
+	// Finalize terminating pods bound here: container stopped above, so
+	// remove the API object (the kubelet is the deletion finalizer).
+	for _, p := range pods {
+		if p.Pod == nil || p.Pod.NodeName != k.cfg.NodeName || !p.Terminating() {
+			continue
+		}
+		name := p.Meta.Name
+		if _, stillRunning := k.host.running[name]; stillRunning {
+			continue
+		}
+		k.conn.Delete(cluster.KindPod, name, p.Meta.ResourceVersion, func(error) {})
+	}
+}
+
+// reportRunning writes pod phase Running back through the apiserver.
+func (k *Kubelet) reportRunning(epoch uint64, p *cluster.Object) {
+	if p.Pod.Phase == cluster.PodRunning {
+		return
+	}
+	obj := p.Clone()
+	obj.Pod.Phase = cluster.PodRunning
+	k.conn.Update(obj, func(_ *cluster.Object, err error) {
+		// Conflicts are resolved by the next sync; nothing to do here.
+	})
+}

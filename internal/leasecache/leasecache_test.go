@@ -1,0 +1,161 @@
+package leasecache
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func setup(ttl sim.Duration) (*sim.World, *Server, *Client, *Client) {
+	w := sim.NewWorld(sim.WorldConfig{Seed: 1, Latency: sim.Millisecond})
+	s := NewServer(w, "lease-server", ttl)
+	c1 := NewClient(w, "c1", "lease-server")
+	c2 := NewClient(w, "c2", "lease-server")
+	return w, s, c1, c2
+}
+
+func write(w *sim.World, c *Client, key, val string) uint64 {
+	var ver uint64
+	done := false
+	c.Write(key, []byte(val), func(v uint64) { ver, done = v, true })
+	for !done && w.Kernel().Step() {
+	}
+	return ver
+}
+
+func read(w *sim.World, c *Client, key string) (string, uint64) {
+	var val string
+	var ver uint64
+	done := false
+	c.Read(key, func(v []byte, version uint64) { val, ver, done = string(v), version, true })
+	for !done && w.Kernel().Step() {
+	}
+	return val, ver
+}
+
+func TestWriteThenRead(t *testing.T) {
+	w, _, c1, c2 := setup(sim.Second)
+	if ver := write(w, c1, "/cfg", "v1"); ver != 1 {
+		t.Fatalf("write version = %d", ver)
+	}
+	val, ver := read(w, c2, "/cfg")
+	if val != "v1" || ver != 1 {
+		t.Fatalf("read = %q v%d", val, ver)
+	}
+}
+
+func TestLocalHitsWhileLeaseValid(t *testing.T) {
+	w, _, c1, c2 := setup(sim.Second)
+	write(w, c1, "/cfg", "v1")
+	read(w, c2, "/cfg") // populates cache + lease
+	before := c2.ServerReads
+	for i := 0; i < 5; i++ {
+		read(w, c2, "/cfg")
+	}
+	if c2.ServerReads != before {
+		t.Fatalf("cached reads hit the server: %d extra", c2.ServerReads-before)
+	}
+	if c2.LocalHits < 5 {
+		t.Fatalf("local hits = %d", c2.LocalHits)
+	}
+}
+
+func TestLeaseExpiryForcesServerRead(t *testing.T) {
+	w, _, c1, c2 := setup(100 * sim.Millisecond)
+	write(w, c1, "/cfg", "v1")
+	read(w, c2, "/cfg")
+	w.Kernel().RunFor(200 * sim.Millisecond) // lease expires
+	before := c2.ServerReads
+	read(w, c2, "/cfg")
+	if c2.ServerReads != before+1 {
+		t.Fatal("expired lease still served locally")
+	}
+}
+
+// TestNoStaleReads is the §4.1 guarantee: a committed write is never
+// followed by a read of the old value, because the write invalidated (or
+// outwaited) every lease first.
+func TestNoStaleReads(t *testing.T) {
+	w, _, c1, c2 := setup(sim.Second)
+	write(w, c1, "/cfg", "v1")
+	read(w, c2, "/cfg") // c2 holds a lease on v1
+	if got := write(w, c1, "/cfg", "v2"); got != 2 {
+		t.Fatalf("second write version = %d", got)
+	}
+	// The write blocked until c2's copy was invalidated; c2 must now read
+	// v2 (from the server, its cache entry is gone).
+	val, _ := read(w, c2, "/cfg")
+	if val != "v2" {
+		t.Fatalf("stale read: %q", val)
+	}
+	if c2.Invalidated != 1 {
+		t.Fatalf("invalidations at c2 = %d", c2.Invalidated)
+	}
+}
+
+// TestWriteBlocksUntilLeaseExpiryWhenHolderUnreachable measures the cost
+// side of leases: with a partitioned leaseholder, the write cannot commit
+// until the lease term runs out.
+func TestWriteBlocksUntilLeaseExpiryWhenHolderUnreachable(t *testing.T) {
+	ttl := 500 * sim.Millisecond
+	w, s, c1, c2 := setup(ttl)
+	write(w, c1, "/cfg", "v1")
+	read(w, c2, "/cfg")
+
+	// c2 vanishes (partition both ways).
+	w.Network().Partition("c2", "lease-server")
+
+	start := w.Now()
+	var committedAt sim.Time
+	done := false
+	c1.Write("/cfg", []byte("v2"), func(uint64) { committedAt = w.Now(); done = true })
+	w.Kernel().RunFor(2 * sim.Second)
+	if !done {
+		t.Fatal("write never committed")
+	}
+	blocked := committedAt.Sub(start)
+	if blocked < 300*sim.Millisecond {
+		t.Fatalf("write blocked only %s; expected to wait for lease expiry (~%s)", blocked, ttl)
+	}
+	if s.ExpiryWaits != 1 {
+		t.Fatalf("expiry waits = %d", s.ExpiryWaits)
+	}
+}
+
+func TestWriterOwnLeaseDoesNotBlock(t *testing.T) {
+	w, _, c1, _ := setup(sim.Second)
+	write(w, c1, "/cfg", "v1")
+	read(w, c1, "/cfg") // writer itself holds the lease
+	start := w.Now()
+	write(w, c1, "/cfg", "v2")
+	if w.Now().Sub(start) > 10*sim.Millisecond {
+		t.Fatalf("self-lease blocked the writer for %s", w.Now().Sub(start))
+	}
+}
+
+func TestZeroTTLDisablesLeases(t *testing.T) {
+	w, s, c1, c2 := setup(0)
+	write(w, c1, "/cfg", "v1")
+	read(w, c2, "/cfg")
+	read(w, c2, "/cfg")
+	if c2.LocalHits != 0 {
+		t.Fatalf("ttl=0 still cached: hits=%d", c2.LocalHits)
+	}
+	if s.LeasesGranted != 0 {
+		t.Fatalf("ttl=0 granted leases: %d", s.LeasesGranted)
+	}
+}
+
+func TestHoldersDiagnostics(t *testing.T) {
+	w, s, c1, c2 := setup(sim.Second)
+	write(w, c1, "/cfg", "v1")
+	read(w, c1, "/cfg")
+	read(w, c2, "/cfg")
+	holders := s.Holders("/cfg")
+	if len(holders) != 2 || holders[0] != "c1" || holders[1] != "c2" {
+		t.Fatalf("holders = %v", holders)
+	}
+	if s.Version("/cfg") != 1 {
+		t.Fatalf("version = %d", s.Version("/cfg"))
+	}
+}

@@ -1,0 +1,667 @@
+// Package cassandra implements the Cassandra operator: a controller that
+// reconciles a CassandraCluster custom resource into member pods
+// (cass-0..cass-N-1) with one PVC each, handling scale-up, scale-down with
+// decommission, and storage cleanup.
+//
+// It deliberately reproduces the three real bugs the paper's tool found in
+// instaclustr/cassandra-operator (Section 7):
+//
+//   - #398 (observability gap): PVC cleanup triggers only on *observing* a
+//     member pod in Terminating state; if the mark and the removal both
+//     fall outside the operator's view, the PVC is orphaned.
+//   - #400 (staleness / time travel): the decommission target is chosen
+//     from the CR's status (ReadyMembers) — data the operator itself wrote
+//     earlier and may now read back stale — so it can decommission the
+//     wrong member and wedge the scale-down.
+//   - #402 (staleness): PVC garbage collection trusts the cached view of
+//     the CR spec and pods; after a restart against a stale apiserver it
+//     deletes the PVC of a live member.
+//
+// Each bug has an independent fix flag so experiments can toggle them.
+package cassandra
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/sim"
+)
+
+// Fixes selects which of the three bug fixes are active. The zero value is
+// the stock (buggy) operator.
+type Fixes struct {
+	// Fix398 also deletes PVCs whose owner pod is absent (not only
+	// observed-terminating).
+	Fix398 bool
+	// Fix400 chooses the decommission target from the live pod list
+	// instead of the CR status, and un-wedges a decommission whose target
+	// no longer exists.
+	Fix400 bool
+	// Fix402 verifies a resumed decommission against a quorum read of the
+	// CR, and re-drains in the safe order (mark, await, then storage)
+	// instead of deleting the PVC first.
+	Fix402 bool
+	// DefensiveRelist makes the operator's informers periodically relist,
+	// bounding how long a silently lost notification can skew its view —
+	// part of the hardened configuration.
+	DefensiveRelist bool
+}
+
+// AllFixed enables every fix.
+func AllFixed() Fixes {
+	return Fixes{Fix398: true, Fix400: true, Fix402: true, DefensiveRelist: true}
+}
+
+// Config tunes the operator.
+type Config struct {
+	// APIServer is the operator's upstream.
+	APIServer sim.NodeID
+	// ClusterName is the CassandraCluster CR the operator manages.
+	ClusterName string
+	// Fixes toggles the per-bug fixes.
+	Fixes Fixes
+	// DrainTime is how long a decommission drain takes.
+	DrainTime sim.Duration
+	// ResyncInterval re-enqueues the CR periodically (level triggering).
+	ResyncInterval sim.Duration
+	// RPCTimeout bounds apiserver calls.
+	RPCTimeout sim.Duration
+}
+
+// DefaultConfig returns the stock (buggy) operator configuration.
+func DefaultConfig(api sim.NodeID, name string) Config {
+	return Config{
+		APIServer:      api,
+		ClusterName:    name,
+		DrainTime:      100 * sim.Millisecond,
+		ResyncInterval: 200 * sim.Millisecond,
+		RPCTimeout:     200 * sim.Millisecond,
+	}
+}
+
+// Operator is the Cassandra operator process.
+type Operator struct {
+	id    sim.NodeID
+	world *sim.World
+	cfg   Config
+
+	conn   *client.Conn
+	crInf  *client.Informer
+	podInf *client.Informer
+	pvcInf *client.Informer
+	queue  *controller.Queue
+	down   bool
+	epoch  uint64
+	uids   *cluster.UIDGen
+
+	// draining tracks an in-flight drain (decommission) per member.
+	draining map[string]bool
+	// sawTerminating records member pods observed in Terminating state —
+	// the (gap-prone) trigger for the stock PVC cleanup.
+	sawTerminating map[string]bool
+
+	// Metrics.
+	PodCreates     int
+	PodDeletes     int
+	PVCCreates     int
+	PVCDeletes     int
+	Decommissions  int
+	WrongDecomm    int // decommissions of a member that was not the true tail
+	StuckReconcile int
+}
+
+// OperatorID is the operator's network identity.
+const OperatorID sim.NodeID = "cassandra-operator"
+
+// New wires the operator into the world.
+func New(w *sim.World, cfg Config) *Operator {
+	o := &Operator{
+		id:             OperatorID,
+		world:          w,
+		cfg:            cfg,
+		uids:           cluster.NewUIDGen("cass-op"),
+		draining:       make(map[string]bool),
+		sawTerminating: make(map[string]bool),
+	}
+	w.Network().Register(o.id, o)
+	w.AddProcess(o)
+	o.boot()
+	return o
+}
+
+// ID implements sim.Process.
+func (o *Operator) ID() sim.NodeID { return o.id }
+
+// Crash implements sim.Process.
+func (o *Operator) Crash() {
+	o.down = true
+	o.epoch++
+	if o.conn != nil {
+		o.conn.Reset()
+	}
+	if o.queue != nil {
+		o.queue.Stop()
+	}
+	o.crInf, o.podInf, o.pvcInf = nil, nil, nil
+	// Volatile memory: in-flight drains and observed marks are forgotten —
+	// which is why the 398 gap also opens across operator restarts.
+	o.draining = make(map[string]bool)
+	o.sawTerminating = make(map[string]bool)
+}
+
+// Restart implements sim.Process.
+func (o *Operator) Restart() {
+	o.down = false
+	o.boot()
+}
+
+// HandleMessage implements sim.Handler.
+func (o *Operator) HandleMessage(m *sim.Message) {
+	if o.down || o.conn == nil {
+		return
+	}
+	o.conn.HandleMessage(m)
+}
+
+// SwitchAPIServer repoints the operator (perturbation hook).
+func (o *Operator) SwitchAPIServer(api sim.NodeID) {
+	if o.conn != nil {
+		o.conn.SwitchAPIServer(api)
+	}
+}
+
+// SetUpstream changes the apiserver the operator will connect to on its
+// next (re)boot — the time-travel ingredient: a restarted operator may come
+// back against a stale upstream.
+func (o *Operator) SetUpstream(api sim.NodeID) { o.cfg.APIServer = api }
+
+// SetRestartUpstream implements core.Resteerable.
+func (o *Operator) SetRestartUpstream(api sim.NodeID) { o.SetUpstream(api) }
+
+func (o *Operator) boot() {
+	o.epoch++
+	epoch := o.epoch
+	o.conn = client.NewConn(o.world, o.id, o.cfg.APIServer, o.cfg.RPCTimeout)
+	o.queue = controller.NewQueue(o.world.Kernel(), controller.DefaultQueueConfig(),
+		controller.ReconcilerFunc(o.reconcile))
+	infCfg := client.InformerConfig{WatchTimeout: sim.Second}
+	if o.cfg.Fixes.DefensiveRelist {
+		infCfg.RelistEvery = 1500 * sim.Millisecond
+	}
+	o.crInf = client.NewInformer(o.conn, cluster.KindCassandra, infCfg)
+	o.crInf.AddHandler(controller.EnqueueHandler{Queue: o.queue})
+	o.podInf = client.NewInformer(o.conn, cluster.KindPod, infCfg)
+	o.podInf.AddHandler(client.HandlerFuncs{
+		AddFunc: func(p *cluster.Object) { o.observePod(p) },
+		UpdateFunc: func(_, p *cluster.Object) {
+			o.observePod(p)
+		},
+		DeleteFunc: func(p *cluster.Object) {
+			if o.isMember(p) {
+				o.queue.Add(o.cfg.ClusterName)
+			}
+		},
+	})
+	o.pvcInf = client.NewInformer(o.conn, cluster.KindPVC, infCfg)
+	o.crInf.Run()
+	o.podInf.Run()
+	o.pvcInf.Run()
+	o.scheduleResync(epoch)
+}
+
+func (o *Operator) observePod(p *cluster.Object) {
+	if !o.isMember(p) {
+		return
+	}
+	if p.Terminating() {
+		o.sawTerminating[p.Meta.Name] = true
+	}
+	o.queue.Add(o.cfg.ClusterName)
+}
+
+func (o *Operator) scheduleResync(epoch uint64) {
+	o.world.Kernel().Schedule(o.cfg.ResyncInterval, func() {
+		if o.down || epoch != o.epoch {
+			return
+		}
+		o.queue.Add(o.cfg.ClusterName)
+		o.scheduleResync(epoch)
+	})
+}
+
+// Naming helpers.
+
+func (o *Operator) memberName(i int) string { return o.cfg.ClusterName + "-" + strconv.Itoa(i) }
+
+func (o *Operator) pvcName(member string) string { return member + "-data" }
+
+func (o *Operator) isMember(p *cluster.Object) bool {
+	return p.Pod != nil && p.Pod.App == o.cfg.ClusterName &&
+		strings.HasPrefix(p.Meta.Name, o.cfg.ClusterName+"-")
+}
+
+func (o *Operator) ordinalOf(name string) int {
+	rest := strings.TrimPrefix(name, o.cfg.ClusterName+"-")
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// members returns current member pods from the operator's view, sorted by
+// ordinal.
+func (o *Operator) members() []*cluster.Object {
+	var out []*cluster.Object
+	for _, p := range o.podInf.ListCached() {
+		if o.isMember(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return o.ordinalOf(out[i].Meta.Name) < o.ordinalOf(out[j].Meta.Name)
+	})
+	return out
+}
+
+// reconcile drives the CR toward its desired replica count.
+func (o *Operator) reconcile(key string) (controller.Result, error) {
+	if key != o.cfg.ClusterName {
+		return controller.Result{}, nil
+	}
+	if !o.crInf.Synced() || !o.podInf.Synced() || !o.pvcInf.Synced() {
+		return controller.Result{Requeue: true, RequeueAfter: 50 * sim.Millisecond}, nil
+	}
+	cr, ok := o.crInf.Get(o.cfg.ClusterName)
+	if !ok || cr.Cassandra == nil || cr.Terminating() {
+		return controller.Result{}, nil
+	}
+	epoch := o.epoch
+	desired := cr.Cassandra.Replicas
+	members := o.members()
+	live := make([]*cluster.Object, 0, len(members))
+	for _, m := range members {
+		if !m.Terminating() {
+			live = append(live, m)
+		}
+	}
+
+	// In-flight decommission: wait for it to finish before other moves.
+	if cr.Cassandra.Decommissioning != "" {
+		o.continueDecommission(epoch, cr)
+		o.sweepOrphanPVCs(epoch, cr, members)
+		return controller.Result{Requeue: true, RequeueAfter: 50 * sim.Millisecond}, nil
+	}
+
+	switch {
+	case len(live) < desired:
+		o.scaleUp(epoch, cr, live, desired)
+	case len(live) > desired:
+		o.startDecommission(epoch, cr, live)
+	default:
+		o.updateStatus(epoch, cr, live)
+	}
+	o.sweepOrphanPVCs(epoch, cr, members)
+	return controller.Result{}, nil
+}
+
+// scaleUp creates missing member pods (and their PVCs) up to desired.
+func (o *Operator) scaleUp(epoch uint64, cr *cluster.Object, live []*cluster.Object, desired int) {
+	have := make(map[string]bool, len(live))
+	for _, m := range live {
+		have[m.Meta.Name] = true
+	}
+	for i := 0; i < desired; i++ {
+		name := o.memberName(i)
+		if have[name] {
+			continue
+		}
+		o.ensurePVC(epoch, name)
+		pod := cluster.NewPod(name, o.uids.Next(), cluster.PodSpec{
+			App:   o.cfg.ClusterName,
+			Phase: cluster.PodPending,
+		})
+		pod.Meta.OwnerUID = cr.Meta.UID
+		o.conn.Create(pod, func(_ *cluster.Object, err error) {
+			if o.down || epoch != o.epoch {
+				return
+			}
+			if err == nil {
+				o.PodCreates++
+			}
+			o.queue.AddAfter(o.cfg.ClusterName, 20*sim.Millisecond)
+		})
+	}
+}
+
+func (o *Operator) ensurePVC(epoch uint64, member string) {
+	name := o.pvcName(member)
+	if _, ok := o.pvcInf.Get(name); ok {
+		return
+	}
+	pvc := cluster.NewPVC(name, o.uids.Next(), cluster.PVCSpec{
+		OwnerPod: member,
+		Phase:    cluster.PVCBound,
+		SizeGB:   100,
+	})
+	o.conn.Create(pvc, func(_ *cluster.Object, err error) {
+		if o.down || epoch != o.epoch {
+			return
+		}
+		if err == nil {
+			o.PVCCreates++
+		}
+	})
+}
+
+// startDecommission picks the member to remove and begins draining it.
+//
+// Stock behaviour (#400): the target is the *last entry of the CR status's
+// ReadyMembers list* — state the operator wrote on an earlier reconcile and
+// has now read back through a possibly stale cache. If that status lags the
+// real membership, the operator drains the wrong member, or a member that
+// no longer exists (wedging the scale-down).
+//
+// Fixed behaviour: the target is the highest-ordinal live pod.
+func (o *Operator) startDecommission(epoch uint64, cr *cluster.Object, live []*cluster.Object) {
+	var target string
+	if o.cfg.Fixes.Fix400 {
+		target = live[len(live)-1].Meta.Name
+	} else {
+		rm := cr.Cassandra.ReadyMembers
+		if len(rm) == 0 {
+			// No status yet: fall back to the live view.
+			target = live[len(live)-1].Meta.Name
+		} else {
+			target = rm[len(rm)-1]
+		}
+	}
+	trueTail := live[len(live)-1].Meta.Name
+	upd := cr.Clone()
+	upd.Cassandra.Decommissioning = target
+	o.conn.Update(upd, func(_ *cluster.Object, err error) {
+		if o.down || epoch != o.epoch {
+			return
+		}
+		if err != nil {
+			o.queue.AddAfter(o.cfg.ClusterName, 50*sim.Millisecond)
+			return
+		}
+		o.Decommissions++
+		if target != trueTail {
+			o.WrongDecomm++
+		}
+		o.drain(epoch, target)
+	})
+}
+
+// drain simulates the Cassandra drain, then two-phase-deletes the pod and
+// cleans up its storage.
+func (o *Operator) drain(epoch uint64, member string) {
+	if o.draining[member] {
+		return
+	}
+	// The marker stays set through drain *and* cleanup, so reconcile never
+	// "resumes" an operation this process is still executing. Only a crash
+	// (which wipes the map) leaves a resumable CR marker behind.
+	o.draining[member] = true
+	o.world.Kernel().Schedule(o.cfg.DrainTime, func() {
+		if o.down || epoch != o.epoch {
+			return
+		}
+		pod, ok := o.podInf.Get(member)
+		if !ok {
+			// Target already gone (e.g. a ghost from stale status, or the
+			// kubelet finalized faster than the drain).
+			o.maybeCleanupPVC(epoch, member)
+			delete(o.draining, member)
+			o.clearDecommission(epoch)
+			return
+		}
+		marked := pod.Clone()
+		marked.Meta.DeletionTimestamp = int64(o.world.Now())
+		o.conn.Update(marked, func(_ *cluster.Object, err error) {
+			if o.down || epoch != o.epoch {
+				return
+			}
+			if err != nil {
+				delete(o.draining, member)
+				o.queue.AddAfter(o.cfg.ClusterName, 50*sim.Millisecond)
+				return
+			}
+			// Unscheduled members have no kubelet to finalize them; the
+			// operator removes the object itself. Scheduled members are
+			// finalized by their kubelet once containers stop.
+			if pod.Pod.NodeName == "" {
+				o.conn.Delete(cluster.KindPod, member, 0, func(err error) {
+					if err == nil {
+						o.PodDeletes++
+					}
+				})
+			}
+			o.awaitGoneThenCleanup(epoch, member, 64)
+		})
+	})
+}
+
+// awaitGoneThenCleanup polls the operator's own view until the member pod
+// disappears, then cleans up the PVC and finishes the decommission.
+func (o *Operator) awaitGoneThenCleanup(epoch uint64, member string, attempts int) {
+	if o.down || epoch != o.epoch {
+		return
+	}
+	if _, ok := o.podInf.Get(member); !ok {
+		o.maybeCleanupPVC(epoch, member)
+		delete(o.draining, member)
+		o.clearDecommission(epoch)
+		return
+	}
+	if attempts <= 0 {
+		o.StuckReconcile++
+		delete(o.draining, member)
+		return
+	}
+	o.world.Kernel().Schedule(20*sim.Millisecond, func() {
+		o.awaitGoneThenCleanup(epoch, member, attempts-1)
+	})
+}
+
+// maybeCleanupPVC removes the decommissioned member's PVC.
+//
+// Stock behaviour (#398): the deletion requires the operator to have
+// *observed* the member pod carrying a DeletionTimestamp. If that
+// observation was lost — dropped notification, or an operator restart wiped
+// the in-memory record — the PVC is silently kept forever (storage leak).
+// Fix398 deletes on absence regardless.
+func (o *Operator) maybeCleanupPVC(epoch uint64, member string) {
+	if !o.cfg.Fixes.Fix398 && !o.sawTerminating[member] {
+		return // never saw the deletionTimestamp → skip (the bug)
+	}
+	pvc, ok := o.pvcInf.Get(o.pvcName(member))
+	if !ok {
+		return
+	}
+	o.conn.Delete(cluster.KindPVC, pvc.Meta.Name, 0, func(err error) {
+		if o.down || epoch != o.epoch {
+			return
+		}
+		if err == nil {
+			o.PVCDeletes++
+			delete(o.sawTerminating, member)
+		}
+	})
+}
+
+// continueDecommission resumes an in-flight decommission found in the CR —
+// typically after an operator restart.
+//
+// Stock behaviour (#402): the operator trusts the (possibly stale) cached
+// CR. If the decommission actually completed long ago and the member was
+// since re-created by a scale-up, the resumed "cleanup" destroys a live
+// member: it deletes the PVC first (storage cleanup before kill, as the
+// original code did) and then removes the pod. Fix402 verifies the CR with
+// a quorum read before resuming.
+func (o *Operator) continueDecommission(epoch uint64, cr *cluster.Object) {
+	member := cr.Cassandra.Decommissioning
+	if o.draining[member] {
+		return
+	}
+	if !o.cfg.Fixes.Fix402 {
+		o.resumeDecommission(epoch, member)
+		return
+	}
+	o.conn.Get(cluster.KindCassandra, o.cfg.ClusterName, true, func(truth *cluster.Object, found bool, err error) {
+		if o.down || epoch != o.epoch || err != nil || !found || truth.Cassandra == nil {
+			return
+		}
+		if truth.Cassandra.Decommissioning != member {
+			// The cached CR was stale; nothing to resume. The informer
+			// will catch up on its own.
+			return
+		}
+		// Genuine resume: re-run the drain in the safe order (mark,
+		// await disappearance, then clean up storage).
+		o.drain(epoch, member)
+	})
+}
+
+func (o *Operator) resumeDecommission(epoch uint64, member string) {
+	if o.draining[member] {
+		return
+	}
+	o.draining[member] = true
+	pod, ok := o.podInf.Get(member)
+	if !ok {
+		o.maybeCleanupPVC(epoch, member)
+		delete(o.draining, member)
+		o.clearDecommission(epoch)
+		return
+	}
+	// Resume: the drain is assumed already done before the interruption.
+	// Clean up storage first, then remove the pod.
+	if pvc, pok := o.pvcInf.Get(o.pvcName(member)); pok {
+		o.conn.Delete(cluster.KindPVC, pvc.Meta.Name, 0, func(err error) {
+			if err == nil {
+				o.PVCDeletes++
+			}
+		})
+	}
+	marked := pod.Clone()
+	marked.Meta.DeletionTimestamp = int64(o.world.Now())
+	o.conn.Update(marked, func(_ *cluster.Object, err error) {
+		if o.down || epoch != o.epoch {
+			return
+		}
+		if err != nil {
+			delete(o.draining, member)
+			o.queue.AddAfter(o.cfg.ClusterName, 50*sim.Millisecond)
+			return
+		}
+		if pod.Pod.NodeName == "" {
+			o.conn.Delete(cluster.KindPod, member, 0, func(err error) {
+				if err == nil {
+					o.PodDeletes++
+				}
+			})
+		}
+		o.awaitGoneThenCleanup(epoch, member, 64)
+	})
+}
+
+func (o *Operator) clearDecommission(epoch uint64) {
+	cr, ok := o.crInf.Get(o.cfg.ClusterName)
+	if !ok {
+		return
+	}
+	upd := cr.Clone()
+	upd.Cassandra.Decommissioning = ""
+	o.conn.Update(upd, func(_ *cluster.Object, err error) {
+		if o.down || epoch != o.epoch {
+			return
+		}
+		o.queue.AddAfter(o.cfg.ClusterName, 20*sim.Millisecond)
+	})
+}
+
+// updateStatus records the observed membership in the CR status. This is
+// the data the stock decommission later trusts (#400).
+func (o *Operator) updateStatus(epoch uint64, cr *cluster.Object, live []*cluster.Object) {
+	names := make([]string, 0, len(live))
+	for _, m := range live {
+		names = append(names, m.Meta.Name)
+	}
+	if equalStrings(cr.Cassandra.ReadyMembers, names) {
+		return
+	}
+	upd := cr.Clone()
+	upd.Cassandra.ReadyMembers = names
+	o.conn.Update(upd, func(*cluster.Object, error) {})
+}
+
+// sweepOrphanPVCs is the level-triggered garbage collector that the fixed
+// operator gains with Fix398: any member PVC whose ordinal is beyond the
+// desired count and whose owner pod is absent gets removed, with a quorum
+// verification of both facts (so the sweep itself cannot be fooled by a
+// stale cache). The stock operator has no such sweep — PVC cleanup is
+// purely observation-triggered, which is exactly why missing the
+// deletionTimestamp observation leaks storage.
+func (o *Operator) sweepOrphanPVCs(epoch uint64, cr *cluster.Object, members []*cluster.Object) {
+	if !o.cfg.Fixes.Fix398 {
+		return
+	}
+	desired := cr.Cassandra.Replicas
+	present := make(map[string]bool, len(members))
+	for _, m := range members {
+		present[m.Meta.Name] = true
+	}
+	for _, pvc := range o.pvcInf.ListCached() {
+		if pvc.PVC == nil || pvc.PVC.OwnerPod == "" {
+			continue
+		}
+		owner := pvc.PVC.OwnerPod
+		ord := o.ordinalOf(owner)
+		if ord < 0 || ord < desired || present[owner] {
+			continue
+		}
+		name := pvc.Meta.Name
+		// Verify against ground truth before destroying storage.
+		o.conn.Get(cluster.KindPod, owner, true, func(_ *cluster.Object, found bool, err error) {
+			if o.down || epoch != o.epoch || err != nil || found {
+				return
+			}
+			o.conn.Delete(cluster.KindPVC, name, 0, func(err error) {
+				if err == nil {
+					o.PVCDeletes++
+					delete(o.sawTerminating, owner)
+				}
+			})
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MemberPVCName exposes the operator's PVC naming for oracles/tests.
+func MemberPVCName(clusterName string, ordinal int) string {
+	return fmt.Sprintf("%s-%d-data", clusterName, ordinal)
+}
+
+// MemberPodName exposes the operator's pod naming for oracles/tests.
+func MemberPodName(clusterName string, ordinal int) string {
+	return fmt.Sprintf("%s-%d", clusterName, ordinal)
+}

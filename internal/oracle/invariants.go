@@ -1,0 +1,303 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/history"
+	"repro/internal/kubelet"
+	"repro/internal/regions"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Oracle names (stable identifiers used by experiments and reports).
+const (
+	NameUniquePod          = "UniquePod"
+	NameSchedulerProgress  = "SchedulerProgress"
+	NameNoOrphanPVC        = "NoOrphanPVC"
+	NameNoLivePVCDeletion  = "NoLivePVCDeletion"
+	NameScaleDownCompletes = "ScaleDownCompletes"
+	NameCASAtomicity       = "CASAtomicity"
+)
+
+// decodeState lists objects of a kind from ground truth (the store).
+func decodeState(st *store.Store, kind cluster.Kind) []*cluster.Object {
+	kvs, _ := st.Range(cluster.KindPrefix(kind))
+	out := make([]*cluster.Object, 0, len(kvs))
+	for _, kv := range kvs {
+		obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+		if err != nil {
+			continue
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+// UniquePod checks the Kubernetes-59848 safety guarantee: at most one host
+// runs a container for any pod name at any time.
+func UniquePod(hosts []*kubelet.Host) Oracle {
+	return Func{
+		OracleName: NameUniquePod,
+		CheckFunc: func(now sim.Time) *Violation {
+			running := map[string][]string{}
+			for _, h := range hosts {
+				for _, name := range h.RunningNames() {
+					running[name] = append(running[name], h.Name)
+				}
+			}
+			names := make([]string, 0, len(running))
+			for n := range running {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				if len(running[n]) > 1 {
+					sort.Strings(running[n])
+					return &Violation{
+						Oracle: NameUniquePod,
+						Time:   now,
+						Detail: fmt.Sprintf("pod %q running on multiple hosts: %s", n, strings.Join(running[n], ",")),
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// SchedulerProgress checks the Kubernetes-56261 liveness guarantee: a pod
+// must not stay unscheduled longer than patience while a ready node with
+// free capacity exists in ground truth.
+func SchedulerProgress(st *store.Store, patience sim.Duration) Oracle {
+	pendingSince := map[string]sim.Time{}
+	return Func{
+		OracleName: NameSchedulerProgress,
+		CheckFunc: func(now sim.Time) *Violation {
+			pods := decodeState(st, cluster.KindPod)
+			nodes := decodeState(st, cluster.KindNode)
+			used := map[string]int{}
+			for _, p := range pods {
+				if p.Pod != nil && p.Pod.NodeName != "" && !p.Terminating() {
+					used[p.Pod.NodeName]++
+				}
+			}
+			freeNode := false
+			for _, n := range nodes {
+				if n.Node != nil && n.Node.Ready && n.Node.Capacity-used[n.Meta.Name] > 0 {
+					freeNode = true
+					break
+				}
+			}
+			seen := map[string]bool{}
+			for _, p := range pods {
+				if p.Pod == nil || p.Pod.NodeName != "" || p.Terminating() {
+					continue
+				}
+				seen[p.Meta.Name] = true
+				first, ok := pendingSince[p.Meta.Name]
+				if !ok {
+					pendingSince[p.Meta.Name] = now
+					continue
+				}
+				if freeNode && now.Sub(first) > patience {
+					return &Violation{
+						Oracle: NameSchedulerProgress,
+						Time:   now,
+						Detail: fmt.Sprintf("pod %q unscheduled for %s despite free ready nodes", p.Meta.Name, now.Sub(first)),
+					}
+				}
+			}
+			for name := range pendingSince {
+				if !seen[name] {
+					delete(pendingSince, name)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// NoOrphanPVC checks the volume-release guarantee ([17], op-398): a Bound
+// PVC whose owner pod has been gone from ground truth for longer than grace
+// is an orphan (storage leak).
+func NoOrphanPVC(st *store.Store, grace sim.Duration) Oracle {
+	orphanSince := map[string]sim.Time{}
+	return Func{
+		OracleName: NameNoOrphanPVC,
+		CheckFunc: func(now sim.Time) *Violation {
+			pods := map[string]bool{}
+			for _, p := range decodeState(st, cluster.KindPod) {
+				pods[p.Meta.Name] = true
+			}
+			seen := map[string]bool{}
+			for _, pvc := range decodeState(st, cluster.KindPVC) {
+				if pvc.PVC == nil || pvc.PVC.Phase != cluster.PVCBound || pvc.PVC.OwnerPod == "" {
+					continue
+				}
+				if pods[pvc.PVC.OwnerPod] {
+					continue
+				}
+				seen[pvc.Meta.Name] = true
+				first, ok := orphanSince[pvc.Meta.Name]
+				if !ok {
+					orphanSince[pvc.Meta.Name] = now
+					continue
+				}
+				if now.Sub(first) > grace {
+					return &Violation{
+						Oracle: NameNoOrphanPVC,
+						Time:   now,
+						Detail: fmt.Sprintf("PVC %q still Bound %s after owner pod %q vanished", pvc.Meta.Name, now.Sub(first), pvc.PVC.OwnerPod),
+					}
+				}
+			}
+			for name := range orphanSince {
+				if !seen[name] {
+					delete(orphanSince, name)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// InstallNoLivePVCDeletion hooks the store's commit stream and reports a
+// violation whenever a PVC is deleted while its owner pod still exists —
+// the op-402 safety breach (data loss for a live member). Event-driven: it
+// reports directly to the runner.
+func InstallNoLivePVCDeletion(st *store.Store, r *Runner) {
+	st.AddNotifyHook(func(events []history.Event) {
+		for _, e := range events {
+			if e.Type != history.Delete {
+				continue
+			}
+			kind, name, err := cluster.ParseKey(e.Key)
+			if err != nil || kind != cluster.KindPVC {
+				continue
+			}
+			// Recover the owner from the last version is impossible post
+			// delete; instead rely on naming convention lookup via the
+			// PVC's recorded owner in the pre-delete state, which the
+			// store no longer has. We therefore check: does any live pod
+			// claim this PVC name pattern "<pod>-data"?
+			owner := strings.TrimSuffix(name, "-data")
+			if owner == name {
+				continue
+			}
+			if kv, _, ok := st.Get(cluster.Key(cluster.KindPod, owner)); ok {
+				pod, derr := cluster.Decode(kv.Value, kv.ModRevision)
+				if derr == nil && !pod.Terminating() {
+					r.Report(Violation{
+						Oracle: NameNoLivePVCDeletion,
+						Time:   sim.Time(e.Time),
+						Detail: fmt.Sprintf("PVC %q deleted while owner pod %q is alive", name, owner),
+					})
+				}
+			}
+		}
+	})
+}
+
+// ScaleDownCompletes checks the op-400 liveness guarantee: within patience
+// of the last CR spec change, the member pod set must equal exactly
+// {<name>-0 .. <name>-(R-1)} and no decommission may be in flight.
+func ScaleDownCompletes(st *store.Store, crName string, patience sim.Duration) Oracle {
+	var lastSpecChange sim.Time
+	var lastReplicas = -1
+	return Func{
+		OracleName: NameScaleDownCompletes,
+		CheckFunc: func(now sim.Time) *Violation {
+			kv, _, ok := st.Get(cluster.Key(cluster.KindCassandra, crName))
+			if !ok {
+				return nil
+			}
+			cr, err := cluster.Decode(kv.Value, kv.ModRevision)
+			if err != nil || cr.Cassandra == nil {
+				return nil
+			}
+			if cr.Cassandra.Replicas != lastReplicas {
+				lastReplicas = cr.Cassandra.Replicas
+				lastSpecChange = now
+				return nil
+			}
+			if now.Sub(lastSpecChange) < patience {
+				return nil
+			}
+			want := map[string]bool{}
+			for i := 0; i < cr.Cassandra.Replicas; i++ {
+				want[fmt.Sprintf("%s-%d", crName, i)] = true
+			}
+			got := map[string]bool{}
+			for _, p := range decodeState(st, cluster.KindPod) {
+				if p.Pod != nil && p.Pod.App == crName && !p.Terminating() {
+					got[p.Meta.Name] = true
+				}
+			}
+			if cr.Cassandra.Decommissioning != "" {
+				return &Violation{
+					Oracle: NameScaleDownCompletes,
+					Time:   now,
+					Detail: fmt.Sprintf("decommission of %q still in flight %s after spec change", cr.Cassandra.Decommissioning, now.Sub(lastSpecChange)),
+				}
+			}
+			if !sameSet(want, got) {
+				return &Violation{
+					Oracle: NameScaleDownCompletes,
+					Time:   now,
+					Detail: fmt.Sprintf("members %v != desired %v %s after spec change", keysOf(got), keysOf(want), now.Sub(lastSpecChange)),
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// CASAtomicity checks the HBASE-3136 guarantee: no region is served by two
+// region servers at once.
+func CASAtomicity(servers []*regions.RegionServer) Oracle {
+	return Func{
+		OracleName: NameCASAtomicity,
+		CheckFunc: func(now sim.Time) *Violation {
+			dual := regions.DualOwners(servers)
+			if len(dual) == 0 {
+				return nil
+			}
+			names := make([]string, 0, len(dual))
+			for r := range dual {
+				names = append(names, r)
+			}
+			sort.Strings(names)
+			r0 := names[0]
+			return &Violation{
+				Oracle: NameCASAtomicity,
+				Time:   now,
+				Detail: fmt.Sprintf("region %q served by %s", r0, strings.Join(dual[r0], " and ")),
+			}
+		},
+	}
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,127 @@
+// Package oracle defines the safety and liveness invariants used as test
+// oracles (paper §6.2 "what workloads and test oracles to use"). Oracles
+// inspect ground truth — the store's (H, S) and component host state —
+// never the cached views, so a violation is a real bug manifestation, not
+// an artifact of staleness.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Oracle string
+	Time   sim.Time
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Time, v.Oracle, v.Detail)
+}
+
+// Oracle checks one invariant. Check is called periodically with the
+// current virtual time and returns a non-nil violation when the invariant
+// is broken at this instant.
+type Oracle interface {
+	Name() string
+	Check(now sim.Time) *Violation
+}
+
+// Func adapts a function to Oracle.
+type Func struct {
+	OracleName string
+	CheckFunc  func(now sim.Time) *Violation
+}
+
+// Name implements Oracle.
+func (f Func) Name() string { return f.OracleName }
+
+// Check implements Oracle.
+func (f Func) Check(now sim.Time) *Violation { return f.CheckFunc(now) }
+
+// Runner evaluates a set of oracles periodically and collects the first
+// violation of each.
+type Runner struct {
+	oracles []Oracle
+	first   map[string]Violation
+	order   []string
+}
+
+// NewRunner creates an empty runner.
+func NewRunner() *Runner {
+	return &Runner{first: make(map[string]Violation)}
+}
+
+// Add registers an oracle.
+func (r *Runner) Add(o Oracle) { r.oracles = append(r.oracles, o) }
+
+// Report records an externally detected violation (used by event-driven
+// oracles hooked into the store). Only the first violation per oracle is
+// kept.
+func (r *Runner) Report(v Violation) {
+	if _, ok := r.first[v.Oracle]; ok {
+		return
+	}
+	r.first[v.Oracle] = v
+	r.order = append(r.order, v.Oracle)
+}
+
+// CheckNow evaluates every oracle once.
+func (r *Runner) CheckNow(now sim.Time) {
+	for _, o := range r.oracles {
+		if _, ok := r.first[o.Name()]; ok {
+			continue
+		}
+		if v := o.Check(now); v != nil {
+			r.Report(*v)
+		}
+	}
+}
+
+// InstallPeriodic schedules CheckNow every interval on the world's kernel,
+// forever (the simulation's run bound ends it).
+func (r *Runner) InstallPeriodic(w *sim.World, every sim.Duration) {
+	var tick func()
+	tick = func() {
+		r.CheckNow(w.Now())
+		w.Kernel().Schedule(every, tick)
+	}
+	w.Kernel().Schedule(every, tick)
+}
+
+// Violations returns all recorded violations in detection order.
+func (r *Runner) Violations() []Violation {
+	out := make([]Violation, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.first[name])
+	}
+	return out
+}
+
+// Violated reports whether the named oracle was breached.
+func (r *Runner) Violated(name string) bool {
+	_, ok := r.first[name]
+	return ok
+}
+
+// Names returns the names of all registered oracles plus any reported-only
+// ones, sorted.
+func (r *Runner) Names() []string {
+	set := map[string]bool{}
+	for _, o := range r.oracles {
+		set[o.Name()] = true
+	}
+	for n := range r.first {
+		set[n] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

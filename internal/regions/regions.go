@@ -1,0 +1,294 @@
+// Package regions implements the HBASE-3136/3137 analog (paper §4.2.1): an
+// assignment manager migrates regions (shards) between region servers by
+// performing transitions against region objects held in the store, read
+// through an apiserver cache.
+//
+// The manager supports three modes mirroring the issue history:
+//
+//   - ModeStaleBlind (HBASE-3136 as filed): transitions read the cached
+//     view and write unguarded. A stale read directs the "close" at the
+//     wrong previous owner, so the true owner never closes → two region
+//     servers serve the same region (atomicity broken).
+//   - ModeSyncBeforeCAS (the HBASE-3136 fix): every transition first syncs
+//     (quorum read) — safe, but every operation pays the store round-trip,
+//     the performance regression reported as HBASE-3137.
+//   - ModeOptimisticCAS (HBASE-3137's proposal): cached reads with guarded
+//     (compare-and-swap) writes — safe and fast, at the cost of retries
+//     when the cache was stale.
+package regions
+
+import (
+	"sort"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Mode selects the transition protocol.
+type Mode int
+
+const (
+	// ModeStaleBlind reproduces HBASE-3136: cached reads, unguarded writes.
+	ModeStaleBlind Mode = iota
+	// ModeSyncBeforeCAS reproduces the HBASE-3136 fix: quorum read first.
+	ModeSyncBeforeCAS
+	// ModeOptimisticCAS reproduces HBASE-3137's optimistic proposal:
+	// cached reads with ResourceVersion-guarded writes and retry.
+	ModeOptimisticCAS
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStaleBlind:
+		return "stale-blind"
+	case ModeSyncBeforeCAS:
+		return "sync-before-cas"
+	case ModeOptimisticCAS:
+		return "optimistic-cas"
+	default:
+		return "unknown"
+	}
+}
+
+// RegionServer is a worker that serves regions. Its owned set is the
+// ground-truth serving state used by the dual-ownership oracle.
+type RegionServer struct {
+	id    sim.NodeID
+	world *sim.World
+	owned map[string]bool
+	down  bool
+}
+
+// ServerID returns the network ID for region server name.
+func ServerID(name string) sim.NodeID { return sim.NodeID("rs-" + name) }
+
+// NewRegionServer wires a region server into the world.
+func NewRegionServer(w *sim.World, name string) *RegionServer {
+	s := &RegionServer{id: ServerID(name), world: w, owned: make(map[string]bool)}
+	w.Network().Register(s.id, s)
+	w.AddProcess(s)
+	return s
+}
+
+// ID implements sim.Process.
+func (s *RegionServer) ID() sim.NodeID { return s.id }
+
+// Crash implements sim.Process.
+func (s *RegionServer) Crash() { s.down = true }
+
+// Restart implements sim.Process; a restarted server serves nothing until
+// told to open regions again.
+func (s *RegionServer) Restart() {
+	s.down = false
+	s.owned = make(map[string]bool)
+}
+
+// Owned returns the regions this server currently serves, sorted.
+func (s *RegionServer) Owned() []string {
+	out := make([]string, 0, len(s.owned))
+	for r := range s.owned {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// openCmd / closeCmd are manager->server commands.
+type openCmd struct{ Region string }
+type closeCmd struct{ Region string }
+
+// HandleMessage implements sim.Handler.
+func (s *RegionServer) HandleMessage(m *sim.Message) {
+	if s.down {
+		return
+	}
+	switch c := m.Payload.(type) {
+	case *openCmd:
+		s.owned[c.Region] = true
+	case *closeCmd:
+		delete(s.owned, c.Region)
+	}
+}
+
+// ManagerConfig tunes the assignment manager.
+type ManagerConfig struct {
+	// APIServer is the manager's upstream.
+	APIServer sim.NodeID
+	// Mode selects the transition protocol.
+	Mode Mode
+	// RPCTimeout bounds apiserver calls.
+	RPCTimeout sim.Duration
+	// MaxRetries bounds optimistic-CAS retries per transition.
+	MaxRetries int
+}
+
+// Manager is the assignment manager performing region transitions.
+type Manager struct {
+	id    sim.NodeID
+	world *sim.World
+	cfg   ManagerConfig
+	conn  *client.Conn
+	down  bool
+	epoch uint64
+
+	// Metrics.
+	Transitions int // attempted
+	Succeeded   int
+	CASFailures int // guarded writes rejected (staleness caught safely)
+	Retries     int
+}
+
+// ManagerID is the manager's network identity.
+const ManagerID sim.NodeID = "region-manager"
+
+// NewManager wires the assignment manager into the world.
+func NewManager(w *sim.World, cfg ManagerConfig) *Manager {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 5
+	}
+	m := &Manager{id: ManagerID, world: w, cfg: cfg}
+	m.conn = client.NewConn(w, m.id, cfg.APIServer, cfg.RPCTimeout)
+	w.Network().Register(m.id, m)
+	w.AddProcess(m)
+	return m
+}
+
+// ID implements sim.Process.
+func (m *Manager) ID() sim.NodeID { return m.id }
+
+// Crash implements sim.Process.
+func (m *Manager) Crash() {
+	m.down = true
+	m.epoch++
+	m.conn.Reset()
+}
+
+// Restart implements sim.Process.
+func (m *Manager) Restart() {
+	m.down = false
+	m.epoch++
+	m.conn = client.NewConn(m.world, m.id, m.cfg.APIServer, m.cfg.RPCTimeout)
+}
+
+// HandleMessage implements sim.Handler.
+func (m *Manager) HandleMessage(msg *sim.Message) {
+	if m.down {
+		return
+	}
+	m.conn.HandleMessage(msg)
+}
+
+// CreateRegion registers a region served by owner and tells the server to
+// open it. done is invoked when the object is stored.
+func (m *Manager) CreateRegion(name, owner string, done func(error)) {
+	obj := cluster.NewRegion(name, "region-"+name, cluster.RegionSpec{Owner: owner, State: cluster.RegionOnline})
+	epoch := m.epoch
+	m.conn.Create(obj, func(_ *cluster.Object, err error) {
+		if m.down || epoch != m.epoch {
+			return
+		}
+		if err == nil {
+			m.world.Network().Send(m.id, ServerID(owner), "region-open", &openCmd{Region: name})
+		}
+		done(err)
+	})
+}
+
+// Move transitions region to a new owner. done receives the outcome:
+// nil on success (including safe CAS-failure abort paths that were retried
+// out), or the final error.
+func (m *Manager) Move(region, newOwner string, done func(error)) {
+	m.Transitions++
+	m.moveAttempt(m.epoch, region, newOwner, 0, done)
+}
+
+func (m *Manager) moveAttempt(epoch uint64, region, newOwner string, attempt int, done func(error)) {
+	quorum := m.cfg.Mode == ModeSyncBeforeCAS
+	m.conn.Get(cluster.KindRegion, region, quorum, func(obj *cluster.Object, found bool, err error) {
+		if m.down || epoch != m.epoch {
+			return
+		}
+		if err != nil || !found {
+			done(errOr(err, errNotFound))
+			return
+		}
+		prevOwner := obj.Region.Owner // possibly stale!
+		upd := obj.Clone()
+		upd.Region.Owner = newOwner
+		upd.Region.State = cluster.RegionOnline
+		if m.cfg.Mode == ModeStaleBlind {
+			upd.Meta.ResourceVersion = 0 // unguarded write
+		}
+		m.conn.Update(upd, func(_ *cluster.Object, uerr error) {
+			if m.down || epoch != m.epoch {
+				return
+			}
+			if uerr != nil {
+				m.CASFailures++
+				if m.cfg.Mode == ModeOptimisticCAS && attempt+1 < m.cfg.MaxRetries {
+					m.Retries++
+					// Refresh (the failed CAS proves our view was stale;
+					// sync once) and retry.
+					m.world.Kernel().Schedule(5*sim.Millisecond, func() {
+						if m.down || epoch != m.epoch {
+							return
+						}
+						m.moveAttempt(epoch, region, newOwner, attempt+1, done)
+					})
+					return
+				}
+				done(uerr)
+				return
+			}
+			// Commit succeeded: close the previous owner (as read — the
+			// stale-blind mode may aim this at the wrong server), then
+			// open the new one after the close has had time to land
+			// (close-before-open discipline; the links are FIFO but close
+			// and open travel different links).
+			if prevOwner != "" && prevOwner != newOwner {
+				m.world.Network().Send(m.id, ServerID(prevOwner), "region-close", &closeCmd{Region: region})
+			}
+			m.world.Kernel().Schedule(3*sim.Millisecond, func() {
+				if m.down {
+					return
+				}
+				m.world.Network().Send(m.id, ServerID(newOwner), "region-open", &openCmd{Region: region})
+				m.Succeeded++
+				done(nil)
+			})
+		})
+	})
+}
+
+var errNotFound = errNotFoundType{}
+
+type errNotFoundType struct{}
+
+func (errNotFoundType) Error() string { return "regions: region not found" }
+
+func errOr(err error, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}
+
+// DualOwners returns regions currently served by more than one of the
+// given servers — the CASAtomicity oracle's ground truth check.
+func DualOwners(servers []*RegionServer) map[string][]string {
+	owners := make(map[string][]string)
+	for _, s := range servers {
+		for _, r := range s.Owned() {
+			owners[r] = append(owners[r], string(s.ID()))
+		}
+	}
+	out := make(map[string][]string)
+	for r, os := range owners {
+		if len(os) > 1 {
+			sort.Strings(os)
+			out[r] = os
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package scheduler implements the pod scheduler: it watches unbound pods
+// and nodes through informer caches and binds pods to nodes.
+//
+// Kubernetes-56261 (paper §4.2.3) is the target bug: the scheduler misses a
+// node-deletion event (an observability gap in H'), keeps the dead node in
+// its cache, and falls into a livelock of failed placements because nothing
+// ever removes the node from S'. The fixed variant evicts a node from its
+// view when binding fails with "node not found" — the upstream fix.
+package scheduler
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/sim"
+)
+
+// ErrNoNodes is returned internally when no candidate node is available.
+var ErrNoNodes = errors.New("scheduler: no schedulable nodes")
+
+// errNodeNotFound marks a bind rejected because the target node is gone.
+var errNodeNotFound = errors.New("scheduler: bind failed, node not found")
+
+// Config tunes the scheduler.
+type Config struct {
+	// APIServer is the scheduler's upstream.
+	APIServer sim.NodeID
+	// EvictUnknownNodes enables the fix for Kubernetes-56261: on a
+	// node-not-found bind failure, drop the node from the scheduler's
+	// view. With false, the stock buggy behaviour is reproduced.
+	EvictUnknownNodes bool
+	// RPCTimeout bounds apiserver calls.
+	RPCTimeout sim.Duration
+}
+
+// DefaultConfig returns settings matching the buggy upstream scheduler.
+func DefaultConfig(api sim.NodeID) Config {
+	return Config{APIServer: api, RPCTimeout: 200 * sim.Millisecond}
+}
+
+// Scheduler is the control-plane scheduler process.
+type Scheduler struct {
+	id    sim.NodeID
+	world *sim.World
+	cfg   Config
+
+	conn    *client.Conn
+	podInf  *client.Informer
+	nodeInf *client.Informer
+	queue   *controller.Queue
+	down    bool
+	epoch   uint64
+
+	// deadNodes are nodes evicted from consideration after bind failures
+	// (only populated by the fixed variant).
+	deadNodes map[string]bool
+
+	// Metrics.
+	Binds        int
+	BindFailures int
+}
+
+// ID is the scheduler's network identity.
+const ID sim.NodeID = "scheduler"
+
+// New wires a scheduler into the world.
+func New(w *sim.World, cfg Config) *Scheduler {
+	s := &Scheduler{id: ID, world: w, cfg: cfg, deadNodes: make(map[string]bool)}
+	w.Network().Register(s.id, s)
+	w.AddProcess(s)
+	s.boot()
+	return s
+}
+
+// ID implements sim.Process.
+func (s *Scheduler) ID() sim.NodeID { return s.id }
+
+// Crash implements sim.Process.
+func (s *Scheduler) Crash() {
+	s.down = true
+	s.epoch++
+	if s.conn != nil {
+		s.conn.Reset()
+	}
+	if s.queue != nil {
+		s.queue.Stop()
+	}
+	s.podInf, s.nodeInf = nil, nil
+}
+
+// Restart implements sim.Process.
+func (s *Scheduler) Restart() {
+	s.down = false
+	s.deadNodes = make(map[string]bool)
+	s.boot()
+}
+
+// HandleMessage implements sim.Handler.
+func (s *Scheduler) HandleMessage(m *sim.Message) {
+	if s.down || s.conn == nil {
+		return
+	}
+	s.conn.HandleMessage(m)
+}
+
+// NodeView returns the node names currently schedulable in the scheduler's
+// cache (S'), sorted. Oracles compare this against ground truth.
+func (s *Scheduler) NodeView() []string {
+	if s.nodeInf == nil {
+		return nil
+	}
+	var out []string
+	for _, n := range s.nodeInf.ListCached() {
+		if n.Node != nil && n.Node.Ready && !s.deadNodes[n.Meta.Name] {
+			out = append(out, n.Meta.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Scheduler) boot() {
+	s.epoch++
+	s.conn = client.NewConn(s.world, s.id, s.cfg.APIServer, s.cfg.RPCTimeout)
+	s.queue = controller.NewQueue(s.world.Kernel(), controller.DefaultQueueConfig(),
+		controller.ReconcilerFunc(s.reconcile))
+	s.nodeInf = client.NewInformer(s.conn, cluster.KindNode, client.InformerConfig{
+		WatchTimeout: sim.Second,
+	})
+	s.nodeInf.AddHandler(client.HandlerFuncs{
+		DeleteFunc: func(o *cluster.Object) { delete(s.deadNodes, o.Meta.Name) },
+	})
+	s.podInf = client.NewInformer(s.conn, cluster.KindPod, client.InformerConfig{
+		WatchTimeout: sim.Second,
+	})
+	s.podInf.AddHandler(controller.EnqueueHandler{Queue: s.queue})
+	s.nodeInf.Run()
+	s.podInf.Run()
+}
+
+// reconcile attempts to place one pod.
+func (s *Scheduler) reconcile(podName string) (controller.Result, error) {
+	pod, ok := s.podInf.Get(podName)
+	if !ok || pod.Pod == nil || pod.Terminating() || pod.Pod.NodeName != "" {
+		return controller.Result{}, nil
+	}
+	node, err := s.pickNode()
+	if err != nil {
+		// No nodes in view: try again later.
+		return controller.Result{Requeue: true, RequeueAfter: 50 * sim.Millisecond}, nil
+	}
+	s.bind(s.epoch, pod, node)
+	return controller.Result{}, nil
+}
+
+// pickNode chooses the ready cached node with most free capacity
+// (deterministic tie-break by name). The choice uses only S' — the
+// scheduler cannot know about nodes or deletions it never observed.
+func (s *Scheduler) pickNode() (string, error) {
+	type cand struct {
+		name string
+		free int
+	}
+	used := make(map[string]int)
+	for _, p := range s.podInf.ListCached() {
+		if p.Pod != nil && p.Pod.NodeName != "" && !p.Terminating() {
+			used[p.Pod.NodeName]++
+		}
+	}
+	var cands []cand
+	for _, n := range s.nodeInf.ListCached() {
+		if n.Node == nil || !n.Node.Ready || s.deadNodes[n.Meta.Name] {
+			continue
+		}
+		free := n.Node.Capacity - used[n.Meta.Name]
+		if free > 0 {
+			cands = append(cands, cand{n.Meta.Name, free})
+		}
+	}
+	if len(cands) == 0 {
+		return "", ErrNoNodes
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].free != cands[j].free {
+			return cands[i].free > cands[j].free
+		}
+		return cands[i].name < cands[j].name
+	})
+	return cands[0].name, nil
+}
+
+// bind validates the node's existence (the binding subresource check) and
+// writes the assignment.
+func (s *Scheduler) bind(epoch uint64, pod *cluster.Object, node string) {
+	s.conn.Get(cluster.KindNode, node, true, func(_ *cluster.Object, found bool, err error) {
+		if s.down || epoch != s.epoch {
+			return
+		}
+		if err != nil {
+			s.BindFailures++
+			s.queue.AddAfter(pod.Meta.Name, 50*sim.Millisecond)
+			return
+		}
+		if !found {
+			// "node not found": the node is gone but our cache does not
+			// know. The buggy scheduler retries forever against the same
+			// view; the fixed one evicts the node (Kubernetes-56261 fix).
+			s.BindFailures++
+			if s.cfg.EvictUnknownNodes {
+				s.deadNodes[node] = true
+			}
+			s.queue.AddAfter(pod.Meta.Name, 50*sim.Millisecond)
+			return
+		}
+		bound := pod.Clone()
+		bound.Pod.NodeName = node
+		bound.Pod.Phase = cluster.PodScheduled
+		s.conn.Update(bound, func(_ *cluster.Object, err error) {
+			if s.down || epoch != s.epoch {
+				return
+			}
+			if err != nil {
+				s.BindFailures++
+				s.queue.AddAfter(pod.Meta.Name, 50*sim.Millisecond)
+				return
+			}
+			s.Binds++
+		})
+	})
+}

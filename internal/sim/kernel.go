@@ -1,0 +1,230 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every component of the simulated infrastructure (store nodes, apiservers,
+// kubelets, schedulers, controllers) is an actor driven by a single Kernel.
+// Virtual time only advances when the kernel dequeues the next scheduled
+// event, and ties are broken by a monotonically increasing sequence number,
+// so a simulation run is a pure function of its inputs (topology, workload,
+// seed, perturbation plan). That determinism is what makes the
+// partial-history testing tool replayable: a plan that triggered a bug can
+// be re-executed and yields the identical trace.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenience duration units (virtual time).
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+}
+
+func (d Duration) String() string {
+	return fmt.Sprintf("%.6fs", float64(d)/float64(Second))
+}
+
+// Timer is a handle to a scheduled callback. The zero value is invalid;
+// timers are created by Kernel.Schedule and Kernel.At.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Canceling an
+// already-fired or already-canceled timer is a no-op. It reports whether the
+// timer was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fired {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the timer's callback has neither fired nor been
+// canceled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && !t.ev.fired
+}
+
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+	index    int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is the discrete-event scheduler. It is not safe for concurrent use;
+// the simulated world is single-threaded by design.
+type Kernel struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	steps   uint64
+	maxStep uint64 // safety valve; 0 = unlimited
+	stopped bool
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// Identical seeds yield identical simulations for identical inputs.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. All simulated
+// randomness (jitter, backoff, workload choices) must come from here.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// SetMaxSteps bounds the number of events Run will execute; 0 means
+// unlimited. It is a safety valve against livelocking simulations (which
+// some injected bugs, e.g. scheduler livelock, intentionally produce).
+func (k *Kernel) SetMaxSteps(n uint64) { k.maxStep = n }
+
+// Schedule runs fn after virtual duration d (>= 0) and returns a cancelable
+// timer. Callbacks scheduled for the same instant run in scheduling order.
+func (k *Kernel) Schedule(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// At runs fn at absolute virtual time t (clamped to now) and returns a
+// cancelable timer.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.heap, ev)
+	return &Timer{ev: ev}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next pending event. It reports whether an event
+// was executed (false when the queue is empty).
+func (k *Kernel) Step() bool {
+	for len(k.heap) > 0 {
+		ev := heap.Pop(&k.heap).(*event)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		ev.fired = true
+		k.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, Stop is called, the step
+// budget is exhausted, or virtual time would pass until (exclusive). Pass
+// until <= 0 to run with no time bound. It returns the time at which it
+// stopped.
+func (k *Kernel) Run(until Time) Time {
+	k.stopped = false
+	for !k.stopped {
+		if k.maxStep != 0 && k.steps >= k.maxStep {
+			break
+		}
+		if len(k.heap) == 0 {
+			// Virtual time passes even with nothing scheduled: a bounded
+			// run always ends at its bound.
+			if until > 0 && k.now < until {
+				k.now = until
+			}
+			break
+		}
+		next := k.heap[0]
+		if next.canceled {
+			heap.Pop(&k.heap)
+			continue
+		}
+		if until > 0 && next.at >= until {
+			k.now = until
+			break
+		}
+		k.Step()
+	}
+	return k.now
+}
+
+// RunFor executes events for virtual duration d from the current time.
+func (k *Kernel) RunFor(d Duration) Time { return k.Run(k.now.Add(d)) }
+
+// Drain runs until no events remain (subject to the step budget).
+func (k *Kernel) Drain() Time { return k.Run(0) }
+
+// Pending returns the number of scheduled, non-canceled events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.heap {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}

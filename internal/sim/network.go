@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID names a simulated process (a store replica, an apiserver, a
+// kubelet, ...). IDs are unique within one World.
+type NodeID string
+
+// Message is a unit of communication between simulated processes. Payloads
+// are arbitrary Go values; the simulated network never serializes them, but
+// components must treat received payloads as immutable (the store and
+// apiservers deep-copy objects at their boundaries).
+type Message struct {
+	Seq     uint64 // unique, monotonically increasing per network
+	From    NodeID
+	To      NodeID
+	Kind    string // coarse classification used by interceptors ("watch", "rpc", ...)
+	Payload any
+	SentAt  Time
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("#%d %s->%s %s @%s", m.Seq, m.From, m.To, m.Kind, m.SentAt)
+}
+
+// Handler receives messages addressed to a node.
+type Handler interface {
+	HandleMessage(m *Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(m *Message)
+
+// HandleMessage calls f(m).
+func (f HandlerFunc) HandleMessage(m *Message) { f(m) }
+
+// Verdict is an interceptor's ruling on an in-flight message.
+type Verdict int
+
+const (
+	// Pass lets the message continue to later interceptors / delivery.
+	Pass Verdict = iota
+	// Drop discards the message permanently (models a lost notification).
+	Drop
+	// Hold parks the message; it is delivered only when Network.Release is
+	// called (models delayed cache updates / staleness injection).
+	Hold
+	// Delay delivers the message after Decision.Delay extra virtual time.
+	Delay
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Hold:
+		return "hold"
+	case Delay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Decision is returned by an Interceptor for each message.
+type Decision struct {
+	Verdict Verdict
+	Delay   Duration // extra delay when Verdict == Delay
+}
+
+// Interceptor inspects every message before delivery. The perturbation
+// engine (internal/core) and the fault baselines implement this interface;
+// it is the paper's "regulating how (H', S') advances at one component".
+type Interceptor interface {
+	Intercept(m *Message) Decision
+}
+
+// InterceptorFunc adapts a function to the Interceptor interface.
+type InterceptorFunc func(m *Message) Decision
+
+// Intercept calls f(m).
+func (f InterceptorFunc) Intercept(m *Message) Decision { return f(m) }
+
+// Observer is notified of message lifecycle events; the trace recorder
+// implements it.
+type Observer interface {
+	OnSend(m *Message)
+	OnDeliver(m *Message)
+	OnDrop(m *Message, reason string)
+}
+
+type linkKey struct{ from, to NodeID }
+
+type linkState struct {
+	partitioned bool
+	extraDelay  Duration
+}
+
+// NetStats aggregates network-level counters.
+type NetStats struct {
+	Sent        uint64
+	Delivered   uint64
+	Dropped     uint64
+	Held        uint64
+	Released    uint64
+	PartitionRx uint64 // drops due to partitions
+	DownRx      uint64 // drops due to crashed receivers
+}
+
+// Network routes messages between registered nodes with per-link latency,
+// partitions, and interceptor hooks. All delivery happens through kernel
+// events, so interleavings are deterministic.
+type Network struct {
+	k       *Kernel
+	nodes   map[NodeID]Handler
+	down    map[NodeID]bool
+	links   map[linkKey]linkState
+	latency Duration
+	jitter  Duration
+	seq     uint64
+	held    map[uint64]*Message
+	lastAt  map[linkKey]Time // per-link FIFO frontier (stream ordering)
+	icpts   []Interceptor
+	obs     []Observer
+	stats   NetStats
+}
+
+// NewNetwork creates a network on kernel k with the given base one-way
+// latency and uniform jitter in [0, jitter).
+func NewNetwork(k *Kernel, latency, jitter Duration) *Network {
+	return &Network{
+		k:       k,
+		nodes:   make(map[NodeID]Handler),
+		down:    make(map[NodeID]bool),
+		links:   make(map[linkKey]linkState),
+		latency: latency,
+		jitter:  jitter,
+		held:    make(map[uint64]*Message),
+		lastAt:  make(map[linkKey]Time),
+	}
+}
+
+// Kernel returns the kernel driving this network.
+func (n *Network) Kernel() *Kernel { return n.k }
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() NetStats { return n.stats }
+
+// Register attaches handler h as node id. Registering an existing id
+// replaces its handler (used when a process restarts with fresh state).
+func (n *Network) Register(id NodeID, h Handler) {
+	n.nodes[id] = h
+	delete(n.down, id)
+}
+
+// Unregister removes a node entirely.
+func (n *Network) Unregister(id NodeID) {
+	delete(n.nodes, id)
+	delete(n.down, id)
+}
+
+// SetDown marks a node crashed (true) or alive (false). Messages to a down
+// node are dropped, like packets to a dead host.
+func (n *Network) SetDown(id NodeID, down bool) {
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// Down reports whether a node is marked crashed.
+func (n *Network) Down(id NodeID) bool { return n.down[id] }
+
+// Nodes returns the sorted IDs of all registered nodes.
+func (n *Network) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AddInterceptor appends an interceptor; interceptors run in registration
+// order and the first non-Pass decision wins.
+func (n *Network) AddInterceptor(i Interceptor) { n.icpts = append(n.icpts, i) }
+
+// RemoveInterceptors clears all interceptors.
+func (n *Network) RemoveInterceptors() { n.icpts = nil }
+
+// AddObserver appends a lifecycle observer.
+func (n *Network) AddObserver(o Observer) { n.obs = append(n.obs, o) }
+
+// Partition cuts both directions between a and b.
+func (n *Network) Partition(a, b NodeID) {
+	n.setPartition(a, b, true)
+	n.setPartition(b, a, true)
+}
+
+// Heal restores both directions between a and b.
+func (n *Network) Heal(a, b NodeID) {
+	n.setPartition(a, b, false)
+	n.setPartition(b, a, false)
+}
+
+// PartitionOneWay cuts only messages from a to b.
+func (n *Network) PartitionOneWay(a, b NodeID) { n.setPartition(a, b, true) }
+
+// HealOneWay restores only messages from a to b.
+func (n *Network) HealOneWay(a, b NodeID) { n.setPartition(a, b, false) }
+
+func (n *Network) setPartition(from, to NodeID, v bool) {
+	key := linkKey{from, to}
+	st := n.links[key]
+	st.partitioned = v
+	n.links[key] = st
+}
+
+// Partitioned reports whether the directed link from->to is cut.
+func (n *Network) Partitioned(from, to NodeID) bool {
+	return n.links[linkKey{from, to}].partitioned
+}
+
+// SetLinkDelay adds extra one-way delay on the directed link from->to.
+func (n *Network) SetLinkDelay(from, to NodeID, d Duration) {
+	key := linkKey{from, to}
+	st := n.links[key]
+	st.extraDelay = d
+	n.links[key] = st
+}
+
+// Send enqueues a message for delivery. It returns the message's unique
+// sequence number (useful for Release after a Hold verdict).
+func (n *Network) Send(from, to NodeID, kind string, payload any) uint64 {
+	n.seq++
+	m := &Message{Seq: n.seq, From: from, To: to, Kind: kind, Payload: payload, SentAt: n.k.Now()}
+	n.stats.Sent++
+	for _, o := range n.obs {
+		o.OnSend(m)
+	}
+
+	if n.links[linkKey{from, to}].partitioned {
+		n.stats.Dropped++
+		n.stats.PartitionRx++
+		n.drop(m, "partitioned")
+		return m.Seq
+	}
+
+	var extra Duration
+	for _, ic := range n.icpts {
+		d := ic.Intercept(m)
+		switch d.Verdict {
+		case Pass:
+			continue
+		case Drop:
+			n.stats.Dropped++
+			n.drop(m, "intercepted")
+			return m.Seq
+		case Hold:
+			n.stats.Held++
+			n.held[m.Seq] = m
+			return m.Seq
+		case Delay:
+			extra += d.Delay
+		}
+	}
+
+	lat := n.latency + n.links[linkKey{from, to}].extraDelay + extra
+	if n.jitter > 0 {
+		lat += Duration(n.k.Rand().Int63n(int64(n.jitter)))
+	}
+	// Per-link FIFO: messages between the same pair model an ordered
+	// stream (TCP); jitter and interceptor delays may stretch the link but
+	// never reorder it. Reordering is only possible via Hold/Release —
+	// a deliberate perturbation, not background noise.
+	key := linkKey{from, to}
+	deliverAt := n.k.Now().Add(lat)
+	if prev := n.lastAt[key]; deliverAt < prev {
+		deliverAt = prev
+	}
+	n.lastAt[key] = deliverAt
+	n.k.At(deliverAt, func() { n.deliver(m) })
+	return m.Seq
+}
+
+// Release delivers a previously held message immediately. It reports whether
+// the sequence number referred to a held message.
+func (n *Network) Release(seq uint64) bool {
+	m, ok := n.held[seq]
+	if !ok {
+		return false
+	}
+	delete(n.held, seq)
+	n.stats.Released++
+	n.k.Schedule(0, func() { n.deliver(m) })
+	return true
+}
+
+// ReleaseAll delivers every held message (in sequence order) and returns how
+// many were released.
+func (n *Network) ReleaseAll() int {
+	seqs := make([]uint64, 0, len(n.held))
+	for s := range n.held {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		n.Release(s)
+	}
+	return len(seqs)
+}
+
+// HeldCount returns the number of currently held messages.
+func (n *Network) HeldCount() int { return len(n.held) }
+
+func (n *Network) deliver(m *Message) {
+	if n.links[linkKey{m.From, m.To}].partitioned {
+		n.stats.Dropped++
+		n.stats.PartitionRx++
+		n.drop(m, "partitioned-in-flight")
+		return
+	}
+	if n.down[m.To] {
+		n.stats.Dropped++
+		n.stats.DownRx++
+		n.drop(m, "receiver-down")
+		return
+	}
+	h, ok := n.nodes[m.To]
+	if !ok {
+		n.stats.Dropped++
+		n.drop(m, "no-such-node")
+		return
+	}
+	n.stats.Delivered++
+	for _, o := range n.obs {
+		o.OnDeliver(m)
+	}
+	h.HandleMessage(m)
+}
+
+func (n *Network) drop(m *Message, reason string) {
+	for _, o := range n.obs {
+		o.OnDrop(m, reason)
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type rpcFixture struct {
+	k      *Kernel
+	n      *Network
+	client *RPCClient
+	server *RPCServer
+}
+
+func newRPCFixture(timeout Duration) *rpcFixture {
+	k := NewKernel(1)
+	n := NewNetwork(k, Millisecond, 0)
+	f := &rpcFixture{k: k, n: n}
+	f.client = NewRPCClient(n, "client", timeout)
+	f.server = NewRPCServer(n, "server")
+	n.Register("client", HandlerFunc(func(m *Message) { f.client.HandleResponse(m) }))
+	n.Register("server", HandlerFunc(func(m *Message) { f.server.HandleRequest(m) }))
+	return f
+}
+
+func TestRPCCallRoundTrip(t *testing.T) {
+	f := newRPCFixture(0)
+	f.server.Handle("echo", func(from NodeID, body any) (any, error) {
+		return fmt.Sprintf("%s:%v", from, body), nil
+	})
+	var got any
+	f.client.Call("server", "echo", 42, func(body any, err error) {
+		if err != nil {
+			t.Errorf("err = %v", err)
+		}
+		got = body
+	})
+	f.k.Drain()
+	if got != "client:42" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRPCRemoteError(t *testing.T) {
+	f := newRPCFixture(0)
+	f.server.Handle("fail", func(NodeID, any) (any, error) {
+		return nil, errors.New("application exploded")
+	})
+	var gotErr error
+	f.client.Call("server", "fail", nil, func(_ any, err error) { gotErr = err })
+	f.k.Drain()
+	var remote ErrRemote
+	if !errors.As(gotErr, &remote) || remote.Msg != "application exploded" {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestRPCUnknownMethod(t *testing.T) {
+	f := newRPCFixture(0)
+	var gotErr error
+	f.client.Call("server", "nope", nil, func(_ any, err error) { gotErr = err })
+	f.k.Drain()
+	if gotErr == nil {
+		t.Fatal("unknown method succeeded")
+	}
+}
+
+func TestRPCTimeoutOnPartition(t *testing.T) {
+	f := newRPCFixture(100 * Millisecond)
+	f.server.Handle("echo", func(NodeID, any) (any, error) { return "ok", nil })
+	f.n.Partition("client", "server")
+	var gotErr error
+	calls := 0
+	f.client.Call("server", "echo", nil, func(_ any, err error) { gotErr = err; calls++ })
+	f.k.Drain()
+	if !errors.Is(gotErr, ErrRPCTimeout) {
+		t.Fatalf("err = %v", gotErr)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+	if f.client.PendingCalls() != 0 {
+		t.Fatal("pending call leaked after timeout")
+	}
+}
+
+func TestRPCLateResponseAfterTimeoutSwallowed(t *testing.T) {
+	f := newRPCFixture(50 * Millisecond)
+	// Handler that replies late via an async path.
+	f.server.HandleAsync("slow", func(from NodeID, body any, reply Reply) {
+		f.k.Schedule(200*Millisecond, func() { reply("late", nil) })
+	})
+	calls := 0
+	var firstErr error
+	f.client.Call("server", "slow", nil, func(_ any, err error) {
+		calls++
+		if calls == 1 {
+			firstErr = err
+		}
+	})
+	f.k.Drain()
+	if calls != 1 {
+		t.Fatalf("callback invoked %d times (late response not swallowed)", calls)
+	}
+	if !errors.Is(firstErr, ErrRPCTimeout) {
+		t.Fatalf("first err = %v", firstErr)
+	}
+}
+
+func TestRPCAsyncHandler(t *testing.T) {
+	f := newRPCFixture(0)
+	f.server.HandleAsync("defer", func(from NodeID, body any, reply Reply) {
+		f.k.Schedule(30*Millisecond, func() { reply(body, nil) })
+	})
+	var got any
+	f.client.Call("server", "defer", "deferred", func(body any, err error) { got = body })
+	f.k.Drain()
+	if got != "deferred" {
+		t.Fatalf("got %v", got)
+	}
+	if f.k.Now() < Time(30*Millisecond) {
+		t.Fatalf("reply arrived too early: %v", f.k.Now())
+	}
+}
+
+func TestRPCResetDropsPending(t *testing.T) {
+	f := newRPCFixture(0)
+	f.server.Handle("echo", func(NodeID, any) (any, error) { return "ok", nil })
+	called := false
+	f.client.Call("server", "echo", nil, func(any, error) { called = true })
+	f.client.Reset() // crash semantics before the response arrives
+	f.k.Drain()
+	if called {
+		t.Fatal("callback ran after Reset")
+	}
+}
+
+func TestRPCConcurrentCallsCorrelate(t *testing.T) {
+	f := newRPCFixture(0)
+	f.server.Handle("double", func(_ NodeID, body any) (any, error) {
+		return body.(int) * 2, nil
+	})
+	results := map[int]int{}
+	for i := 1; i <= 10; i++ {
+		i := i
+		f.client.Call("server", "double", i, func(body any, err error) {
+			results[i] = body.(int)
+		})
+	}
+	f.k.Drain()
+	for i := 1; i <= 10; i++ {
+		if results[i] != i*2 {
+			t.Fatalf("results = %v", results)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wal"
+)
+
+func TestPersistRecoverRoundTrip(t *testing.T) {
+	l := wal.New()
+	s := New()
+	s.PersistTo(l)
+	s.SetNow(100)
+	s.Put("/a", []byte("1"))
+	s.Put("/b", []byte("2"))
+	s.SetNow(200)
+	s.Put("/a", []byte("3"))
+	if _, err := s.Delete("/b"); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := RecoverFromWAL(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Revision() != s.Revision() || r.Len() != s.Len() {
+		t.Fatalf("recovered rev=%d len=%d, want rev=%d len=%d", r.Revision(), r.Len(), s.Revision(), s.Len())
+	}
+	kv, _, ok := r.Get("/a")
+	if !ok || string(kv.Value) != "3" || kv.ModRevision != 3 || kv.CreateRevision != 1 {
+		t.Fatalf("recovered /a = %+v", kv)
+	}
+	// Histories are identical event for event.
+	he, re := s.History().Events(), r.History().Events()
+	if len(he) != len(re) {
+		t.Fatalf("history lengths differ: %d vs %d", len(he), len(re))
+	}
+	for i := range he {
+		if !he[i].Equal(re[i]) {
+			t.Fatalf("event %d differs: %+v vs %+v", i, he[i], re[i])
+		}
+	}
+}
+
+func TestPropertyPersistRecoverEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := wal.New()
+		s := New()
+		s.PersistTo(l)
+		keys := []string{"/x", "/y", "/z"}
+		for i := 0; i < 80; i++ {
+			s.SetNow(int64(i) * 7)
+			k := keys[rng.Intn(len(keys))]
+			if rng.Intn(4) == 0 {
+				_, _ = s.Delete(k)
+			} else {
+				s.Put(k, []byte(fmt.Sprintf("v%d", i)))
+			}
+		}
+		r, err := RecoverFromWAL(l)
+		if err != nil {
+			return false
+		}
+		if r.Revision() != s.Revision() || r.Len() != s.Len() {
+			return false
+		}
+		kvs, _ := s.Range("")
+		for _, kv := range kvs {
+			rkv, _, ok := r.Get(kv.Key)
+			if !ok || string(rkv.Value) != string(kv.Value) ||
+				rkv.ModRevision != kv.ModRevision || rkv.Version != kv.Version {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverRejectsCorruptOp(t *testing.T) {
+	l := wal.New()
+	if _, err := l.Append(map[string]string{"op": "bogus", "key": "/a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverFromWAL(l); err == nil {
+		t.Fatal("recovery accepted unknown op")
+	}
+}

@@ -1,0 +1,264 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/history"
+	"repro/internal/raftlite"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// ErrNotLeader is returned by a replica that cannot serve a write; its
+// message carries a leader hint when known.
+var ErrNotLeader = errors.New("store: not leader")
+
+// IsNotLeader reports whether err (possibly remote) is a not-leader
+// rejection, and extracts the leader hint if present.
+func IsNotLeader(err error) (sim.NodeID, bool) {
+	if err == nil {
+		return "", false
+	}
+	msg := err.Error()
+	if !strings.HasPrefix(msg, ErrNotLeader.Error()) {
+		return "", false
+	}
+	if i := strings.LastIndex(msg, "leader="); i >= 0 {
+		return sim.NodeID(msg[i+len("leader="):]), true
+	}
+	return "", true
+}
+
+// replCommand is the replicated form of a write: everything is expressed
+// as a transaction so apply is a single deterministic step.
+type replCommand struct {
+	Guards    []Cmp `json:"guards,omitempty"`
+	OnSuccess []Op  `json:"onSuccess,omitempty"`
+	OnFailure []Op  `json:"onFailure,omitempty"`
+	// Time is the proposal's virtual timestamp; applying it (instead of
+	// each replica's local clock) keeps the state machine deterministic
+	// across replicas.
+	Time int64 `json:"time"`
+}
+
+// ReplicaServer is one member of a replicated store cluster: a raftlite
+// node plus a local Store as the applied state machine. Writes go through
+// the leader and commit at a majority; every replica applies the identical
+// command sequence, so all local stores evolve through the same (H, S).
+//
+// Reads are served from the *local* store: on a follower that is a stale
+// read — the store-level analog of the apiserver watch cache, and exactly
+// the behaviour HBASE-3136 tripped over in ZooKeeper.
+type ReplicaServer struct {
+	id    sim.NodeID
+	world *sim.World
+	raft  *raftlite.Node
+	st    *Store
+	rpc   *sim.RPCServer
+	down  bool
+
+	pending map[uint64]sim.Reply // raft index -> reply to the proposer's client
+	subs    map[string]*subscription
+}
+
+// NewReplicaGroup creates n replicas (ids like "etcd-1".."etcd-n") wired
+// into the world, each with its own WAL.
+func NewReplicaGroup(w *sim.World, n int, cfg raftlite.Config) []*ReplicaServer {
+	ids := make([]sim.NodeID, n)
+	for i := range ids {
+		ids[i] = sim.NodeID(fmt.Sprintf("etcd-%d", i+1))
+	}
+	out := make([]*ReplicaServer, n)
+	for i, id := range ids {
+		out[i] = newReplica(w, id, ids, cfg, wal.New())
+	}
+	return out
+}
+
+func newReplica(w *sim.World, id sim.NodeID, peers []sim.NodeID, cfg raftlite.Config, log *wal.Log) *ReplicaServer {
+	r := &ReplicaServer{
+		id:      id,
+		world:   w,
+		st:      New(),
+		pending: make(map[uint64]sim.Reply),
+		subs:    make(map[string]*subscription),
+	}
+	r.raft = raftlite.NewNode(w, id, peers, cfg, log, r.applyEntry)
+	r.rpc = sim.NewRPCServer(w.Network(), id)
+	r.register()
+	// The raft node registered itself as the network handler and process
+	// for id; take over both so client RPCs are demultiplexed and crash
+	// semantics include the applied store and subscriptions.
+	w.Network().Register(id, r)
+	w.AddProcess(r)
+	return r
+}
+
+// ID returns the replica's node ID.
+func (r *ReplicaServer) ID() sim.NodeID { return r.id }
+
+// Store returns the replica's local applied store (test/oracle access).
+func (r *ReplicaServer) Store() *Store { return r.st }
+
+// Raft returns the underlying consensus node.
+func (r *ReplicaServer) Raft() *raftlite.Node { return r.raft }
+
+// Crash implements sim.Process (delegating volatile-state loss to raft;
+// the applied store is rebuilt on restart by replaying the WAL).
+func (r *ReplicaServer) Crash() {
+	r.down = true
+	r.raft.Crash()
+	r.pending = make(map[uint64]sim.Reply)
+	for _, sub := range r.subs {
+		sub.handle.Cancel()
+	}
+	r.subs = make(map[string]*subscription)
+	r.st = New() // applied state is volatile; re-derived from the raft log
+}
+
+// Restart implements sim.Process.
+func (r *ReplicaServer) Restart() {
+	r.down = false
+	r.raft.Restart()
+}
+
+// HandleMessage implements sim.Handler: demultiplex raft vs client RPC.
+func (r *ReplicaServer) HandleMessage(m *sim.Message) {
+	if r.down {
+		return
+	}
+	if strings.HasPrefix(m.Kind, "raft.") {
+		r.raft.HandleMessage(m)
+		return
+	}
+	r.st.SetNow(int64(r.world.Now()))
+	r.rpc.HandleRequest(m)
+}
+
+// applyEntry is the raft state-machine hook: decode and apply the command;
+// if this replica proposed it, answer the waiting client.
+func (r *ReplicaServer) applyEntry(e raftlite.Entry) {
+	var cmd replCommand
+	if err := json.Unmarshal(e.Data, &cmd); err != nil {
+		return
+	}
+	r.st.SetNow(cmd.Time)
+	res, err := r.st.Txn(cmd.Guards, cmd.OnSuccess, cmd.OnFailure)
+	if reply, ok := r.pending[e.Index]; ok {
+		delete(r.pending, e.Index)
+		if err != nil && err != ErrTxnFailed {
+			reply(nil, err)
+		} else {
+			reply(&TxnResponse{Succeeded: res.Succeeded, Revision: res.Revision}, nil)
+		}
+	}
+}
+
+func (r *ReplicaServer) notLeaderErr() error {
+	if hint := r.raft.Leader(); hint != "" && hint != r.id {
+		return fmt.Errorf("%s: leader=%s", ErrNotLeader.Error(), hint)
+	}
+	return ErrNotLeader
+}
+
+func (r *ReplicaServer) register() {
+	r.rpc.Handle(MethodRange, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*RangeRequest)
+		kvs, rev := r.st.Range(req.Prefix)
+		return &RangeResponse{KVs: kvs, Revision: rev}, nil
+	})
+	r.rpc.Handle(MethodGet, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*GetRequest)
+		kv, rev, found := r.st.Get(req.Key)
+		return &GetResponse{KV: kv, Found: found, Revision: rev}, nil
+	})
+	r.rpc.HandleAsync(MethodPut, func(_ sim.NodeID, body any, reply sim.Reply) {
+		req := body.(*PutRequest)
+		r.proposeWithReply(replCommand{
+			OnSuccess: []Op{{Type: OpPut, Key: req.Key, Value: req.Value}},
+		}, func(b any, err error) {
+			if err != nil {
+				reply(nil, err)
+				return
+			}
+			reply(&PutResponse{Revision: b.(*TxnResponse).Revision}, nil)
+		})
+	})
+	r.rpc.HandleAsync(MethodDelete, func(_ sim.NodeID, body any, reply sim.Reply) {
+		req := body.(*DeleteRequest)
+		r.proposeWithReply(replCommand{
+			Guards:    []Cmp{{Key: req.Key, Target: CmpExists, IntVal: 1}},
+			OnSuccess: []Op{{Type: OpDelete, Key: req.Key}},
+		}, func(b any, err error) {
+			if err != nil {
+				reply(nil, err)
+				return
+			}
+			resp := b.(*TxnResponse)
+			if !resp.Succeeded {
+				reply(nil, ErrKeyNotFound)
+				return
+			}
+			reply(&DeleteResponse{Revision: resp.Revision}, nil)
+		})
+	})
+	r.rpc.HandleAsync(MethodTxn, func(_ sim.NodeID, body any, reply sim.Reply) {
+		req := body.(*TxnRequest)
+		r.proposeWithReply(replCommand{
+			Guards: req.Guards, OnSuccess: req.OnSuccess, OnFailure: req.OnFailure,
+		}, reply)
+	})
+	r.rpc.Handle(MethodWatch, func(from sim.NodeID, body any) (any, error) {
+		req := body.(*WatchRequest)
+		subID, client := req.SubID, from
+		h, err := r.st.Watch(req.Prefix, req.StartRev, func(events []history.Event) {
+			cp := make([]history.Event, len(events))
+			copy(cp, events)
+			r.world.Network().Send(r.id, client, KindWatchPush, &WatchPush{SubID: subID, Events: cp})
+		})
+		if err != nil {
+			return nil, err
+		}
+		key := subKey(from, req.SubID)
+		if old, ok := r.subs[key]; ok {
+			old.handle.Cancel()
+		}
+		r.subs[key] = &subscription{subID: req.SubID, client: from, handle: h}
+		return &WatchResponse{Revision: r.st.Revision()}, nil
+	})
+	r.rpc.Handle(MethodEventsSince, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*EventsSinceRequest)
+		events, err := r.st.EventsSince(req.Prefix, req.Rev)
+		if err != nil {
+			return nil, err
+		}
+		return &EventsSinceResponse{Events: events, Revision: r.st.Revision()}, nil
+	})
+}
+
+// proposeWithReply registers the reply before proposing so a synchronous
+// apply (single-node or fast path) still finds it.
+func (r *ReplicaServer) proposeWithReply(cmd replCommand, reply sim.Reply) {
+	cmd.Time = int64(r.world.Now())
+	data, err := json.Marshal(cmd)
+	if err != nil {
+		reply(nil, err)
+		return
+	}
+	next := r.raft.LastIndex() + 1
+	r.pending[next] = reply
+	idx, ok := r.raft.Propose(data)
+	if !ok {
+		delete(r.pending, next)
+		reply(nil, r.notLeaderErr())
+		return
+	}
+	if idx != next {
+		// Defensive: realign the registration.
+		delete(r.pending, next)
+		r.pending[idx] = reply
+	}
+}

@@ -1,0 +1,291 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// RPC method names served by Server.
+const (
+	MethodRange          = "store.Range"
+	MethodGet            = "store.Get"
+	MethodPut            = "store.Put"
+	MethodDelete         = "store.Delete"
+	MethodTxn            = "store.Txn"
+	MethodWatch          = "store.Watch"
+	MethodCancelWatch    = "store.CancelWatch"
+	MethodEventsSince    = "store.EventsSince"
+	MethodLeaseGrant     = "store.LeaseGrant"
+	MethodLeaseKeepAlive = "store.LeaseKeepAlive"
+	MethodLeaseRevoke    = "store.LeaseRevoke"
+)
+
+// KindWatchPush is the message kind of server->subscriber event pushes;
+// perturbation interceptors match on it to create staleness and gaps.
+const KindWatchPush = "store.watch-push"
+
+// Request/response bodies. These cross the simulated network by reference;
+// all slices are freshly allocated per message, so receivers may retain
+// them.
+type (
+	// RangeRequest lists live keys under Prefix.
+	RangeRequest struct{ Prefix string }
+	// RangeResponse carries a consistent snapshot and its revision.
+	RangeResponse struct {
+		KVs      []KV
+		Revision int64
+	}
+	// GetRequest reads one key.
+	GetRequest struct{ Key string }
+	// GetResponse carries the value if Found.
+	GetResponse struct {
+		KV       KV
+		Found    bool
+		Revision int64
+	}
+	// PutRequest writes Key=Value (optionally bound to a lease).
+	PutRequest struct {
+		Key   string
+		Value []byte
+		Lease LeaseID
+	}
+	// PutResponse reports the commit revision.
+	PutResponse struct{ Revision int64 }
+	// DeleteRequest removes a key.
+	DeleteRequest struct{ Key string }
+	// DeleteResponse reports the commit revision.
+	DeleteResponse struct{ Revision int64 }
+	// TxnRequest is a guarded atomic batch.
+	TxnRequest struct {
+		Guards    []Cmp
+		OnSuccess []Op
+		OnFailure []Op
+	}
+	// TxnResponse reports which branch ran.
+	TxnResponse struct {
+		Succeeded bool
+		Revision  int64
+	}
+	// WatchRequest subscribes the caller to events under Prefix after
+	// StartRev. SubID is chosen by the caller to demultiplex pushes.
+	WatchRequest struct {
+		Prefix   string
+		StartRev int64
+		SubID    uint64
+	}
+	// WatchResponse acknowledges the subscription at Revision.
+	WatchResponse struct{ Revision int64 }
+	// CancelWatchRequest removes a subscription.
+	CancelWatchRequest struct{ SubID uint64 }
+	// EventsSinceRequest pulls retained events after Rev under Prefix.
+	EventsSinceRequest struct {
+		Prefix string
+		Rev    int64
+	}
+	// EventsSinceResponse carries the pulled events.
+	EventsSinceResponse struct {
+		Events   []history.Event
+		Revision int64
+	}
+	// LeaseGrantRequest creates a lease with the given TTL.
+	LeaseGrantRequest struct{ TTL int64 }
+	// LeaseGrantResponse returns the new lease.
+	LeaseGrantResponse struct{ Lease Lease }
+	// LeaseKeepAliveRequest renews a lease.
+	LeaseKeepAliveRequest struct{ ID LeaseID }
+	// LeaseKeepAliveResponse returns the renewed lease.
+	LeaseKeepAliveResponse struct{ Lease Lease }
+	// LeaseRevokeRequest revokes a lease.
+	LeaseRevokeRequest struct{ ID LeaseID }
+	// LeaseRevokeResponse lists keys deleted by the revocation.
+	LeaseRevokeResponse struct{ DeletedKeys []string }
+	// WatchPush is the payload of KindWatchPush messages.
+	WatchPush struct {
+		SubID  uint64
+		Events []history.Event
+	}
+)
+
+type subscription struct {
+	subID  uint64
+	client sim.NodeID
+	handle WatchHandle
+}
+
+// Server exposes a Store as a simulated network actor. It is the "etcd
+// endpoint" apiservers connect to.
+//
+// Crash semantics: the store's data is durable (etcd persists via WAL), so
+// a crash only stops serving and severs watch subscriptions; data survives
+// into Restart. Subscribers must re-list and re-watch — and whether they do
+// so correctly is precisely what partial-history testing probes.
+type Server struct {
+	id    sim.NodeID
+	world *sim.World
+	st    *Store
+	rpc   *sim.RPCServer
+	subs  map[string]*subscription // key: client/subID
+	down  bool
+
+	leaseTick sim.Duration
+}
+
+// NewServer wires a store actor into the world under the given node ID.
+func NewServer(w *sim.World, id sim.NodeID, st *Store) *Server {
+	s := &Server{
+		id:        id,
+		world:     w,
+		st:        st,
+		subs:      make(map[string]*subscription),
+		leaseTick: 50 * sim.Millisecond,
+	}
+	s.rpc = sim.NewRPCServer(w.Network(), id)
+	s.register()
+	w.Network().Register(id, s)
+	w.AddProcess(s)
+	s.scheduleLeaseTick()
+	return s
+}
+
+// ID returns the server's node ID.
+func (s *Server) ID() sim.NodeID { return s.id }
+
+// Store returns the underlying store (tests and oracles read ground truth
+// through it directly, bypassing the network).
+func (s *Server) Store() *Store { return s.st }
+
+// Crash stops serving and drops all watch subscriptions.
+func (s *Server) Crash() {
+	s.down = true
+	for _, sub := range s.subs {
+		sub.handle.Cancel()
+	}
+	s.subs = make(map[string]*subscription)
+}
+
+// Restart resumes serving. Durable store state is retained.
+func (s *Server) Restart() {
+	s.down = false
+	s.scheduleLeaseTick()
+}
+
+// HandleMessage implements sim.Handler.
+func (s *Server) HandleMessage(m *sim.Message) {
+	if s.down {
+		return
+	}
+	s.st.SetNow(int64(s.world.Now()))
+	s.rpc.HandleRequest(m)
+}
+
+func (s *Server) scheduleLeaseTick() {
+	s.world.Kernel().Schedule(s.leaseTick, func() {
+		if s.down {
+			return
+		}
+		s.st.SetNow(int64(s.world.Now()))
+		s.st.ExpireDue()
+		s.scheduleLeaseTick()
+	})
+}
+
+func subKey(client sim.NodeID, subID uint64) string {
+	return fmt.Sprintf("%s/%d", client, subID)
+}
+
+func (s *Server) register() {
+	s.rpc.Handle(MethodRange, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*RangeRequest)
+		kvs, rev := s.st.Range(req.Prefix)
+		return &RangeResponse{KVs: kvs, Revision: rev}, nil
+	})
+	s.rpc.Handle(MethodGet, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*GetRequest)
+		kv, rev, found := s.st.Get(req.Key)
+		return &GetResponse{KV: kv, Found: found, Revision: rev}, nil
+	})
+	s.rpc.Handle(MethodPut, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*PutRequest)
+		if req.Lease != 0 {
+			rev, err := s.st.PutWithLease(req.Key, req.Value, req.Lease)
+			if err != nil {
+				return nil, err
+			}
+			return &PutResponse{Revision: rev}, nil
+		}
+		return &PutResponse{Revision: s.st.Put(req.Key, req.Value)}, nil
+	})
+	s.rpc.Handle(MethodDelete, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*DeleteRequest)
+		rev, err := s.st.Delete(req.Key)
+		if err != nil {
+			return nil, err
+		}
+		return &DeleteResponse{Revision: rev}, nil
+	})
+	s.rpc.Handle(MethodTxn, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*TxnRequest)
+		res, err := s.st.Txn(req.Guards, req.OnSuccess, req.OnFailure)
+		if err != nil && err != ErrTxnFailed {
+			return nil, err
+		}
+		return &TxnResponse{Succeeded: res.Succeeded, Revision: res.Revision}, nil
+	})
+	s.rpc.Handle(MethodWatch, func(from sim.NodeID, body any) (any, error) {
+		req := body.(*WatchRequest)
+		subID, client := req.SubID, from
+		h, err := s.st.Watch(req.Prefix, req.StartRev, func(events []history.Event) {
+			cp := make([]history.Event, len(events))
+			copy(cp, events)
+			s.world.Network().Send(s.id, client, KindWatchPush, &WatchPush{SubID: subID, Events: cp})
+		})
+		if err != nil {
+			return nil, err
+		}
+		key := subKey(from, req.SubID)
+		if old, ok := s.subs[key]; ok {
+			old.handle.Cancel()
+		}
+		s.subs[key] = &subscription{subID: req.SubID, client: from, handle: h}
+		return &WatchResponse{Revision: s.st.Revision()}, nil
+	})
+	s.rpc.Handle(MethodCancelWatch, func(from sim.NodeID, body any) (any, error) {
+		req := body.(*CancelWatchRequest)
+		key := subKey(from, req.SubID)
+		if sub, ok := s.subs[key]; ok {
+			sub.handle.Cancel()
+			delete(s.subs, key)
+		}
+		return &struct{}{}, nil
+	})
+	s.rpc.Handle(MethodEventsSince, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*EventsSinceRequest)
+		events, err := s.st.EventsSince(req.Prefix, req.Rev)
+		if err != nil {
+			return nil, err
+		}
+		return &EventsSinceResponse{Events: events, Revision: s.st.Revision()}, nil
+	})
+	s.rpc.Handle(MethodLeaseGrant, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*LeaseGrantRequest)
+		return &LeaseGrantResponse{Lease: s.st.GrantLease(req.TTL)}, nil
+	})
+	s.rpc.Handle(MethodLeaseKeepAlive, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*LeaseKeepAliveRequest)
+		l, err := s.st.KeepAlive(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return &LeaseKeepAliveResponse{Lease: l}, nil
+	})
+	s.rpc.Handle(MethodLeaseRevoke, func(_ sim.NodeID, body any) (any, error) {
+		req := body.(*LeaseRevokeRequest)
+		keys, err := s.st.RevokeLease(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return &LeaseRevokeResponse{DeletedKeys: keys}, nil
+	})
+}

@@ -1,0 +1,215 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// testClient is a minimal network client for exercising Server.
+type testClient struct {
+	id  sim.NodeID
+	rpc *sim.RPCClient
+	w   *sim.World
+
+	pushes []*WatchPush
+}
+
+func newTestClient(w *sim.World, id sim.NodeID) *testClient {
+	c := &testClient{id: id, w: w}
+	c.rpc = sim.NewRPCClient(w.Network(), id, 500*sim.Millisecond)
+	w.Network().Register(id, c)
+	return c
+}
+
+func (c *testClient) HandleMessage(m *sim.Message) {
+	if c.rpc.HandleResponse(m) {
+		return
+	}
+	if p, ok := m.Payload.(*WatchPush); ok {
+		c.pushes = append(c.pushes, p)
+	}
+}
+
+// call performs a synchronous-feeling RPC by stepping the kernel until the
+// response (or timeout) callback fires. It cannot use Drain: the store
+// server keeps a periodic lease-expiry timer alive, so the event queue
+// never empties.
+func (c *testClient) call(to sim.NodeID, method string, body any) (any, error) {
+	var out any
+	var outErr error
+	done := false
+	c.rpc.Call(to, method, body, func(b any, err error) {
+		out, outErr, done = b, err, true
+	})
+	for !done && c.w.Kernel().Step() {
+	}
+	if !done {
+		return nil, errors.New("no response")
+	}
+	return out, outErr
+}
+
+func newServerWorld(t *testing.T) (*sim.World, *Server, *testClient) {
+	t.Helper()
+	w := sim.NewWorld(sim.WorldConfig{Seed: 1, Latency: sim.Millisecond})
+	srv := NewServer(w, "etcd", New())
+	cl := newTestClient(w, "client")
+	return w, srv, cl
+}
+
+func TestServerPutGetRange(t *testing.T) {
+	_, _, cl := newServerWorld(t)
+	resp, err := cl.call("etcd", MethodPut, &PutRequest{Key: "/pods/a", Value: []byte("1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*PutResponse).Revision != 1 {
+		t.Fatalf("rev = %d", resp.(*PutResponse).Revision)
+	}
+	g, err := cl.call("etcd", MethodGet, &GetRequest{Key: "/pods/a"})
+	if err != nil || !g.(*GetResponse).Found {
+		t.Fatalf("get: %v %+v", err, g)
+	}
+	if _, err := cl.call("etcd", MethodPut, &PutRequest{Key: "/pods/b", Value: []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cl.call("etcd", MethodRange, &RangeRequest{Prefix: "/pods/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := r.(*RangeResponse)
+	if len(rr.KVs) != 2 || rr.Revision != 2 {
+		t.Fatalf("range = %+v", rr)
+	}
+}
+
+func TestServerWatchPush(t *testing.T) {
+	_, _, cl := newServerWorld(t)
+	if _, err := cl.call("etcd", MethodWatch, &WatchRequest{Prefix: "/pods/", StartRev: 0, SubID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.call("etcd", MethodPut, &PutRequest{Key: "/pods/a", Value: []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.call("etcd", MethodPut, &PutRequest{Key: "/other", Value: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.pushes) != 1 {
+		t.Fatalf("pushes = %d", len(cl.pushes))
+	}
+	p := cl.pushes[0]
+	if p.SubID != 7 || len(p.Events) != 1 || p.Events[0].Key != "/pods/a" {
+		t.Fatalf("push = %+v", p)
+	}
+}
+
+func TestServerWatchCompactedError(t *testing.T) {
+	_, srv, cl := newServerWorld(t)
+	for i := 0; i < 10; i++ {
+		srv.Store().Put("/k", []byte{byte(i)})
+	}
+	srv.Store().CompactTo(8)
+	_, err := cl.call("etcd", MethodWatch, &WatchRequest{Prefix: "", StartRev: 2, SubID: 1})
+	if err == nil {
+		t.Fatal("watch below compaction should fail")
+	}
+	var remote sim.ErrRemote
+	if !errors.As(err, &remote) {
+		t.Fatalf("err type = %T", err)
+	}
+	if remote.Msg != ErrCompacted.Error() {
+		t.Fatalf("err = %q", remote.Msg)
+	}
+}
+
+func TestServerCancelWatch(t *testing.T) {
+	_, _, cl := newServerWorld(t)
+	if _, err := cl.call("etcd", MethodWatch, &WatchRequest{SubID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.call("etcd", MethodCancelWatch, &CancelWatchRequest{SubID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.call("etcd", MethodPut, &PutRequest{Key: "/a"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.pushes) != 0 {
+		t.Fatalf("pushes after cancel = %d", len(cl.pushes))
+	}
+}
+
+func TestServerCrashStopsServingAndDropsWatches(t *testing.T) {
+	w, srv, cl := newServerWorld(t)
+	if _, err := cl.call("etcd", MethodWatch, &WatchRequest{SubID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Crash("etcd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.call("etcd", MethodGet, &GetRequest{Key: "/a"}); !errors.Is(err, sim.ErrRPCTimeout) {
+		t.Fatalf("call to crashed server: %v", err)
+	}
+	if err := w.Restart("etcd"); err != nil {
+		t.Fatal(err)
+	}
+	// Data survives; watches do not.
+	srv.Store().Put("/a", []byte("1"))
+	w.Kernel().RunFor(100 * sim.Millisecond)
+	if len(cl.pushes) != 0 {
+		t.Fatal("watch survived server crash")
+	}
+	g, err := cl.call("etcd", MethodGet, &GetRequest{Key: "/a"})
+	if err != nil || !g.(*GetResponse).Found {
+		t.Fatalf("durable data lost: %v %+v", err, g)
+	}
+}
+
+func TestServerLeaseExpiryOverNetwork(t *testing.T) {
+	w, _, cl := newServerWorld(t)
+	g, err := cl.call("etcd", MethodLeaseGrant, &LeaseGrantRequest{TTL: int64(200 * sim.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := g.(*LeaseGrantResponse).Lease
+	if _, err := cl.call("etcd", MethodPut, &PutRequest{Key: "/member/k1", Value: []byte("alive"), Lease: lease.ID}); err != nil {
+		t.Fatal(err)
+	}
+	// Without keepalive the key disappears after TTL + tick granularity.
+	w.Kernel().Run(w.Now().Add(2 * sim.Second))
+	resp, err := cl.call("etcd", MethodGet, &GetRequest{Key: "/member/k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*GetResponse).Found {
+		t.Fatal("lease key survived expiry")
+	}
+}
+
+func TestServerTxnOverNetwork(t *testing.T) {
+	_, _, cl := newServerWorld(t)
+	if _, err := cl.call("etcd", MethodPut, &PutRequest{Key: "/r", Value: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.call("etcd", MethodTxn, &TxnRequest{
+		Guards:    []Cmp{{Key: "/r", Target: CmpModRevision, IntVal: 1}},
+		OnSuccess: []Op{{Type: OpPut, Key: "/r", Value: []byte("v2")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.(*TxnResponse).Succeeded {
+		t.Fatal("txn should succeed")
+	}
+	resp, err = cl.call("etcd", MethodTxn, &TxnRequest{
+		Guards:    []Cmp{{Key: "/r", Target: CmpModRevision, IntVal: 1}},
+		OnSuccess: []Op{{Type: OpPut, Key: "/r", Value: []byte("v3")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*TxnResponse).Succeeded {
+		t.Fatal("stale txn should fail")
+	}
+}

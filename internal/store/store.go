@@ -1,0 +1,271 @@
+// Package store implements an etcd-like, logically centralized,
+// strongly-consistent data store: an MVCC keyspace with global revisions,
+// compare-and-swap transactions, leases, watch streams with start
+// revisions, and compaction of the retained event window.
+//
+// The store is the system's ground truth (H, S) in the paper's model: every
+// committed mutation appends an event to H, and S is the materialized
+// keyspace. All other components (apiservers, informer caches, controllers)
+// observe the store only through reads and watch notifications — i.e.
+// through partial histories.
+//
+// The Store type itself is a passive, deterministic, single-threaded data
+// structure; internal/store.Server wraps it as a simulated network actor,
+// and internal/raftlite replicates its command log across simulated
+// replicas.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Errors returned by store operations.
+var (
+	// ErrCompacted is returned when a read or watch requests a revision
+	// older than the compacted window — the observability gap of paper
+	// §4.2.3: "requests for earlier events may fail when only recent events
+	// in H are saved by design".
+	ErrCompacted = errors.New("store: required revision has been compacted")
+	// ErrFutureRevision is returned when a read requests a revision newer
+	// than the store has committed.
+	ErrFutureRevision = errors.New("store: required revision is in the future")
+	// ErrTxnFailed is returned by Txn when guards fail and there is no
+	// failure branch.
+	ErrTxnFailed = errors.New("store: transaction guards failed")
+	// ErrLeaseNotFound is returned for operations on unknown leases.
+	ErrLeaseNotFound = errors.New("store: lease not found")
+	// ErrKeyNotFound is returned by deletes of absent keys.
+	ErrKeyNotFound = errors.New("store: key not found")
+)
+
+// KV is one key-value pair with its MVCC metadata.
+type KV struct {
+	Key            string
+	Value          []byte
+	CreateRevision int64
+	ModRevision    int64
+	Version        int64
+	Lease          LeaseID // 0 if not attached to a lease
+}
+
+func (kv KV) clone() KV {
+	kv.Value = append([]byte(nil), kv.Value...)
+	return kv
+}
+
+// WatchNotify delivers committed events to a watcher, in commit order.
+// Handlers run synchronously inside the commit; network-facing wrappers
+// (Server) forward them as messages so delivery becomes asynchronous and
+// perturbable.
+type WatchNotify func(events []history.Event)
+
+type watcher struct {
+	id     int64
+	prefix string
+	notify WatchNotify
+}
+
+// Store is the MVCC keyspace. Not safe for concurrent use; the simulated
+// world is single-threaded by design.
+type Store struct {
+	rev         int64
+	compacted   int64 // all events with revision < compacted+1 are dropped... (first retained revision - 1)
+	kvs         map[string]KV
+	hist        *history.History
+	watchers    map[int64]*watcher
+	nextWatch   int64
+	leases      map[LeaseID]*Lease
+	nextLease   LeaseID
+	leaseKeys   map[LeaseID]map[string]bool
+	retainMax   int // max retained history events; 0 = unlimited
+	notifyHooks []func([]history.Event)
+	now         int64 // virtual time stamped on committed events
+}
+
+// New returns an empty store at revision 0.
+func New() *Store {
+	return &Store{
+		kvs:       make(map[string]KV),
+		hist:      history.New(),
+		watchers:  make(map[int64]*watcher),
+		leases:    make(map[LeaseID]*Lease),
+		leaseKeys: make(map[LeaseID]map[string]bool),
+	}
+}
+
+// SetRetainLimit bounds the retained history window to n events; once
+// exceeded the store auto-compacts its oldest events, modelling the rolling
+// watch window of the Kubernetes apiserver ([7]). n = 0 disables the bound.
+func (s *Store) SetRetainLimit(n int) { s.retainMax = n }
+
+// Revision returns the latest committed revision.
+func (s *Store) Revision() int64 { return s.rev }
+
+// CompactedRevision returns the newest revision that has been compacted
+// away (0 when nothing was compacted).
+func (s *Store) CompactedRevision() int64 { return s.compacted }
+
+// History returns a clone of the retained history window.
+func (s *Store) History() *history.History { return s.hist.Clone() }
+
+// State returns the materialized current state as a history.State clone.
+func (s *Store) State() *history.State {
+	st := history.NewState()
+	// Rebuild from kvs to include keys whose events were compacted.
+	for _, kv := range s.kvs {
+		st.Apply(history.Event{
+			Revision: kv.ModRevision, Type: history.Put, Key: kv.Key, Value: kv.Value,
+		})
+	}
+	st.Revision = s.rev
+	return st
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.kvs) }
+
+// Get returns the current value of key and the store revision.
+func (s *Store) Get(key string) (KV, int64, bool) {
+	kv, ok := s.kvs[key]
+	if !ok {
+		return KV{}, s.rev, false
+	}
+	return kv.clone(), s.rev, true
+}
+
+// Range returns all live keys with the given prefix, sorted, plus the store
+// revision at which the snapshot was taken.
+func (s *Store) Range(prefix string) ([]KV, int64) {
+	var out []KV
+	for k, kv := range s.kvs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, kv.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, s.rev
+}
+
+// Put writes key=value and returns the new revision.
+func (s *Store) Put(key string, value []byte) int64 {
+	return s.putWithLease(key, value, 0)
+}
+
+// PutWithLease writes key=value attached to a lease. A zero lease detaches.
+func (s *Store) PutWithLease(key string, value []byte, id LeaseID) (int64, error) {
+	if id != 0 {
+		if _, ok := s.leases[id]; !ok {
+			return 0, ErrLeaseNotFound
+		}
+	}
+	return s.putWithLease(key, value, id), nil
+}
+
+func (s *Store) putWithLease(key string, value []byte, id LeaseID) int64 {
+	prev, existed := s.kvs[key]
+	s.rev++
+	kv := KV{
+		Key:            key,
+		Value:          append([]byte(nil), value...),
+		ModRevision:    s.rev,
+		CreateRevision: s.rev,
+		Version:        1,
+		Lease:          id,
+	}
+	var prevRev int64
+	if existed {
+		kv.CreateRevision = prev.CreateRevision
+		kv.Version = prev.Version + 1
+		prevRev = prev.ModRevision
+		if prev.Lease != 0 && prev.Lease != id {
+			s.detachLease(prev.Lease, key)
+		}
+	}
+	if id != 0 {
+		s.attachLease(id, key)
+	}
+	s.kvs[key] = kv
+	s.commit(history.Event{
+		Revision: s.rev, Type: history.Put, Key: key,
+		Value: append([]byte(nil), value...), PrevRev: prevRev,
+	})
+	return s.rev
+}
+
+// Delete removes key, returning the deletion revision.
+func (s *Store) Delete(key string) (int64, error) {
+	prev, ok := s.kvs[key]
+	if !ok {
+		return s.rev, ErrKeyNotFound
+	}
+	if prev.Lease != 0 {
+		s.detachLease(prev.Lease, key)
+	}
+	delete(s.kvs, key)
+	s.rev++
+	s.commit(history.Event{
+		Revision: s.rev, Type: history.Delete, Key: key, PrevRev: prev.ModRevision,
+	})
+	return s.rev, nil
+}
+
+func (s *Store) commit(e history.Event) {
+	e.Time = s.now
+	if err := s.hist.Append(e); err != nil {
+		// Revisions are assigned monotonically by this store; a failure
+		// here is a programming error, not a runtime condition.
+		panic(fmt.Sprintf("store: history append: %v", err))
+	}
+	if s.retainMax > 0 && s.hist.Len() > s.retainMax {
+		first := s.hist.At(s.hist.Len() - s.retainMax).Revision
+		s.CompactTo(first)
+	}
+	batch := []history.Event{e}
+	for _, id := range s.watcherIDs() {
+		w := s.watchers[id]
+		if strings.HasPrefix(e.Key, w.prefix) {
+			w.notify(batch)
+		}
+	}
+	for _, hook := range s.notifyHooks {
+		hook(batch)
+	}
+}
+
+func (s *Store) watcherIDs() []int64 {
+	ids := make([]int64, 0, len(s.watchers))
+	for id := range s.watchers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SetNow sets the virtual time recorded on subsequently committed events;
+// the Server (or a test) advances it.
+func (s *Store) SetNow(t int64) { s.now = t }
+
+// CompactTo drops retained history strictly before rev. Watches started
+// below rev will fail with ErrCompacted.
+func (s *Store) CompactTo(rev int64) int {
+	if rev <= s.compacted+1 {
+		return 0
+	}
+	dropped := s.hist.Compact(rev)
+	if rev-1 > s.compacted {
+		s.compacted = rev - 1
+	}
+	return dropped
+}
+
+// AddNotifyHook installs a hook called after watcher notification on every
+// commit. Hooks run in registration order; the trace recorder and the
+// event-driven oracles both use this.
+func (s *Store) AddNotifyHook(h func([]history.Event)) {
+	s.notifyHooks = append(s.notifyHooks, h)
+}

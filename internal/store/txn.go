@@ -1,0 +1,148 @@
+package store
+
+// Transactions: etcd-style guarded atomic batches. A Txn compares a set of
+// guards against the current state; if all hold, the success ops commit
+// atomically (consecutive revisions, single watcher batch per op); otherwise
+// the failure ops commit. This is the primitive behind optimistic
+// concurrency on ResourceVersion ("compare-and-swap on mod revision") that
+// HBASE-3136's region transitions — and every Kubernetes update — rely on.
+
+// CmpTarget selects which MVCC attribute a guard compares.
+type CmpTarget int
+
+const (
+	// CmpModRevision compares the key's ModRevision.
+	CmpModRevision CmpTarget = iota
+	// CmpCreateRevision compares the key's CreateRevision.
+	CmpCreateRevision
+	// CmpVersion compares the key's Version.
+	CmpVersion
+	// CmpValue compares the key's value bytes.
+	CmpValue
+	// CmpExists asserts the key exists (IntVal != 0) or not (IntVal == 0).
+	CmpExists
+)
+
+// Cmp is a transaction guard on one key.
+type Cmp struct {
+	Key    string
+	Target CmpTarget
+	IntVal int64  // for revision/version/exists targets
+	BytVal []byte // for CmpValue
+}
+
+// OpType is the kind of a transaction operation.
+type OpType int
+
+const (
+	// OpPut writes a key.
+	OpPut OpType = iota
+	// OpDelete removes a key.
+	OpDelete
+)
+
+// Op is one mutation inside a transaction branch.
+type Op struct {
+	Type  OpType
+	Key   string
+	Value []byte
+	Lease LeaseID
+}
+
+// TxnResult reports the outcome of a transaction.
+type TxnResult struct {
+	Succeeded bool  // whether the success branch ran
+	Revision  int64 // store revision after the txn
+}
+
+// Check evaluates a single guard against the current state.
+func (s *Store) Check(c Cmp) bool {
+	kv, ok := s.kvs[c.Key]
+	switch c.Target {
+	case CmpExists:
+		return ok == (c.IntVal != 0)
+	case CmpModRevision:
+		if !ok {
+			return c.IntVal == 0
+		}
+		return kv.ModRevision == c.IntVal
+	case CmpCreateRevision:
+		if !ok {
+			return c.IntVal == 0
+		}
+		return kv.CreateRevision == c.IntVal
+	case CmpVersion:
+		if !ok {
+			return c.IntVal == 0
+		}
+		return kv.Version == c.IntVal
+	case CmpValue:
+		return ok && string(kv.Value) == string(c.BytVal)
+	default:
+		return false
+	}
+}
+
+// Txn atomically evaluates guards and applies the matching branch. With an
+// empty failure branch and failing guards it returns ErrTxnFailed.
+func (s *Store) Txn(guards []Cmp, onSuccess, onFailure []Op) (TxnResult, error) {
+	ok := true
+	for _, c := range guards {
+		if !s.Check(c) {
+			ok = false
+			break
+		}
+	}
+	branch := onSuccess
+	if !ok {
+		branch = onFailure
+		if len(branch) == 0 {
+			return TxnResult{Succeeded: false, Revision: s.rev}, ErrTxnFailed
+		}
+	}
+	for _, op := range branch {
+		switch op.Type {
+		case OpPut:
+			if op.Lease != 0 {
+				if _, err := s.PutWithLease(op.Key, op.Value, op.Lease); err != nil {
+					return TxnResult{Succeeded: ok, Revision: s.rev}, err
+				}
+			} else {
+				s.Put(op.Key, op.Value)
+			}
+		case OpDelete:
+			// Deleting an absent key inside a txn is a no-op, matching
+			// etcd's DeleteRange semantics.
+			_, _ = s.Delete(op.Key)
+		}
+	}
+	return TxnResult{Succeeded: ok, Revision: s.rev}, nil
+}
+
+// CompareAndSwap is the common special case: write key=value only if the
+// key's ModRevision equals expectRev (0 = must not exist). It reports
+// whether the swap happened.
+func (s *Store) CompareAndSwap(key string, expectRev int64, value []byte) (bool, int64) {
+	res, err := s.Txn(
+		[]Cmp{{Key: key, Target: CmpModRevision, IntVal: expectRev}},
+		[]Op{{Type: OpPut, Key: key, Value: value}},
+		nil,
+	)
+	if err != nil {
+		return false, s.rev
+	}
+	return res.Succeeded, res.Revision
+}
+
+// CompareAndDelete removes key only if its ModRevision equals expectRev.
+func (s *Store) CompareAndDelete(key string, expectRev int64) (bool, int64) {
+	res, err := s.Txn(
+		[]Cmp{{Key: key, Target: CmpModRevision, IntVal: expectRev}},
+		[]Op{{Type: OpDelete, Key: key}},
+		nil,
+	)
+	if err != nil {
+		return false, s.rev
+	}
+	return res.Succeeded, res.Revision
+}

@@ -1,0 +1,218 @@
+// Package trace records a reference execution of the simulated
+// infrastructure: which watch notifications were delivered to which
+// component, which kinds each component subscribes to, which objects each
+// component wrote, and the committed ground-truth history.
+//
+// The perturbation planner (internal/core) mines this trace: because the
+// simulation is deterministic, an event observed at occurrence k in the
+// reference run appears again at occurrence k in a re-run with the same
+// seed — up to the point where a perturbation makes the runs diverge. The
+// trace is therefore the "causal relationships between events" substrate
+// the paper's Section 7 calls for.
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Delivery is one typed watch event delivered to a component.
+type Delivery struct {
+	Seq       uint64 // network message sequence
+	From      sim.NodeID
+	To        sim.NodeID
+	Time      sim.Time
+	Revision  int64
+	Kind      cluster.Kind
+	Name      string
+	EventType apiserver.EventType
+	// Terminating records whether the delivered object carried a
+	// DeletionTimestamp — deletion-adjacent events are the highest-value
+	// perturbation targets.
+	Terminating bool
+	// Occurrence is the 1-based count of deliveries matching
+	// (To, Kind, Name, EventType) up to and including this one — the
+	// replay-stable coordinate used by gap plans.
+	Occurrence int
+}
+
+// Write is one mutating RPC issued by a component.
+type Write struct {
+	From   sim.NodeID
+	Time   sim.Time
+	Method string
+	Kind   cluster.Kind
+	Name   string
+}
+
+// Trace is the recorded reference execution.
+type Trace struct {
+	Deliveries []Delivery
+	Writes     []Write
+	Commits    []history.Event
+	// Subscriptions maps component -> object kinds it watches.
+	Subscriptions map[sim.NodeID]map[cluster.Kind]bool
+
+	occ map[occKey]int
+}
+
+type occKey struct {
+	to   sim.NodeID
+	kind cluster.Kind
+	name string
+	typ  apiserver.EventType
+}
+
+// New returns an empty trace.
+func New() *Trace {
+	return &Trace{
+		Subscriptions: make(map[sim.NodeID]map[cluster.Kind]bool),
+		occ:           make(map[occKey]int),
+	}
+}
+
+// Recorder attaches a Trace to a world's network (as an Observer) and to a
+// store (commit hook).
+type Recorder struct {
+	T *Trace
+}
+
+// NewRecorder creates a recorder feeding a fresh trace.
+func NewRecorder() *Recorder { return &Recorder{T: New()} }
+
+// Attach hooks the recorder into the network and store.
+func (r *Recorder) Attach(net *sim.Network, st *store.Store) {
+	net.AddObserver(r)
+	st.AddNotifyHook(func(events []history.Event) {
+		r.T.Commits = append(r.T.Commits, events...)
+	})
+}
+
+// OnSend implements sim.Observer: it records subscriptions and writes.
+func (r *Recorder) OnSend(m *sim.Message) {
+	req, ok := m.Payload.(*sim.RPCRequest)
+	if !ok {
+		return
+	}
+	switch body := req.Body.(type) {
+	case *apiserver.WatchRequest:
+		subs := r.T.Subscriptions[m.From]
+		if subs == nil {
+			subs = make(map[cluster.Kind]bool)
+			r.T.Subscriptions[m.From] = subs
+		}
+		subs[body.Kind] = true
+	case *apiserver.CreateRequest:
+		r.T.Writes = append(r.T.Writes, Write{
+			From: m.From, Time: m.SentAt, Method: req.Method,
+			Kind: body.Object.Meta.Kind, Name: body.Object.Meta.Name,
+		})
+	case *apiserver.UpdateRequest:
+		r.T.Writes = append(r.T.Writes, Write{
+			From: m.From, Time: m.SentAt, Method: req.Method,
+			Kind: body.Object.Meta.Kind, Name: body.Object.Meta.Name,
+		})
+	case *apiserver.DeleteRequest:
+		r.T.Writes = append(r.T.Writes, Write{
+			From: m.From, Time: m.SentAt, Method: req.Method,
+			Kind: body.Kind, Name: body.Name,
+		})
+	}
+}
+
+// OnDeliver implements sim.Observer: it records typed watch deliveries.
+func (r *Recorder) OnDeliver(m *sim.Message) {
+	push, ok := m.Payload.(*apiserver.WatchPushMsg)
+	if !ok {
+		return
+	}
+	for _, ev := range push.Events {
+		if ev.Object == nil {
+			continue
+		}
+		// A delivery implies a subscription, even one established before
+		// the recorder attached.
+		subs := r.T.Subscriptions[m.To]
+		if subs == nil {
+			subs = make(map[cluster.Kind]bool)
+			r.T.Subscriptions[m.To] = subs
+		}
+		subs[ev.Object.Meta.Kind] = true
+
+		key := occKey{to: m.To, kind: ev.Object.Meta.Kind, name: ev.Object.Meta.Name, typ: ev.Type}
+		r.T.occ[key]++
+		r.T.Deliveries = append(r.T.Deliveries, Delivery{
+			Seq:         m.Seq,
+			From:        m.From,
+			To:          m.To,
+			Time:        m.SentAt,
+			Revision:    ev.Revision,
+			Kind:        ev.Object.Meta.Kind,
+			Name:        ev.Object.Meta.Name,
+			EventType:   ev.Type,
+			Terminating: ev.Object.Meta.DeletionTimestamp != 0,
+			Occurrence:  r.T.occ[key],
+		})
+	}
+}
+
+// OnDrop implements sim.Observer.
+func (r *Recorder) OnDrop(m *sim.Message, reason string) {}
+
+// Components returns all components that received watch deliveries, sorted.
+func (t *Trace) Components() []sim.NodeID {
+	set := map[sim.NodeID]bool{}
+	for _, d := range t.Deliveries {
+		set[d.To] = true
+	}
+	out := make([]sim.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DeliveriesTo returns deliveries addressed to a component, in order.
+func (t *Trace) DeliveriesTo(id sim.NodeID) []Delivery {
+	var out []Delivery
+	for _, d := range t.Deliveries {
+		if d.To == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ActedOn reports whether component wrote to (kind, name) at any point —
+// the causality approximation: events about objects a component itself
+// manipulates are the likeliest to change its decisions (§7).
+func (t *Trace) ActedOn(component sim.NodeID, kind cluster.Kind, name string) bool {
+	for _, w := range t.Writes {
+		if w.From == component && w.Kind == kind && w.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CommitTimes returns the distinct virtual times of committed events,
+// sorted ascending — the natural anchor points for staleness and
+// time-travel plans.
+func (t *Trace) CommitTimes() []sim.Time {
+	set := map[sim.Time]bool{}
+	for _, e := range t.Commits {
+		set[sim.Time(e.Time)] = true
+	}
+	out := make([]sim.Time, 0, len(set))
+	for ts := range set {
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

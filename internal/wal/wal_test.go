@@ -1,0 +1,139 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+type rec struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func TestAppendRead(t *testing.T) {
+	l := New()
+	idx, err := l.Append(rec{N: 1, S: "a"})
+	if err != nil || idx != 1 {
+		t.Fatalf("append: %d %v", idx, err)
+	}
+	idx, _ = l.Append(rec{N: 2, S: "b"})
+	if idx != 2 || l.LastIndex() != 2 || l.FirstIndex() != 1 || l.Len() != 2 {
+		t.Fatalf("log shape: last=%d first=%d len=%d", l.LastIndex(), l.FirstIndex(), l.Len())
+	}
+	var r rec
+	if err := l.Read(2, &r); err != nil || r.S != "b" {
+		t.Fatalf("read: %+v %v", r, err)
+	}
+	if err := l.Read(3, &r); err == nil {
+		t.Fatal("read beyond end succeeded")
+	}
+}
+
+func TestReplayOrder(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(rec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int
+	err := Replay(l, func(index uint64, v rec) error {
+		got = append(got, v.N)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range got {
+		if n != i {
+			t.Fatalf("replay order: %v", got)
+		}
+	}
+}
+
+func TestTruncateTail(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		l.AppendRaw([]byte{byte(i)})
+	}
+	l.TruncateTail(3)
+	if l.LastIndex() != 3 || l.Len() != 3 {
+		t.Fatalf("after truncate: last=%d len=%d", l.LastIndex(), l.Len())
+	}
+	// Appending after truncation continues from the cut.
+	idx := l.AppendRaw([]byte{9})
+	if idx != 4 {
+		t.Fatalf("post-truncate append index = %d", idx)
+	}
+}
+
+func TestCompactAndSnapshot(t *testing.T) {
+	l := New()
+	for i := 0; i < 10; i++ {
+		l.AppendRaw([]byte{byte(i)})
+	}
+	l.Compact(6, []byte("snap@6"))
+	if l.FirstIndex() != 7 || l.LastIndex() != 10 {
+		t.Fatalf("after compact: first=%d last=%d", l.FirstIndex(), l.LastIndex())
+	}
+	snap, at := l.Snapshot()
+	if string(snap) != "snap@6" || at != 6 {
+		t.Fatalf("snapshot = %q @%d", snap, at)
+	}
+	var r rec
+	if err := l.Read(3, &r); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("read compacted index: %v", err)
+	}
+	// Compacting backwards is a no-op.
+	l.Compact(2, []byte("older"))
+	if _, at := l.Snapshot(); at != 6 {
+		t.Fatalf("backward compact moved snapshot to %d", at)
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	l := New()
+	if err := l.SetMeta("raft", rec{N: 7, S: "vote"}); err != nil {
+		t.Fatal(err)
+	}
+	var r rec
+	ok, err := l.GetMeta("raft", &r)
+	if err != nil || !ok || r.N != 7 {
+		t.Fatalf("meta: %+v %v %v", r, ok, err)
+	}
+	ok, err = l.GetMeta("missing", &r)
+	if err != nil || ok {
+		t.Fatalf("missing meta: %v %v", ok, err)
+	}
+}
+
+func TestPropertyIndexesDense(t *testing.T) {
+	f := func(ops []uint8) bool {
+		l := New()
+		expected := uint64(0)
+		for _, op := range ops {
+			switch {
+			case op%4 != 0 || l.LastIndex() == 0:
+				idx := l.AppendRaw([]byte{op})
+				expected++
+				if idx != expected {
+					return false
+				}
+			default:
+				cut := uint64(op) % (l.LastIndex() + 1)
+				l.TruncateTail(cut)
+				if cut < expected {
+					expected = cut
+				}
+			}
+			if l.LastIndex() != expected {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+)
+
+// TestReferenceRunsAreClean verifies that no target bug manifests without
+// perturbation — the precondition for campaigns to be meaningful.
+func TestReferenceRunsAreClean(t *testing.T) {
+	for _, target := range AllTargets() {
+		target := target
+		t.Run(target.Name, func(t *testing.T) {
+			_, violations := core.Reference(target)
+			for _, v := range violations {
+				t.Errorf("reference run violated %s: %s", v.Oracle, v.Detail)
+			}
+		})
+	}
+}
+
+// TestToolDetectsAllFiveBugs is the repository's headline check: the
+// partial-history planner reproduces both known Kubernetes bugs and detects
+// all three cassandra-operator bugs (paper Section 7) — and the fixed
+// component variants survive the exact perturbation that broke the stock
+// build (the regression check a maintainer would run after landing a fix).
+func TestToolDetectsAllFiveBugs(t *testing.T) {
+	for _, target := range AllTargets() {
+		target := target
+		t.Run(target.Name, func(t *testing.T) {
+			ref, refViolations := core.Reference(target)
+			if len(refViolations) != 0 {
+				t.Fatalf("reference run dirty: %v", refViolations)
+			}
+			plans := core.NewPlanner().Plans(target, ref)
+			var detecting core.Plan
+			executions := 0
+			for i, p := range plans {
+				if i >= 600 {
+					break
+				}
+				executions = i + 1
+				if exec := core.RunPlan(target, p); exec.Detected {
+					detecting = p
+					break
+				}
+			}
+			if detecting == nil {
+				t.Fatalf("tool failed to detect %s within %d executions (plans: %d)",
+					target.Name, executions, len(plans))
+			}
+			t.Logf("%s detected in %d/%d executions via %s",
+				target.Name, executions, len(plans), detecting.Describe())
+
+			// The fix must hold under the same perturbation.
+			fixedExec := core.RunPlan(Fixed(target), detecting)
+			if fixedExec.Detected {
+				t.Fatalf("fixed variant still violates %s under %s",
+					target.Bug, detecting.Describe())
+			}
+		})
+	}
+}
+
+// TestBaselinesGeneratePlans sanity-checks baseline plan generation.
+func TestBaselinesGeneratePlans(t *testing.T) {
+	target := Target56261()
+	ref, _ := core.Reference(target)
+	for _, s := range []core.Strategy{
+		baselines.Random{Seed: 7, N: 25},
+		baselines.CrashTuner{},
+		baselines.CoFI{},
+	} {
+		plans := s.Plans(target, ref)
+		if len(plans) == 0 {
+			t.Errorf("%s generated no plans", s.Name())
+		}
+		ids := map[string]bool{}
+		for _, p := range plans {
+			if ids[p.ID()] {
+				t.Errorf("%s generated duplicate plan %s", s.Name(), p.ID())
+			}
+			ids[p.ID()] = true
+		}
+	}
+}

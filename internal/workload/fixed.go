@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/infra"
+	"repro/internal/operators/cassandra"
+)
+
+// Fixed returns a copy of the target whose cluster builder applies every
+// component fix (safe kubelet restart sync, scheduler cache eviction,
+// volume release on absent owner, all operator fixes). Campaigns against a
+// fixed target demonstrate that the perturbations which break the stock
+// components no longer violate the oracles.
+func Fixed(t core.Target) core.Target {
+	orig := t.Build
+	t.Build = func(seed int64) *infra.Cluster {
+		opts := orig(seed).Opts
+		opts.KubeletSafeRestart = true
+		opts.SchedulerEvictFix = true
+		opts.VolumeControllerFix = true
+		if opts.Cassandra != nil {
+			cass := *opts.Cassandra
+			cass.Fixes = cassandra.AllFixed()
+			opts.Cassandra = &cass
+		}
+		return infra.New(opts)
+	}
+	return t
+}
