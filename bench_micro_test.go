@@ -10,12 +10,16 @@ import (
 	"testing"
 
 	"repro/internal/apiserver"
+	"repro/internal/baselines"
+	"repro/internal/campaign"
 	"repro/internal/client"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/raftlite"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/workload"
 )
 
 func BenchmarkMicro_KernelScheduleAndRun(b *testing.B) {
@@ -105,6 +109,47 @@ func BenchmarkMicro_ReplicatedStoreCommit(b *testing.B) {
 	w.Kernel().RunFor(2 * sim.Second)
 	if leader.Raft().CommitIndex()-before < uint64(b.N) {
 		b.Fatalf("committed %d of %d", leader.Raft().CommitIndex()-before, b.N)
+	}
+}
+
+// BenchmarkMicro_CampaignOverhead guards the campaign engine's scheduling
+// cost: "bare" measures one plan execution with no pool around it, and the
+// "pool-N" variants measure a full campaign through internal/campaign
+// normalized per execution (ns/exec metric). The gap between bare ns/op
+// and pool ns/exec is the engine's per-execution overhead — future PRs
+// must not let it grow into the same order as an execution itself.
+// CrashTuner never detects 56261, so every plan in the list always runs
+// and the campaign size is stable across runs.
+func BenchmarkMicro_CampaignOverhead(b *testing.B) {
+	target := workload.Target56261()
+	strategy := baselines.CrashTuner{}
+	ref, _ := core.Reference(target)
+	plans := strategy.Plans(target, ref)
+	if len(plans) == 0 {
+		b.Fatal("crashtuner generated no plans")
+	}
+
+	b.Run("bare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if core.RunPlanSeed(target, plans[i%len(plans)], 1).Detected {
+				b.Fatal("crashtuner unexpectedly detected 56261")
+			}
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("pool-%d", workers), func(b *testing.B) {
+			eng := campaign.New(campaign.Config{Workers: workers, KeepGoing: true})
+			execs := 0
+			for i := 0; i < b.N; i++ {
+				res := eng.Run(target, strategy)
+				if res.Detected {
+					b.Fatal("crashtuner unexpectedly detected 56261")
+				}
+				execs += res.Stats.RawExecutions
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(execs), "ns/exec")
+		})
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/apiserver"
 	"repro/internal/baselines"
+	"repro/internal/campaign"
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -425,35 +426,17 @@ func BenchmarkE5_Sec7_BugMatrix(b *testing.B) {
 		}
 	}
 
+	// The matrix runs through internal/campaign's worker pool: plan
+	// executions fan out across 4 workers per campaign, with results
+	// byte-identical to the serial core.Matrix (the engine's cross-check
+	// invariant). EXPERIMENTS.md records the serial-vs-parallel speedup.
+	eng := campaign.New(campaign.Config{Workers: 4, MaxExecutions: maxExec})
+
 	var results []core.CampaignResult
 	for i := 0; i < b.N; i++ {
-		strategies := mkStrategies()
-		type job struct{ ti, si int }
-		jobs := make(chan job)
-		resSlots := make([][]core.CampaignResult, len(targets))
-		for ti := range resSlots {
-			resSlots[ti] = make([]core.CampaignResult, len(strategies))
-		}
-		var wg sync.WaitGroup
-		for wkr := 0; wkr < 4; wkr++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range jobs {
-					resSlots[j.ti][j.si] = core.RunCampaign(targets[j.ti], mkStrategies()[j.si], maxExec)
-				}
-			}()
-		}
-		for ti := range targets {
-			for si := range strategies {
-				jobs <- job{ti, si}
-			}
-		}
-		close(jobs)
-		wg.Wait()
 		results = results[:0]
-		for ti := range targets {
-			results = append(results, resSlots[ti]...)
+		for _, res := range eng.Matrix(targets, mkStrategies()) {
+			results = append(results, res.Campaign)
 		}
 	}
 
@@ -506,13 +489,17 @@ func BenchmarkE6_Sec6_PlannerEfficiency(b *testing.B) {
 		randomExec                              int
 		guidedFound, unguidedFound, randomFound bool
 	}
+	// Campaigns run through the parallel engine (unguided mode, so the
+	// execution counts match the serial reference exactly).
+	eng := campaign.New(campaign.Config{Workers: 4, MaxExecutions: 800})
+
 	var rows []row
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, t := range targets {
-			g := core.RunCampaign(t, core.NewPlanner(), 800)
-			u := core.RunCampaign(t, unguided(), 800)
-			r := core.RunCampaign(t, baselines.Random{Seed: 11, N: 800}, 800)
+			g := eng.Run(t, core.NewPlanner()).Campaign
+			u := eng.Run(t, unguided()).Campaign
+			r := eng.Run(t, baselines.Random{Seed: 11, N: 800}).Campaign
 			rows = append(rows, row{
 				target:      t.Name,
 				guidedPlans: g.PlansTotal, guidedExec: g.Executions, guidedFound: g.Detected,

@@ -1,7 +1,13 @@
 package main
 
 import (
+	"path/filepath"
+	"reflect"
 	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/workload"
 )
 
 func TestSelectTargets(t *testing.T) {
@@ -34,5 +40,51 @@ func TestSelectStrategies(t *testing.T) {
 	}
 	if _, err := selectStrategies("quantum", 1, 10); err == nil {
 		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1, 2,3")
+	if err != nil || !reflect.DeepEqual(got, []int64{1, 2, 3}) {
+		t.Fatalf("parseSeeds: %v err=%v", got, err)
+	}
+	if _, err := parseSeeds("1,x"); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	if _, err := parseSeeds(""); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}
+
+// TestCampaignArtifactRoundTrip runs one campaign the way main does with
+// -parallel 2 -json and verifies the emitted artifact is valid and carries
+// the serial-equivalent campaign result.
+func TestCampaignArtifactRoundTrip(t *testing.T) {
+	target := workload.Target56261()
+	cfg := campaign.Config{Workers: 2, MaxExecutions: 25, Collect: true}
+	res := campaign.New(cfg).Run(target, core.NewPlanner())
+
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	art := campaign.BuildArtifact(res, cfg)
+	if err := campaign.WriteArtifacts(path, []campaign.Artifact{art}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := campaign.ReadArtifacts(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("artifact count %d, want 1", len(back))
+	}
+	got := back[0]
+	if got.Target != target.Name || got.Strategy != "partial-history" {
+		t.Fatalf("artifact identity: %s/%s", got.Target, got.Strategy)
+	}
+	want := core.RunCampaign(target, core.NewPlanner(), 25)
+	if !reflect.DeepEqual(got.Campaign, want) {
+		t.Fatalf("artifact campaign diverged from serial\n got: %+v\nwant: %+v", got.Campaign, want)
+	}
+	if len(got.Outcomes) == 0 {
+		t.Fatal("Collect artifact has no per-plan outcomes")
 	}
 }

@@ -1,0 +1,41 @@
+// Package campaign is the parallel, coverage-guided campaign execution
+// engine on top of internal/core.
+//
+// core.RunCampaign is the serial reference implementation: it executes a
+// strategy's plans strictly in order, one at a time, with one fixed seed.
+// Because every simulated execution is a pure function of (workload,
+// topology, seed, plan) — the simulation itself is goroutine-free and
+// deterministic — campaigns are embarrassingly parallel. This package
+// exploits that:
+//
+//   - Worker pool. An Engine fans plan executions out across Workers
+//     goroutines, each building its own fresh cluster. Plan indices are
+//     dispatched in order and results land in per-index slots, so the
+//     reported CampaignResult is byte-identical to the serial path at any
+//     worker count (TestParallelMatchesSerial asserts this). Once a
+//     detection is known, no plan ordered after it is started
+//     (early cancel), mirroring the serial campaign's stopping rule.
+//
+//   - Multi-seed sweeps. Config.Seeds runs the whole campaign under
+//     several world seeds. Each seed records its own reference trace and
+//     generates its own plans, so a seed-2 campaign is an honest
+//     re-execution, not a replay of seed-1 coordinates.
+//
+//   - Coverage-guided prioritization (Config.Guided). Each instrumented
+//     execution yields a compact signature: the set of oracle violations
+//     folded with a trace-derived state hash (the hashed sequence of
+//     delivered event kinds per component — trace.StateHash). Plans are
+//     grouped into predicted signature classes; classes that keep
+//     producing already-seen signatures are deprioritized and classes
+//     still yielding novel coverage are promoted, fuzzer-style.
+//
+//   - Failure dedup and reporting. Violating executions are bucketed by
+//     signature, the engine keeps progress counters (raw executions,
+//     executions/sec, coverage classes, novel signatures, detections),
+//     and BuildArtifact/WriteArtifacts emit a campaign.json with per-plan
+//     outcomes for offline analysis and the bench trajectory.
+//
+// The sweet spot in the paper's terms (§6.1): a partial-history tool wins
+// by exploring fewer, better-chosen perturbations — and by exploring the
+// ones it does choose as fast as the hardware allows.
+package campaign

@@ -1,0 +1,362 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+)
+
+// Config selects how an Engine executes campaigns.
+type Config struct {
+	// Workers is the number of pool goroutines executing plans
+	// (0 = GOMAXPROCS). Each worker builds its own fresh cluster per
+	// execution; the simulation itself stays goroutine-free.
+	Workers int
+	// Seeds are the world seeds to sweep; empty means {1}, the historical
+	// default. Every seed records its own reference trace and generates
+	// its own plans.
+	Seeds []int64
+	// MaxExecutions bounds plan executions per seed (0 = unlimited). The
+	// reference run does not count against the bound but does count in
+	// the reported Executions, matching core.RunCampaign.
+	MaxExecutions int
+	// Guided enables coverage-guided plan scheduling: executions are
+	// instrumented with trace recorders, signatures feed back into a
+	// scheduler that starves predicted-signature classes whose coverage
+	// is saturated. Guided campaigns report engine-order executions (the
+	// dispatch position of the detection), which at Workers>1 may vary
+	// run to run; unguided campaigns are byte-identical to the serial
+	// core.RunCampaign at any worker count.
+	Guided bool
+	// Collect retains per-plan outcomes (for the campaign.json artifact)
+	// and forces instrumentation even when Guided is off.
+	Collect bool
+	// KeepGoing disables early cancellation: the campaign executes every
+	// plan (up to MaxExecutions) even after the target bug is detected,
+	// so the failure buckets see every violating execution. The reported
+	// CampaignResult still uses first-detection accounting.
+	KeepGoing bool
+}
+
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) seedList() []int64 {
+	if len(c.Seeds) == 0 {
+		return []int64{1}
+	}
+	return c.Seeds
+}
+
+func (c Config) instrumented() bool { return c.Guided || c.Collect }
+
+// Engine executes campaigns per its Config. The zero-value-free
+// constructor is New; an Engine is safe for sequential reuse across
+// campaigns (each Run builds fresh pool state).
+type Engine struct {
+	cfg Config
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// SeedResult is one seed's campaign outcome.
+type SeedResult struct {
+	Seed     int64
+	Campaign core.CampaignResult
+}
+
+// Result is the full outcome of one (target, strategy) campaign across
+// all configured seeds.
+type Result struct {
+	Target   string
+	Strategy string
+	// Campaign is the first seed's result. For unguided engines it is
+	// byte-identical to core.RunCampaign(t, s, maxExecutions) — the
+	// cross-check tests rely on this.
+	Campaign core.CampaignResult
+	// Detected reports whether any seed detected the target bug.
+	Detected bool
+	// Seeds holds every seed's campaign result, in Config.Seeds order.
+	Seeds []SeedResult
+	// Stats carries the progress counters (raw executions, wall clock,
+	// executions/sec, coverage classes, detections).
+	Stats Stats
+	// Buckets are the violating executions deduplicated by signature
+	// (instrumented runs only).
+	Buckets []FailureBucket
+	// Outcomes are the per-plan execution records (Config.Collect only).
+	Outcomes []PlanOutcome
+}
+
+// slot is one dispatched execution's record, indexed by dispatch order.
+type slot struct {
+	ran       bool
+	planIndex int // original index in the strategy's plan order
+	plan      core.Plan
+	exec      core.Execution
+	sig       Signature
+	wall      time.Duration
+}
+
+// Run executes one campaign: for every seed, a reference run, plan
+// generation, and a pooled execution of the plans.
+func (e *Engine) Run(t core.Target, s core.Strategy) Result {
+	start := time.Now()
+	res := Result{Target: t.Name, Strategy: s.Name()}
+	agg := newAggregator(e.cfg)
+	for _, seed := range e.cfg.seedList() {
+		sr := e.runSeed(t, s, seed, agg)
+		res.Seeds = append(res.Seeds, sr)
+		if sr.Campaign.Detected {
+			res.Detected = true
+		}
+	}
+	res.Campaign = res.Seeds[0].Campaign
+	res.Stats = agg.stats(e.cfg, time.Since(start))
+	res.Buckets = agg.bucketList()
+	res.Outcomes = agg.outcomes
+	return res
+}
+
+// Matrix runs every (target, strategy) pair — the parallel counterpart of
+// core.Matrix, in the same row-major order.
+func (e *Engine) Matrix(targets []core.Target, strategies []core.Strategy) []Result {
+	out := make([]Result, 0, len(targets)*len(strategies))
+	for _, t := range targets {
+		for _, s := range strategies {
+			out = append(out, e.Run(t, s))
+		}
+	}
+	return out
+}
+
+func (e *Engine) runSeed(t core.Target, s core.Strategy, seed int64, agg *aggregator) SeedResult {
+	cr := core.CampaignResult{Target: t.Name, Strategy: s.Name()}
+
+	// Reference run: the planning substrate, and a real execution.
+	refStart := time.Now()
+	ref, refViolations := core.ReferenceSeed(t, seed)
+	refSlot := slot{
+		ran:       true,
+		planIndex: -1,
+		plan:      core.NopPlan{},
+		exec: core.Execution{
+			Plan:       core.NopPlan{},
+			Seed:       seed,
+			Violations: refViolations,
+			Detected:   violates(refViolations, t.Bug),
+		},
+		wall: time.Since(refStart),
+	}
+	if e.cfg.instrumented() {
+		refSlot.sig = signatureOf(ref, refViolations)
+	}
+	agg.add(seed, refSlot, e.cfg.instrumented())
+
+	if refSlot.exec.Detected {
+		// The bug manifests without perturbation; mirror the serial path.
+		cr.PlansTotal = 1
+		cr.Executions = 1
+		cr.Detected = true
+		cr.DetectingPlan = core.NopPlan{}.Describe()
+		if fv := firstViolation(refViolations, t.Bug); fv != nil {
+			cr.FirstViolation = fv
+		}
+		return SeedResult{Seed: seed, Campaign: cr}
+	}
+
+	plans := s.Plans(t, ref)
+	cr.PlansTotal = len(plans)
+	cr.Executions = 1 // the reference run
+
+	var slots []slot
+	var detect int // dispatch position of the first detection, -1 if none
+	if e.cfg.Guided {
+		slots, detect = e.runGuided(t, plans, seed)
+	} else {
+		slots, detect = e.runOrdered(t, plans, seed)
+	}
+	for _, sl := range slots {
+		if sl.ran {
+			agg.add(seed, sl, e.cfg.instrumented())
+		}
+	}
+
+	if detect >= 0 {
+		cr.Detected = true
+		cr.Executions = 1 + detect + 1
+		cr.DetectingPlan = slots[detect].plan.Describe()
+		if fv := firstViolation(slots[detect].exec.Violations, t.Bug); fv != nil {
+			cr.FirstViolation = fv
+		}
+	} else {
+		ran := 0
+		for _, sl := range slots {
+			if sl.ran {
+				ran++
+			}
+		}
+		cr.Executions = 1 + ran
+	}
+	return SeedResult{Seed: seed, Campaign: cr}
+}
+
+// runOrdered executes plans in strategy order across the worker pool.
+// Indices are dispatched monotonically and results land in per-index
+// slots, so the outcome — detect = the lowest detecting index, with every
+// lower index executed and undetected — is identical to the serial
+// campaign at any worker count. Once a detection is known, indices beyond
+// it are not started (early cancel) unless KeepGoing is set.
+func (e *Engine) runOrdered(t core.Target, plans []core.Plan, seed int64) ([]slot, int) {
+	limit := len(plans)
+	if m := e.cfg.MaxExecutions; m > 0 && m < limit {
+		limit = m
+	}
+	slots := make([]slot, limit)
+	if limit == 0 {
+		return slots, -1
+	}
+	instrument := e.cfg.instrumented()
+
+	var next int64 = -1
+	firstDetect := int64(limit) // min-reduced detecting index
+	nw := e.cfg.workerCount()
+	if nw > limit {
+		nw = limit
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= limit {
+					return
+				}
+				if !e.cfg.KeepGoing && int64(i) > atomic.LoadInt64(&firstDetect) {
+					// A plan ordered before this one already detected;
+					// the serial campaign would never have run it.
+					return
+				}
+				start := time.Now()
+				var exec core.Execution
+				var sig Signature
+				if instrument {
+					exec, sig = runInstrumented(t, plans[i], seed)
+				} else {
+					exec = core.RunPlanSeed(t, plans[i], seed)
+				}
+				slots[i] = slot{
+					ran: true, planIndex: i, plan: plans[i],
+					exec: exec, sig: sig, wall: time.Since(start),
+				}
+				if exec.Detected {
+					for {
+						cur := atomic.LoadInt64(&firstDetect)
+						if int64(i) >= cur || atomic.CompareAndSwapInt64(&firstDetect, cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fd := int(firstDetect); fd < limit {
+		return slots, fd
+	}
+	return slots, -1
+}
+
+// runGuided executes plans in coverage-first order: the scheduler hands
+// out the pending plan whose predicted signature class promises the most
+// novel coverage, and completed executions feed their actual signatures
+// back. Slots are indexed by dispatch sequence; detect is the lowest
+// dispatch sequence that detected.
+func (e *Engine) runGuided(t core.Target, plans []core.Plan, seed int64) ([]slot, int) {
+	limit := len(plans)
+	if m := e.cfg.MaxExecutions; m > 0 && m < limit {
+		limit = m
+	}
+	slots := make([]slot, limit)
+	if limit == 0 {
+		return slots, -1
+	}
+	sched := newCoverageScheduler(plans, limit)
+
+	firstDetect := int64(limit) // min-reduced detecting dispatch sequence
+	var stop int32
+	nw := e.cfg.workerCount()
+	if nw > limit {
+		nw = limit
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if !e.cfg.KeepGoing && atomic.LoadInt32(&stop) == 1 {
+					return
+				}
+				item, seq, ok := sched.next()
+				if !ok {
+					return
+				}
+				start := time.Now()
+				exec, sig := runInstrumented(t, item.plan, seed)
+				sched.record(item.class, sig)
+				slots[seq] = slot{
+					ran: true, planIndex: item.index, plan: item.plan,
+					exec: exec, sig: sig, wall: time.Since(start),
+				}
+				if exec.Detected {
+					atomic.StoreInt32(&stop, 1)
+					for {
+						cur := atomic.LoadInt64(&firstDetect)
+						if int64(seq) >= cur || atomic.CompareAndSwapInt64(&firstDetect, cur, int64(seq)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fd := int(firstDetect); fd < limit {
+		return slots, fd
+	}
+	return slots, -1
+}
+
+// violates reports whether the named oracle appears in the violation list.
+func violates(violations []oracle.Violation, bug string) bool {
+	for _, v := range violations {
+		if v.Oracle == bug {
+			return true
+		}
+	}
+	return false
+}
+
+// firstViolation returns a copy of the first violation of the named
+// oracle, or nil.
+func firstViolation(violations []oracle.Violation, bug string) *oracle.Violation {
+	for _, v := range violations {
+		if v.Oracle == bug {
+			fv := v
+			return &fv
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Stats carries a campaign's progress counters.
+type Stats struct {
+	// Workers is the configured pool width.
+	Workers int `json:"workers"`
+	// Seeds is how many world seeds the campaign swept.
+	Seeds int `json:"seeds"`
+	// RawExecutions counts every cluster actually built and run —
+	// references plus plan executions, across all seeds, including
+	// in-flight work that a detection made redundant. Compare with
+	// CampaignResult.Executions, which reports the serial-equivalent
+	// position of the detection.
+	RawExecutions int `json:"raw_executions"`
+	// Detections counts executions in which the target oracle fired.
+	Detections int `json:"detections"`
+	// ViolatingExecutions counts executions with at least one violation
+	// of any oracle (superset of Detections).
+	ViolatingExecutions int `json:"violating_executions"`
+	// CoverageClasses / NovelSignatures summarize instrumented coverage:
+	// distinct predicted plan classes executed and distinct execution
+	// signatures observed. Zero when the campaign ran uninstrumented.
+	CoverageClasses int `json:"coverage_classes"`
+	NovelSignatures int `json:"novel_signatures"`
+	// WallNanos is the campaign's wall-clock time; ExecutionsPerSec is
+	// RawExecutions normalized by it.
+	WallNanos        int64   `json:"wall_ns"`
+	ExecutionsPerSec float64 `json:"executions_per_sec"`
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d execs in %.2fs (%.1f exec/s, %d workers, %d seeds, %d classes, %d signatures, %d detections)",
+		s.RawExecutions, float64(s.WallNanos)/1e9, s.ExecutionsPerSec,
+		s.Workers, s.Seeds, s.CoverageClasses, s.NovelSignatures, s.Detections)
+}
+
+// PlanOutcome is one execution's record in the campaign artifact.
+type PlanOutcome struct {
+	Seed int64 `json:"seed"`
+	// Index is the plan's position in the strategy's order; -1 marks the
+	// reference run.
+	Index       int    `json:"index"`
+	Plan        string `json:"plan"`
+	Description string `json:"description"`
+	Class       string `json:"class"`
+	// Signature is the execution's coverage fingerprint (hex); empty for
+	// uninstrumented runs.
+	Signature  string   `json:"signature,omitempty"`
+	Detected   bool     `json:"detected"`
+	Violations []string `json:"violations,omitempty"`
+	WallMicros int64    `json:"wall_us"`
+}
+
+// FailureBucket groups violating executions with identical signatures —
+// the dedup view a triager reads instead of a flat violation list.
+type FailureBucket struct {
+	Signature string `json:"signature"`
+	// Oracles is the sorted set of oracle names that fired in this
+	// bucket's executions.
+	Oracles []string `json:"oracles"`
+	// Count is how many executions landed in the bucket.
+	Count int `json:"count"`
+	// ExamplePlan/ExampleSeed identify one reproducing execution.
+	ExamplePlan string `json:"example_plan"`
+	ExampleSeed int64  `json:"example_seed"`
+	// Detected marks buckets containing the target bug's oracle.
+	Detected bool `json:"detected"`
+}
+
+// aggregator accumulates cross-seed reporting state. The engine feeds it
+// deterministically (slots in dispatch order, after each pool drains), so
+// no locking is needed.
+type aggregator struct {
+	collect bool
+	bug     string
+
+	raw        int
+	detections int
+	violating  int
+	classes    map[string]bool
+	sigs       map[Signature]bool
+	buckets    map[Signature]*FailureBucket
+	outcomes   []PlanOutcome
+}
+
+func newAggregator(cfg Config) *aggregator {
+	return &aggregator{
+		collect: cfg.Collect,
+		classes: make(map[string]bool),
+		sigs:    make(map[Signature]bool),
+		buckets: make(map[Signature]*FailureBucket),
+	}
+}
+
+// add records one executed slot.
+func (a *aggregator) add(seed int64, sl slot, instrumented bool) {
+	a.raw++
+	if sl.exec.Detected {
+		a.detections++
+	}
+	if len(sl.exec.Violations) > 0 {
+		a.violating++
+	}
+	cls := classOf(sl.plan)
+	a.classes[cls] = true
+	if instrumented {
+		a.sigs[sl.sig] = true
+		if len(sl.exec.Violations) > 0 {
+			a.bucket(seed, sl)
+		}
+	}
+	if a.collect {
+		out := PlanOutcome{
+			Seed:        seed,
+			Index:       sl.planIndex,
+			Plan:        sl.plan.ID(),
+			Description: sl.plan.Describe(),
+			Class:       cls,
+			Detected:    sl.exec.Detected,
+			WallMicros:  sl.wall.Microseconds(),
+		}
+		if instrumented {
+			out.Signature = sl.sig.String()
+		}
+		for _, v := range sl.exec.Violations {
+			out.Violations = append(out.Violations, v.Oracle)
+		}
+		a.outcomes = append(a.outcomes, out)
+	}
+}
+
+func (a *aggregator) bucket(seed int64, sl slot) {
+	b := a.buckets[sl.sig]
+	if b == nil {
+		names := map[string]bool{}
+		for _, v := range sl.exec.Violations {
+			names[v.Oracle] = true
+		}
+		oracles := make([]string, 0, len(names))
+		for n := range names {
+			oracles = append(oracles, n)
+		}
+		sort.Strings(oracles)
+		b = &FailureBucket{
+			Signature:   sl.sig.String(),
+			Oracles:     oracles,
+			ExamplePlan: sl.plan.Describe(),
+			ExampleSeed: seed,
+			Detected:    sl.exec.Detected,
+		}
+		a.buckets[sl.sig] = b
+	}
+	b.Count++
+}
+
+func (a *aggregator) bucketList() []FailureBucket {
+	out := make([]FailureBucket, 0, len(a.buckets))
+	for _, b := range a.buckets {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
+	return out
+}
+
+func (a *aggregator) stats(cfg Config, wall time.Duration) Stats {
+	st := Stats{
+		Workers:             cfg.workerCount(),
+		Seeds:               len(cfg.seedList()),
+		RawExecutions:       a.raw,
+		Detections:          a.detections,
+		ViolatingExecutions: a.violating,
+		WallNanos:           wall.Nanoseconds(),
+	}
+	if cfg.instrumented() {
+		st.CoverageClasses = len(a.classes)
+		st.NovelSignatures = len(a.sigs)
+	}
+	if wall > 0 {
+		st.ExecutionsPerSec = float64(a.raw) / wall.Seconds()
+	}
+	return st
+}
+
+// Artifact is the JSON form of one campaign — the campaign.json schema.
+type Artifact struct {
+	Target        string  `json:"target"`
+	Strategy      string  `json:"strategy"`
+	Workers       int     `json:"workers"`
+	Seeds         []int64 `json:"seeds"`
+	MaxExecutions int     `json:"max_executions"`
+	Guided        bool    `json:"guided"`
+	Detected      bool    `json:"detected"`
+	// Campaign is the first seed's serial-equivalent result.
+	Campaign core.CampaignResult `json:"campaign"`
+	// PerSeed holds every seed's result when more than one seed ran.
+	PerSeed  []SeedResult    `json:"per_seed,omitempty"`
+	Stats    Stats           `json:"stats"`
+	Buckets  []FailureBucket `json:"failure_buckets,omitempty"`
+	Outcomes []PlanOutcome   `json:"outcomes,omitempty"`
+}
+
+// BuildArtifact converts a Result into its artifact form.
+func BuildArtifact(res Result, cfg Config) Artifact {
+	art := Artifact{
+		Target:        res.Target,
+		Strategy:      res.Strategy,
+		Workers:       cfg.workerCount(),
+		Seeds:         cfg.seedList(),
+		MaxExecutions: cfg.MaxExecutions,
+		Guided:        cfg.Guided,
+		Detected:      res.Detected,
+		Campaign:      res.Campaign,
+		Stats:         res.Stats,
+		Buckets:       res.Buckets,
+		Outcomes:      res.Outcomes,
+	}
+	if len(res.Seeds) > 1 {
+		art.PerSeed = res.Seeds
+	}
+	return art
+}
+
+// WriteArtifacts writes the campaign artifact file: a JSON document with
+// one entry per (target, strategy) campaign.
+func WriteArtifacts(path string, artifacts []Artifact) error {
+	doc := struct {
+		Tool      string     `json:"tool"`
+		Campaigns []Artifact `json:"campaigns"`
+	}{Tool: "phtest", Campaigns: artifacts}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal artifact: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("campaign: write artifact: %w", err)
+	}
+	return nil
+}
+
+// ReadArtifacts loads a campaign artifact file (the inverse of
+// WriteArtifacts), for tools and tests.
+func ReadArtifacts(path string) ([]Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read artifact: %w", err)
+	}
+	var doc struct {
+		Tool      string     `json:"tool"`
+		Campaigns []Artifact `json:"campaigns"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("campaign: parse artifact: %w", err)
+	}
+	return doc.Campaigns, nil
+}

@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/trace"
+)
+
+// Signature is the compact coverage fingerprint of one execution: the
+// sorted set of oracle violations folded with the trace-derived state hash
+// (per-component delivered-event sequences plus the committed history —
+// see trace.StateHash). Two executions with equal signatures exercised the
+// system identically for bug-finding purposes.
+type Signature uint64
+
+// String renders the signature as fixed-width hex (the JSON artifact form).
+func (s Signature) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// signatureOf folds an execution's violations and its recorded trace into
+// one signature. Violation oracle names are sorted so the signature does
+// not depend on detection order.
+func signatureOf(tr *trace.Trace, violations []oracle.Violation) Signature {
+	h := fnv.New64a()
+	names := make([]string, 0, len(violations))
+	for _, v := range violations {
+		names = append(names, v.Oracle)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], tr.StateHash())
+	h.Write(buf[:])
+	return Signature(h.Sum64())
+}
+
+// runInstrumented executes one plan with a trace recorder attached and
+// returns both the execution outcome and its coverage signature. It is
+// core.RunPlanSeed plus instrumentation; the recorder observes the network
+// passively, so the execution itself is unchanged.
+func runInstrumented(t core.Target, p core.Plan, seed int64) (core.Execution, Signature) {
+	c := t.Build(seed)
+	rec := trace.NewRecorder()
+	rec.Attach(c.World.Network(), c.Store.Store())
+	p.Apply(c)
+	t.Workload(c)
+	c.RunFor(t.Horizon)
+	exec := core.Execution{
+		Plan:       p,
+		Seed:       seed,
+		Violations: c.Violations(),
+		Detected:   c.Oracles.Violated(t.Bug),
+	}
+	return exec, signatureOf(rec.T, exec.Violations)
+}
+
+// classOf predicts the signature class of a plan before running it. The
+// class deliberately abstracts away fine-grained timing (freeze points,
+// occurrence numbers): plans differing only in when they fire tend to land
+// in the same coverage class, which is exactly the redundancy the guided
+// scheduler wants to skip past.
+func classOf(p core.Plan) string {
+	switch q := p.(type) {
+	case core.GapPlan:
+		mode := "blackout"
+		if q.Occurrence > 0 {
+			mode = "drop"
+		}
+		return fmt.Sprintf("gap/%s/%s/%s/%s/%s", mode, q.Victim, q.Kind, q.Name, q.Type)
+	case core.TimeTravelPlan:
+		return fmt.Sprintf("timetravel/%s->%s", q.Component, q.StaleAPI)
+	case core.StalenessPlan:
+		return fmt.Sprintf("stale/%s", q.Victim)
+	case core.CrashPlan:
+		return fmt.Sprintf("crash/%s", q.Component)
+	case core.PartitionPlan:
+		return fmt.Sprintf("partition/%s-%s", q.A, q.B)
+	case core.SequencePlan:
+		subs := make([]string, 0, len(q.Plans))
+		for _, sub := range q.Plans {
+			subs = append(subs, classOf(sub))
+		}
+		sort.Strings(subs)
+		key := "seq["
+		for i, s := range subs {
+			if i > 0 {
+				key += ","
+			}
+			key += s
+		}
+		return key + "]"
+	case core.NopPlan:
+		return "nop"
+	default:
+		return "other/" + p.ID()
+	}
+}

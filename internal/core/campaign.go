@@ -47,6 +47,7 @@ type Strategy interface {
 // Execution is the outcome of running one plan against a target.
 type Execution struct {
 	Plan       Plan
+	Seed       int64 // world seed the execution was built with
 	Violations []oracle.Violation
 	Detected   bool // the target bug's oracle fired
 }
@@ -56,7 +57,14 @@ type CampaignResult struct {
 	Target     string
 	Strategy   string
 	PlansTotal int // plans the strategy generated
-	Executions int // executions actually run (including the detecting one)
+	// Executions counts every real cluster execution the campaign
+	// performed: the reference run (it builds and runs a full cluster,
+	// exactly like a plan execution) plus each plan execution up to and
+	// including the detecting one. A campaign that detects on its very
+	// first plan therefore reports Executions == 2 (reference + plan);
+	// a campaign whose reference run already violates the oracle reports
+	// Executions == 1.
+	Executions int
 	Detected   bool
 	// DetectingPlan describes the first plan that triggered the bug.
 	DetectingPlan  string
@@ -71,11 +79,21 @@ func (r CampaignResult) String() string {
 	return fmt.Sprintf("%-14s %-16s NOT detected in %d executions", r.Target, r.Strategy, r.Executions)
 }
 
-// Reference runs the target once unperturbed and returns its trace. It is
-// the planning substrate and also a sanity check: a reference run that
-// already violates the oracle makes the campaign meaningless.
+// Reference runs the target once unperturbed with the default seed (1)
+// and returns its trace. It is the planning substrate and also a sanity
+// check: a reference run that already violates the oracle makes the
+// campaign meaningless.
 func Reference(t Target) (*trace.Trace, []oracle.Violation) {
-	c := t.Build(1)
+	return ReferenceSeed(t, 1)
+}
+
+// ReferenceSeed runs the target once unperturbed with an explicit world
+// seed. Multi-seed campaigns record one reference trace per seed so plan
+// coordinates (occurrence counts, commit times) match the seed they will
+// be replayed under — a seed-2 campaign is an honest re-execution, not a
+// replay of the seed-1 reference.
+func ReferenceSeed(t Target, seed int64) (*trace.Trace, []oracle.Violation) {
+	c := t.Build(seed)
 	rec := trace.NewRecorder()
 	rec.Attach(c.World.Network(), c.Store.Store())
 	t.Workload(c)
@@ -83,23 +101,40 @@ func Reference(t Target) (*trace.Trace, []oracle.Violation) {
 	return rec.T, c.Violations()
 }
 
-// RunPlan executes one plan against a fresh instance of the target.
-func RunPlan(t Target, p Plan) Execution {
-	c := t.Build(1)
+// RunPlan executes one plan against a fresh instance of the target with
+// the default seed (1).
+func RunPlan(t Target, p Plan) Execution { return RunPlanSeed(t, p, 1) }
+
+// RunPlanSeed executes one plan against a fresh instance of the target
+// built with an explicit world seed.
+func RunPlanSeed(t Target, p Plan, seed int64) Execution {
+	c := t.Build(seed)
 	p.Apply(c)
 	t.Workload(c)
 	c.RunFor(t.Horizon)
 	return Execution{
 		Plan:       p,
+		Seed:       seed,
 		Violations: c.Violations(),
 		Detected:   c.Oracles.Violated(t.Bug),
 	}
 }
 
 // RunCampaign executes the strategy's plans in order until the target bug
-// is detected or maxExecutions is reached.
+// is detected or maxExecutions plan executions have run. It is the serial
+// reference implementation: internal/campaign's parallel engine is
+// cross-checked against it. maxExecutions bounds plan executions only;
+// the reference run is always performed (and counted — see
+// CampaignResult.Executions).
 func RunCampaign(t Target, s Strategy, maxExecutions int) CampaignResult {
-	ref, refViolations := Reference(t)
+	return RunCampaignSeed(t, s, maxExecutions, 1)
+}
+
+// RunCampaignSeed is RunCampaign under an explicit world seed: the
+// reference trace, plan generation, and every plan execution all use the
+// same seed.
+func RunCampaignSeed(t Target, s Strategy, maxExecutions int, seed int64) CampaignResult {
+	ref, refViolations := ReferenceSeed(t, seed)
 	res := CampaignResult{Target: t.Name, Strategy: s.Name()}
 	for _, v := range refViolations {
 		if v.Oracle == t.Bug {
@@ -117,12 +152,14 @@ func RunCampaign(t Target, s Strategy, maxExecutions int) CampaignResult {
 
 	plans := s.Plans(t, ref)
 	res.PlansTotal = len(plans)
+	// The reference run above was a real execution; count it.
+	res.Executions = 1
 	for i, p := range plans {
 		if maxExecutions > 0 && i >= maxExecutions {
 			break
 		}
-		exec := RunPlan(t, p)
-		res.Executions = i + 1
+		exec := RunPlanSeed(t, p, seed)
+		res.Executions = i + 2 // reference + plans 0..i
 		if exec.Detected {
 			res.Detected = true
 			res.DetectingPlan = p.Describe()

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"hash/fnv"
+
+	"repro/internal/sim"
+)
+
+// This file derives compact behavioural fingerprints from a recorded
+// execution. The campaign engine (internal/campaign) uses them as coverage
+// signatures: two executions that delivered the same event sequences to
+// the same components and committed the same ground-truth history are, for
+// bug-finding purposes, the same execution — running a third plan that
+// lands in the same class is unlikely to flip any component's decision.
+
+// ComponentHash returns an order-sensitive FNV-1a hash of the sequence of
+// watch deliveries one component observed: kind, object name, event type,
+// and the terminating marker, in delivery order. It deliberately excludes
+// revisions and timestamps so that two runs differing only in incidental
+// timing (but observing the same decision-relevant sequence) coincide.
+func (t *Trace) ComponentHash(id sim.NodeID) uint64 {
+	h := fnv.New64a()
+	for _, d := range t.Deliveries {
+		if d.To != id {
+			continue
+		}
+		writeDelivery(h, d)
+	}
+	return h.Sum64()
+}
+
+// StateHash folds every component's delivery sequence plus the committed
+// ground-truth event sequence into one 64-bit fingerprint. Components are
+// visited in sorted order so the hash is independent of map iteration and
+// of the interleaving between components.
+func (t *Trace) StateHash() uint64 {
+	h := fnv.New64a()
+	for _, id := range t.Components() {
+		h.Write([]byte("@"))
+		h.Write([]byte(id))
+		for _, d := range t.Deliveries {
+			if d.To != id {
+				continue
+			}
+			writeDelivery(h, d)
+		}
+	}
+	h.Write([]byte("#commits"))
+	for _, e := range t.Commits {
+		h.Write([]byte{byte(e.Type)})
+		h.Write([]byte(e.Key))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// ComponentHashes returns the per-component delivery hashes, keyed by
+// component, for diagnostics and finer-grained coverage accounting.
+func (t *Trace) ComponentHashes() map[sim.NodeID]uint64 {
+	out := make(map[sim.NodeID]uint64)
+	for _, id := range t.Components() {
+		out[id] = t.ComponentHash(id)
+	}
+	return out
+}
+
+func writeDelivery(h interface{ Write([]byte) (int, error) }, d Delivery) {
+	h.Write([]byte(d.Kind))
+	h.Write([]byte{'/'})
+	h.Write([]byte(d.Name))
+	h.Write([]byte{'/'})
+	h.Write([]byte(d.EventType))
+	if d.Terminating {
+		h.Write([]byte{'!'})
+	}
+	h.Write([]byte{0})
+}
