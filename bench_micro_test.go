@@ -15,6 +15,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/history"
 	"repro/internal/raftlite"
 	"repro/internal/sim"
@@ -151,6 +152,43 @@ func BenchmarkMicro_CampaignOverhead(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(execs), "ns/exec")
 		})
 	}
+}
+
+// BenchmarkMicro_ExplainPass bounds the cost of the -explain layer: the
+// per-bucket price of seed-correct minimization plus trace-diff causal
+// explanation. Buckets are few (≤ a dozen per campaign), so a handful of
+// extra executions per bucket must stay negligible against the campaign's
+// hundreds of plan executions.
+func BenchmarkMicro_ExplainPass(b *testing.B) {
+	target := workload.Target56261()
+	ref, _ := core.Reference(target)
+	var detecting core.Plan
+	for _, p := range core.NewPlanner().Plans(target, ref) {
+		if core.RunPlan(target, p).Detected {
+			detecting = p
+			break
+		}
+	}
+	if detecting == nil {
+		b.Fatal("planner found no detecting plan for 56261")
+	}
+
+	b.Run("minimize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, execs := core.MinimizeSeed(target, detecting, 1); execs == 0 {
+				b.Fatal("no minimization executions recorded")
+			}
+		}
+	})
+	b.Run("explain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if e := explain.Explain(target, detecting, 1); len(e.Chain) == 0 {
+				b.Fatal("empty explanation chain")
+			}
+		}
+	})
 }
 
 func BenchmarkMicro_InformerEventPipeline(b *testing.B) {

@@ -3,10 +3,17 @@
 // ground-truth history, each component's subscriptions and deliveries, the
 // causal acted-on sets, and the perturbation plans the tool would generate.
 //
+// With -artifact it switches to report mode: it loads a campaign.json file
+// written by phtest -json, and for every detected failure bucket renders
+// the engine's explanation — the seed-correct minimized plan, the causal
+// chain from suppressed observation to oracle violation, the divergence
+// metrics, and an ASCII divergence timeline.
+//
 // Usage:
 //
 //	traceview [-target k8s-59848|k8s-56261|cass-op-398|cass-op-400|cass-op-402]
 //	          [-events] [-plans N]
+//	traceview -artifact campaign.json [-timeline=false]
 package main
 
 import (
@@ -14,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -25,7 +34,17 @@ func main() {
 	targetName := flag.String("target", "k8s-59848", "target workload to trace")
 	showEvents := flag.Bool("events", false, "dump every delivery")
 	planN := flag.Int("plans", 20, "how many generated plans to list")
+	artifactPath := flag.String("artifact", "", "render explanations from a phtest campaign.json artifact")
+	timeline := flag.Bool("timeline", true, "with -artifact: also render ASCII divergence timelines")
 	flag.Parse()
+
+	if *artifactPath != "" {
+		if err := renderArtifact(os.Stdout, *artifactPath, *timeline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var target core.Target
 	found := false
@@ -114,5 +133,54 @@ func main() {
 			break
 		}
 		fmt.Printf("  %3d. %s\n", i+1, p.Describe())
+	}
+}
+
+// renderArtifact loads a phtest campaign artifact and renders every
+// detected, explained failure bucket: the minimized plan, the causal
+// chain, the divergence metrics, and (optionally) the ASCII timeline.
+func renderArtifact(w *os.File, path string, withTimeline bool) error {
+	arts, err := campaign.ReadArtifacts(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "campaign artifact: %s (%d campaigns)\n", path, len(arts))
+
+	explained, detected := 0, 0
+	for _, a := range arts {
+		status := "no detection"
+		if a.Detected {
+			status = fmt.Sprintf("DETECTED (seed %d, %d execs)", a.DetectedSeed, a.Campaign.Executions)
+		}
+		fmt.Fprintf(w, "\n=== %s / %s — %s\n", a.Target, a.Strategy, status)
+		fmt.Fprintf(w, "    seeds=%v guided=%v buckets=%d\n", a.Seeds, a.Guided, len(a.Buckets))
+		for _, b := range a.Buckets {
+			if !b.Detected {
+				continue
+			}
+			detected++
+			fmt.Fprintf(w, "\n  bucket %s ×%d oracles=%v (example seed %d)\n",
+				b.Signature, b.Count, b.Oracles, b.ExampleSeed)
+			if b.Explanation == nil {
+				fmt.Fprintf(w, "    (no explanation recorded — rerun phtest with -explain)\n")
+				continue
+			}
+			explained++
+			fmt.Fprintf(w, "    minimized in %d executions\n", b.MinimizeExecutions)
+			indent(w, b.Explanation.Render(), "    ")
+			if withTimeline {
+				fmt.Fprintln(w)
+				indent(w, b.Explanation.RenderTimeline(), "    ")
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n%d detected buckets, %d explained\n", detected, explained)
+	return nil
+}
+
+// indent writes s to w with every line prefixed.
+func indent(w *os.File, s string, prefix string) {
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		fmt.Fprintf(w, "%s%s\n", prefix, line)
 	}
 }

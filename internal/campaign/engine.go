@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/explain"
 	"repro/internal/oracle"
+	"repro/internal/trace"
 )
 
 // Config selects how an Engine executes campaigns.
@@ -27,10 +29,13 @@ type Config struct {
 	// Guided enables coverage-guided plan scheduling: executions are
 	// instrumented with trace recorders, signatures feed back into a
 	// scheduler that starves predicted-signature classes whose coverage
-	// is saturated. Guided campaigns report engine-order executions (the
-	// dispatch position of the detection), which at Workers>1 may vary
-	// run to run; unguided campaigns are byte-identical to the serial
-	// core.RunCampaign at any worker count.
+	// is saturated. Guided scheduling is batch-synchronous: plans are
+	// dispatched in deterministic rounds of Workers, so a guided campaign
+	// is reproducible run-to-run at a fixed worker count (the schedule —
+	// and therefore executions-to-detection — may differ between worker
+	// counts, because feedback arrives at batch granularity). Unguided
+	// campaigns are byte-identical to the serial core.RunCampaign at any
+	// worker count.
 	Guided bool
 	// Collect retains per-plan outcomes (for the campaign.json artifact)
 	// and forces instrumentation even when Guided is off.
@@ -40,6 +45,14 @@ type Config struct {
 	// so the failure buckets see every violating execution. The reported
 	// CampaignResult still uses first-detection accounting.
 	KeepGoing bool
+	// Explain post-processes every detected failure bucket: the bucket's
+	// example plan is minimized under its own seed (core.MinimizeSeed,
+	// plus NarrowWindowSeed for staleness windows), re-executed once with
+	// instrumentation, and turned into a causal explanation
+	// (internal/explain) — the chain suppressed observation → divergent
+	// view → action → oracle violation, with divergence metrics. Implies
+	// instrumentation.
+	Explain bool
 }
 
 func (c Config) workerCount() int {
@@ -56,7 +69,7 @@ func (c Config) seedList() []int64 {
 	return c.Seeds
 }
 
-func (c Config) instrumented() bool { return c.Guided || c.Collect }
+func (c Config) instrumented() bool { return c.Guided || c.Collect || c.Explain }
 
 // Engine executes campaigns per its Config. The zero-value-free
 // constructor is New; an Engine is safe for sequential reuse across
@@ -79,19 +92,29 @@ type SeedResult struct {
 type Result struct {
 	Target   string
 	Strategy string
-	// Campaign is the first seed's result. For unguided engines it is
-	// byte-identical to core.RunCampaign(t, s, maxExecutions) — the
-	// cross-check tests rely on this.
+	// Campaign is the sweep-level headline result: the first detecting
+	// seed's campaign (in Config.Seeds order) with Executions accumulated
+	// across the preceding non-detecting seeds — the honest
+	// executions-to-first-repro of the whole sweep. When no seed detects
+	// it is the first seed's result with Executions summed across every
+	// seed. For single-seed unguided engines it is byte-identical to
+	// core.RunCampaign(t, s, maxExecutions) — the cross-check tests rely
+	// on this.
 	Campaign core.CampaignResult
 	// Detected reports whether any seed detected the target bug.
 	Detected bool
+	// DetectedSeed is the world seed of the first detection in sweep
+	// order (meaningful only when Detected is true).
+	DetectedSeed int64
 	// Seeds holds every seed's campaign result, in Config.Seeds order.
 	Seeds []SeedResult
 	// Stats carries the progress counters (raw executions, wall clock,
 	// executions/sec, coverage classes, detections).
 	Stats Stats
 	// Buckets are the violating executions deduplicated by signature
-	// (instrumented runs only).
+	// (instrumented runs only). With Config.Explain, detected buckets
+	// additionally carry a seed-correct minimal plan and a causal
+	// explanation.
 	Buckets []FailureBucket
 	// Outcomes are the per-plan execution records (Config.Collect only).
 	Outcomes []PlanOutcome
@@ -108,23 +131,52 @@ type slot struct {
 }
 
 // Run executes one campaign: for every seed, a reference run, plan
-// generation, and a pooled execution of the plans.
+// generation, and a pooled execution of the plans; then — with
+// Config.Explain — a minimization + explanation pass over every detected
+// failure bucket.
 func (e *Engine) Run(t core.Target, s core.Strategy) Result {
 	start := time.Now()
 	res := Result{Target: t.Name, Strategy: s.Name()}
 	agg := newAggregator(e.cfg)
-	for _, seed := range e.cfg.seedList() {
-		sr := e.runSeed(t, s, seed, agg)
+	refs := make(map[int64]*trace.Trace, len(e.cfg.seedList()))
+	for i, seed := range e.cfg.seedList() {
+		sr, ref := e.runSeed(t, s, i, seed, agg)
+		refs[seed] = ref
 		res.Seeds = append(res.Seeds, sr)
 		if sr.Campaign.Detected {
 			res.Detected = true
 		}
 	}
-	res.Campaign = res.Seeds[0].Campaign
+	res.Campaign, res.DetectedSeed = primaryCampaign(res.Seeds)
+	if e.cfg.Explain {
+		e.explainBuckets(t, agg, refs)
+	}
 	res.Stats = agg.stats(e.cfg, time.Since(start))
 	res.Buckets = agg.bucketList()
 	res.Outcomes = agg.outcomes
 	return res
+}
+
+// primaryCampaign aggregates the per-seed results into the sweep-level
+// headline: the first detecting seed's campaign in sweep order (its
+// Executions incremented by every execution the preceding non-detecting
+// seeds spent), else the first seed's campaign with the sweep's total
+// executions. This is the fix for detections that only occur under a
+// later seed: they used to be invisible in the printed E5 matrix because
+// the primary result was unconditionally Seeds[0].
+func primaryCampaign(seeds []SeedResult) (core.CampaignResult, int64) {
+	spent := 0
+	for _, sr := range seeds {
+		if sr.Campaign.Detected {
+			cr := sr.Campaign
+			cr.Executions += spent
+			return cr, sr.Seed
+		}
+		spent += sr.Campaign.Executions
+	}
+	cr := seeds[0].Campaign
+	cr.Executions = spent
+	return cr, 0
 }
 
 // Matrix runs every (target, strategy) pair — the parallel counterpart of
@@ -139,7 +191,7 @@ func (e *Engine) Matrix(targets []core.Target, strategies []core.Strategy) []Res
 	return out
 }
 
-func (e *Engine) runSeed(t core.Target, s core.Strategy, seed int64, agg *aggregator) SeedResult {
+func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64, agg *aggregator) (SeedResult, *trace.Trace) {
 	cr := core.CampaignResult{Target: t.Name, Strategy: s.Name()}
 
 	// Reference run: the planning substrate, and a real execution.
@@ -160,7 +212,8 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seed int64, agg *aggreg
 	if e.cfg.instrumented() {
 		refSlot.sig = signatureOf(ref, refViolations)
 	}
-	agg.add(seed, refSlot, e.cfg.instrumented())
+	agg.noteRaw()
+	agg.add(seedIdx, seed, refSlot, e.cfg.instrumented())
 
 	if refSlot.exec.Detected {
 		// The bug manifests without perturbation; mirror the serial path.
@@ -171,7 +224,7 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seed int64, agg *aggreg
 		if fv := firstViolation(refViolations, t.Bug); fv != nil {
 			cr.FirstViolation = fv
 		}
-		return SeedResult{Seed: seed, Campaign: cr}
+		return SeedResult{Seed: seed, Campaign: cr}, ref
 	}
 
 	plans := s.Plans(t, ref)
@@ -185,10 +238,23 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seed int64, agg *aggreg
 	} else {
 		slots, detect = e.runOrdered(t, plans, seed)
 	}
-	for _, sl := range slots {
-		if sl.ran {
-			agg.add(seed, sl, e.cfg.instrumented())
+	for i, sl := range slots {
+		if !sl.ran {
+			continue
 		}
+		agg.noteRaw()
+		// Aggregate only the deterministic execution set: with early
+		// cancel, workers may have raced a few executions past the
+		// detecting index before noticing; those count as raw work but
+		// must not perturb buckets/outcomes, or the artifact would vary
+		// with the worker count. For unguided runs the deterministic set
+		// is exactly the serial-equivalent prefix; guided runs aggregate
+		// every execution of their (deterministic per worker count)
+		// schedule.
+		if !e.cfg.Guided && !e.cfg.KeepGoing && detect >= 0 && i > detect {
+			continue
+		}
+		agg.add(seedIdx, seed, sl, e.cfg.instrumented())
 	}
 
 	if detect >= 0 {
@@ -207,7 +273,49 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seed int64, agg *aggreg
 		}
 		cr.Executions = 1 + ran
 	}
-	return SeedResult{Seed: seed, Campaign: cr}
+	return SeedResult{Seed: seed, Campaign: cr}, ref
+}
+
+// explainBuckets post-processes every detected failure bucket: minimize
+// the example plan under the seed it was found with, re-execute the
+// minimal plan once instrumented, and derive the causal explanation
+// against that seed's reference trace. Buckets are visited in signature
+// order, so the pass — like everything derived from the deterministic
+// execution set — is reproducible.
+func (e *Engine) explainBuckets(t core.Target, agg *aggregator, refs map[int64]*trace.Trace) {
+	for _, sig := range agg.bucketOrder() {
+		b := agg.buckets[sig]
+		ex := agg.examples[sig]
+		if !b.Detected || ex.plan == nil {
+			continue
+		}
+		minimal, execs := core.MinimizeSeed(t, ex.plan, ex.seed)
+		if sp, ok := minimal.(core.StalenessPlan); ok {
+			narrowed, more := core.NarrowWindowSeed(t, sp, ex.seed)
+			minimal = narrowed
+			execs += more
+		}
+		pert, violations := perturbedTrace(t, minimal, ex.seed)
+		execs++ // the instrumented re-execution
+		b.MinimalPlan = minimal.Describe()
+		b.MinimalPlanID = minimal.ID()
+		b.MinimizeExecutions = execs
+		b.Explanation = explain.FromTraces(t, minimal, ex.seed, refs[ex.seed], pert, violations)
+		agg.minimizeExecs += execs
+		agg.explained++
+	}
+}
+
+// perturbedTrace executes one plan with a recorder attached (the
+// explanation pass's instrumented re-execution).
+func perturbedTrace(t core.Target, p core.Plan, seed int64) (*trace.Trace, []oracle.Violation) {
+	c := t.Build(seed)
+	rec := trace.NewRecorder()
+	rec.Attach(c.World.Network(), c.Store.Store())
+	p.Apply(c)
+	t.Workload(c)
+	c.RunFor(t.Horizon)
+	return rec.T, c.Violations()
 }
 
 // runOrdered executes plans in strategy order across the worker pool.
@@ -278,11 +386,17 @@ func (e *Engine) runOrdered(t core.Target, plans []core.Plan, seed int64) ([]slo
 	return slots, -1
 }
 
-// runGuided executes plans in coverage-first order: the scheduler hands
-// out the pending plan whose predicted signature class promises the most
-// novel coverage, and completed executions feed their actual signatures
-// back. Slots are indexed by dispatch sequence; detect is the lowest
-// dispatch sequence that detected.
+// runGuided executes plans in coverage-first order, batch-synchronously:
+// each round the scheduler deterministically picks up to Workers pending
+// plans (using feedback from all completed rounds), the batch executes in
+// parallel, and its signatures are fed back in dispatch order before the
+// next round is planned. The schedule is therefore a pure function of
+// (plans, seed, worker count) — guided campaigns reproduce exactly at a
+// fixed worker count, which the telemetry stream and failure buckets rely
+// on. Slots are indexed by dispatch sequence; detect is the lowest
+// dispatch sequence that detected. After a detection the current round
+// finishes (its executions are part of the deterministic schedule) and no
+// further round starts unless KeepGoing is set.
 func (e *Engine) runGuided(t core.Target, plans []core.Plan, seed int64) ([]slot, int) {
 	limit := len(plans)
 	if m := e.cfg.MaxExecutions; m > 0 && m < limit {
@@ -293,50 +407,54 @@ func (e *Engine) runGuided(t core.Target, plans []core.Plan, seed int64) ([]slot
 		return slots, -1
 	}
 	sched := newCoverageScheduler(plans, limit)
-
-	firstDetect := int64(limit) // min-reduced detecting dispatch sequence
-	var stop int32
 	nw := e.cfg.workerCount()
-	if nw > limit {
-		nw = limit
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if !e.cfg.KeepGoing && atomic.LoadInt32(&stop) == 1 {
-					return
-				}
-				item, seq, ok := sched.next()
-				if !ok {
-					return
-				}
+
+	detect := -1
+	dispatched := 0
+	for dispatched < limit {
+		if detect >= 0 && !e.cfg.KeepGoing {
+			break
+		}
+		// Plan the round deterministically from current knowledge.
+		batch := make([]schedItem, 0, nw)
+		seqs := make([]int, 0, nw)
+		for len(batch) < nw {
+			item, seq, ok := sched.next()
+			if !ok {
+				break
+			}
+			batch = append(batch, item)
+			seqs = append(seqs, seq)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		// Execute the round in parallel.
+		var wg sync.WaitGroup
+		for bi := range batch {
+			wg.Add(1)
+			go func(bi int) {
+				defer wg.Done()
 				start := time.Now()
-				exec, sig := runInstrumented(t, item.plan, seed)
-				sched.record(item.class, sig)
-				slots[seq] = slot{
-					ran: true, planIndex: item.index, plan: item.plan,
+				exec, sig := runInstrumented(t, batch[bi].plan, seed)
+				slots[seqs[bi]] = slot{
+					ran: true, planIndex: batch[bi].index, plan: batch[bi].plan,
 					exec: exec, sig: sig, wall: time.Since(start),
 				}
-				if exec.Detected {
-					atomic.StoreInt32(&stop, 1)
-					for {
-						cur := atomic.LoadInt64(&firstDetect)
-						if int64(seq) >= cur || atomic.CompareAndSwapInt64(&firstDetect, cur, int64(seq)) {
-							break
-						}
-					}
-				}
+			}(bi)
+		}
+		wg.Wait()
+		// Feed results back in dispatch order (deterministic).
+		for bi := range batch {
+			sl := slots[seqs[bi]]
+			sched.record(batch[bi].class, sl.sig)
+			if sl.exec.Detected && (detect < 0 || seqs[bi] < detect) {
+				detect = seqs[bi]
 			}
-		}()
+		}
+		dispatched += len(batch)
 	}
-	wg.Wait()
-	if fd := int(firstDetect); fd < limit {
-		return slots, fd
-	}
-	return slots, -1
+	return slots, detect
 }
 
 // violates reports whether the named oracle appears in the violation list.

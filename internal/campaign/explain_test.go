@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/infra"
+	"repro/internal/oracle"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// nopOnly is a strategy that proposes exactly one plan: the identity
+// perturbation. Campaigns using it detect iff the reference run detects.
+type nopOnly struct{}
+
+func (nopOnly) Name() string                                { return "nop-only" }
+func (nopOnly) Plans(core.Target, *trace.Trace) []core.Plan { return []core.Plan{core.NopPlan{}} }
+
+// seedGatedTarget only ever violates its bug oracle in worlds built with
+// the given seed — a stand-in for bugs that need a specific world seed's
+// event interleaving to surface.
+func seedGatedTarget(bugSeed int64) core.Target {
+	return core.Target{
+		Name: "seed-gated",
+		Bug:  "SeedGated",
+		Build: func(seed int64) *infra.Cluster {
+			opts := infra.DefaultOptions()
+			opts.Seed = seed
+			opts.Nodes = []string{"n1"}
+			opts.EnableVolumeController = false
+			c := infra.New(opts)
+			if seed == bugSeed {
+				c.Oracles.Add(oracle.Func{OracleName: "SeedGated", CheckFunc: func(now sim.Time) *oracle.Violation {
+					if now < sim.Time(2*sim.Second) {
+						return nil
+					}
+					return &oracle.Violation{Oracle: "SeedGated", Detail: "seed-gated bug fired"}
+				}})
+			}
+			return c
+		},
+		Workload: func(c *infra.Cluster) {},
+		Horizon:  3 * sim.Second,
+	}
+}
+
+// TestCrossSeedAggregation regression-tests the sweep-level headline: when
+// only a later seed in the sweep detects, Result.Campaign must report that
+// detection (with executions accumulated across the preceding seeds), not
+// silently mirror the first seed's non-detection.
+func TestCrossSeedAggregation(t *testing.T) {
+	target := seedGatedTarget(7)
+	cfg := Config{Workers: 2, Seeds: []int64{1, 7}, MaxExecutions: 10}
+	res := New(cfg).Run(target, nopOnly{})
+
+	if !res.Detected {
+		t.Fatal("sweep-level Detected is false although seed 7 detects")
+	}
+	if !res.Campaign.Detected {
+		t.Fatal("Result.Campaign hides the seed-7 detection (pre-fix behaviour: Campaign was always Seeds[0]'s)")
+	}
+	if res.DetectedSeed != 7 {
+		t.Fatalf("DetectedSeed = %d, want 7", res.DetectedSeed)
+	}
+	if len(res.Seeds) != 2 || res.Seeds[0].Campaign.Detected || !res.Seeds[1].Campaign.Detected {
+		t.Fatalf("per-seed results malformed: %+v", res.Seeds)
+	}
+	// Executions-to-first-repro accumulates the fruitless seed-1 work.
+	want := res.Seeds[0].Campaign.Executions + res.Seeds[1].Campaign.Executions
+	if res.Campaign.Executions != want {
+		t.Fatalf("Campaign.Executions = %d, want %d (seed-1 spend + seed-7 detection)",
+			res.Campaign.Executions, want)
+	}
+}
+
+// TestExplainPassPopulatesBuckets verifies the engine's explanation pass:
+// every detected bucket carries a seed-correct minimal plan, the spent
+// minimization executions, and a causal chain that terminates at the
+// oracle violation.
+func TestExplainPassPopulatesBuckets(t *testing.T) {
+	target := workload.Target56261()
+	cfg := Config{Workers: 2, Seeds: []int64{1, 7}, MaxExecutions: 40, Explain: true}
+	res := New(cfg).Run(target, core.NewPlanner())
+	if !res.Detected {
+		t.Fatal("campaign missed 56261")
+	}
+	explained := 0
+	for _, b := range res.Buckets {
+		if !b.Detected {
+			if b.Explanation != nil {
+				t.Fatalf("undetected bucket %s carries an explanation", b.Signature)
+			}
+			continue
+		}
+		explained++
+		if b.MinimalPlan == "" || b.MinimalPlanID == "" {
+			t.Fatalf("detected bucket %s has no minimal plan", b.Signature)
+		}
+		if b.MinimizeExecutions == 0 {
+			t.Fatalf("detected bucket %s reports zero minimization executions", b.Signature)
+		}
+		e := b.Explanation
+		if e == nil {
+			t.Fatalf("detected bucket %s has no explanation", b.Signature)
+		}
+		if e.Seed != b.ExampleSeed {
+			t.Fatalf("bucket %s explained under seed %d, want example seed %d", b.Signature, e.Seed, b.ExampleSeed)
+		}
+		if len(e.Chain) == 0 {
+			t.Fatalf("bucket %s has an empty causal chain", b.Signature)
+		}
+		last := e.Chain[len(e.Chain)-1]
+		if last.Kind != explain.StepViolation {
+			t.Fatalf("bucket %s chain ends with %q, want %q", b.Signature, last.Kind, explain.StepViolation)
+		}
+	}
+	if explained == 0 {
+		t.Fatal("no detected bucket to check")
+	}
+	if res.Stats.ExplainedBuckets != explained {
+		t.Fatalf("Stats.ExplainedBuckets = %d, want %d", res.Stats.ExplainedBuckets, explained)
+	}
+	if res.Stats.MinimizeExecutions == 0 {
+		t.Fatal("Stats.MinimizeExecutions = 0 despite explained buckets")
+	}
+}
+
+func ndjsonBytes(t *testing.T, cfg Config, target core.Target, strat core.Strategy) []byte {
+	t.Helper()
+	res := New(cfg).Run(target, strat)
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, res, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestNDJSONDeterministicAcrossWorkers pins the telemetry determinism
+// guarantee for unguided campaigns: the full stream — executions, buckets,
+// minimized plans, explanations — is byte-identical at any -parallel value.
+func TestNDJSONDeterministicAcrossWorkers(t *testing.T) {
+	target := workload.Target56261()
+	var want []byte
+	for _, workers := range []int{1, 2, 4} {
+		cfg := Config{Workers: workers, Seeds: []int64{1, 7}, MaxExecutions: 40, Collect: true, Explain: true}
+		got := ndjsonBytes(t, cfg, target, core.NewPlanner())
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("NDJSON stream differs at %d workers", workers)
+		}
+	}
+}
+
+// TestNDJSONDeterministicAcrossReruns covers the guided mode: at a fixed
+// worker count, repeated guided campaigns produce byte-identical streams.
+func TestNDJSONDeterministicAcrossReruns(t *testing.T) {
+	target := workload.Target56261()
+	cfg := Config{Workers: 3, Guided: true, Seeds: []int64{1}, MaxExecutions: 40, Collect: true, Explain: true}
+	a := ndjsonBytes(t, cfg, target, core.NewPlanner())
+	b := ndjsonBytes(t, cfg, target, core.NewPlanner())
+	if !bytes.Equal(a, b) {
+		t.Fatal("guided NDJSON stream is not reproducible at a fixed worker count")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/explain"
 )
 
 // Stats carries a campaign's progress counters.
@@ -18,20 +19,30 @@ type Stats struct {
 	Seeds int `json:"seeds"`
 	// RawExecutions counts every cluster actually built and run —
 	// references plus plan executions, across all seeds, including
-	// in-flight work that a detection made redundant. Compare with
+	// in-flight work that a detection made redundant (which the
+	// deterministic counters below deliberately exclude). Compare with
 	// CampaignResult.Executions, which reports the serial-equivalent
 	// position of the detection.
 	RawExecutions int `json:"raw_executions"`
-	// Detections counts executions in which the target oracle fired.
+	// Detections counts executions in which the target oracle fired,
+	// within the deterministic execution set.
 	Detections int `json:"detections"`
 	// ViolatingExecutions counts executions with at least one violation
-	// of any oracle (superset of Detections).
+	// of any oracle (superset of Detections), within the deterministic
+	// execution set.
 	ViolatingExecutions int `json:"violating_executions"`
 	// CoverageClasses / NovelSignatures summarize instrumented coverage:
 	// distinct predicted plan classes executed and distinct execution
 	// signatures observed. Zero when the campaign ran uninstrumented.
 	CoverageClasses int `json:"coverage_classes"`
 	NovelSignatures int `json:"novel_signatures"`
+	// MinimizeExecutions counts the verification executions the
+	// explanation pass spent shrinking detected buckets' example plans
+	// (including each bucket's one instrumented re-execution);
+	// ExplainedBuckets counts the buckets that received an explanation.
+	// Zero unless Config.Explain is set.
+	MinimizeExecutions int `json:"minimize_executions,omitempty"`
+	ExplainedBuckets   int `json:"explained_buckets,omitempty"`
 	// WallNanos is the campaign's wall-clock time; ExecutionsPerSec is
 	// RawExecutions normalized by it.
 	WallNanos        int64   `json:"wall_ns"`
@@ -39,9 +50,13 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d execs in %.2fs (%.1f exec/s, %d workers, %d seeds, %d classes, %d signatures, %d detections)",
+	out := fmt.Sprintf("%d execs in %.2fs (%.1f exec/s, %d workers, %d seeds, %d classes, %d signatures, %d detections)",
 		s.RawExecutions, float64(s.WallNanos)/1e9, s.ExecutionsPerSec,
 		s.Workers, s.Seeds, s.CoverageClasses, s.NovelSignatures, s.Detections)
+	if s.ExplainedBuckets > 0 {
+		out += fmt.Sprintf(", %d buckets explained in %d minimization execs", s.ExplainedBuckets, s.MinimizeExecutions)
+	}
+	return out
 }
 
 // PlanOutcome is one execution's record in the campaign artifact.
@@ -70,11 +85,40 @@ type FailureBucket struct {
 	Oracles []string `json:"oracles"`
 	// Count is how many executions landed in the bucket.
 	Count int `json:"count"`
-	// ExamplePlan/ExampleSeed identify one reproducing execution.
+	// ExamplePlan/ExampleSeed identify one reproducing execution — the
+	// earliest one in (sweep order, plan order), so the example is stable
+	// across reruns.
 	ExamplePlan string `json:"example_plan"`
 	ExampleSeed int64  `json:"example_seed"`
 	// Detected marks buckets containing the target bug's oracle.
 	Detected bool `json:"detected"`
+	// MinimalPlan/MinimalPlanID/MinimizeExecutions and Explanation are
+	// populated by the engine's explanation pass (Config.Explain) for
+	// detected buckets: the example plan minimized under ExampleSeed and
+	// its causal chain down to the oracle violation.
+	MinimalPlan        string               `json:"minimal_plan,omitempty"`
+	MinimalPlanID      string               `json:"minimal_plan_id,omitempty"`
+	MinimizeExecutions int                  `json:"minimize_executions,omitempty"`
+	Explanation        *explain.Explanation `json:"explanation,omitempty"`
+}
+
+// bucketExample is the aggregator's private handle on a bucket's earliest
+// reproducing execution: the live plan object the explanation pass
+// re-executes and minimizes (the JSON bucket only carries descriptions).
+type bucketExample struct {
+	plan      core.Plan
+	seed      int64
+	seedIdx   int
+	planIndex int
+}
+
+// earlier orders examples by (sweep position, plan order); reference runs
+// (planIndex -1) sort before any plan of the same seed.
+func (x bucketExample) earlier(y bucketExample) bool {
+	if x.seedIdx != y.seedIdx {
+		return x.seedIdx < y.seedIdx
+	}
+	return x.planIndex < y.planIndex
 }
 
 // aggregator accumulates cross-seed reporting state. The engine feeds it
@@ -82,29 +126,36 @@ type FailureBucket struct {
 // no locking is needed.
 type aggregator struct {
 	collect bool
-	bug     string
 
-	raw        int
-	detections int
-	violating  int
-	classes    map[string]bool
-	sigs       map[Signature]bool
-	buckets    map[Signature]*FailureBucket
-	outcomes   []PlanOutcome
+	raw           int
+	detections    int
+	violating     int
+	minimizeExecs int
+	explained     int
+	classes       map[string]bool
+	sigs          map[Signature]bool
+	buckets       map[Signature]*FailureBucket
+	examples      map[Signature]bucketExample
+	outcomes      []PlanOutcome
 }
 
 func newAggregator(cfg Config) *aggregator {
 	return &aggregator{
-		collect: cfg.Collect,
-		classes: make(map[string]bool),
-		sigs:    make(map[Signature]bool),
-		buckets: make(map[Signature]*FailureBucket),
+		collect:  cfg.Collect,
+		classes:  make(map[string]bool),
+		sigs:     make(map[Signature]bool),
+		buckets:  make(map[Signature]*FailureBucket),
+		examples: make(map[Signature]bucketExample),
 	}
 }
 
-// add records one executed slot.
-func (a *aggregator) add(seed int64, sl slot, instrumented bool) {
-	a.raw++
+// noteRaw counts one cluster execution, deterministic or not. The engine
+// calls it for every slot that actually ran, including in-flight work a
+// detection made redundant.
+func (a *aggregator) noteRaw() { a.raw++ }
+
+// add records one executed slot from the deterministic execution set.
+func (a *aggregator) add(seedIdx int, seed int64, sl slot, instrumented bool) {
 	if sl.exec.Detected {
 		a.detections++
 	}
@@ -116,7 +167,7 @@ func (a *aggregator) add(seed int64, sl slot, instrumented bool) {
 	if instrumented {
 		a.sigs[sl.sig] = true
 		if len(sl.exec.Violations) > 0 {
-			a.bucket(seed, sl)
+			a.bucket(seedIdx, seed, sl)
 		}
 	}
 	if a.collect {
@@ -139,7 +190,8 @@ func (a *aggregator) add(seed int64, sl slot, instrumented bool) {
 	}
 }
 
-func (a *aggregator) bucket(seed int64, sl slot) {
+func (a *aggregator) bucket(seedIdx int, seed int64, sl slot) {
+	ex := bucketExample{plan: sl.plan, seed: seed, seedIdx: seedIdx, planIndex: sl.planIndex}
 	b := a.buckets[sl.sig]
 	if b == nil {
 		names := map[string]bool{}
@@ -152,23 +204,37 @@ func (a *aggregator) bucket(seed int64, sl slot) {
 		}
 		sort.Strings(oracles)
 		b = &FailureBucket{
-			Signature:   sl.sig.String(),
-			Oracles:     oracles,
-			ExamplePlan: sl.plan.Describe(),
-			ExampleSeed: seed,
-			Detected:    sl.exec.Detected,
+			Signature: sl.sig.String(),
+			Oracles:   oracles,
+			Detected:  sl.exec.Detected,
 		}
 		a.buckets[sl.sig] = b
+		a.examples[sl.sig] = ex
+	} else if ex.earlier(a.examples[sl.sig]) {
+		a.examples[sl.sig] = ex
 	}
 	b.Count++
+	chosen := a.examples[sl.sig]
+	b.ExamplePlan = chosen.plan.Describe()
+	b.ExampleSeed = chosen.seed
+}
+
+// bucketOrder returns the bucket signatures in their stable (sorted hex)
+// order — the order buckets are explained and reported in.
+func (a *aggregator) bucketOrder() []Signature {
+	out := make([]Signature, 0, len(a.buckets))
+	for sig := range a.buckets {
+		out = append(out, sig)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
 }
 
 func (a *aggregator) bucketList() []FailureBucket {
 	out := make([]FailureBucket, 0, len(a.buckets))
-	for _, b := range a.buckets {
-		out = append(out, *b)
+	for _, sig := range a.bucketOrder() {
+		out = append(out, *a.buckets[sig])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Signature < out[j].Signature })
 	return out
 }
 
@@ -179,6 +245,8 @@ func (a *aggregator) stats(cfg Config, wall time.Duration) Stats {
 		RawExecutions:       a.raw,
 		Detections:          a.detections,
 		ViolatingExecutions: a.violating,
+		MinimizeExecutions:  a.minimizeExecs,
+		ExplainedBuckets:    a.explained,
 		WallNanos:           wall.Nanoseconds(),
 	}
 	if cfg.instrumented() {
@@ -200,7 +268,11 @@ type Artifact struct {
 	MaxExecutions int     `json:"max_executions"`
 	Guided        bool    `json:"guided"`
 	Detected      bool    `json:"detected"`
-	// Campaign is the first seed's serial-equivalent result.
+	// DetectedSeed is the world seed of the first detection in sweep
+	// order (present only when Detected).
+	DetectedSeed int64 `json:"detected_seed,omitempty"`
+	// Campaign is the sweep-level headline result (first detection in
+	// sweep order; see Result.Campaign).
 	Campaign core.CampaignResult `json:"campaign"`
 	// PerSeed holds every seed's result when more than one seed ran.
 	PerSeed  []SeedResult    `json:"per_seed,omitempty"`
@@ -223,6 +295,9 @@ func BuildArtifact(res Result, cfg Config) Artifact {
 		Stats:         res.Stats,
 		Buckets:       res.Buckets,
 		Outcomes:      res.Outcomes,
+	}
+	if res.Detected {
+		art.DetectedSeed = res.DetectedSeed
 	}
 	if len(res.Seeds) > 1 {
 		art.PerSeed = res.Seeds

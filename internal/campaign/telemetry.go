@@ -1,0 +1,193 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/explain"
+)
+
+// This file emits the campaign telemetry stream: newline-delimited JSON
+// (NDJSON), one event per line, in a fixed order. The stream is derived
+// exclusively from the campaign's deterministic execution set and carries
+// no wall-clock or worker-count dependent fields, so it is byte-identical
+// across reruns and — for unguided campaigns — across worker counts.
+// (Guided schedules are deterministic per worker count; their streams
+// reproduce exactly at a fixed -parallel value.) Downstream tooling can
+// therefore diff two streams to detect behavioural drift, not just read
+// them.
+//
+// Event kinds, in emission order per campaign:
+//
+//	campaign_start   identity + configuration
+//	seed_result      one per seed, in sweep order
+//	execution        one per deterministic execution (Collect only)
+//	bucket           one per failure bucket, in signature order
+//	campaign_end     sweep-level result + deterministic counters
+type telemetryEvent struct {
+	Event    string `json:"event"`
+	Target   string `json:"target,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+
+	// campaign_start
+	Seeds         []int64 `json:"seeds,omitempty"`
+	Guided        *bool   `json:"guided,omitempty"`
+	MaxExecutions int     `json:"max_executions,omitempty"`
+	KeepGoing     *bool   `json:"keep_going,omitempty"`
+	Explain       *bool   `json:"explain,omitempty"`
+
+	// seed_result / execution
+	Seed *int64 `json:"seed,omitempty"`
+
+	// seed_result
+	Executions    int    `json:"executions,omitempty"`
+	PlansTotal    int    `json:"plans_total,omitempty"`
+	DetectingPlan string `json:"detecting_plan,omitempty"`
+
+	// execution
+	Index      *int     `json:"index,omitempty"`
+	Plan       string   `json:"plan,omitempty"`
+	Class      string   `json:"class,omitempty"`
+	Signature  string   `json:"signature,omitempty"`
+	Violations []string `json:"violations,omitempty"`
+
+	// bucket
+	Oracles            []string             `json:"oracles,omitempty"`
+	Count              int                  `json:"count,omitempty"`
+	ExamplePlan        string               `json:"example_plan,omitempty"`
+	ExampleSeed        *int64               `json:"example_seed,omitempty"`
+	MinimalPlan        string               `json:"minimal_plan,omitempty"`
+	MinimizeExecutions int                  `json:"minimize_executions,omitempty"`
+	Explanation        *explain.Explanation `json:"explanation,omitempty"`
+
+	// shared result fields
+	Detected *bool `json:"detected,omitempty"`
+
+	// campaign_end
+	DetectedSeed        *int64 `json:"detected_seed,omitempty"`
+	Detections          int    `json:"detections,omitempty"`
+	ViolatingExecutions int    `json:"violating_executions,omitempty"`
+	CoverageClasses     int    `json:"coverage_classes,omitempty"`
+	NovelSignatures     int    `json:"novel_signatures,omitempty"`
+	ExplainedBuckets    int    `json:"explained_buckets,omitempty"`
+}
+
+func boolPtr(b bool) *bool    { return &b }
+func intPtr(i int) *int       { return &i }
+func int64Ptr(i int64) *int64 { return &i }
+
+// WriteNDJSON emits one campaign's telemetry stream to w.
+func WriteNDJSON(w io.Writer, res Result, cfg Config) error {
+	emit := func(ev telemetryEvent) error {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("campaign: marshal telemetry event: %w", err)
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return fmt.Errorf("campaign: write telemetry event: %w", err)
+		}
+		return nil
+	}
+
+	if err := emit(telemetryEvent{
+		Event:         "campaign_start",
+		Target:        res.Target,
+		Strategy:      res.Strategy,
+		Seeds:         cfg.seedList(),
+		Guided:        boolPtr(cfg.Guided),
+		MaxExecutions: cfg.MaxExecutions,
+		KeepGoing:     boolPtr(cfg.KeepGoing),
+		Explain:       boolPtr(cfg.Explain),
+	}); err != nil {
+		return err
+	}
+
+	for _, sr := range res.Seeds {
+		if err := emit(telemetryEvent{
+			Event:         "seed_result",
+			Seed:          int64Ptr(sr.Seed),
+			Detected:      boolPtr(sr.Campaign.Detected),
+			Executions:    sr.Campaign.Executions,
+			PlansTotal:    sr.Campaign.PlansTotal,
+			DetectingPlan: sr.Campaign.DetectingPlan,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, out := range res.Outcomes {
+		if err := emit(telemetryEvent{
+			Event:      "execution",
+			Seed:       int64Ptr(out.Seed),
+			Index:      intPtr(out.Index),
+			Plan:       out.Plan,
+			Class:      out.Class,
+			Signature:  out.Signature,
+			Detected:   boolPtr(out.Detected),
+			Violations: out.Violations,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, b := range res.Buckets {
+		if err := emit(telemetryEvent{
+			Event:              "bucket",
+			Signature:          b.Signature,
+			Oracles:            b.Oracles,
+			Count:              b.Count,
+			ExamplePlan:        b.ExamplePlan,
+			ExampleSeed:        int64Ptr(b.ExampleSeed),
+			Detected:           boolPtr(b.Detected),
+			MinimalPlan:        b.MinimalPlan,
+			MinimizeExecutions: b.MinimizeExecutions,
+			Explanation:        b.Explanation,
+		}); err != nil {
+			return err
+		}
+	}
+
+	end := telemetryEvent{
+		Event:               "campaign_end",
+		Target:              res.Target,
+		Strategy:            res.Strategy,
+		Detected:            boolPtr(res.Detected),
+		Executions:          res.Campaign.Executions,
+		Detections:          res.Stats.Detections,
+		ViolatingExecutions: res.Stats.ViolatingExecutions,
+		CoverageClasses:     res.Stats.CoverageClasses,
+		NovelSignatures:     res.Stats.NovelSignatures,
+		ExplainedBuckets:    res.Stats.ExplainedBuckets,
+	}
+	if res.Detected {
+		end.DetectedSeed = int64Ptr(res.DetectedSeed)
+	}
+	return emit(end)
+}
+
+// WriteNDJSONFile writes the concatenated telemetry streams of several
+// campaigns (in matrix order) to path.
+func WriteNDJSONFile(path string, results []Result, cfg Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("campaign: create telemetry file: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	for _, res := range results {
+		if err := WriteNDJSON(bw, res, cfg); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("campaign: flush telemetry file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("campaign: close telemetry file: %w", err)
+	}
+	return nil
+}

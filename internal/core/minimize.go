@@ -21,20 +21,32 @@ import (
 //
 // It returns the reduced plan and the number of verification executions
 // spent.
-func Minimize(t Target, p Plan) (Plan, int) {
+//
+// Minimize verifies candidates under the default world seed (1). A plan
+// discovered under a different seed must be minimized with MinimizeSeed:
+// candidate verification re-executes the plan, and a perturbation whose
+// coordinates (occurrence counts, freeze times) were mined from a seed-s
+// reference trace generally only reproduces under seed s.
+func Minimize(t Target, p Plan) (Plan, int) { return MinimizeSeed(t, p, 1) }
+
+// MinimizeSeed is Minimize under an explicit world seed: every candidate
+// plan is verified with RunPlanSeed against the same seed the plan was
+// discovered under, so the initial reproduction check and each removal
+// probe replay the exact execution the campaign saw.
+func MinimizeSeed(t Target, p Plan, seed int64) (Plan, int) {
 	executions := 0
 	detects := func(candidate Plan) bool {
 		executions++
-		return RunPlan(t, candidate).Detected
+		return RunPlanSeed(t, candidate, seed).Detected
 	}
 	if !detects(p) {
 		// Not reproducible (should not happen for a plan a campaign just
-		// reported); return it unchanged.
+		// reported under this seed); return it unchanged.
 		return p, executions
 	}
 
 	if seq, ok := p.(SequencePlan); ok {
-		reduced := minimizeSequence(t, seq, detects)
+		reduced := minimizeSequence(seq, detects)
 		if len(reduced.Plans) == 1 {
 			return reduced.Plans[0], executions
 		}
@@ -47,7 +59,7 @@ func Minimize(t Target, p Plan) (Plan, int) {
 // detects. Greedy one-at-a-time removal is sufficient here because plan
 // lists are short (≤ 3 for the random baseline); classic ddmin would be
 // overkill.
-func minimizeSequence(t Target, seq SequencePlan, detects func(Plan) bool) SequencePlan {
+func minimizeSequence(seq SequencePlan, detects func(Plan) bool) SequencePlan {
 	current := append([]Plan(nil), seq.Plans...)
 	for i := 0; i < len(current); {
 		if len(current) == 1 {
@@ -68,11 +80,19 @@ func minimizeSequence(t Target, seq SequencePlan, detects func(Plan) bool) Seque
 // NarrowWindow binary-searches the latest possible start of a staleness
 // window that still detects, tightening "freeze from t onwards" plans to
 // the decisive instant. It returns the narrowed plan and executions spent.
+// Candidates are verified under the default world seed (1); see
+// NarrowWindowSeed for plans discovered under other seeds.
 func NarrowWindow(t Target, p StalenessPlan) (StalenessPlan, int) {
+	return NarrowWindowSeed(t, p, 1)
+}
+
+// NarrowWindowSeed is NarrowWindow under an explicit world seed, verifying
+// every probe with the seed the plan was discovered under.
+func NarrowWindowSeed(t Target, p StalenessPlan, seed int64) (StalenessPlan, int) {
 	executions := 0
 	detects := func(candidate StalenessPlan) bool {
 		executions++
-		return RunPlan(t, candidate).Detected
+		return RunPlanSeed(t, candidate, seed).Detected
 	}
 	if !detects(p) {
 		return p, executions

@@ -75,6 +75,104 @@ func TestMinimizeKeepsNecessarySubPlans(t *testing.T) {
 	}
 }
 
+// seedGatedTarget is a synthetic target whose bug oracle only ever fires
+// in worlds built with the given seed — a stand-in for real targets whose
+// detecting plans carry coordinates (occurrence counts, freeze instants)
+// mined from one specific seed's reference trace.
+func seedGatedTarget(bugSeed int64) Target {
+	return Target{
+		Name: "seed-gated",
+		Bug:  "SeedGated",
+		Build: func(seed int64) *infra.Cluster {
+			opts := infra.DefaultOptions()
+			opts.Seed = seed
+			opts.Nodes = []string{"n1"}
+			opts.EnableVolumeController = false
+			c := infra.New(opts)
+			if seed == bugSeed {
+				c.Oracles.Add(oracle.Func{OracleName: "SeedGated", CheckFunc: func(now sim.Time) *oracle.Violation {
+					if now < sim.Time(2*sim.Second) {
+						return nil
+					}
+					return &oracle.Violation{Oracle: "SeedGated", Detail: "seed-gated bug fired"}
+				}})
+			}
+			return c
+		},
+		Workload: func(c *infra.Cluster) {},
+		Horizon:  3 * sim.Second,
+	}
+}
+
+// TestMinimizeSeedVerifiesUnderFoundSeed regression-tests the headline
+// bugfix: minimization must verify every candidate under the seed the plan
+// was discovered with. Verifying under the default seed (the old Minimize
+// behaviour) cannot even reproduce a seed-7 detection, so the plan came
+// back unminimized.
+func TestMinimizeSeedVerifiesUnderFoundSeed(t *testing.T) {
+	target := seedGatedTarget(7)
+	noisy := SequencePlan{Name: "noisy", Plans: []Plan{
+		CrashPlan{Component: "kubelet-n1", At: sim.Time(1 * sim.Second), RestartDelay: 100 * sim.Millisecond},
+		PartitionPlan{A: "kubelet-n1", B: infra.APIServerID(0), From: sim.Time(1 * sim.Second), Until: sim.Time(1500 * sim.Millisecond)},
+	}}
+	if !RunPlanSeed(target, noisy, 7).Detected {
+		t.Fatal("noisy plan does not detect under seed 7; test setup broken")
+	}
+
+	// Old behaviour: seed-1 verification fails the reproduction check and
+	// bails out with the plan untouched.
+	got, execs := Minimize(target, noisy)
+	if execs != 1 {
+		t.Fatalf("Minimize under the wrong seed spent %d executions, want 1 (failed repro check)", execs)
+	}
+	if got.ID() != noisy.ID() {
+		t.Fatalf("Minimize under the wrong seed altered the plan: %s", got.ID())
+	}
+
+	// Seed-correct minimization reduces the sequence and the result still
+	// detects under the seed it was found with.
+	minimal, execs := MinimizeSeed(target, noisy, 7)
+	if execs < 2 {
+		t.Fatalf("MinimizeSeed spent %d executions, want repro check + removal probes", execs)
+	}
+	if _, isSeq := minimal.(SequencePlan); isSeq {
+		t.Fatalf("minimal plan = %s, want a single sub-plan", minimal.Describe())
+	}
+	if !RunPlanSeed(target, minimal, 7).Detected {
+		t.Fatal("minimized plan no longer detects under seed 7")
+	}
+}
+
+// TestMinimizeSeedRoundTrip is the multi-seed round-trip on a real target:
+// a noisy composite found under seed 7 minimizes to the bare gap and the
+// minimal plan still reproduces under seed 7.
+func TestMinimizeSeedRoundTrip(t *testing.T) {
+	target := schedTarget()
+	const seed = 7
+	noisy := SequencePlan{Name: "noisy", Plans: []Plan{
+		CrashPlan{Component: "kubelet-n2", At: sim.Time(3 * sim.Second), RestartDelay: 100 * sim.Millisecond},
+		detectingGap(),
+		PartitionPlan{A: "kubelet-n2", B: infra.APIServerID(1), From: sim.Time(2 * sim.Second), Until: sim.Time(2500 * sim.Millisecond)},
+	}}
+	if !RunPlanSeed(target, noisy, seed).Detected {
+		t.Fatal("noisy plan does not detect under seed 7; test setup broken")
+	}
+	minimal, execs := MinimizeSeed(target, noisy, seed)
+	if execs == 0 {
+		t.Fatal("no verification executions recorded")
+	}
+	gap, ok := minimal.(GapPlan)
+	if !ok {
+		t.Fatalf("minimal plan = %T (%s), want the bare GapPlan", minimal, minimal.Describe())
+	}
+	if gap != detectingGap() {
+		t.Fatalf("minimal gap = %+v", gap)
+	}
+	if !RunPlanSeed(target, minimal, seed).Detected {
+		t.Fatal("minimized plan no longer detects under seed 7")
+	}
+}
+
 func TestMinimizeNonReproducingPlanUnchanged(t *testing.T) {
 	target := schedTarget()
 	dud := SequencePlan{Name: "dud", Plans: []Plan{

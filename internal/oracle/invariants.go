@@ -61,6 +61,8 @@ func UniquePod(hosts []*kubelet.Host) Oracle {
 						Oracle: NameUniquePod,
 						Time:   now,
 						Detail: fmt.Sprintf("pod %q running on multiple hosts: %s", n, strings.Join(running[n], ",")),
+						Kind:   string(cluster.KindPod),
+						Object: n,
 					}
 				}
 			}
@@ -105,9 +107,12 @@ func SchedulerProgress(st *store.Store, patience sim.Duration) Oracle {
 				}
 				if freeNode && now.Sub(first) > patience {
 					return &Violation{
-						Oracle: NameSchedulerProgress,
-						Time:   now,
-						Detail: fmt.Sprintf("pod %q unscheduled for %s despite free ready nodes", p.Meta.Name, now.Sub(first)),
+						Oracle:    NameSchedulerProgress,
+						Time:      now,
+						Detail:    fmt.Sprintf("pod %q unscheduled for %s despite free ready nodes", p.Meta.Name, now.Sub(first)),
+						Kind:      string(cluster.KindPod),
+						Object:    p.Meta.Name,
+						Component: "scheduler",
 					}
 				}
 			}
@@ -152,6 +157,8 @@ func NoOrphanPVC(st *store.Store, grace sim.Duration) Oracle {
 						Oracle: NameNoOrphanPVC,
 						Time:   now,
 						Detail: fmt.Sprintf("PVC %q still Bound %s after owner pod %q vanished", pvc.Meta.Name, now.Sub(first), pvc.PVC.OwnerPod),
+						Kind:   string(cluster.KindPVC),
+						Object: pvc.Meta.Name,
 					}
 				}
 			}
@@ -195,6 +202,8 @@ func InstallNoLivePVCDeletion(st *store.Store, r *Runner) {
 						Oracle: NameNoLivePVCDeletion,
 						Time:   sim.Time(e.Time),
 						Detail: fmt.Sprintf("PVC %q deleted while owner pod %q is alive", name, owner),
+						Kind:   string(cluster.KindPVC),
+						Object: name,
 					})
 				}
 			}
@@ -242,6 +251,8 @@ func ScaleDownCompletes(st *store.Store, crName string, patience sim.Duration) O
 					Oracle: NameScaleDownCompletes,
 					Time:   now,
 					Detail: fmt.Sprintf("decommission of %q still in flight %s after spec change", cr.Cassandra.Decommissioning, now.Sub(lastSpecChange)),
+					Kind:   string(cluster.KindCassandra),
+					Object: crName,
 				}
 			}
 			if !sameSet(want, got) {
@@ -249,6 +260,8 @@ func ScaleDownCompletes(st *store.Store, crName string, patience sim.Duration) O
 					Oracle: NameScaleDownCompletes,
 					Time:   now,
 					Detail: fmt.Sprintf("members %v != desired %v %s after spec change", keysOf(got), keysOf(want), now.Sub(lastSpecChange)),
+					Kind:   string(cluster.KindCassandra),
+					Object: crName,
 				}
 			}
 			return nil
@@ -276,6 +289,8 @@ func CASAtomicity(servers []*regions.RegionServer) Oracle {
 				Oracle: NameCASAtomicity,
 				Time:   now,
 				Detail: fmt.Sprintf("region %q served by %s", r0, strings.Join(dual[r0], " and ")),
+				Kind:   "Region",
+				Object: r0,
 			}
 		},
 	}

@@ -17,6 +17,14 @@ type Violation struct {
 	Oracle string
 	Time   sim.Time
 	Detail string
+	// Kind/Object identify the ground-truth object the invariant is about
+	// (e.g. Pod/p1, PVC/cass-1-data); empty when the breach is not tied to
+	// a single object. Explanations use them to anchor the causal chain.
+	Kind   string `json:",omitempty"`
+	Object string `json:",omitempty"`
+	// Component names the acting component most directly implicated in the
+	// breach, when the oracle can tell (e.g. "scheduler").
+	Component string `json:",omitempty"`
 }
 
 func (v Violation) String() string {
