@@ -53,6 +53,11 @@ type Config struct {
 	// view → action → oracle violation, with divergence metrics. Implies
 	// instrumentation.
 	Explain bool
+	// EventBudget is the per-execution kernel step budget the livelock
+	// watchdog enforces (0 = DefaultEventBudget). Executions that exhaust
+	// the budget before reaching the virtual-time horizon are flagged Hung
+	// instead of spinning the worker forever.
+	EventBudget uint64
 }
 
 func (c Config) workerCount() int {
@@ -118,6 +123,9 @@ type Result struct {
 	Buckets []FailureBucket
 	// Outcomes are the per-plan execution records (Config.Collect only).
 	Outcomes []PlanOutcome
+	// Failures lists every panicked (worker guard) or livelocked
+	// (event-budget watchdog) execution, in deterministic order.
+	Failures []ExecutionFailure
 }
 
 // slot is one dispatched execution's record, indexed by dispatch order.
@@ -154,6 +162,7 @@ func (e *Engine) Run(t core.Target, s core.Strategy) Result {
 	res.Stats = agg.stats(e.cfg, time.Since(start))
 	res.Buckets = agg.bucketList()
 	res.Outcomes = agg.outcomes
+	res.Failures = agg.failures
 	return res
 }
 
@@ -289,21 +298,35 @@ func (e *Engine) explainBuckets(t core.Target, agg *aggregator, refs map[int64]*
 		if !b.Detected || ex.plan == nil {
 			continue
 		}
-		minimal, execs := core.MinimizeSeed(t, ex.plan, ex.seed)
-		if sp, ok := minimal.(core.StalenessPlan); ok {
-			narrowed, more := core.NarrowWindowSeed(t, sp, ex.seed)
-			minimal = narrowed
-			execs += more
-		}
-		pert, violations := perturbedTrace(t, minimal, ex.seed)
-		execs++ // the instrumented re-execution
-		b.MinimalPlan = minimal.Describe()
-		b.MinimalPlanID = minimal.ID()
-		b.MinimizeExecutions = execs
-		b.Explanation = explain.FromTraces(t, minimal, ex.seed, refs[ex.seed], pert, violations)
-		agg.minimizeExecs += execs
-		agg.explained++
+		e.explainBucket(t, agg, b, ex, refs)
 	}
+}
+
+// explainBucket minimizes and explains one bucket. It is panic-isolated:
+// the minimization pass re-executes candidate plans, and a pathological
+// plan must not take down the whole explanation pass — the bucket is
+// simply left unexplained (the detection itself stands).
+func (e *Engine) explainBucket(t core.Target, agg *aggregator, b *FailureBucket, ex bucketExample, refs map[int64]*trace.Trace) {
+	defer func() { _ = recover() }()
+	minimal, execs := core.MinimizeSeed(t, ex.plan, ex.seed)
+	switch mp := minimal.(type) {
+	case core.StalenessPlan:
+		narrowed, more := core.NarrowWindowSeed(t, mp, ex.seed)
+		minimal = narrowed
+		execs += more
+	case core.FlakyLinkPlan:
+		narrowed, more := core.NarrowFlakyWindowSeed(t, mp, ex.seed)
+		minimal = narrowed
+		execs += more
+	}
+	pert, violations := perturbedTrace(t, minimal, ex.seed)
+	execs++ // the instrumented re-execution
+	b.MinimalPlan = minimal.Describe()
+	b.MinimalPlanID = minimal.ID()
+	b.MinimizeExecutions = execs
+	b.Explanation = explain.FromTraces(t, minimal, ex.seed, refs[ex.seed], pert, violations)
+	agg.minimizeExecs += execs
+	agg.explained++
 }
 
 // perturbedTrace executes one plan with a recorder attached (the
@@ -357,13 +380,7 @@ func (e *Engine) runOrdered(t core.Target, plans []core.Plan, seed int64) ([]slo
 					return
 				}
 				start := time.Now()
-				var exec core.Execution
-				var sig Signature
-				if instrument {
-					exec, sig = runInstrumented(t, plans[i], seed)
-				} else {
-					exec = core.RunPlanSeed(t, plans[i], seed)
-				}
+				exec, sig := runGuarded(t, plans[i], seed, instrument, e.cfg.EventBudget)
 				slots[i] = slot{
 					ran: true, planIndex: i, plan: plans[i],
 					exec: exec, sig: sig, wall: time.Since(start),
@@ -436,7 +453,7 @@ func (e *Engine) runGuided(t core.Target, plans []core.Plan, seed int64) ([]slot
 			go func(bi int) {
 				defer wg.Done()
 				start := time.Now()
-				exec, sig := runInstrumented(t, batch[bi].plan, seed)
+				exec, sig := runGuarded(t, batch[bi].plan, seed, true, e.cfg.EventBudget)
 				slots[seqs[bi]] = slot{
 					ran: true, planIndex: batch[bi].index, plan: batch[bi].plan,
 					exec: exec, sig: sig, wall: time.Since(start),

@@ -43,6 +43,13 @@ type Stats struct {
 	// Zero unless Config.Explain is set.
 	MinimizeExecutions int `json:"minimize_executions,omitempty"`
 	ExplainedBuckets   int `json:"explained_buckets,omitempty"`
+	// FailedExecutions counts executions that panicked (converted into
+	// Failed records by the worker guard); HungExecutions counts executions
+	// the event-budget watchdog flagged as livelocked. Both are emitted
+	// unconditionally (not omitempty) so healthy-campaign invariants can be
+	// asserted as == 0 by downstream checks.
+	FailedExecutions int `json:"failed_executions"`
+	HungExecutions   int `json:"hung_executions"`
 	// WallNanos is the campaign's wall-clock time; ExecutionsPerSec is
 	// RawExecutions normalized by it.
 	WallNanos        int64   `json:"wall_ns"`
@@ -56,7 +63,23 @@ func (s Stats) String() string {
 	if s.ExplainedBuckets > 0 {
 		out += fmt.Sprintf(", %d buckets explained in %d minimization execs", s.ExplainedBuckets, s.MinimizeExecutions)
 	}
+	if s.FailedExecutions > 0 || s.HungExecutions > 0 {
+		out += fmt.Sprintf(", %d FAILED, %d HUNG", s.FailedExecutions, s.HungExecutions)
+	}
 	return out
+}
+
+// ExecutionFailure is one panicked or watchdog-flagged execution in the
+// campaign artifact: enough to reproduce (plan ID + seed) and triage
+// (kind + detail) without digging through worker logs.
+type ExecutionFailure struct {
+	Seed int64 `json:"seed"`
+	// Index is the plan's position in the strategy's order.
+	Index int    `json:"index"`
+	Plan  string `json:"plan"`
+	// Kind is "panic" (worker guard) or "watchdog" (event-budget livelock).
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
 }
 
 // PlanOutcome is one execution's record in the campaign artifact.
@@ -73,7 +96,12 @@ type PlanOutcome struct {
 	Signature  string   `json:"signature,omitempty"`
 	Detected   bool     `json:"detected"`
 	Violations []string `json:"violations,omitempty"`
-	WallMicros int64    `json:"wall_us"`
+	// Failed / Hung / Failure mirror core.Execution's crash-safety fields:
+	// a panicked or livelocked execution is recorded, not lost.
+	Failed     bool   `json:"failed,omitempty"`
+	Hung       bool   `json:"hung,omitempty"`
+	Failure    string `json:"failure,omitempty"`
+	WallMicros int64  `json:"wall_us"`
 }
 
 // FailureBucket groups violating executions with identical signatures —
@@ -132,11 +160,14 @@ type aggregator struct {
 	violating     int
 	minimizeExecs int
 	explained     int
+	failed        int
+	hung          int
 	classes       map[string]bool
 	sigs          map[Signature]bool
 	buckets       map[Signature]*FailureBucket
 	examples      map[Signature]bucketExample
 	outcomes      []PlanOutcome
+	failures      []ExecutionFailure
 }
 
 func newAggregator(cfg Config) *aggregator {
@@ -162,9 +193,29 @@ func (a *aggregator) add(seedIdx int, seed int64, sl slot, instrumented bool) {
 	if len(sl.exec.Violations) > 0 {
 		a.violating++
 	}
+	broken := sl.exec.Failed || sl.exec.Hung
+	if broken {
+		kind := "panic"
+		if sl.exec.Hung {
+			kind = "watchdog"
+		}
+		if sl.exec.Failed {
+			a.failed++
+		}
+		if sl.exec.Hung {
+			a.hung++
+		}
+		a.failures = append(a.failures, ExecutionFailure{
+			Seed: seed, Index: sl.planIndex, Plan: sl.plan.ID(),
+			Kind: kind, Detail: sl.exec.Failure,
+		})
+	}
 	cls := classOf(sl.plan)
 	a.classes[cls] = true
-	if instrumented {
+	// Failed/hung executions have partial traces and a zero signature;
+	// keeping them out of the coverage and bucket maps stops a panicked run
+	// from aliasing with healthy executions.
+	if instrumented && !broken {
 		a.sigs[sl.sig] = true
 		if len(sl.exec.Violations) > 0 {
 			a.bucket(seedIdx, seed, sl)
@@ -178,9 +229,12 @@ func (a *aggregator) add(seedIdx int, seed int64, sl slot, instrumented bool) {
 			Description: sl.plan.Describe(),
 			Class:       cls,
 			Detected:    sl.exec.Detected,
+			Failed:      sl.exec.Failed,
+			Hung:        sl.exec.Hung,
+			Failure:     sl.exec.Failure,
 			WallMicros:  sl.wall.Microseconds(),
 		}
-		if instrumented {
+		if instrumented && !broken {
 			out.Signature = sl.sig.String()
 		}
 		for _, v := range sl.exec.Violations {
@@ -247,6 +301,8 @@ func (a *aggregator) stats(cfg Config, wall time.Duration) Stats {
 		ViolatingExecutions: a.violating,
 		MinimizeExecutions:  a.minimizeExecs,
 		ExplainedBuckets:    a.explained,
+		FailedExecutions:    a.failed,
+		HungExecutions:      a.hung,
 		WallNanos:           wall.Nanoseconds(),
 	}
 	if cfg.instrumented() {
@@ -279,6 +335,10 @@ type Artifact struct {
 	Stats    Stats           `json:"stats"`
 	Buckets  []FailureBucket `json:"failure_buckets,omitempty"`
 	Outcomes []PlanOutcome   `json:"outcomes,omitempty"`
+	// Failures lists every panicked or watchdog-flagged execution in the
+	// deterministic execution set (see Stats.FailedExecutions /
+	// HungExecutions for the counts).
+	Failures []ExecutionFailure `json:"execution_failures,omitempty"`
 }
 
 // BuildArtifact converts a Result into its artifact form.
@@ -295,6 +355,7 @@ func BuildArtifact(res Result, cfg Config) Artifact {
 		Stats:         res.Stats,
 		Buckets:       res.Buckets,
 		Outcomes:      res.Outcomes,
+		Failures:      res.Failures,
 	}
 	if res.Detected {
 		art.DetectedSeed = res.DetectedSeed

@@ -82,6 +82,12 @@ func classOf(p core.Plan) string {
 		return fmt.Sprintf("crash/%s", q.Component)
 	case core.PartitionPlan:
 		return fmt.Sprintf("partition/%s-%s", q.A, q.B)
+	case core.SlowLinkPlan:
+		return fmt.Sprintf("slowlink/%s-%s", q.A, q.B)
+	case core.FlakyLinkPlan:
+		return fmt.Sprintf("flaky/%s-%s/d%d-u%d-r%d", q.A, q.B, q.DropPercent, q.DupPercent, q.ReorderPercent)
+	case core.CompactionPressurePlan:
+		return fmt.Sprintf("compact/%s", q.Victim)
 	case core.SequencePlan:
 		subs := make([]string, 0, len(q.Plans))
 		for _, sub := range q.Plans {

@@ -53,6 +53,9 @@ type telemetryEvent struct {
 	Class      string   `json:"class,omitempty"`
 	Signature  string   `json:"signature,omitempty"`
 	Violations []string `json:"violations,omitempty"`
+	Failed     *bool    `json:"failed,omitempty"`
+	Hung       *bool    `json:"hung,omitempty"`
+	Failure    string   `json:"failure,omitempty"`
 
 	// bucket
 	Oracles            []string             `json:"oracles,omitempty"`
@@ -73,6 +76,10 @@ type telemetryEvent struct {
 	CoverageClasses     int    `json:"coverage_classes,omitempty"`
 	NovelSignatures     int    `json:"novel_signatures,omitempty"`
 	ExplainedBuckets    int    `json:"explained_buckets,omitempty"`
+	// FailedExecutions / HungExecutions are emitted unconditionally on
+	// campaign_end (healthy campaigns assert them == 0).
+	FailedExecutions *int `json:"failed_executions,omitempty"`
+	HungExecutions   *int `json:"hung_executions,omitempty"`
 }
 
 func boolPtr(b bool) *bool    { return &b }
@@ -119,7 +126,7 @@ func WriteNDJSON(w io.Writer, res Result, cfg Config) error {
 	}
 
 	for _, out := range res.Outcomes {
-		if err := emit(telemetryEvent{
+		ev := telemetryEvent{
 			Event:      "execution",
 			Seed:       int64Ptr(out.Seed),
 			Index:      intPtr(out.Index),
@@ -128,7 +135,13 @@ func WriteNDJSON(w io.Writer, res Result, cfg Config) error {
 			Signature:  out.Signature,
 			Detected:   boolPtr(out.Detected),
 			Violations: out.Violations,
-		}); err != nil {
+		}
+		if out.Failed || out.Hung {
+			ev.Failed = boolPtr(out.Failed)
+			ev.Hung = boolPtr(out.Hung)
+			ev.Failure = out.Failure
+		}
+		if err := emit(ev); err != nil {
 			return err
 		}
 	}
@@ -161,6 +174,8 @@ func WriteNDJSON(w io.Writer, res Result, cfg Config) error {
 		CoverageClasses:     res.Stats.CoverageClasses,
 		NovelSignatures:     res.Stats.NovelSignatures,
 		ExplainedBuckets:    res.Stats.ExplainedBuckets,
+		FailedExecutions:    intPtr(res.Stats.FailedExecutions),
+		HungExecutions:      intPtr(res.Stats.HungExecutions),
 	}
 	if res.Detected {
 		end.DetectedSeed = int64Ptr(res.DetectedSeed)

@@ -47,6 +47,17 @@ func (h HandlerFuncs) OnDelete(obj *cluster.Object) {
 	}
 }
 
+// Relist retry backoff: the first retry waits relistBackoffBase, each
+// subsequent failure doubles the wait up to relistBackoffCap, and every
+// wait gets up-to-half jitter from the kernel RNG so a fleet of informers
+// relisting against a recovering upstream doesn't synchronize into a
+// thundering herd. The RNG is only consulted on the error path, so
+// healthy executions draw exactly the same random sequence as before.
+const (
+	relistBackoffBase = 100 * sim.Millisecond
+	relistBackoffCap  = 1600 * sim.Millisecond
+)
+
 // InformerConfig tunes informer behaviour.
 type InformerConfig struct {
 	// WatchTimeout re-establishes the watch (pulling a fresh list if
@@ -81,6 +92,8 @@ type Informer struct {
 
 	lastEventAt sim.Time
 	relists     int
+	retries     int          // failed list attempts (upstream unavailable)
+	backoff     sim.Duration // next retry's base delay; 0 = healthy
 }
 
 // NewInformer creates (but does not start) an informer for kind on conn.
@@ -138,6 +151,10 @@ func (i *Informer) LastRevision() int64 { return i.lastRev }
 // Relists returns how many list operations the informer has performed.
 func (i *Informer) Relists() int { return i.relists }
 
+// Retries returns how many list attempts failed against an unavailable
+// upstream and were rescheduled with backoff.
+func (i *Informer) Retries() int { return i.retries }
+
 // Get returns the cached object by name.
 func (i *Informer) Get(name string) (*cluster.Object, bool) {
 	o, ok := i.store[name]
@@ -187,8 +204,20 @@ func (i *Informer) relist(reason string) {
 			return
 		}
 		if err != nil {
-			// Upstream unavailable: retry after a beat.
-			i.conn.world.Kernel().Schedule(100*sim.Millisecond, func() {
+			// Upstream unavailable: retry with capped exponential backoff
+			// plus kernel-RNG jitter (deterministic under the world seed).
+			i.retries++
+			d := i.backoff
+			if d == 0 {
+				d = relistBackoffBase
+			}
+			if next := 2 * d; next > relistBackoffCap {
+				i.backoff = relistBackoffCap
+			} else {
+				i.backoff = next
+			}
+			d += sim.Duration(i.conn.world.Kernel().Rand().Int63n(int64(d/2) + 1))
+			i.conn.world.Kernel().Schedule(d, func() {
 				if epoch == i.epoch {
 					i.relist(reason)
 				}
@@ -232,6 +261,7 @@ func (i *Informer) replace(objs []*cluster.Object, rev int64) {
 	i.lastRev = rev
 	i.Obs.Record(history.Observation{Revision: rev, Key: "(relist)", Time: int64(i.conn.world.Now())})
 	i.synced = true
+	i.backoff = 0 // a successful replace resets the retry backoff
 	i.lastEventAt = i.conn.world.Now()
 }
 

@@ -250,3 +250,55 @@ func TestInformerLivenessRewatch(t *testing.T) {
 }
 
 const time1s = sim.Second
+
+// TestInformerRelistBackoff verifies the retry path: with the upstream
+// apiserver partitioned away, the initial list fails repeatedly and is
+// rescheduled with capped exponential backoff (counted in Retries); once
+// the partition heals, the informer syncs and the backoff resets.
+func TestInformerRelistBackoff(t *testing.T) {
+	f := newFixture(t)
+	f.create(t, "p1", "k1")
+	f.w.Network().Partition("comp", "api-1")
+
+	inf := NewInformer(f.c.conn, cluster.KindPod, InformerConfig{})
+	inf.Run()
+
+	// Conn timeout is 300ms; the backoff ladder is 100, 200, 400, 800,
+	// 1600, 1600... (+ up to 50% jitter), so 10s of wall time is several
+	// failed attempts deep but nowhere near 10s/100ms flat retries.
+	f.w.Kernel().RunFor(10 * sim.Second)
+	if inf.Synced() {
+		t.Fatal("informer synced through a partition")
+	}
+	retries := inf.Retries()
+	if retries < 3 {
+		t.Fatalf("expected several failed list attempts, got %d", retries)
+	}
+	// Flat 100ms retries against a 300ms RPC timeout would burn ~25
+	// attempts in 10s; the exponential ladder caps it far lower.
+	if retries > 15 {
+		t.Fatalf("backoff not applied: %d retries in 10s", retries)
+	}
+
+	f.w.Network().Heal("comp", "api-1")
+	f.w.Kernel().RunFor(5 * sim.Second)
+	if !inf.Synced() || inf.Len() != 1 {
+		t.Fatalf("informer did not recover after heal: synced=%v len=%d retries=%d",
+			inf.Synced(), inf.Len(), inf.Retries())
+	}
+	if inf.Retries() != retries+1 && inf.Retries() != retries {
+		// At most one more attempt could have been in flight at heal time.
+		t.Fatalf("retries kept growing after heal: %d -> %d", retries, inf.Retries())
+	}
+
+	// Determinism: the same seed reproduces the same retry count.
+	g := newFixture(t)
+	g.create(t, "p1", "k1")
+	g.w.Network().Partition("comp", "api-1")
+	inf2 := NewInformer(g.c.conn, cluster.KindPod, InformerConfig{})
+	inf2.Run()
+	g.w.Kernel().RunFor(10 * sim.Second)
+	if inf2.Retries() != retries {
+		t.Fatalf("retry schedule not deterministic: %d vs %d", inf2.Retries(), retries)
+	}
+}

@@ -50,6 +50,17 @@ type Execution struct {
 	Seed       int64 // world seed the execution was built with
 	Violations []oracle.Violation
 	Detected   bool // the target bug's oracle fired
+	// Failed marks an execution whose harness run did not complete: the
+	// plan (or the system under it) panicked. A failed execution detects
+	// nothing, but must not take down the campaign (crash-safe execution).
+	Failed bool
+	// Hung marks an execution flagged by the event-budget watchdog: the
+	// kernel exhausted its step budget before reaching the virtual-time
+	// horizon — a livelocked plan (e.g. a zero-delay reschedule loop).
+	Hung bool
+	// Failure is the human-readable panic or watchdog report (plan ID,
+	// panic value, truncated stack / steps-vs-horizon diagnosis).
+	Failure string
 }
 
 // CampaignResult summarizes a bug-finding campaign.

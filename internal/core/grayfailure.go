@@ -1,0 +1,165 @@
+// Gray-failure perturbation plans: degraded-but-alive links and compaction
+// pressure. Crash and partition plans model binary failure; real partial
+// histories also arise when infrastructure merely degrades — a fail-slow
+// link stretches staleness, a flaky link drops or duplicates watch
+// deliveries, and aggressive store compaction races watch resumption into
+// forced relists (the §4.2 hazard). These plans give the planner a
+// vocabulary for that middle ground.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/infra"
+	"repro/internal/sim"
+)
+
+// SlowLinkPlan degrades the link between A and B with extra latency and
+// jitter for a window — a fail-slow (gray) link. Watch pushes still arrive,
+// just late: components fed through the link observe a smoothly lagging
+// (H', S') without any binary failure an operator could alarm on.
+type SlowLinkPlan struct {
+	A, B   sim.NodeID
+	Extra  sim.Duration // added one-way latency
+	Jitter sim.Duration // extra uniform jitter in [0, Jitter)
+	From   sim.Time
+	Until  sim.Time // zero = degraded until the end
+}
+
+// ID implements Plan.
+func (p SlowLinkPlan) ID() string {
+	return fmt.Sprintf("slowlink/%s-%s/+%d~%d@%d-%d", p.A, p.B, p.Extra, p.Jitter, p.From, p.Until)
+}
+
+// Describe implements Plan.
+func (p SlowLinkPlan) Describe() string {
+	return fmt.Sprintf("slow link %s<->%s (+%s latency, ~%s jitter) in [%s,%s]",
+		p.A, p.B, p.Extra, p.Jitter, p.From, p.Until)
+}
+
+// Apply implements Plan.
+func (p SlowLinkPlan) Apply(c *infra.Cluster) {
+	k := c.World.Kernel()
+	net := c.World.Network()
+	k.At(p.From, func() {
+		net.SetLinkQuality(p.A, p.B, sim.LinkQuality{ExtraLatency: p.Extra, ExtraJitter: p.Jitter})
+	})
+	if p.Until > p.From {
+		k.At(p.Until, func() { net.ClearLinkQuality(p.A, p.B) })
+	}
+}
+
+// FlakyLinkPlan degrades the link between A and B with probabilistic drop,
+// duplication, and bounded reorder for a window. Unlike GapPlan — which
+// surgically drops events about one named object — a flaky link loses and
+// repeats deliveries indiscriminately, modelling a lossy overlay or a
+// faulty NIC: the component's (H', S') develops unpredictable holes and
+// echoes while the link stays "up".
+type FlakyLinkPlan struct {
+	A, B           sim.NodeID
+	DropPercent    int
+	DupPercent     int
+	ReorderPercent int
+	ReorderDelay   sim.Duration // zero = the network's default bound
+	From           sim.Time
+	Until          sim.Time // zero = degraded until the end
+}
+
+// ID implements Plan.
+func (p FlakyLinkPlan) ID() string {
+	return fmt.Sprintf("flaky/%s-%s/d%d-u%d-r%d@%d-%d",
+		p.A, p.B, p.DropPercent, p.DupPercent, p.ReorderPercent, p.From, p.Until)
+}
+
+// Describe implements Plan.
+func (p FlakyLinkPlan) Describe() string {
+	return fmt.Sprintf("flaky link %s<->%s (drop %d%%, dup %d%%, reorder %d%%) in [%s,%s]",
+		p.A, p.B, p.DropPercent, p.DupPercent, p.ReorderPercent, p.From, p.Until)
+}
+
+// Apply implements Plan.
+func (p FlakyLinkPlan) Apply(c *infra.Cluster) {
+	k := c.World.Kernel()
+	net := c.World.Network()
+	k.At(p.From, func() {
+		net.SetLinkQuality(p.A, p.B, sim.LinkQuality{
+			DropPercent:    p.DropPercent,
+			DupPercent:     p.DupPercent,
+			ReorderPercent: p.ReorderPercent,
+			ReorderDelay:   p.ReorderDelay,
+		})
+	})
+	if p.Until > p.From {
+		k.At(p.Until, func() { net.ClearLinkQuality(p.A, p.B) })
+	}
+}
+
+// CompactionPressurePlan compacts the store aggressively at a mined moment
+// and keeps it compacted (a tight retain limit) from then on. Any watcher
+// that must resume from a revision older than the compaction floor gets
+// ErrCompacted and is forced into a full relist — the §4.2 "forced relist"
+// hazard. With a Victim, the plan also pulses a partition between the
+// victim apiserver and the store around At, guaranteeing the victim's watch
+// falls behind the compaction floor: on heal its gap recovery fails with
+// ErrCompacted and it must bootstrap from scratch, silently losing every
+// event in the gap for its connected clients.
+type CompactionPressurePlan struct {
+	At         sim.Time
+	Keep       int        // retain limit after compaction (min 2)
+	Victim     sim.NodeID // optional apiserver to stall across the compaction
+	PulseWidth sim.Duration
+}
+
+// ID implements Plan.
+func (p CompactionPressurePlan) ID() string {
+	return fmt.Sprintf("compact/%s/keep%d@%d-w%d", p.Victim, p.Keep, p.At, p.PulseWidth)
+}
+
+// Describe implements Plan.
+func (p CompactionPressurePlan) Describe() string {
+	if p.Victim == "" {
+		return fmt.Sprintf("compact store to last %d revisions at %s", p.keep(), p.At)
+	}
+	return fmt.Sprintf("stall %s and compact store to last %d revisions at %s (pulse %s)",
+		p.Victim, p.keep(), p.At, p.pulse())
+}
+
+func (p CompactionPressurePlan) keep() int {
+	if p.Keep < 2 {
+		return 2
+	}
+	return p.Keep
+}
+
+func (p CompactionPressurePlan) pulse() sim.Duration {
+	if p.PulseWidth <= 0 {
+		// Must outlast the apiserver's resync silence threshold (500ms) so
+		// the victim's recovery races the compaction, not the pulse.
+		return 700 * sim.Millisecond
+	}
+	return p.PulseWidth
+}
+
+// Apply implements Plan.
+func (p CompactionPressurePlan) Apply(c *infra.Cluster) {
+	k := c.World.Kernel()
+	net := c.World.Network()
+	if p.Victim != "" {
+		k.At(p.At, func() { net.Partition(p.Victim, infra.StoreID) })
+		k.At(p.At.Add(p.pulse()), func() { net.Heal(p.Victim, infra.StoreID) })
+	}
+	// Compact shortly after the pulse starts so writes committed during the
+	// stall fall behind the compaction floor.
+	compactAt := p.At
+	if p.Victim != "" {
+		compactAt = p.At.Add(p.pulse() / 2)
+	}
+	k.At(compactAt, func() {
+		st := c.Store.Store()
+		keep := p.keep()
+		if first := st.Revision() - int64(keep) + 1; first > 1 {
+			st.CompactTo(first)
+		}
+		st.SetRetainLimit(keep)
+	})
+}

@@ -45,14 +45,58 @@ func MinimizeSeed(t Target, p Plan, seed int64) (Plan, int) {
 		return p, executions
 	}
 
-	if seq, ok := p.(SequencePlan); ok {
-		reduced := minimizeSequence(seq, detects)
+	switch sp := p.(type) {
+	case SequencePlan:
+		reduced := minimizeSequence(sp, detects)
 		if len(reduced.Plans) == 1 {
 			return reduced.Plans[0], executions
 		}
 		return reduced, executions
+	case FlakyLinkPlan:
+		return minimizeFlaky(sp, detects), executions
+	case CompactionPressurePlan:
+		return minimizeCompaction(sp, detects), executions
 	}
 	return p, executions
+}
+
+// minimizeFlaky greedily zeroes degradation axes of a flaky-link plan
+// (reorder, then duplication, then drop) while the remainder still detects,
+// isolating which kind of link misbehaviour actually triggers the bug.
+func minimizeFlaky(p FlakyLinkPlan, detects func(Plan) bool) FlakyLinkPlan {
+	current := p
+	axes := []func(*FlakyLinkPlan){
+		func(c *FlakyLinkPlan) { c.ReorderPercent = 0 },
+		func(c *FlakyLinkPlan) { c.DupPercent = 0 },
+		func(c *FlakyLinkPlan) { c.DropPercent = 0 },
+	}
+	for _, zero := range axes {
+		candidate := current
+		zero(&candidate)
+		if candidate.DropPercent == 0 && candidate.DupPercent == 0 && candidate.ReorderPercent == 0 {
+			continue // must keep at least one axis
+		}
+		if candidate != current && detects(candidate) {
+			current = candidate
+		}
+	}
+	return current
+}
+
+// minimizeCompaction tries to drop the victim stall from a compaction plan:
+// if the retain-limit squeeze alone still detects, the report should not
+// implicate the apiserver pulse.
+func minimizeCompaction(p CompactionPressurePlan, detects func(Plan) bool) CompactionPressurePlan {
+	if p.Victim == "" {
+		return p
+	}
+	candidate := p
+	candidate.Victim = ""
+	candidate.PulseWidth = 0
+	if detects(candidate) {
+		return candidate
+	}
+	return p
 }
 
 // minimizeSequence greedily drops sub-plans while the remainder still
@@ -103,6 +147,39 @@ func NarrowWindowSeed(t Target, p StalenessPlan, seed int64) (StalenessPlan, int
 	}
 	// Find the latest From that still detects (the freeze must start
 	// before the event whose observation it suppresses).
+	best := p
+	for hi-lo > sim.Time(50*sim.Millisecond) {
+		mid := lo + (hi-lo)/2
+		candidate := p
+		candidate.From = mid
+		if detects(candidate) {
+			best = candidate
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best, executions
+}
+
+// NarrowFlakyWindowSeed binary-searches the latest start of a flaky-link
+// window that still detects under the given seed — the link-quality
+// analogue of NarrowWindowSeed. Each probe is fully deterministic (the
+// degraded schedule is a pure function of plan + seed), so the search is
+// exact even though the degradation itself is probabilistic.
+func NarrowFlakyWindowSeed(t Target, p FlakyLinkPlan, seed int64) (FlakyLinkPlan, int) {
+	executions := 0
+	detects := func(candidate FlakyLinkPlan) bool {
+		executions++
+		return RunPlanSeed(t, candidate, seed).Detected
+	}
+	if !detects(p) {
+		return p, executions
+	}
+	lo, hi := p.From, p.Until
+	if hi == 0 {
+		hi = sim.Time(t.Horizon)
+	}
 	best := p
 	for hi-lo > sim.Time(50*sim.Millisecond) {
 		mid := lo + (hi-lo)/2

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/apiserver"
 	"repro/internal/cluster"
+	"repro/internal/infra"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -20,6 +21,11 @@ import (
 //     moment, crash a resteerable component later, and restart it against
 //     the frozen view.
 //  3. Staleness — freeze an apiserver for a window around each commit.
+//  4. Gray failures — degrade (not cut) the links that actually carried
+//     watch deliveries in the reference run (fail-slow latency, flaky
+//     drop/duplicate/reorder), and compact the store aggressively at mined
+//     moments — optionally while an apiserver's watch is stalled — forcing
+//     ErrCompacted → relist storms (§4.2's forced-relist hazard).
 //
 // Causality approximation: gap candidates are restricted to kinds the
 // victim actually subscribes to, and (when CausalFilter is set) to objects
@@ -46,11 +52,28 @@ type Planner struct {
 	CrashDelays []sim.Duration
 	// MaxPlans caps the total plan list (0 = unlimited).
 	MaxPlans int
+	// GrayFreezePoints bounds how many freeze points seed gray-failure
+	// plans (a sub-sample of the staleness/time-travel freeze points).
+	GrayFreezePoints int
+	// GrayWindow is how long a degraded-link window lasts.
+	GrayWindow sim.Duration
+	// FlakyDrop/FlakyDup/FlakyReorder are the loss/duplication/reorder
+	// percentages mined FlakyLinkPlans use.
+	FlakyDrop    int
+	FlakyDup     int
+	FlakyReorder int
+	// SlowExtra/SlowJitter are the latency inflation mined SlowLinkPlans use.
+	SlowExtra  sim.Duration
+	SlowJitter sim.Duration
+	// CompactionKeep is the retain limit mined CompactionPressurePlans
+	// impose on the store.
+	CompactionKeep int
 	// Family toggles for the ablation experiment (all false = every
 	// family enabled).
-	DisableGaps       bool
-	DisableTimeTravel bool
-	DisableStaleness  bool
+	DisableGaps        bool
+	DisableTimeTravel  bool
+	DisableStaleness   bool
+	DisableGrayFailure bool
 }
 
 // NewPlanner returns the default tool configuration.
@@ -62,6 +85,14 @@ func NewPlanner() *Planner {
 		BlackoutWindow:          2 * sim.Second,
 		MaxFreezePoints:         48,
 		CrashDelays:             []sim.Duration{sim.Second, 3 * sim.Second},
+		GrayFreezePoints:        6,
+		GrayWindow:              2 * sim.Second,
+		FlakyDrop:               50,
+		FlakyDup:                25,
+		FlakyReorder:            25,
+		SlowExtra:               300 * sim.Millisecond,
+		SlowJitter:              100 * sim.Millisecond,
+		CompactionKeep:          2,
 	}
 }
 
@@ -183,6 +214,70 @@ func (p *Planner) Plans(t Target, ref *trace.Trace) []Plan {
 		}
 	}
 
+	// --- Family 4: gray failures --------------------------------------
+	var gray []Plan
+	if !p.DisableGrayFailure {
+		grayPoints := sampleTimes(freezePoints, p.GrayFreezePoints)
+		window := p.GrayWindow
+		if window <= 0 {
+			window = 2 * sim.Second
+		}
+
+		// Compaction pressure at each mined moment: first pure (retain-limit
+		// squeeze alone), then stalling each apiserver across the compaction
+		// so its watch resumption is guaranteed to hit ErrCompacted.
+		victims := append([]sim.NodeID{""}, t.Topology.APIServers...)
+		for _, v := range victims {
+			for _, ft := range grayPoints {
+				gray = append(gray, CompactionPressurePlan{
+					At:   ft.Add(-sim.Millisecond),
+					Keep: p.CompactionKeep, Victim: v,
+				})
+			}
+		}
+
+		// Flaky windows on the links that actually carried watch deliveries
+		// in the reference run — the mined causal surface, not every pair.
+		type link struct{ a, b sim.NodeID }
+		linkSeen := map[link]bool{}
+		var links []link
+		for _, d := range ref.Deliveries {
+			if d.To == "admin" {
+				continue
+			}
+			l := link{d.From, d.To}
+			if !linkSeen[l] {
+				linkSeen[l] = true
+				links = append(links, l)
+			}
+		}
+		for _, l := range links {
+			for _, ft := range grayPoints {
+				from := ft.Add(-sim.Millisecond)
+				gray = append(gray, FlakyLinkPlan{
+					A: l.a, B: l.b,
+					DropPercent:    p.FlakyDrop,
+					DupPercent:     p.FlakyDup,
+					ReorderPercent: p.FlakyReorder,
+					ReorderDelay:   20 * sim.Millisecond,
+					From:           from, Until: from.Add(window),
+				})
+			}
+		}
+
+		// Fail-slow store feeds: stretch each apiserver's link to the store.
+		for _, api := range t.Topology.APIServers {
+			for _, ft := range grayPoints {
+				from := ft.Add(-sim.Millisecond)
+				gray = append(gray, SlowLinkPlan{
+					A: api, B: infra.StoreID,
+					Extra: p.SlowExtra, Jitter: p.SlowJitter,
+					From: from, Until: from.Add(window),
+				})
+			}
+		}
+	}
+
 	// Order the one-shot drop buckets by causal score (stable, so equal
 	// scores keep trace order). Blackouts, time-travel, and staleness
 	// plans carry no per-delivery score and keep construction order.
@@ -196,6 +291,7 @@ func (p *Planner) Plans(t Target, ref *trace.Trace) []Plan {
 	plans = append(plans, blackouts...)
 	plans = append(plans, travels...)
 	plans = append(plans, low...)
+	plans = append(plans, gray...)
 	plans = dedupePlans(plans)
 	if p.MaxPlans > 0 && len(plans) > p.MaxPlans {
 		plans = plans[:p.MaxPlans]
@@ -206,10 +302,17 @@ func (p *Planner) Plans(t Target, ref *trace.Trace) []Plan {
 // sampleFreezePoints returns up to MaxFreezePoints commit times,
 // stride-sampled but always retaining the first and last.
 func (p *Planner) sampleFreezePoints(ref *trace.Trace) []sim.Time {
-	times := ref.CommitTimes()
-	max := p.MaxFreezePoints
+	return sampleTimes(ref.CommitTimes(), p.MaxFreezePoints)
+}
+
+// sampleTimes stride-samples times down to max entries, always retaining
+// the first and last (no-op when max <= 0 or times already fits).
+func sampleTimes(times []sim.Time, max int) []sim.Time {
 	if max <= 0 || len(times) <= max {
 		return times
+	}
+	if max == 1 {
+		return times[:1]
 	}
 	out := make([]sim.Time, 0, max)
 	stride := float64(len(times)-1) / float64(max-1)
@@ -266,6 +369,12 @@ func PlanFamilies(plans []Plan) map[string]int {
 			out["crash"]++
 		case PartitionPlan:
 			out["partition"]++
+		case SlowLinkPlan:
+			out["slowlink"]++
+		case FlakyLinkPlan:
+			out["flakylink"]++
+		case CompactionPressurePlan:
+			out["compaction"]++
 		default:
 			out["other"]++
 		}

@@ -64,12 +64,28 @@ type Metrics struct {
 	// signature of a component re-listing state it had already seen (after
 	// a restart, an upstream switch, or a compacted watch window).
 	ForcedRelists int `json:"forced_relists"`
+	// DroppedDeliveries counts watch pushes to the component lost in flight
+	// in the perturbed run (flaky links, partitions) — observations the
+	// component never received at all.
+	DroppedDeliveries int `json:"dropped_deliveries"`
+	// DuplicatedDeliveries counts watch pushes the component observed more
+	// than once (duplicated links).
+	DuplicatedDeliveries int `json:"duplicated_deliveries"`
+	// RelistStorm is how many more full list operations the perturbed run
+	// issued system-wide than the reference — the width of a §4.2 forced
+	// relist storm (compaction racing watch resumption). It deliberately
+	// counts every consumer — informer relists against apiservers AND
+	// apiserver bootstraps against the store — because compaction
+	// pressure's blast radius is the whole read path, not just the chain's
+	// protagonist.
+	RelistStorm int `json:"relist_storm_width"`
 }
 
 func (m Metrics) String() string {
-	return fmt.Sprintf("staleness-lag=%drev/%s gap-width=%d time-travel=%dx/depth %d forced-relists=%d",
+	return fmt.Sprintf("staleness-lag=%drev/%s gap-width=%d time-travel=%dx/depth %d forced-relists=%d dropped=%d duplicated=%d relist-storm=%d",
 		m.StalenessLagRevisions, sim.Duration(m.StalenessLagNanos), m.GapWidth,
-		m.TimeTravelEpisodes, m.TimeTravelDepth, m.ForcedRelists)
+		m.TimeTravelEpisodes, m.TimeTravelDepth, m.ForcedRelists,
+		m.DroppedDeliveries, m.DuplicatedDeliveries, m.RelistStorm)
 }
 
 // Explanation is the full report for one detected bucket: the minimal
@@ -189,9 +205,20 @@ func affectedComponent(leaves []core.Plan, ref, pert *trace.Trace) sim.NodeID {
 			return q.Component
 		case core.CrashPlan:
 			return q.Component
+		case core.FlakyLinkPlan:
+			// A degraded link names two endpoints; the protagonist is the
+			// consumer end (the component whose view the link feeds).
+			if id, ok := consumerEnd(ref, q.A, q.B); ok {
+				return id
+			}
+		case core.SlowLinkPlan:
+			if id, ok := consumerEnd(ref, q.A, q.B); ok {
+				return id
+			}
 		}
 	}
-	// Staleness and partition plans name infrastructure, not the consumer;
+	// Staleness, partition, and compaction plans name infrastructure, not
+	// the consumer;
 	// find the consumer whose view diverges first.
 	bestComp := sim.NodeID("")
 	bestIdx := -1
@@ -211,6 +238,21 @@ func affectedComponent(leaves []core.Plan, ref, pert *trace.Trace) sim.NodeID {
 		return comps[0]
 	}
 	return ""
+}
+
+// consumerEnd picks which endpoint of a degraded link is a watch consumer
+// (received deliveries in the reference run), preferring b — mined link
+// plans put the consumer second.
+func consumerEnd(ref *trace.Trace, a, b sim.NodeID) (sim.NodeID, bool) {
+	comps := ref.Components()
+	for _, id := range []sim.NodeID{b, a} {
+		for _, c := range comps {
+			if c == id {
+				return id, true
+			}
+		}
+	}
+	return "", false
 }
 
 // deliveryKey is the view-relevant identity of a delivery, ignoring
@@ -272,6 +314,13 @@ func perturbationSteps(leaf core.Plan, ref *trace.Trace) []Step {
 		return []Step{{Kind: StepPerturbation, Time: int64(q.At), Detail: leaf.Describe()}}
 	case core.PartitionPlan:
 		return []Step{{Kind: StepPerturbation, Time: int64(q.From), Detail: leaf.Describe()}}
+	case core.SlowLinkPlan:
+		return []Step{{Kind: StepPerturbation, Time: int64(q.From), Detail: leaf.Describe()}}
+	case core.FlakyLinkPlan:
+		return []Step{{Kind: StepPerturbation, Time: int64(q.From), Detail: leaf.Describe()}}
+	case core.CompactionPressurePlan:
+		return []Step{{Kind: StepPerturbation, Time: int64(q.At),
+			Detail: fmt.Sprintf("%s — watch windows older than the floor now fail with ErrCompacted", leaf.Describe())}}
 	default:
 		return []Step{{Kind: StepPerturbation, Time: -1, Detail: leaf.Describe()}}
 	}
@@ -507,6 +556,15 @@ func measure(comp sim.NodeID, ref, pert *trace.Trace) Metrics {
 			m.ForcedRelists++
 		}
 		inBurst = dup
+	}
+
+	// Gray-failure divergence: deliveries the link lost or echoed, and the
+	// relist storm width — extra full lists versus the reference run (the
+	// §4.2 cost of compaction racing watch resumption).
+	m.DroppedDeliveries = pert.DroppedPushesTo(comp)
+	m.DuplicatedDeliveries = pert.DuplicatePushesTo(comp)
+	if storm := len(pert.Lists) - len(ref.Lists); storm > 0 {
+		m.RelistStorm = storm
 	}
 	return m
 }

@@ -69,14 +69,14 @@ func TestExplainGoldenRender(t *testing.T) {
 	e := explain.Explain(target, plan, 1)
 	got := e.Render()
 
-	const want = `k8s-59848 seed 1 — minimal plan: freeze api-2 at 0.507294s, crash kubelet-k1 at 3.502294s, restart onto frozen view
+	const want = `k8s-59848 seed 1 — minimal plan: freeze api-2 at 0.507342s, crash kubelet-k1 at 3.502342s, restart onto frozen view
   affected component: kubelet-k1
-  1. [0.507294s] perturbation:            freeze api-2 at 0.507294s — it preserves the historical view at revision 5
-  2. [3.502294s] perturbation:            crash kubelet-k1 at 3.502294s and steer its restart onto frozen api-2
-  3. [3.602294s] action:                  kubelet-k1 issues api.Create nodes/k1 instead of the reference's api.Update nodes/k1 — acting on its divergent view
-  4. [4.258867s] divergence:              kubelet-k1 observes MODIFIED pods/p1 at rev 6 after having seen rev 22 — its view travelled 16 revisions back in time
+  1. [0.507342s] perturbation:            freeze api-2 at 0.507342s — it preserves the historical view at revision 5
+  2. [3.502342s] perturbation:            crash kubelet-k1 at 3.502342s and steer its restart onto frozen api-2
+  3. [3.602342s] action:                  kubelet-k1 issues api.Create nodes/k1 instead of the reference's api.Update nodes/k1 — acting on its divergent view
+  4. [4.259154s] divergence:              kubelet-k1 observes MODIFIED pods/p1 at rev 6 after having seen rev 22 — its view travelled 16 revisions back in time
   5. [3.610000s] violation:               oracle UniquePod on pods/p1: pod "p1" running on multiple hosts: k1,k2
-  divergence: staleness-lag=53rev/7.052994s gap-width=0 time-travel=4x/depth 16 forced-relists=2
+  divergence: staleness-lag=53rev/7.053291s gap-width=0 time-travel=4x/depth 16 forced-relists=2 dropped=0 duplicated=0 relist-storm=1
 `
 	if got != want {
 		t.Fatalf("golden explanation drifted\n--- got ---\n%s\n--- want ---\n%s", got, want)

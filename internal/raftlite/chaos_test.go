@@ -109,3 +109,117 @@ func TestChaosPrefixConsistency(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosFlakyLinks runs the same safety checks under gray failure
+// instead of hard faults: every link in the cluster drops, duplicates,
+// reorders, and delays messages (the sim/network link-quality model), and
+// raft must neither diverge during the chaos nor fail to converge on one
+// log — with one leader — once link quality is restored.
+func TestChaosFlakyLinks(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			c := newCluster(t, 3, seed)
+			q := sim.LinkQuality{
+				ExtraLatency:   2 * sim.Millisecond,
+				ExtraJitter:    3 * sim.Millisecond,
+				DropPercent:    20,
+				DupPercent:     20,
+				ReorderPercent: 25,
+				ReorderDelay:   15 * sim.Millisecond,
+			}
+			degrade := func(on bool) {
+				for i, a := range c.ids {
+					for _, b := range c.ids[i+1:] {
+						if on {
+							c.w.Network().SetLinkQuality(a, b, q)
+						} else {
+							c.w.Network().ClearLinkQuality(a, b)
+						}
+					}
+				}
+			}
+			degrade(true)
+
+			// Proposer: every 40ms, ask the current leader to append.
+			proposed := 0
+			var propose func()
+			propose = func() {
+				if l := c.leader(); l != nil {
+					proposed++
+					l.Propose([]byte(fmt.Sprintf("e%03d", proposed)))
+				}
+				c.w.Kernel().Schedule(40*sim.Millisecond, propose)
+			}
+			c.w.Kernel().Schedule(300*sim.Millisecond, propose)
+
+			// Prefix check every 100ms while the links are bad.
+			violated := false
+			var check func()
+			check = func() {
+				var longest []string
+				for _, id := range c.ids {
+					if len(c.applied[id]) > len(longest) {
+						longest = c.applied[id]
+					}
+				}
+				for _, id := range c.ids {
+					seq := c.applied[id]
+					for j := range seq {
+						if seq[j] != longest[j] {
+							violated = true
+						}
+					}
+				}
+				c.w.Kernel().Schedule(100*sim.Millisecond, check)
+			}
+			c.w.Kernel().Schedule(100*sim.Millisecond, check)
+
+			c.w.Kernel().Run(sim.Time(5 * sim.Second))
+			if violated {
+				t.Fatal("applied sequences diverged under flaky links")
+			}
+			stats := c.w.Network().Stats()
+			if stats.FlakyDrops == 0 || stats.Duplicated == 0 || stats.Reordered == 0 {
+				t.Fatalf("chaos was a no-op: %+v", stats)
+			}
+			if proposed == 0 {
+				t.Fatal("no proposals made it through — chaos too strong to test anything")
+			}
+
+			// Restore link quality and let the cluster quiesce.
+			degrade(false)
+			c.w.Kernel().Run(sim.Time(15 * sim.Second))
+
+			l := c.leader()
+			if l == nil {
+				t.Fatal("no leader after link quality restored")
+			}
+			leaders := 0
+			for _, id := range c.ids {
+				if c.nodes[id].Role() == Leader {
+					leaders++
+				}
+			}
+			if leaders != 1 {
+				t.Fatalf("%d leaders after quiesce, want exactly 1", leaders)
+			}
+			ref := c.applied[c.ids[0]]
+			if len(ref) == 0 {
+				t.Fatal("nothing applied — convergence check is vacuous")
+			}
+			for _, id := range c.ids[1:] {
+				got := c.applied[id]
+				if len(got) != len(ref) {
+					t.Fatalf("%s applied %d entries, %s applied %d — no convergence",
+						c.ids[0], len(ref), id, len(got))
+				}
+				for j := range ref {
+					if ref[j] != got[j] {
+						t.Fatalf("divergent entry %d after quiesce", j)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// linkRig builds a two-node network and returns a receive log the handler
+// appends to on every delivery.
+func linkRig(seed int64, latency, jitter Duration) (*Kernel, *Network, *[]string) {
+	k := NewKernel(seed)
+	n := NewNetwork(k, latency, jitter)
+	var log []string
+	n.Register("a", HandlerFunc(func(m *Message) {}))
+	n.Register("b", HandlerFunc(func(m *Message) {
+		log = append(log, fmt.Sprintf("#%d@%s", m.Seq, k.Now()))
+	}))
+	return k, n, &log
+}
+
+// TestLinkQualityDeterministic: identical seeds and identical LinkQuality
+// yield identical delivery logs and stats; a different seed yields a
+// different schedule (the degradation is RNG-driven, not fixed).
+func TestLinkQualityDeterministic(t *testing.T) {
+	run := func(seed int64) ([]string, NetStats) {
+		k, n, log := linkRig(seed, Millisecond, Millisecond)
+		n.SetLinkQuality("a", "b", LinkQuality{
+			ExtraLatency: 2 * Millisecond, ExtraJitter: 3 * Millisecond,
+			DropPercent: 30, DupPercent: 30, ReorderPercent: 30,
+		})
+		for i := 0; i < 200; i++ {
+			at := Time(i) * Time(Millisecond)
+			k.At(at, func() { n.Send("a", "b", "data", i) })
+		}
+		k.Run(Time(Second))
+		return *log, n.Stats()
+	}
+	l1, s1 := run(7)
+	l2, s2 := run(7)
+	if fmt.Sprint(l1) != fmt.Sprint(l2) || s1 != s2 {
+		t.Fatalf("same seed produced different degraded schedules:\n%v\n%v\n%+v vs %+v", l1, l2, s1, s2)
+	}
+	l3, _ := run(8)
+	if fmt.Sprint(l1) == fmt.Sprint(l3) {
+		t.Fatal("different seeds produced identical degraded schedules; RNG not in use")
+	}
+}
+
+// TestLinkQualityDropAll: DropPercent 100 loses every message;
+// DropPercent 0 loses none.
+func TestLinkQualityDropAll(t *testing.T) {
+	k, n, log := linkRig(1, Millisecond, 0)
+	n.SetLinkQualityOneWay("a", "b", LinkQuality{DropPercent: 100})
+	for i := 0; i < 50; i++ {
+		n.Send("a", "b", "data", i)
+	}
+	k.Run(Time(Second))
+	if len(*log) != 0 {
+		t.Fatalf("DropPercent=100 delivered %d messages", len(*log))
+	}
+	st := n.Stats()
+	if st.FlakyDrops != 50 || st.Dropped != 50 {
+		t.Fatalf("want 50 flaky drops, got %+v", st)
+	}
+	n.ClearLinkQuality("a", "b")
+	for i := 0; i < 50; i++ {
+		n.Send("a", "b", "data", i)
+	}
+	k.Run(2 * Time(Second))
+	if len(*log) != 50 {
+		t.Fatalf("healthy link delivered %d/50", len(*log))
+	}
+}
+
+// TestLinkQualityDupAll: DupPercent 100 delivers every message exactly twice.
+func TestLinkQualityDupAll(t *testing.T) {
+	k, n, log := linkRig(1, Millisecond, 0)
+	n.SetLinkQualityOneWay("a", "b", LinkQuality{DupPercent: 100})
+	for i := 0; i < 20; i++ {
+		n.Send("a", "b", "data", i)
+	}
+	k.Run(Time(Second))
+	if len(*log) != 40 {
+		t.Fatalf("DupPercent=100 delivered %d messages, want 40", len(*log))
+	}
+	st := n.Stats()
+	if st.Duplicated != 20 || st.Delivered != 40 {
+		t.Fatalf("want 20 duplicated / 40 delivered, got %+v", st)
+	}
+}
+
+// TestLinkQualityReorderBounded: with ReorderPercent set, some messages
+// overtake the FIFO stream, but displacement stays within the configured
+// bound; with no quality the stream is strictly FIFO.
+func TestLinkQualityReorderBounded(t *testing.T) {
+	const msgs = 300
+	run := func(q LinkQuality) []uint64 {
+		k := NewKernel(3)
+		n := NewNetwork(k, Millisecond, Millisecond)
+		var order []uint64
+		n.Register("a", HandlerFunc(func(m *Message) {}))
+		n.Register("b", HandlerFunc(func(m *Message) { order = append(order, m.Seq) }))
+		if q.active() {
+			n.SetLinkQualityOneWay("a", "b", q)
+		}
+		for i := 0; i < msgs; i++ {
+			at := Time(i) * Time(100*Microsecond)
+			k.At(at, func() { n.Send("a", "b", "data", i) })
+		}
+		k.Run(Time(Second))
+		return order
+	}
+
+	fifo := run(LinkQuality{})
+	if len(fifo) != msgs {
+		t.Fatalf("healthy link delivered %d/%d", len(fifo), msgs)
+	}
+	for i := 1; i < len(fifo); i++ {
+		if fifo[i] < fifo[i-1] {
+			t.Fatalf("healthy link reordered: %d before %d", fifo[i-1], fifo[i])
+		}
+	}
+
+	const bound = 5 * Millisecond
+	re := run(LinkQuality{ReorderPercent: 40, ReorderDelay: bound})
+	if len(re) != msgs {
+		t.Fatalf("reordering link lost messages: %d/%d", len(re), msgs)
+	}
+	inversions := 0
+	maxDisp := 0
+	for i := 1; i < len(re); i++ {
+		if re[i] < re[i-1] {
+			inversions++
+		}
+	}
+	for pos, seq := range re {
+		disp := pos - int(seq-1)
+		if disp < 0 {
+			disp = -disp
+		}
+		if disp > maxDisp {
+			maxDisp = disp
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("ReorderPercent=40 produced a perfectly ordered stream")
+	}
+	// Displacement is bounded: a message can move by at most the number of
+	// messages sent within latency+jitter+bound of it (here ~7ms / 100µs
+	// spacing ≈ 70 positions, comfortably below the stream length).
+	if maxDisp > 80 {
+		t.Fatalf("reorder displacement %d exceeds bound", maxDisp)
+	}
+}
+
+// TestLinkQualityDoesNotPerturbHealthyRNG: configuring quality on one link
+// must not change the RNG draw sequence — and therefore the schedule — of
+// traffic on other links.
+func TestLinkQualityDoesNotPerturbHealthyRNG(t *testing.T) {
+	run := func(degradeOther bool) []string {
+		k := NewKernel(5)
+		n := NewNetwork(k, Millisecond, Millisecond)
+		var log []string
+		n.Register("a", HandlerFunc(func(m *Message) {}))
+		n.Register("b", HandlerFunc(func(m *Message) {
+			log = append(log, fmt.Sprintf("#%d@%s", m.Seq, k.Now()))
+		}))
+		n.Register("c", HandlerFunc(func(m *Message) {}))
+		if degradeOther {
+			// Degraded link carries no traffic: latency/jitter/drop rolls on
+			// a->b must be unaffected.
+			n.SetLinkQuality("a", "c", LinkQuality{DropPercent: 50, DupPercent: 50})
+		}
+		for i := 0; i < 100; i++ {
+			at := Time(i) * Time(Millisecond)
+			k.At(at, func() { n.Send("a", "b", "data", i) })
+		}
+		k.Run(Time(Second))
+		return log
+	}
+	clean := run(false)
+	withQuality := run(true)
+	if fmt.Sprint(clean) != fmt.Sprint(withQuality) {
+		t.Fatal("idle degraded link changed the schedule of healthy traffic")
+	}
+}

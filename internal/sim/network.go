@@ -101,6 +101,30 @@ type linkState struct {
 	extraDelay  Duration
 }
 
+// LinkQuality models a degraded-but-alive (gray-failure) link: latency
+// inflation, probabilistic loss, duplication, and bounded reorder. All
+// randomness is drawn from the kernel RNG, so a given seed yields the same
+// degraded schedule every run. A zero LinkQuality is a healthy link.
+type LinkQuality struct {
+	ExtraLatency   Duration // added to every message's one-way latency
+	ExtraJitter    Duration // extra uniform jitter in [0, ExtraJitter)
+	DropPercent    int      // probability (0-100) a message is lost
+	DupPercent     int      // probability (0-100) a message is delivered twice
+	ReorderPercent int      // probability (0-100) a message may overtake/lag its stream
+	ReorderDelay   Duration // bound on reorder displacement (default 10ms)
+}
+
+// active reports whether any degradation is configured.
+func (q LinkQuality) active() bool {
+	return q.ExtraLatency > 0 || q.ExtraJitter > 0 ||
+		q.DropPercent > 0 || q.DupPercent > 0 || q.ReorderPercent > 0
+}
+
+func (q LinkQuality) String() string {
+	return fmt.Sprintf("lat+%s jit+%s drop%d%% dup%d%% reorder%d%%",
+		q.ExtraLatency, q.ExtraJitter, q.DropPercent, q.DupPercent, q.ReorderPercent)
+}
+
 // NetStats aggregates network-level counters.
 type NetStats struct {
 	Sent        uint64
@@ -110,6 +134,9 @@ type NetStats struct {
 	Released    uint64
 	PartitionRx uint64 // drops due to partitions
 	DownRx      uint64 // drops due to crashed receivers
+	FlakyDrops  uint64 // drops due to LinkQuality.DropPercent
+	Duplicated  uint64 // extra deliveries due to LinkQuality.DupPercent
+	Reordered   uint64 // messages released from FIFO ordering by LinkQuality.ReorderPercent
 }
 
 // Network routes messages between registered nodes with per-link latency,
@@ -125,6 +152,7 @@ type Network struct {
 	seq     uint64
 	held    map[uint64]*Message
 	lastAt  map[linkKey]Time // per-link FIFO frontier (stream ordering)
+	quality map[linkKey]LinkQuality
 	icpts   []Interceptor
 	obs     []Observer
 	stats   NetStats
@@ -142,6 +170,7 @@ func NewNetwork(k *Kernel, latency, jitter Duration) *Network {
 		jitter:  jitter,
 		held:    make(map[uint64]*Message),
 		lastAt:  make(map[linkKey]Time),
+		quality: make(map[linkKey]LinkQuality),
 	}
 }
 
@@ -235,6 +264,44 @@ func (n *Network) SetLinkDelay(from, to NodeID, d Duration) {
 	n.links[key] = st
 }
 
+// SetLinkQuality degrades both directions between a and b. A zero-value
+// LinkQuality restores the link to healthy (equivalent to ClearLinkQuality).
+func (n *Network) SetLinkQuality(a, b NodeID, q LinkQuality) {
+	n.SetLinkQualityOneWay(a, b, q)
+	n.SetLinkQualityOneWay(b, a, q)
+}
+
+// SetLinkQualityOneWay degrades only messages from->to.
+func (n *Network) SetLinkQualityOneWay(from, to NodeID, q LinkQuality) {
+	key := linkKey{from, to}
+	if !q.active() {
+		delete(n.quality, key)
+		return
+	}
+	n.quality[key] = q
+}
+
+// ClearLinkQuality restores both directions between a and b to healthy.
+func (n *Network) ClearLinkQuality(a, b NodeID) {
+	delete(n.quality, linkKey{a, b})
+	delete(n.quality, linkKey{b, a})
+}
+
+// LinkQualityOf returns the degradation configured on the directed link
+// from->to (the zero value if the link is healthy).
+func (n *Network) LinkQualityOf(from, to NodeID) LinkQuality {
+	return n.quality[linkKey{from, to}]
+}
+
+// reorderBound returns the displacement bound for reorder/duplicate
+// scheduling on a degraded link.
+func (q LinkQuality) reorderBound() Duration {
+	if q.ReorderDelay > 0 {
+		return q.ReorderDelay
+	}
+	return 10 * Millisecond
+}
+
 // Send enqueues a message for delivery. It returns the message's unique
 // sequence number (useful for Release after a Hold verdict).
 func (n *Network) Send(from, to NodeID, kind string, payload any) uint64 {
@@ -271,21 +338,58 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) uint64 {
 		}
 	}
 
-	lat := n.latency + n.links[linkKey{from, to}].extraDelay + extra
+	key := linkKey{from, to}
+	// Gray-failure link quality. Every RNG draw below is gated on the link
+	// actually being degraded, so runs without LinkQuality consume exactly
+	// the RNG sequence they always did — perturbation-free executions stay
+	// byte-identical with or without this feature compiled in.
+	q, degraded := n.quality[key]
+	if degraded && q.DropPercent > 0 && n.k.Rand().Intn(100) < q.DropPercent {
+		n.stats.Dropped++
+		n.stats.FlakyDrops++
+		n.drop(m, "link-drop")
+		return m.Seq
+	}
+
+	lat := n.latency + n.links[key].extraDelay + extra
 	if n.jitter > 0 {
 		lat += Duration(n.k.Rand().Int63n(int64(n.jitter)))
 	}
+	if degraded {
+		lat += q.ExtraLatency
+		if q.ExtraJitter > 0 {
+			lat += Duration(n.k.Rand().Int63n(int64(q.ExtraJitter)))
+		}
+	}
+
 	// Per-link FIFO: messages between the same pair model an ordered
 	// stream (TCP); jitter and interceptor delays may stretch the link but
-	// never reorder it. Reordering is only possible via Hold/Release —
-	// a deliberate perturbation, not background noise.
-	key := linkKey{from, to}
+	// never reorder it. Reordering is only possible via Hold/Release — a
+	// deliberate perturbation — or a degraded link's ReorderPercent below.
 	deliverAt := n.k.Now().Add(lat)
-	if prev := n.lastAt[key]; deliverAt < prev {
-		deliverAt = prev
+	if degraded && q.ReorderPercent > 0 && n.k.Rand().Intn(100) < q.ReorderPercent {
+		// Bounded reorder: this message escapes the FIFO frontier. It
+		// neither respects nor advances lastAt, so it can overtake earlier
+		// in-flight messages or lag later ones, displaced by at most
+		// reorderBound extra time.
+		deliverAt = deliverAt.Add(Duration(n.k.Rand().Int63n(int64(q.reorderBound())) + 1))
+		n.stats.Reordered++
+	} else {
+		if prev := n.lastAt[key]; deliverAt < prev {
+			deliverAt = prev
+		}
+		n.lastAt[key] = deliverAt
 	}
-	n.lastAt[key] = deliverAt
 	n.k.At(deliverAt, func() { n.deliver(m) })
+
+	if degraded && q.DupPercent > 0 && n.k.Rand().Intn(100) < q.DupPercent {
+		// Duplicate delivery: the same message arrives a second time a
+		// bounded interval after the first copy (at-least-once delivery,
+		// e.g. a retried watch notification).
+		dupAt := deliverAt.Add(Duration(n.k.Rand().Int63n(int64(q.reorderBound())) + 1))
+		n.stats.Duplicated++
+		n.k.At(dupAt, func() { n.deliver(m) })
+	}
 	return m.Seq
 }
 

@@ -50,15 +50,39 @@ type Write struct {
 	Name   string
 }
 
+// ListOp is one full list (relist) issued by a component: an apiserver List
+// RPC from a client, or a Range against the store (an apiserver bootstrap
+// relist). Relists are the cost the paper's §4.2 warns compaction forces on
+// watchers; counting them per component exposes relist storms.
+type ListOp struct {
+	From sim.NodeID
+	To   sim.NodeID
+	Time sim.Time
+	Kind cluster.Kind // zero value for store-level Range (all kinds)
+}
+
 // Trace is the recorded reference execution.
 type Trace struct {
 	Deliveries []Delivery
 	Writes     []Write
 	Commits    []history.Event
+	Lists      []ListOp
 	// Subscriptions maps component -> object kinds it watches.
 	Subscriptions map[sim.NodeID]map[cluster.Kind]bool
+	// DroppedPushes counts watch-push messages dropped in flight to each
+	// component (flaky links, partitions) — deliveries the component never saw.
+	DroppedPushes map[sim.NodeID]int
+	// DuplicatePushes counts watch-push messages delivered more than once to
+	// a component (same network sequence seen again).
+	DuplicatePushes map[sim.NodeID]int
 
-	occ map[occKey]int
+	occ      map[occKey]int
+	seenPush map[seenKey]bool
+}
+
+type seenKey struct {
+	to  sim.NodeID
+	seq uint64
 }
 
 type occKey struct {
@@ -71,8 +95,11 @@ type occKey struct {
 // New returns an empty trace.
 func New() *Trace {
 	return &Trace{
-		Subscriptions: make(map[sim.NodeID]map[cluster.Kind]bool),
-		occ:           make(map[occKey]int),
+		Subscriptions:   make(map[sim.NodeID]map[cluster.Kind]bool),
+		DroppedPushes:   make(map[sim.NodeID]int),
+		DuplicatePushes: make(map[sim.NodeID]int),
+		occ:             make(map[occKey]int),
+		seenPush:        make(map[seenKey]bool),
 	}
 }
 
@@ -122,6 +149,14 @@ func (r *Recorder) OnSend(m *sim.Message) {
 			From: m.From, Time: m.SentAt, Method: req.Method,
 			Kind: body.Kind, Name: body.Name,
 		})
+	case *apiserver.ListRequest:
+		r.T.Lists = append(r.T.Lists, ListOp{
+			From: m.From, To: m.To, Time: m.SentAt, Kind: body.Kind,
+		})
+	case *store.RangeRequest:
+		r.T.Lists = append(r.T.Lists, ListOp{
+			From: m.From, To: m.To, Time: m.SentAt,
+		})
 	}
 }
 
@@ -131,6 +166,14 @@ func (r *Recorder) OnDeliver(m *sim.Message) {
 	if !ok {
 		return
 	}
+	sk := seenKey{to: m.To, seq: m.Seq}
+	if r.T.seenPush[sk] {
+		// Same network message delivered again: a duplicated link. The
+		// duplicate's events are still appended below — the component really
+		// did observe them twice.
+		r.T.DuplicatePushes[m.To]++
+	}
+	r.T.seenPush[sk] = true
 	for _, ev := range push.Events {
 		if ev.Object == nil {
 			continue
@@ -161,8 +204,12 @@ func (r *Recorder) OnDeliver(m *sim.Message) {
 	}
 }
 
-// OnDrop implements sim.Observer.
-func (r *Recorder) OnDrop(m *sim.Message, reason string) {}
+// OnDrop implements sim.Observer: it counts lost watch pushes per receiver.
+func (r *Recorder) OnDrop(m *sim.Message, reason string) {
+	if _, ok := m.Payload.(*apiserver.WatchPushMsg); ok {
+		r.T.DroppedPushes[m.To]++
+	}
+}
 
 // Components returns all components that received watch deliveries, sorted.
 func (t *Trace) Components() []sim.NodeID {
@@ -200,6 +247,23 @@ func (t *Trace) ActedOn(component sim.NodeID, kind cluster.Kind, name string) bo
 	}
 	return false
 }
+
+// ListsBy returns how many full lists (relists) component id issued.
+func (t *Trace) ListsBy(id sim.NodeID) int {
+	n := 0
+	for _, l := range t.Lists {
+		if l.From == id {
+			n++
+		}
+	}
+	return n
+}
+
+// DroppedPushesTo returns how many watch pushes to id were lost in flight.
+func (t *Trace) DroppedPushesTo(id sim.NodeID) int { return t.DroppedPushes[id] }
+
+// DuplicatePushesTo returns how many watch pushes id observed twice.
+func (t *Trace) DuplicatePushesTo(id sim.NodeID) int { return t.DuplicatePushes[id] }
 
 // CommitTimes returns the distinct virtual times of committed events,
 // sorted ascending — the natural anchor points for staleness and

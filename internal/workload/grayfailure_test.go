@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/explain"
+	"repro/internal/infra"
+	"repro/internal/sim"
+)
+
+// TestCompactionPressureForcesRelists is the end-to-end check for the
+// compaction fault surface: a CompactionPressurePlan that stalls an
+// apiserver across an aggressive compaction forces its watch resumption
+// into ErrCompacted, and the explanation layer measures the consequence —
+// a non-zero forced-relist / relist-storm divergence metric at the
+// affected component.
+func TestCompactionPressureForcesRelists(t *testing.T) {
+	target := TargetCass398()
+	// Stall api-2 across the compaction: the operator keeps writing through
+	// api-1, so the store's revision frontier advances past the compaction
+	// floor while api-2 is partitioned — on heal, api-2's watch resumption
+	// fails with ErrCompacted and it must relist (bootstrap) from scratch.
+	plan := core.CompactionPressurePlan{
+		At:         sim.Time(4200 * sim.Millisecond), // mid scale-down, revisions flowing
+		Keep:       2,
+		Victim:     infra.APIServerID(1),
+		PulseWidth: 2 * sim.Second,
+	}
+	e := explain.Explain(target, plan, 1)
+	if e == nil {
+		t.Fatal("explain returned nil")
+	}
+	if e.Metrics.RelistStorm == 0 {
+		t.Fatalf("compaction pressure forced no relists: %s", e.Metrics)
+	}
+	// The chain must at least carry the compaction perturbation itself.
+	found := false
+	for _, s := range e.Chain {
+		if s.Kind == explain.StepPerturbation && strings.Contains(s.Detail, "compact store") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chain does not mention the compaction perturbation:\n%s", e.Render())
+	}
+}
+
+// TestGrayFailureCampaignDetectsAndExplains runs the planner restricted to
+// its gray-failure family (slow/flaky links, compaction pressure) through
+// the campaign engine: at least one seeded bug must be detected by a gray
+// plan alone, and the detected bucket must come out of the explanation
+// pass with a minimized plan and a causal chain terminating in the oracle
+// violation.
+func TestGrayFailureCampaignDetectsAndExplains(t *testing.T) {
+	target := TargetCass398()
+	planner := core.NewPlanner()
+	planner.DisableGaps = true
+	planner.DisableTimeTravel = true
+	planner.DisableStaleness = true
+
+	eng := campaign.New(campaign.Config{Workers: 2, MaxExecutions: 200, Collect: true, Explain: true})
+	res := eng.Run(target, planner)
+	if !res.Detected {
+		t.Fatalf("gray-failure plans alone did not detect %s: %+v", target.Name, res.Campaign)
+	}
+	// Healthy campaign: the crash-safety counters must be clean.
+	if res.Stats.FailedExecutions != 0 || res.Stats.HungExecutions != 0 {
+		t.Fatalf("gray campaign had broken executions: %+v", res.Stats)
+	}
+
+	explained := false
+	for _, b := range res.Buckets {
+		if !b.Detected {
+			continue
+		}
+		prefix := strings.SplitN(b.MinimalPlanID, "/", 2)[0]
+		if prefix != "flaky" && prefix != "slowlink" && prefix != "compact" {
+			t.Fatalf("detected bucket minimized to a non-gray plan %q", b.MinimalPlanID)
+		}
+		if b.MinimalPlan == "" || b.Explanation == nil {
+			t.Fatalf("detected bucket missing minimal plan or explanation: %+v", b)
+		}
+		chain := b.Explanation.Chain
+		if len(chain) == 0 || chain[len(chain)-1].Kind != explain.StepViolation {
+			t.Fatalf("explanation chain does not terminate in the violation:\n%s", b.Explanation.Render())
+		}
+		explained = true
+	}
+	if !explained {
+		t.Fatalf("no detected+explained bucket among %d buckets", len(res.Buckets))
+	}
+}
