@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/explain"
 	"repro/internal/history"
+	"repro/internal/learn"
 	"repro/internal/raftlite"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -186,6 +187,51 @@ func BenchmarkMicro_ExplainPass(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if e := explain.Explain(target, detecting, 1); len(e.Chain) == 0 {
 				b.Fatal("empty explanation chain")
+			}
+		}
+	})
+}
+
+// BenchmarkMicro_LearnPass bounds the cost of the learning phase: mining
+// read-dependency profiles from the reference trace plus building the
+// pruned+ranked schedule over the full planner output. The whole pass runs
+// once per campaign seed, so it must stay well under the cost of a single
+// plan execution (~6 ms on the seeded targets) — otherwise pruning could
+// not pay for itself even in principle.
+func BenchmarkMicro_LearnPass(b *testing.B) {
+	target := workload.Target56261()
+	ref, _ := core.Reference(target)
+	plans := core.NewPlanner().Plans(target, ref)
+	if len(plans) == 0 {
+		b.Fatal("planner generated no plans")
+	}
+
+	b.Run("mine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if m := learn.Mine(ref, 0); m.ConsumedCount() == 0 {
+				b.Fatal("mining attributed no consumed deliveries")
+			}
+		}
+	})
+	b.Run("schedule", func(b *testing.B) {
+		model := learn.Mine(ref, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := learn.BuildSchedule(model, target, plans, learn.Options{Prune: true, Rank: true})
+			if s.Stats.Pruned == 0 {
+				b.Fatal("schedule pruned nothing on a prunable target")
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			model := learn.Mine(ref, 0)
+			s := learn.BuildSchedule(model, target, plans, learn.Options{Prune: true, Rank: true})
+			if len(s.Kept) == 0 {
+				b.Fatal("schedule kept nothing")
 			}
 		}
 	})

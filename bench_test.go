@@ -430,42 +430,81 @@ func BenchmarkE5_Sec7_BugMatrix(b *testing.B) {
 	// executions fan out across 4 workers per campaign, with results
 	// byte-identical to the serial core.Matrix (the engine's cross-check
 	// invariant). EXPERIMENTS.md records the serial-vs-parallel speedup.
+	// The learned variant routes the tool's column through -prune -ranked:
+	// same planner, but the campaign learns read-dependency profiles and
+	// runs a pruned, impact-ranked schedule (internal/learn).
 	eng := campaign.New(campaign.Config{Workers: 4, MaxExecutions: maxExec})
+	engLearned := campaign.New(campaign.Config{Workers: 4, MaxExecutions: maxExec, Prune: true, Ranked: true})
 
 	var results []core.CampaignResult
+	var learned []campaign.Result
 	for i := 0; i < b.N; i++ {
 		results = results[:0]
+		learned = learned[:0]
 		for _, res := range eng.Matrix(targets, mkStrategies()) {
 			results = append(results, res.Campaign)
 		}
+		for _, t := range targets {
+			learned = append(learned, engLearned.Run(t, core.NewPlanner()))
+		}
 	}
 
-	detectedByTool := 0
-	for i, t := range targets {
+	detectedByTool, detectedLearned := 0, 0
+	for i := range targets {
 		if results[i*4].Detected {
 			detectedByTool++
 		}
-		_ = t
+		if learned[i].Detected {
+			detectedLearned++
+		}
 	}
 	b.ReportMetric(float64(detectedByTool), "bugs-found-by-tool")
+	b.ReportMetric(float64(detectedLearned), "bugs-found-learned")
 	printOnce("E5", func() {
 		fmt.Printf("\nE5 (paper Section 7) — bug-finding matrix, max %d executions each\n", maxExec)
-		fmt.Printf("  %-13s %-19s %-18s %-16s %-16s %s\n", "bug", "oracle", "partial-history", "crashtuner", "cofi", "random")
+		fmt.Printf("  %-13s %-19s %-18s %-18s %-16s %-16s %s\n", "bug", "oracle", "partial-history", "pruned+ranked", "crashtuner", "cofi", "random")
 		strategyCount := 4
 		for ti, t := range targets {
 			fmt.Printf("  %-13s %-19s", t.Name, t.Bug)
-			for si := 0; si < strategyCount; si++ {
-				r := results[ti*strategyCount+si]
+			cells := []core.CampaignResult{results[ti*strategyCount], learned[ti].Campaign,
+				results[ti*strategyCount+1], results[ti*strategyCount+2], results[ti*strategyCount+3]}
+			for ci, r := range cells {
 				cell := fmt.Sprintf("no (%d)", r.Executions)
 				if r.Detected {
 					cell = fmt.Sprintf("YES (%d)", r.Executions)
 				}
-				fmt.Printf(" %-16s", cell)
+				width := 16
+				if ci < 2 {
+					width = 18
+				}
+				fmt.Printf(" %-*s", width, cell)
 			}
 			fmt.Println()
 		}
-		fmt.Printf("  (cells: detected? (executions until first detection))\n")
+		fmt.Printf("  (cells: detected? (executions until first detection); learned column prunes\n")
+		fmt.Printf("   %d–%d plans per target with zero unsound deferrals)\n",
+			minPruned(learned), maxPruned(learned))
 	})
+}
+
+func minPruned(rs []campaign.Result) int {
+	m := int(^uint(0) >> 1)
+	for _, r := range rs {
+		if r.Stats.PlansPruned < m {
+			m = r.Stats.PlansPruned
+		}
+	}
+	return m
+}
+
+func maxPruned(rs []campaign.Result) int {
+	m := 0
+	for _, r := range rs {
+		if r.Stats.PlansPruned > m {
+			m = r.Stats.PlansPruned
+		}
+	}
+	return m
 }
 
 // ---------------------------------------------------------------------
@@ -483,46 +522,54 @@ func BenchmarkE6_Sec6_PlannerEfficiency(b *testing.B) {
 	targets := []core.Target{workload.Target56261(), workload.TargetCass398(), workload.TargetCass400()}
 
 	type row struct {
-		target                                  string
-		guidedPlans, guidedExec                 int
-		unguidedPlans, unguidedExec             int
-		randomExec                              int
-		guidedFound, unguidedFound, randomFound bool
+		target                                                string
+		guidedPlans, guidedExec                               int
+		learnedPlans, learnedExec                             int
+		unguidedPlans, unguidedExec                           int
+		randomExec                                            int
+		guidedFound, learnedFound, unguidedFound, randomFound bool
 	}
 	// Campaigns run through the parallel engine (unguided mode, so the
-	// execution counts match the serial reference exactly).
+	// execution counts match the serial reference exactly). The learned
+	// column routes the guided planner through -prune -ranked.
 	eng := campaign.New(campaign.Config{Workers: 4, MaxExecutions: 800})
+	engLearned := campaign.New(campaign.Config{Workers: 4, MaxExecutions: 800, Prune: true, Ranked: true})
 
 	var rows []row
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, t := range targets {
 			g := eng.Run(t, core.NewPlanner()).Campaign
+			l := engLearned.Run(t, core.NewPlanner())
 			u := eng.Run(t, unguided()).Campaign
 			r := eng.Run(t, baselines.Random{Seed: 11, N: 800}).Campaign
 			rows = append(rows, row{
 				target:      t.Name,
 				guidedPlans: g.PlansTotal, guidedExec: g.Executions, guidedFound: g.Detected,
+				learnedPlans: l.Campaign.PlansTotal - l.Stats.PlansPruned, learnedExec: l.Campaign.Executions, learnedFound: l.Detected,
 				unguidedPlans: u.PlansTotal, unguidedExec: u.Executions, unguidedFound: u.Detected,
 				randomExec: r.Executions, randomFound: r.Detected,
 			})
 		}
 	}
-	var sumG, sumU int
+	var sumG, sumU, sumL int
 	for _, r := range rows {
 		sumG += r.guidedExec
 		sumU += r.unguidedExec
+		sumL += r.learnedExec
 	}
 	if sumG > 0 {
 		b.ReportMetric(float64(sumU)/float64(sumG), "unguided/guided-executions")
+		b.ReportMetric(float64(sumL)/float64(sumG), "learned/guided-executions")
 	}
 	printOnce("E6", func() {
 		fmt.Printf("\nE6 (paper §6.1) — \"a tool focusing on partial histories can reorder only\n")
 		fmt.Printf("selected events and detect partial-history bugs efficiently\"\n")
-		fmt.Printf("  %-13s %-24s %-24s %s\n", "bug", "guided (plans/execs)", "unguided (plans/execs)", "random (execs)")
+		fmt.Printf("  %-13s %-24s %-24s %-24s %s\n", "bug", "guided (plans/execs)", "pruned+ranked", "unguided (plans/execs)", "random (execs)")
 		for _, r := range rows {
-			fmt.Printf("  %-13s %-24s %-24s %s\n", r.target,
+			fmt.Printf("  %-13s %-24s %-24s %-24s %s\n", r.target,
 				cellE6(r.guidedFound, r.guidedPlans, r.guidedExec),
+				cellE6(r.learnedFound, r.learnedPlans, r.learnedExec),
 				cellE6(r.unguidedFound, r.unguidedPlans, r.unguidedExec),
 				cellE6(r.randomFound, 800, r.randomExec))
 		}

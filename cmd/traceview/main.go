@@ -3,6 +3,12 @@
 // ground-truth history, each component's subscriptions and deliveries, the
 // causal acted-on sets, and the perturbation plans the tool would generate.
 //
+// With -deps it additionally prints the learned read-dependency profiles
+// (internal/learn): per component, which deliveries were plausibly
+// consumed — attributed writes, CAS-adjacency, cross-kind reactions,
+// deletion-adjacency — the observation→action table that pruning and
+// ranking decisions are a pure function of.
+//
 // With -artifact it switches to report mode: it loads a campaign.json file
 // written by phtest -json, and for every detected failure bucket renders
 // the engine's explanation — the seed-correct minimized plan, the causal
@@ -12,7 +18,7 @@
 // Usage:
 //
 //	traceview [-target k8s-59848|k8s-56261|cass-op-398|cass-op-400|cass-op-402]
-//	          [-events] [-plans N]
+//	          [-events] [-deps] [-plans N]
 //	traceview -artifact campaign.json [-timeline=false]
 package main
 
@@ -26,6 +32,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/learn"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -33,6 +40,7 @@ import (
 func main() {
 	targetName := flag.String("target", "k8s-59848", "target workload to trace")
 	showEvents := flag.Bool("events", false, "dump every delivery")
+	showDeps := flag.Bool("deps", false, "print learned read-dependency profiles (observation→action tables)")
 	planN := flag.Int("plans", 20, "how many generated plans to list")
 	artifactPath := flag.String("artifact", "", "render explanations from a phtest campaign.json artifact")
 	timeline := flag.Bool("timeline", true, "with -artifact: also render ASCII divergence timelines")
@@ -110,6 +118,10 @@ func main() {
 		}
 	}
 
+	if *showDeps {
+		printDeps(os.Stdout, ref)
+	}
+
 	graph := trace.NewCausalGraph(ref, 0)
 	fmt.Println("\nhottest deliveries (most component actions within the reaction window):")
 	for i, d := range graph.HotDeliveries(8) {
@@ -133,6 +145,40 @@ func main() {
 			break
 		}
 		fmt.Printf("  %3d. %s\n", i+1, p.Describe())
+	}
+}
+
+// printDeps renders the learned read-dependency profiles: per component,
+// the consumed deliveries with the evidence the learning phase attributes
+// to each (writes in the reaction window, CAS-adjacency, cross-kind
+// reactions, deletion-adjacency).
+func printDeps(w *os.File, ref *trace.Trace) {
+	model := learn.Mine(ref, 0)
+	fmt.Fprintf(w, "\nlearned read-dependency profiles (reaction window %s, %d consumed deliveries):\n",
+		model.ReactionWindow, model.ConsumedCount())
+	for _, comp := range model.Components() {
+		p := model.Profiles[comp]
+		fmt.Fprintf(w, "  %s: %d/%d deliveries consumed, %d writes (%d CAS), kinds=%v\n",
+			p.Component, len(p.Consumed), p.Deliveries, p.Writes, p.CASWrites, p.Kinds)
+		for _, c := range p.Consumed {
+			d := c.Delivery
+			var marks []string
+			if c.DeletionAdjacent() {
+				marks = append(marks, "deletion-adjacent")
+			}
+			if c.CrossKind {
+				marks = append(marks, "cross-kind")
+			}
+			if c.ActedOn {
+				marks = append(marks, "acted-on")
+			}
+			suffix := ""
+			if len(marks) > 0 {
+				suffix = " [" + strings.Join(marks, ",") + "]"
+			}
+			fmt.Fprintf(w, "    %-10s %-8s %s/%s#%d -> %d writes (%d CAS)%s\n",
+				d.Time, d.EventType, d.Kind, d.Name, d.Occurrence, c.Writes, c.CASWrites, suffix)
+		}
 	}
 }
 

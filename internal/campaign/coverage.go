@@ -16,7 +16,11 @@ type classStats struct {
 
 // schedItem is one pending plan awaiting dispatch.
 type schedItem struct {
-	index int // position in the strategy's original plan order
+	// index is the plan's position in the list handed to the scheduler —
+	// the strategy's order without learning, the learned (kept or
+	// deferred, possibly impact-ranked) order with it. It is the
+	// deterministic tie-break coordinate, not the reported plan index.
+	index int
 	plan  core.Plan
 	class string
 }
@@ -47,7 +51,7 @@ type coverageScheduler struct {
 
 // newCoverageScheduler indexes the plan list. limit caps total dispatches
 // (the engine's MaxExecutions).
-func newCoverageScheduler(plans []core.Plan, limit int) *coverageScheduler {
+func newCoverageScheduler(plans []planRef, limit int) *coverageScheduler {
 	s := &coverageScheduler{
 		pending: make([]schedItem, 0, len(plans)),
 		classes: make(map[string]*classStats),
@@ -55,8 +59,8 @@ func newCoverageScheduler(plans []core.Plan, limit int) *coverageScheduler {
 		limit:   limit,
 	}
 	for i, p := range plans {
-		cls := classOf(p)
-		s.pending = append(s.pending, schedItem{index: i, plan: p, class: cls})
+		cls := classOf(p.plan)
+		s.pending = append(s.pending, schedItem{index: i, plan: p.plan, class: cls})
 		if s.classes[cls] == nil {
 			s.classes[cls] = &classStats{}
 		}

@@ -7,7 +7,7 @@ import (
 	"repro/internal/sim"
 )
 
-func schedFixture() []core.Plan {
+func schedFixture() []planRef {
 	// Three predicted classes: staleness on api-1, staleness on api-2,
 	// crash of the scheduler — with several timing variants each.
 	var plans []core.Plan
@@ -19,7 +19,11 @@ func schedFixture() []core.Plan {
 			core.CrashPlan{Component: "scheduler", At: at},
 		)
 	}
-	return plans
+	refs := make([]planRef, len(plans))
+	for i, p := range plans {
+		refs[i] = planRef{plan: p, index: i}
+	}
+	return refs
 }
 
 // TestSchedulerExploresClassesFirst: before any class is revisited, every

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/explain"
+	"repro/internal/learn"
 	"repro/internal/oracle"
 	"repro/internal/trace"
 )
@@ -58,6 +59,20 @@ type Config struct {
 	// the budget before reaching the virtual-time horizon are flagged Hung
 	// instead of spinning the worker forever.
 	EventBudget uint64
+	// Prune enables the trace-learning phase (internal/learn): per seed,
+	// the reference trace is mined for read-dependency profiles, plans
+	// whose perturbation provably cannot intersect any consumed delivery
+	// are deferred, and survivors are deduplicated into equivalence
+	// classes by projected observable effect. Deferral, not deletion: the
+	// deferred tail still executes when the kept set detects nothing (or
+	// under KeepGoing), so a pruned campaign can never detect less than an
+	// unpruned one — only later, and tail detections are surfaced as
+	// Stats.PruningUnsoundDetections.
+	Prune bool
+	// Ranked orders the kept set by the learned impact score (consumed
+	// surface density, CAS/txn proximity, deletion adjacency, past-bucket
+	// class affinity) instead of raw planner order.
+	Ranked bool
 }
 
 func (c Config) workerCount() int {
@@ -75,6 +90,8 @@ func (c Config) seedList() []int64 {
 }
 
 func (c Config) instrumented() bool { return c.Guided || c.Collect || c.Explain }
+
+func (c Config) learning() bool { return c.Prune || c.Ranked }
 
 // Engine executes campaigns per its Config. The zero-value-free
 // constructor is New; an Engine is safe for sequential reuse across
@@ -126,6 +143,19 @@ type Result struct {
 	// Failures lists every panicked (worker guard) or livelocked
 	// (event-budget watchdog) execution, in deterministic order.
 	Failures []ExecutionFailure
+	// Learn holds each seed's learning-phase report (Config.Prune /
+	// Config.Ranked only), in sweep order: profile summaries plus every
+	// prune/dedupe decision.
+	Learn []SeedLearn
+}
+
+// planRef is one plan in execution order, carrying its original index in
+// the strategy's plan list (the coordinate all reports use). Without
+// learning the two coincide; with learning the execution order is
+// kept-then-deferred and possibly impact-ranked.
+type planRef struct {
+	plan  core.Plan
+	index int
 }
 
 // slot is one dispatched execution's record, indexed by dispatch order.
@@ -163,6 +193,7 @@ func (e *Engine) Run(t core.Target, s core.Strategy) Result {
 	res.Buckets = agg.bucketList()
 	res.Outcomes = agg.outcomes
 	res.Failures = agg.failures
+	res.Learn = agg.learn
 	return res
 }
 
@@ -240,12 +271,55 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 	cr.PlansTotal = len(plans)
 	cr.Executions = 1 // the reference run
 
-	var slots []slot
-	var detect int // dispatch position of the first detection, -1 if none
+	// Execution order: identity without learning; kept-then-deferred
+	// (optionally impact-ranked) with it. Original strategy indices ride
+	// along in planRefs so every report keeps its coordinates.
+	refs := make([]planRef, len(plans))
+	for i, p := range plans {
+		refs[i] = planRef{plan: p, index: i}
+	}
+	keptLen := len(refs)
+	if e.cfg.learning() {
+		model := learn.Mine(ref, 0)
+		sched := learn.BuildSchedule(model, t, plans, learn.Options{
+			Prune:    e.cfg.Prune,
+			Rank:     e.cfg.Ranked,
+			Affinity: agg.affinity(),
+		})
+		refs = refs[:0]
+		for _, sp := range sched.Kept {
+			refs = append(refs, planRef{plan: sp.Plan, index: sp.Index})
+		}
+		keptLen = len(refs)
+		for _, sp := range sched.Deferred {
+			refs = append(refs, planRef{plan: sp.Plan, index: sp.Index})
+		}
+		agg.noteLearn(seed, model, sched)
+	}
+
+	run := e.runOrdered
 	if e.cfg.Guided {
-		slots, detect = e.runGuided(t, plans, seed)
-	} else {
-		slots, detect = e.runOrdered(t, plans, seed)
+		run = e.runGuided
+	}
+	slots, detect := run(t, refs[:keptLen], seed, e.cfg.MaxExecutions)
+	keptSlots := len(slots)
+	keptDetected := detect >= 0
+	if tail := refs[keptLen:]; len(tail) > 0 && (detect < 0 || e.cfg.KeepGoing) {
+		// Deferred tail: the soundness net behind pruning. It runs when the
+		// kept set found nothing (pruning must never *hide* a detection,
+		// only postpone the plans that could make one) or under KeepGoing
+		// (so bucket sets stay identical to the unpruned campaign's).
+		remaining := 0
+		if m := e.cfg.MaxExecutions; m > 0 {
+			remaining = m - keptSlots
+		}
+		if e.cfg.MaxExecutions == 0 || remaining > 0 {
+			tailSlots, tailDetect := run(t, tail, seed, remaining)
+			if tailDetect >= 0 && detect < 0 {
+				detect = keptSlots + tailDetect
+			}
+			slots = append(slots, tailSlots...)
+		}
 	}
 	for i, sl := range slots {
 		if !sl.ran {
@@ -262,6 +336,12 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 		// schedule.
 		if !e.cfg.Guided && !e.cfg.KeepGoing && detect >= 0 && i > detect {
 			continue
+		}
+		if i >= keptSlots {
+			// A deferred (pruned or deduped) plan executed. A detection
+			// here while the kept set found nothing means a pruning
+			// decision was unsound — surfaced, never swallowed.
+			agg.notePrunedExecution(sl.exec.Detected && !keptDetected)
 		}
 		agg.add(seedIdx, seed, sl, e.cfg.instrumented())
 	}
@@ -341,16 +421,18 @@ func perturbedTrace(t core.Target, p core.Plan, seed int64) (*trace.Trace, []ora
 	return rec.T, c.Violations()
 }
 
-// runOrdered executes plans in strategy order across the worker pool.
+// runOrdered executes plans in list order across the worker pool.
 // Indices are dispatched monotonically and results land in per-index
 // slots, so the outcome — detect = the lowest detecting index, with every
 // lower index executed and undetected — is identical to the serial
 // campaign at any worker count. Once a detection is known, indices beyond
-// it are not started (early cancel) unless KeepGoing is set.
-func (e *Engine) runOrdered(t core.Target, plans []core.Plan, seed int64) ([]slot, int) {
+// it are not started (early cancel) unless KeepGoing is set. maxExec
+// bounds dispatches (0 = unlimited); the returned detect is a position in
+// the given list, not an original strategy index.
+func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec int) ([]slot, int) {
 	limit := len(plans)
-	if m := e.cfg.MaxExecutions; m > 0 && m < limit {
-		limit = m
+	if maxExec > 0 && maxExec < limit {
+		limit = maxExec
 	}
 	slots := make([]slot, limit)
 	if limit == 0 {
@@ -380,9 +462,9 @@ func (e *Engine) runOrdered(t core.Target, plans []core.Plan, seed int64) ([]slo
 					return
 				}
 				start := time.Now()
-				exec, sig := runGuarded(t, plans[i], seed, instrument, e.cfg.EventBudget)
+				exec, sig := runGuarded(t, plans[i].plan, seed, instrument, e.cfg.EventBudget)
 				slots[i] = slot{
-					ran: true, planIndex: i, plan: plans[i],
+					ran: true, planIndex: plans[i].index, plan: plans[i].plan,
 					exec: exec, sig: sig, wall: time.Since(start),
 				}
 				if exec.Detected {
@@ -413,11 +495,15 @@ func (e *Engine) runOrdered(t core.Target, plans []core.Plan, seed int64) ([]slo
 // on. Slots are indexed by dispatch sequence; detect is the lowest
 // dispatch sequence that detected. After a detection the current round
 // finishes (its executions are part of the deterministic schedule) and no
-// further round starts unless KeepGoing is set.
-func (e *Engine) runGuided(t core.Target, plans []core.Plan, seed int64) ([]slot, int) {
+// further round starts unless KeepGoing is set. maxExec bounds dispatches
+// (0 = unlimited). With learning, the list is the (possibly ranked) kept
+// set or the deferred tail; schedItem indices are positions in that list,
+// so coverage tie-breaking follows the learned order while reported plan
+// indices stay the strategy's.
+func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec int) ([]slot, int) {
 	limit := len(plans)
-	if m := e.cfg.MaxExecutions; m > 0 && m < limit {
-		limit = m
+	if maxExec > 0 && maxExec < limit {
+		limit = maxExec
 	}
 	slots := make([]slot, limit)
 	if limit == 0 {
@@ -455,7 +541,7 @@ func (e *Engine) runGuided(t core.Target, plans []core.Plan, seed int64) ([]slot
 				start := time.Now()
 				exec, sig := runGuarded(t, batch[bi].plan, seed, true, e.cfg.EventBudget)
 				slots[seqs[bi]] = slot{
-					ran: true, planIndex: batch[bi].index, plan: batch[bi].plan,
+					ran: true, planIndex: plans[batch[bi].index].index, plan: batch[bi].plan,
 					exec: exec, sig: sig, wall: time.Since(start),
 				}
 			}(bi)

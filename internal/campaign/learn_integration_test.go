@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/workload"
+)
+
+// TestLearnedNDJSONDeterministicAcrossWorkers extends the telemetry
+// determinism guarantee to the learning phase: with -prune -ranked the
+// stream — including every learn_profile and plan_pruned event — is
+// byte-identical at any worker count.
+func TestLearnedNDJSONDeterministicAcrossWorkers(t *testing.T) {
+	target := workload.Target56261()
+	var want []byte
+	for _, workers := range []int{1, 2, 4} {
+		cfg := Config{Workers: workers, Seeds: []int64{1}, MaxExecutions: 60,
+			Prune: true, Ranked: true, Collect: true}
+		got := ndjsonBytes(t, cfg, target, core.NewPlanner())
+		if want == nil {
+			want = got
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("learned NDJSON stream differs at %d workers", workers)
+		}
+	}
+	stream := string(want)
+	for _, event := range []string{`"event":"learn_profile"`, `"event":"plan_pruned"`} {
+		if !strings.Contains(stream, event) {
+			t.Fatalf("learned NDJSON stream is missing %s events", event)
+		}
+	}
+	if !strings.Contains(stream, `"plans_pruned"`) || !strings.Contains(stream, `"pruning_unsound_detections":0`) {
+		t.Fatal("campaign_end event is missing pruning counters")
+	}
+}
+
+// TestLearnedNDJSONDeterministicAcrossReruns covers the guided scheduler
+// on top of a learned schedule: repeated runs produce identical streams.
+func TestLearnedNDJSONDeterministicAcrossReruns(t *testing.T) {
+	target := workload.Target56261()
+	cfg := Config{Workers: 3, Guided: true, Seeds: []int64{1}, MaxExecutions: 60,
+		Prune: true, Ranked: true, Collect: true}
+	a := ndjsonBytes(t, cfg, target, core.NewPlanner())
+	b := ndjsonBytes(t, cfg, target, core.NewPlanner())
+	if !bytes.Equal(a, b) {
+		t.Fatal("guided learned NDJSON stream is not reproducible")
+	}
+}
+
+// TestLearnedArtifactCarriesDecisions: the campaign artifact records the
+// learning phase's profiles, decisions, and pruning stats.
+func TestLearnedArtifactCarriesDecisions(t *testing.T) {
+	target := workload.Target56261()
+	cfg := Config{Workers: 2, Seeds: []int64{1}, MaxExecutions: 60,
+		Prune: true, Ranked: true, Collect: true}
+	res := New(cfg).Run(target, core.NewPlanner())
+	art := BuildArtifact(res, cfg)
+
+	if !art.Prune || !art.Ranked {
+		t.Fatalf("artifact flags prune=%v ranked=%v, want both true", art.Prune, art.Ranked)
+	}
+	if art.Stats.PlansPruned == 0 {
+		t.Fatal("artifact records zero pruned plans for a prunable target")
+	}
+	if art.Stats.PruningUnsoundDetections != 0 {
+		t.Fatalf("artifact records %d unsound prunes", art.Stats.PruningUnsoundDetections)
+	}
+	if len(art.Learn) == 0 {
+		t.Fatal("artifact carries no per-seed learning record")
+	}
+	l := art.Learn[0]
+	if len(l.Profiles) == 0 || l.ConsumedDeliveries == 0 {
+		t.Fatalf("learning record has no profiles: %+v", l)
+	}
+	if l.Pruned == 0 || len(l.Decisions) == 0 {
+		t.Fatalf("learning record has no pruning decisions: pruned=%d decisions=%d", l.Pruned, len(l.Decisions))
+	}
+	for _, d := range l.Decisions {
+		if d.Action == string(learn.Keep) {
+			t.Fatalf("artifact decisions must record only deferred plans, found keep: %+v", d)
+		}
+	}
+}
+
+// TestLearningOffMatchesOldStream: with Prune and Ranked both false the
+// engine must behave exactly as before the learning phase existed —
+// same NDJSON bytes as a config that never heard of learning.
+func TestLearningOffMatchesOldStream(t *testing.T) {
+	target := workload.Target56261()
+	plain := Config{Workers: 2, Seeds: []int64{1}, MaxExecutions: 40, Collect: true}
+	a := ndjsonBytes(t, plain, target, core.NewPlanner())
+	if strings.Contains(string(a), "learn_profile") || strings.Contains(string(a), "plan_pruned") {
+		t.Fatal("learning events emitted with learning disabled")
+	}
+}

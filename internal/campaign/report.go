@@ -50,6 +50,19 @@ type Stats struct {
 	// asserted as == 0 by downstream checks.
 	FailedExecutions int `json:"failed_executions"`
 	HungExecutions   int `json:"hung_executions"`
+	// PlansPruned / PlansDeduped count the plans the learning phase
+	// (Config.Prune) deferred — empty consumed surface and
+	// equivalence-class duplicates respectively — summed across seeds.
+	// PrunedExecuted counts deferred plans that still executed (the
+	// soundness tail: the kept set found nothing, or KeepGoing).
+	// PruningUnsoundDetections counts tail detections the kept set missed
+	// entirely — every nonzero value is a pruning-rule bug surfaced, never
+	// swallowed. All four are emitted unconditionally so downstream checks
+	// can assert pruning_unsound_detections == 0.
+	PlansPruned              int `json:"plans_pruned"`
+	PlansDeduped             int `json:"plans_deduped"`
+	PrunedExecuted           int `json:"pruned_executed"`
+	PruningUnsoundDetections int `json:"pruning_unsound_detections"`
 	// WallNanos is the campaign's wall-clock time; ExecutionsPerSec is
 	// RawExecutions normalized by it.
 	WallNanos        int64   `json:"wall_ns"`
@@ -65,6 +78,13 @@ func (s Stats) String() string {
 	}
 	if s.FailedExecutions > 0 || s.HungExecutions > 0 {
 		out += fmt.Sprintf(", %d FAILED, %d HUNG", s.FailedExecutions, s.HungExecutions)
+	}
+	if s.PlansPruned > 0 || s.PlansDeduped > 0 {
+		out += fmt.Sprintf(", %d pruned + %d deduped (%d deferred executed)",
+			s.PlansPruned, s.PlansDeduped, s.PrunedExecuted)
+	}
+	if s.PruningUnsoundDetections > 0 {
+		out += fmt.Sprintf(", %d UNSOUND PRUNES", s.PruningUnsoundDetections)
 	}
 	return out
 }
@@ -155,19 +175,24 @@ func (x bucketExample) earlier(y bucketExample) bool {
 type aggregator struct {
 	collect bool
 
-	raw           int
-	detections    int
-	violating     int
-	minimizeExecs int
-	explained     int
-	failed        int
-	hung          int
-	classes       map[string]bool
-	sigs          map[Signature]bool
-	buckets       map[Signature]*FailureBucket
-	examples      map[Signature]bucketExample
-	outcomes      []PlanOutcome
-	failures      []ExecutionFailure
+	raw            int
+	detections     int
+	violating      int
+	minimizeExecs  int
+	explained      int
+	failed         int
+	hung           int
+	plansPruned    int
+	plansDeduped   int
+	prunedExecuted int
+	unsoundPrunes  int
+	classes        map[string]bool
+	sigs           map[Signature]bool
+	buckets        map[Signature]*FailureBucket
+	examples       map[Signature]bucketExample
+	outcomes       []PlanOutcome
+	failures       []ExecutionFailure
+	learn          []SeedLearn
 }
 
 func newAggregator(cfg Config) *aggregator {
@@ -294,16 +319,20 @@ func (a *aggregator) bucketList() []FailureBucket {
 
 func (a *aggregator) stats(cfg Config, wall time.Duration) Stats {
 	st := Stats{
-		Workers:             cfg.workerCount(),
-		Seeds:               len(cfg.seedList()),
-		RawExecutions:       a.raw,
-		Detections:          a.detections,
-		ViolatingExecutions: a.violating,
-		MinimizeExecutions:  a.minimizeExecs,
-		ExplainedBuckets:    a.explained,
-		FailedExecutions:    a.failed,
-		HungExecutions:      a.hung,
-		WallNanos:           wall.Nanoseconds(),
+		Workers:                  cfg.workerCount(),
+		Seeds:                    len(cfg.seedList()),
+		RawExecutions:            a.raw,
+		Detections:               a.detections,
+		ViolatingExecutions:      a.violating,
+		MinimizeExecutions:       a.minimizeExecs,
+		ExplainedBuckets:         a.explained,
+		FailedExecutions:         a.failed,
+		HungExecutions:           a.hung,
+		PlansPruned:              a.plansPruned,
+		PlansDeduped:             a.plansDeduped,
+		PrunedExecuted:           a.prunedExecuted,
+		PruningUnsoundDetections: a.unsoundPrunes,
+		WallNanos:                wall.Nanoseconds(),
 	}
 	if cfg.instrumented() {
 		st.CoverageClasses = len(a.classes)
@@ -323,7 +352,11 @@ type Artifact struct {
 	Seeds         []int64 `json:"seeds"`
 	MaxExecutions int     `json:"max_executions"`
 	Guided        bool    `json:"guided"`
-	Detected      bool    `json:"detected"`
+	// Prune / Ranked echo the learning-phase configuration (see
+	// Config.Prune / Config.Ranked).
+	Prune    bool `json:"prune"`
+	Ranked   bool `json:"ranked"`
+	Detected bool `json:"detected"`
 	// DetectedSeed is the world seed of the first detection in sweep
 	// order (present only when Detected).
 	DetectedSeed int64 `json:"detected_seed,omitempty"`
@@ -339,6 +372,9 @@ type Artifact struct {
 	// deterministic execution set (see Stats.FailedExecutions /
 	// HungExecutions for the counts).
 	Failures []ExecutionFailure `json:"execution_failures,omitempty"`
+	// Learn holds each seed's learning-phase report: profile summaries
+	// and every prune/dedupe decision (Config.Prune / Ranked only).
+	Learn []SeedLearn `json:"learn,omitempty"`
 }
 
 // BuildArtifact converts a Result into its artifact form.
@@ -350,12 +386,15 @@ func BuildArtifact(res Result, cfg Config) Artifact {
 		Seeds:         cfg.seedList(),
 		MaxExecutions: cfg.MaxExecutions,
 		Guided:        cfg.Guided,
+		Prune:         cfg.Prune,
+		Ranked:        cfg.Ranked,
 		Detected:      res.Detected,
 		Campaign:      res.Campaign,
 		Stats:         res.Stats,
 		Buckets:       res.Buckets,
 		Outcomes:      res.Outcomes,
 		Failures:      res.Failures,
+		Learn:         res.Learn,
 	}
 	if res.Detected {
 		art.DetectedSeed = res.DetectedSeed

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/learn"
 	"repro/internal/oracle"
 	"repro/internal/trace"
 )
@@ -62,49 +63,8 @@ func runInstrumented(t core.Target, p core.Plan, seed int64) (core.Execution, Si
 }
 
 // classOf predicts the signature class of a plan before running it. The
-// class deliberately abstracts away fine-grained timing (freeze points,
-// occurrence numbers): plans differing only in when they fire tend to land
-// in the same coverage class, which is exactly the redundancy the guided
-// scheduler wants to skip past.
-func classOf(p core.Plan) string {
-	switch q := p.(type) {
-	case core.GapPlan:
-		mode := "blackout"
-		if q.Occurrence > 0 {
-			mode = "drop"
-		}
-		return fmt.Sprintf("gap/%s/%s/%s/%s/%s", mode, q.Victim, q.Kind, q.Name, q.Type)
-	case core.TimeTravelPlan:
-		return fmt.Sprintf("timetravel/%s->%s", q.Component, q.StaleAPI)
-	case core.StalenessPlan:
-		return fmt.Sprintf("stale/%s", q.Victim)
-	case core.CrashPlan:
-		return fmt.Sprintf("crash/%s", q.Component)
-	case core.PartitionPlan:
-		return fmt.Sprintf("partition/%s-%s", q.A, q.B)
-	case core.SlowLinkPlan:
-		return fmt.Sprintf("slowlink/%s-%s", q.A, q.B)
-	case core.FlakyLinkPlan:
-		return fmt.Sprintf("flaky/%s-%s/d%d-u%d-r%d", q.A, q.B, q.DropPercent, q.DupPercent, q.ReorderPercent)
-	case core.CompactionPressurePlan:
-		return fmt.Sprintf("compact/%s", q.Victim)
-	case core.SequencePlan:
-		subs := make([]string, 0, len(q.Plans))
-		for _, sub := range q.Plans {
-			subs = append(subs, classOf(sub))
-		}
-		sort.Strings(subs)
-		key := "seq["
-		for i, s := range subs {
-			if i > 0 {
-				key += ","
-			}
-			key += s
-		}
-		return key + "]"
-	case core.NopPlan:
-		return "nop"
-	default:
-		return "other/" + p.ID()
-	}
-}
+// classifier lives in internal/learn (learn.ClassOf) so the guided
+// scheduler's coverage classes and the learning phase's bucket-affinity
+// keys are the same vocabulary; this alias keeps campaign-internal call
+// sites short.
+func classOf(p core.Plan) string { return learn.ClassOf(p) }

@@ -23,6 +23,8 @@ import (
 // Event kinds, in emission order per campaign:
 //
 //	campaign_start   identity + configuration
+//	learn_profile    one per (seed, component), learning campaigns only
+//	plan_pruned      one per deferred plan, learning campaigns only
 //	seed_result      one per seed, in sweep order
 //	execution        one per deterministic execution (Collect only)
 //	bucket           one per failure bucket, in signature order
@@ -38,6 +40,23 @@ type telemetryEvent struct {
 	MaxExecutions int     `json:"max_executions,omitempty"`
 	KeepGoing     *bool   `json:"keep_going,omitempty"`
 	Explain       *bool   `json:"explain,omitempty"`
+	Prune         *bool   `json:"prune,omitempty"`
+	Ranked        *bool   `json:"ranked,omitempty"`
+
+	// learn_profile (per seed, per component: the learned
+	// observation→action table's summary row)
+	Component  string   `json:"component,omitempty"`
+	Deliveries int      `json:"deliveries,omitempty"`
+	Consumed   int      `json:"consumed,omitempty"`
+	Writes     int      `json:"writes,omitempty"`
+	CASWrites  int      `json:"cas_writes,omitempty"`
+	Kinds      []string `json:"kinds,omitempty"`
+
+	// plan_pruned (per deferred plan: why it was deferred)
+	Action         string `json:"action,omitempty"`
+	Reason         string `json:"reason,omitempty"`
+	Surface        *int   `json:"surface,omitempty"`
+	Representative *int   `json:"representative,omitempty"`
 
 	// seed_result / execution
 	Seed *int64 `json:"seed,omitempty"`
@@ -77,9 +96,15 @@ type telemetryEvent struct {
 	NovelSignatures     int    `json:"novel_signatures,omitempty"`
 	ExplainedBuckets    int    `json:"explained_buckets,omitempty"`
 	// FailedExecutions / HungExecutions are emitted unconditionally on
-	// campaign_end (healthy campaigns assert them == 0).
-	FailedExecutions *int `json:"failed_executions,omitempty"`
-	HungExecutions   *int `json:"hung_executions,omitempty"`
+	// campaign_end (healthy campaigns assert them == 0); the pruning
+	// counters likewise (sound pruned campaigns assert
+	// pruning_unsound_detections == 0).
+	FailedExecutions         *int `json:"failed_executions,omitempty"`
+	HungExecutions           *int `json:"hung_executions,omitempty"`
+	PlansPruned              *int `json:"plans_pruned,omitempty"`
+	PlansDeduped             *int `json:"plans_deduped,omitempty"`
+	PrunedExecuted           *int `json:"pruned_executed,omitempty"`
+	PruningUnsoundDetections *int `json:"pruning_unsound_detections,omitempty"`
 }
 
 func boolPtr(b bool) *bool    { return &b }
@@ -108,8 +133,42 @@ func WriteNDJSON(w io.Writer, res Result, cfg Config) error {
 		MaxExecutions: cfg.MaxExecutions,
 		KeepGoing:     boolPtr(cfg.KeepGoing),
 		Explain:       boolPtr(cfg.Explain),
+		Prune:         boolPtr(cfg.Prune),
+		Ranked:        boolPtr(cfg.Ranked),
 	}); err != nil {
 		return err
+	}
+
+	for _, sl := range res.Learn {
+		for _, p := range sl.Profiles {
+			if err := emit(telemetryEvent{
+				Event:      "learn_profile",
+				Seed:       int64Ptr(sl.Seed),
+				Component:  p.Component,
+				Deliveries: p.Deliveries,
+				Consumed:   p.Consumed,
+				Writes:     p.Writes,
+				CASWrites:  p.CASWrites,
+				Kinds:      p.Kinds,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, d := range sl.Decisions {
+			if err := emit(telemetryEvent{
+				Event:          "plan_pruned",
+				Seed:           int64Ptr(sl.Seed),
+				Index:          intPtr(d.Index),
+				Plan:           d.Plan,
+				Class:          d.Class,
+				Action:         d.Action,
+				Reason:         d.Reason,
+				Surface:        intPtr(d.Surface),
+				Representative: intPtr(d.Representative),
+			}); err != nil {
+				return err
+			}
+		}
 	}
 
 	for _, sr := range res.Seeds {
@@ -164,18 +223,22 @@ func WriteNDJSON(w io.Writer, res Result, cfg Config) error {
 	}
 
 	end := telemetryEvent{
-		Event:               "campaign_end",
-		Target:              res.Target,
-		Strategy:            res.Strategy,
-		Detected:            boolPtr(res.Detected),
-		Executions:          res.Campaign.Executions,
-		Detections:          res.Stats.Detections,
-		ViolatingExecutions: res.Stats.ViolatingExecutions,
-		CoverageClasses:     res.Stats.CoverageClasses,
-		NovelSignatures:     res.Stats.NovelSignatures,
-		ExplainedBuckets:    res.Stats.ExplainedBuckets,
-		FailedExecutions:    intPtr(res.Stats.FailedExecutions),
-		HungExecutions:      intPtr(res.Stats.HungExecutions),
+		Event:                    "campaign_end",
+		Target:                   res.Target,
+		Strategy:                 res.Strategy,
+		Detected:                 boolPtr(res.Detected),
+		Executions:               res.Campaign.Executions,
+		Detections:               res.Stats.Detections,
+		ViolatingExecutions:      res.Stats.ViolatingExecutions,
+		CoverageClasses:          res.Stats.CoverageClasses,
+		NovelSignatures:          res.Stats.NovelSignatures,
+		ExplainedBuckets:         res.Stats.ExplainedBuckets,
+		FailedExecutions:         intPtr(res.Stats.FailedExecutions),
+		HungExecutions:           intPtr(res.Stats.HungExecutions),
+		PlansPruned:              intPtr(res.Stats.PlansPruned),
+		PlansDeduped:             intPtr(res.Stats.PlansDeduped),
+		PrunedExecuted:           intPtr(res.Stats.PrunedExecuted),
+		PruningUnsoundDetections: intPtr(res.Stats.PruningUnsoundDetections),
 	}
 	if res.Detected {
 		end.DetectedSeed = int64Ptr(res.DetectedSeed)

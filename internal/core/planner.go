@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/apiserver"
@@ -74,6 +75,15 @@ type Planner struct {
 	DisableTimeTravel  bool
 	DisableStaleness   bool
 	DisableGrayFailure bool
+
+	// Learn, when set, post-processes the final plan list — the hook the
+	// trace-learning phase (internal/learn) uses to prune plans whose
+	// perturbation provably cannot intersect anything the target's
+	// components consumed, and to reorder survivors by learned impact.
+	// The hook must be a pure function of its arguments (determinism is
+	// pinned by tests). It runs after family mining, dedup, and the
+	// MaxPlans cap.
+	Learn func(t Target, ref *trace.Trace, plans []Plan) []Plan
 }
 
 // NewPlanner returns the default tool configuration.
@@ -296,7 +306,70 @@ func (p *Planner) Plans(t Target, ref *trace.Trace) []Plan {
 	if p.MaxPlans > 0 && len(plans) > p.MaxPlans {
 		plans = plans[:p.MaxPlans]
 	}
+	if p.Learn != nil {
+		plans = p.Learn(t, ref, plans)
+	}
 	return plans
+}
+
+// Validate reports configuration errors that would otherwise silently
+// mine empty or no-op plan families: a zero SlowExtra emits slow-link
+// plans that slow nothing, an all-zero flaky triple emits healthy "flaky"
+// links, a CompactionKeep below the store's floor is silently clamped,
+// and zero/negative sampling bounds disable sampling instead of bounding
+// it. Callers building a Planner by hand (ablations, CLI flag plumbing)
+// should Validate before mining; NewPlanner's defaults always pass.
+func (p *Planner) Validate() error {
+	if p.MaxPlans < 0 {
+		return fmt.Errorf("planner: MaxPlans = %d; must be >= 0 (0 = unlimited)", p.MaxPlans)
+	}
+	if p.BlackoutWindow < 0 {
+		return fmt.Errorf("planner: BlackoutWindow = %s; must be >= 0 (0 = until the end)", p.BlackoutWindow)
+	}
+	if !p.DisableTimeTravel || !p.DisableStaleness {
+		if p.MaxFreezePoints <= 0 {
+			return fmt.Errorf("planner: MaxFreezePoints = %d with time-travel/staleness enabled; a zero/negative bound disables freeze-point sampling and floods the campaign — set a positive bound or disable the families", p.MaxFreezePoints)
+		}
+	}
+	if !p.DisableTimeTravel {
+		if len(p.CrashDelays) == 0 {
+			return fmt.Errorf("planner: time travel enabled with no CrashDelays; the family would mine zero plans — add delays or set DisableTimeTravel")
+		}
+		for _, d := range p.CrashDelays {
+			if d <= 0 {
+				return fmt.Errorf("planner: CrashDelay %s is not positive; the crash would race the freeze instead of following it", d)
+			}
+		}
+	}
+	if !p.DisableGrayFailure {
+		if p.GrayFreezePoints <= 0 {
+			return fmt.Errorf("planner: GrayFreezePoints = %d with gray failures enabled; a zero/negative bound disables sampling (every freeze point seeds gray plans) — set a positive bound or DisableGrayFailure", p.GrayFreezePoints)
+		}
+		if p.GrayWindow <= 0 {
+			return fmt.Errorf("planner: GrayWindow = %s; a degraded-link window must be positive", p.GrayWindow)
+		}
+		if p.SlowExtra <= 0 {
+			return fmt.Errorf("planner: SlowExtra = %s; slow-link plans with no added latency are no-ops — set a positive inflation or DisableGrayFailure", p.SlowExtra)
+		}
+		if p.SlowJitter < 0 {
+			return fmt.Errorf("planner: SlowJitter = %s; must be >= 0", p.SlowJitter)
+		}
+		if p.CompactionKeep < 2 {
+			return fmt.Errorf("planner: CompactionKeep = %d; the store clamps retain limits below 2, so the plan would silently diverge from its ID — use >= 2", p.CompactionKeep)
+		}
+		for _, knob := range []struct {
+			name string
+			v    int
+		}{{"FlakyDrop", p.FlakyDrop}, {"FlakyDup", p.FlakyDup}, {"FlakyReorder", p.FlakyReorder}} {
+			if knob.v < 0 || knob.v > 100 {
+				return fmt.Errorf("planner: %s = %d; percentages must be in [0,100]", knob.name, knob.v)
+			}
+		}
+		if p.FlakyDrop == 0 && p.FlakyDup == 0 && p.FlakyReorder == 0 {
+			return fmt.Errorf("planner: flaky-link knobs are all zero; the family would mine healthy links labelled flaky — set at least one of FlakyDrop/FlakyDup/FlakyReorder or DisableGrayFailure")
+		}
+	}
+	return nil
 }
 
 // sampleFreezePoints returns up to MaxFreezePoints commit times,

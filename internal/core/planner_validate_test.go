@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestValidateDefaults: the stock configuration must always pass.
+func TestValidateDefaults(t *testing.T) {
+	if err := NewPlanner().Validate(); err != nil {
+		t.Fatalf("NewPlanner().Validate() = %v, want nil", err)
+	}
+}
+
+// TestValidateCatchesSilentKnobs: every knob mistake that would silently
+// mine an empty or no-op plan family must produce an error naming the
+// knob, instead of a quietly useless campaign.
+func TestValidateCatchesSilentKnobs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Planner)
+		want   string // substring the error must carry
+	}{
+		{"negative max plans", func(p *Planner) { p.MaxPlans = -1 }, "MaxPlans"},
+		{"negative blackout", func(p *Planner) { p.BlackoutWindow = -sim.Second }, "BlackoutWindow"},
+		{"zero freeze points", func(p *Planner) { p.MaxFreezePoints = 0 }, "MaxFreezePoints"},
+		{"no crash delays", func(p *Planner) { p.CrashDelays = nil }, "CrashDelays"},
+		{"non-positive crash delay", func(p *Planner) { p.CrashDelays = []sim.Duration{0} }, "CrashDelay"},
+		{"zero gray freeze points", func(p *Planner) { p.GrayFreezePoints = 0 }, "GrayFreezePoints"},
+		{"zero gray window", func(p *Planner) { p.GrayWindow = 0 }, "GrayWindow"},
+		{"zero slow extra", func(p *Planner) { p.SlowExtra = 0 }, "SlowExtra"},
+		{"negative slow jitter", func(p *Planner) { p.SlowJitter = -1 }, "SlowJitter"},
+		{"compaction keep below floor", func(p *Planner) { p.CompactionKeep = 1 }, "CompactionKeep"},
+		{"flaky percent out of range", func(p *Planner) { p.FlakyDrop = 101 }, "FlakyDrop"},
+		{"all flaky knobs zero", func(p *Planner) { p.FlakyDrop, p.FlakyDup, p.FlakyReorder = 0, 0, 0 }, "flaky-link"},
+	}
+	for _, tc := range cases {
+		p := NewPlanner()
+		tc.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error mentioning %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %q, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateDisabledFamiliesRelax: knobs of a disabled family are not
+// validated — disabling is the documented way to opt out.
+func TestValidateDisabledFamiliesRelax(t *testing.T) {
+	p := NewPlanner()
+	p.DisableTimeTravel = true
+	p.CrashDelays = nil
+	if err := p.Validate(); err != nil {
+		t.Fatalf("CrashDelays unset with time travel disabled: Validate() = %v, want nil", err)
+	}
+	p = NewPlanner()
+	p.DisableGrayFailure = true
+	p.SlowExtra = 0
+	p.CompactionKeep = 0
+	if err := p.Validate(); err != nil {
+		t.Fatalf("gray knobs unset with gray failures disabled: Validate() = %v, want nil", err)
+	}
+	p = NewPlanner()
+	p.DisableTimeTravel = true
+	p.DisableStaleness = true
+	p.MaxFreezePoints = 0
+	if err := p.Validate(); err != nil {
+		t.Fatalf("freeze points unset with both consumers disabled: Validate() = %v, want nil", err)
+	}
+}

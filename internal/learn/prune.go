@@ -1,0 +1,275 @@
+// Plan pruning and equivalence-class dedup: the half of the learning
+// phase that turns a mined Model into a cheaper campaign schedule.
+//
+// For every plan the planner emitted we compute its *consumed surface* —
+// the set of learned consumptions (model indices) the perturbation can
+// plausibly intersect. The computation is conservative in both
+// directions: windows are widened by the reaction window (learn.Model
+// .scan), and any plan family whose effect we cannot bound (compaction
+// pressure, unknown plan types) reports an unknown surface and is always
+// kept. Only a plan with a *known, empty* surface is pruned, and only
+// suppression-style plans (gap drops/blackouts) participate in dedup —
+// a suppressed consumption set fully characterises their effect, whereas
+// timing-sensitive families (time-travel, staleness, crashes, links)
+// behave differently per timing variant even with identical surfaces, so
+// deduping them was measured to push detections out of the kept set.
+package learn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Action is the scheduling decision the learning phase took for one plan.
+type Action string
+
+const (
+	// Keep schedules the plan in the kept (front) set.
+	Keep Action = "keep"
+	// Prune defers the plan: its known consumed surface is empty, so it
+	// provably cannot change anything the victim consumed.
+	Prune Action = "prune"
+	// Dedupe defers the plan: another kept plan already covers the same
+	// projected observable effect (equal equivalence class).
+	Dedupe Action = "dedupe"
+)
+
+// Decision records why one plan was kept, pruned, or deduped — the
+// telemetry unit behind plan_pruned NDJSON events.
+type Decision struct {
+	// Index is the plan's position in the planner's original output — the
+	// coordinate campaign reports use.
+	Index  int
+	Plan   core.Plan
+	Action Action
+	// Reason is a one-line human-readable justification.
+	Reason string
+	// Class is the plan's equivalence class (family key + surface hash);
+	// empty when the surface is unknown.
+	Class string
+	// Surface is the number of learned consumptions the plan's
+	// perturbation can intersect (-1 = unknown, always kept).
+	Surface int
+	// Representative is the original index of the kept plan covering this
+	// one (Dedupe only).
+	Representative int
+}
+
+// ScheduledPlan is one plan with its learning metadata threaded through.
+type ScheduledPlan struct {
+	Plan core.Plan
+	// Index is the plan's position in the planner's original output.
+	Index int
+	// Score is the learned impact score (meaningful after Rank).
+	Score float64
+}
+
+// Stats summarises one schedule build.
+type Stats struct {
+	Planned int // plans the planner emitted
+	Kept    int // plans scheduled in the front set
+	Pruned  int // plans deferred with empty known surface
+	Deduped int // plans deferred behind an equivalent representative
+}
+
+// Schedule is the learning phase's output: a kept front set (optionally
+// impact-ranked) and a deferred tail. Soundness comes from deferral, not
+// deletion — the campaign engine executes the tail when the kept set
+// detects nothing (or under keep-going), so a schedule can never detect
+// strictly less than the raw plan list.
+type Schedule struct {
+	Kept      []ScheduledPlan
+	Deferred  []ScheduledPlan
+	Decisions []Decision
+	Stats     Stats
+}
+
+// Options configures BuildSchedule.
+type Options struct {
+	// Prune enables empty-surface pruning and equivalence-class dedup.
+	Prune bool
+	// Rank enables impact ranking of the kept set.
+	Rank bool
+	// Affinity maps plan classes (ClassOf) to past detection counts —
+	// bucket signature affinity mined from earlier seeds or campaigns.
+	Affinity map[string]int
+}
+
+// BuildSchedule applies the learned model to a planner's output. It is a
+// pure function of (model, plans, opts): byte-identical across reruns and
+// worker counts. Plan order within each of Kept and Deferred preserves
+// planner order except for ranking, which is a stable sort.
+func BuildSchedule(m *Model, t core.Target, plans []core.Plan, opts Options) *Schedule {
+	s := &Schedule{Stats: Stats{Planned: len(plans)}}
+	repr := make(map[string]int) // equivalence class -> original index of representative
+
+	for i, p := range plans {
+		known, surface := m.Surface(p)
+		d := Decision{Index: i, Plan: p, Surface: -1, Representative: -1}
+		if !known {
+			d.Reason = "surface unknown: kept (conservative)"
+			s.keep(p, i, d)
+			continue
+		}
+		d.Surface = len(surface)
+		d.Class = classKey(p, surface)
+		if !opts.Prune {
+			d.Reason = "pruning disabled"
+			s.keep(p, i, d)
+			continue
+		}
+		if len(surface) == 0 {
+			d.Action = Prune
+			d.Reason = "no consumed delivery intersects the perturbation"
+			s.Decisions = append(s.Decisions, d)
+			s.Deferred = append(s.Deferred, ScheduledPlan{Plan: p, Index: i})
+			s.Stats.Pruned++
+			continue
+		}
+		if dedupable(p) {
+			if prev, ok := repr[d.Class]; ok {
+				d.Action = Dedupe
+				d.Representative = prev
+				d.Reason = fmt.Sprintf("same projected effect as plan #%d", prev)
+				s.Decisions = append(s.Decisions, d)
+				s.Deferred = append(s.Deferred, ScheduledPlan{Plan: p, Index: i})
+				s.Stats.Deduped++
+				continue
+			}
+			repr[d.Class] = i
+			d.Reason = fmt.Sprintf("representative of class (surface %d)", len(surface))
+			s.keep(p, i, d)
+			continue
+		}
+		d.Reason = fmt.Sprintf("timing-sensitive family: kept (surface %d)", len(surface))
+		s.keep(p, i, d)
+	}
+
+	if opts.Rank {
+		m.rank(s, opts)
+	}
+	return s
+}
+
+// dedupable reports whether a plan family's observable effect is fully
+// characterised by its suppressed consumption set. True only for gap
+// plans (one-shot drops and blackouts): suppressing the same consumed
+// deliveries for the same victim is the same experiment regardless of
+// the knob values that produced it. Time-travel, staleness, crash and
+// link plans interleave with execution timing — two staleness windows
+// over the same consumed set can still unfreeze at different points
+// relative to the victim's reaction, so every timing variant stays.
+func dedupable(p core.Plan) bool {
+	_, ok := p.(core.GapPlan)
+	return ok
+}
+
+func (s *Schedule) keep(p core.Plan, i int, d Decision) {
+	d.Action = Keep
+	s.Decisions = append(s.Decisions, d)
+	s.Kept = append(s.Kept, ScheduledPlan{Plan: p, Index: i})
+	s.Stats.Kept++
+}
+
+// classKey is the equivalence-class identity: the plan's coverage class
+// (family + victim + knobs, timing abstracted away) folded with the hash
+// of its sorted consumed-surface indices. Two plans share a class exactly
+// when they suppress/delay the same consumed delivery set for the same
+// victim in the same way.
+func classKey(p core.Plan, surface []int) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	sorted := append([]int(nil), surface...)
+	sort.Ints(sorted)
+	for _, idx := range sorted {
+		binary.LittleEndian.PutUint64(buf[:], uint64(idx))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%s|%016x", ClassOf(p), h.Sum64())
+}
+
+// Surface computes a plan's consumed surface: the indices (into the
+// model's global consumed list) of learned consumptions the perturbation
+// can plausibly intersect. known == false means the family's effect
+// cannot be bounded from the trace (compaction pressure, plans from
+// other strategies) and the caller must keep the plan.
+func (m *Model) Surface(p core.Plan) (known bool, surface []int) {
+	switch q := p.(type) {
+	case core.GapPlan:
+		if q.Occurrence > 0 {
+			return true, m.occurrenceSurface(q)
+		}
+		// Blackout: consumed deliveries of the object to the victim inside
+		// the window (widened by the reaction window — scan's slack — so a
+		// delivery consumed just past the edge still counts).
+		return true, m.scan(q.From, q.Until, func(c Consumption) bool {
+			d := c.Delivery
+			return d.To == q.Victim && d.Kind == q.Kind && d.Name == q.Name &&
+				(q.Type == "" || d.EventType == q.Type)
+		})
+	case core.TimeTravelPlan:
+		// The restarted component re-lists from a view frozen at FreezeAt:
+		// every delivery it consumed after the freeze is unwound. Bound the
+		// window at the heal (or the end when it never heals).
+		return true, m.consumedTo(q.Component, q.FreezeAt, q.HealAt)
+	case core.StalenessPlan:
+		// Freezing an apiserver stalls everything that flowed through it.
+		return true, m.consumedVia(q.Victim, q.From, q.Until)
+	case core.CrashPlan:
+		// A crash loses in-memory state; deliveries consumed from the crash
+		// until the end shape the rebuilt view.
+		return true, m.consumedTo(q.Component, q.At, 0)
+	case core.PartitionPlan:
+		return true, m.consumedOnLink(q.A, q.B, q.From, q.Until)
+	case core.SlowLinkPlan:
+		return true, m.consumedOnLink(q.A, q.B, q.From, q.Until)
+	case core.FlakyLinkPlan:
+		return true, m.consumedOnLink(q.A, q.B, q.From, q.Until)
+	case core.SequencePlan:
+		set := map[int]bool{}
+		for _, sub := range q.Plans {
+			k, s := m.Surface(sub)
+			if !k {
+				return false, nil
+			}
+			for _, idx := range s {
+				set[idx] = true
+			}
+		}
+		out := make([]int, 0, len(set))
+		for idx := range set {
+			out = append(out, idx)
+		}
+		sort.Ints(out)
+		return true, out
+	case core.CompactionPressurePlan:
+		// Compaction changes the store's revision floor globally; which
+		// watchers hit ErrCompacted depends on resumption timing we cannot
+		// bound from the reference trace. Keep-if-unsure.
+		return false, nil
+	default:
+		return false, nil
+	}
+}
+
+// occurrenceSurface resolves a one-shot drop to the single delivery it
+// targets. The surface is that delivery's consumption (if consumed) —
+// empty when the component observed but never consumed it, which is
+// precisely the waste the learning phase exists to skip.
+func (m *Model) occurrenceSurface(q core.GapPlan) []int {
+	p := m.Profiles[q.Victim]
+	if p == nil {
+		return nil
+	}
+	for _, c := range p.Consumed {
+		d := c.Delivery
+		if d.Kind == q.Kind && d.Name == q.Name && d.EventType == q.Type && d.Occurrence == q.Occurrence {
+			return []int{c.Index}
+		}
+	}
+	return nil
+}

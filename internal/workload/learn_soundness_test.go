@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+// TestLearnedPruningSoundness is the learning phase's regression contract
+// over all five seeded bugs: with -prune -ranked the campaign must (a)
+// still detect every bug, (b) land in the same failure bucket, (c) never
+// need more executions than the unlearned planner order (ratio <= 1.0),
+// (d) take strictly fewer executions for the median target (>= 25%
+// reduction), and (e) record zero unsound pruning decisions — no
+// detection may come from the deferred tail while the kept set missed.
+func TestLearnedPruningSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full campaigns")
+	}
+	var reductions []float64
+	for _, target := range AllTargets() {
+		base := campaign.New(campaign.Config{Workers: 2, MaxExecutions: 400}).
+			Run(target, core.NewPlanner())
+		learned := campaign.New(campaign.Config{Workers: 2, MaxExecutions: 400, Prune: true, Ranked: true}).
+			Run(target, core.NewPlanner())
+
+		if !base.Detected {
+			t.Fatalf("%s: baseline campaign did not detect the seeded bug", target.Name)
+		}
+		if !learned.Detected {
+			t.Fatalf("%s: learned campaign lost the seeded bug", target.Name)
+		}
+		if bs, ls := detectedSignatures(base), detectedSignatures(learned); !equalStrings(bs, ls) {
+			t.Fatalf("%s: failure buckets diverged: base %v, learned %v", target.Name, bs, ls)
+		}
+		be, le := base.Campaign.Executions, learned.Campaign.Executions
+		if le > be {
+			t.Fatalf("%s: learned campaign needed %d executions, baseline %d (ratio %.2f > 1.0)",
+				target.Name, le, be, float64(le)/float64(be))
+		}
+		if learned.Stats.PruningUnsoundDetections != 0 {
+			t.Fatalf("%s: %d detections came from pruned/deduped plans the kept set missed",
+				target.Name, learned.Stats.PruningUnsoundDetections)
+		}
+		if learned.Stats.PlansPruned == 0 {
+			t.Fatalf("%s: learning pruned nothing; the phase is inert", target.Name)
+		}
+		reductions = append(reductions, 1-float64(le)/float64(be))
+		t.Logf("%-14s baseline=%3d learned=%3d pruned=%3d (reduction %.0f%%)",
+			target.Name, be, le, learned.Stats.PlansPruned, 100*(1-float64(le)/float64(be)))
+	}
+
+	sort.Float64s(reductions)
+	median := reductions[len(reductions)/2]
+	if median < 0.25 {
+		t.Fatalf("median executions-to-first-detection reduction = %.0f%%, want >= 25%% (all: %v)",
+			100*median, reductions)
+	}
+}
+
+// detectedSignatures returns the sorted signatures of detected buckets.
+func detectedSignatures(r campaign.Result) []string {
+	var out []string
+	for _, b := range r.Buckets {
+		if b.Detected {
+			out = append(out, string(b.Signature))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
