@@ -7,11 +7,12 @@ package partialhist
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/apiserver"
-	"repro/internal/baselines"
+	"repro/internal/bench"
 	"repro/internal/campaign"
 	"repro/internal/client"
 	"repro/internal/cluster"
@@ -415,63 +416,61 @@ func runE4WatchWindow() int {
 // ---------------------------------------------------------------------
 
 func BenchmarkE5_Sec7_BugMatrix(b *testing.B) {
-	const maxExec = 400
-	targets := workload.AllTargets()
-	mkStrategies := func() []core.Strategy {
-		return []core.Strategy{
-			core.NewPlanner(),
-			baselines.CrashTuner{},
-			baselines.CoFI{},
-			baselines.Random{Seed: 7, N: maxExec},
-		}
-	}
-
-	// The matrix runs through internal/campaign's worker pool: plan
-	// executions fan out across 4 workers per campaign, with results
-	// byte-identical to the serial core.Matrix (the engine's cross-check
-	// invariant). EXPERIMENTS.md records the serial-vs-parallel speedup.
-	// The learned variant routes the tool's column through -prune -ranked:
-	// same planner, but the campaign learns read-dependency profiles and
-	// runs a pruned, impact-ranked schedule (internal/learn).
-	eng := campaign.New(campaign.Config{Workers: 4, MaxExecutions: maxExec})
-	engLearned := campaign.New(campaign.Config{Workers: 4, MaxExecutions: maxExec, Prune: true, Ranked: true})
-
-	var results []core.CampaignResult
-	var learned []campaign.Result
+	// The matrix runs through internal/campaign's worker pool with prefix
+	// checkpointing (-snapshot) on: plan executions fan out across 4
+	// workers per campaign and fork from copy-on-write checkpoints, with
+	// results byte-identical to the serial full-replay core.Matrix (the
+	// engine's cross-check invariants). EXPERIMENTS.md records both
+	// speedups. The learned column routes the tool through -prune -ranked.
+	// The deterministic results are computed by internal/bench — the same
+	// code path cmd/benchcheck re-runs to detect drift in the committed
+	// BENCH_E5.json artifact — and the benchmark re-emits that artifact on
+	// every run so a behaviour change shows up as a file diff.
+	var art bench.E5
 	for i := 0; i < b.N; i++ {
-		results = results[:0]
-		learned = learned[:0]
-		for _, res := range eng.Matrix(targets, mkStrategies()) {
-			results = append(results, res.Campaign)
-		}
-		for _, t := range targets {
-			learned = append(learned, engLearned.Run(t, core.NewPlanner()))
-		}
+		art = bench.ComputeE5(benchE5MaxExec, 4)
 	}
 
 	detectedByTool, detectedLearned := 0, 0
-	for i := range targets {
-		if results[i*4].Detected {
+	for _, c := range art.Cells {
+		if c.Strategy == "partial-history" && c.Detected {
 			detectedByTool++
 		}
-		if learned[i].Detected {
+	}
+	for _, l := range art.Learned {
+		if l.Detected {
 			detectedLearned++
 		}
 	}
 	b.ReportMetric(float64(detectedByTool), "bugs-found-by-tool")
 	b.ReportMetric(float64(detectedLearned), "bugs-found-learned")
+	if err := bench.WriteFile("BENCH_E5.json", art); err != nil {
+		b.Fatalf("E5: write artifact: %v", err)
+	}
 	printOnce("E5", func() {
-		fmt.Printf("\nE5 (paper Section 7) — bug-finding matrix, max %d executions each\n", maxExec)
+		fmt.Printf("\nE5 (paper Section 7) — bug-finding matrix, max %d executions each\n", art.MaxExecutions)
 		fmt.Printf("  %-13s %-19s %-18s %-18s %-16s %-16s %s\n", "bug", "oracle", "partial-history", "pruned+ranked", "crashtuner", "cofi", "random")
-		strategyCount := 4
-		for ti, t := range targets {
-			fmt.Printf("  %-13s %-19s", t.Name, t.Bug)
-			cells := []core.CampaignResult{results[ti*strategyCount], learned[ti].Campaign,
-				results[ti*strategyCount+1], results[ti*strategyCount+2], results[ti*strategyCount+3]}
+		byKey := map[string]bench.Cell{}
+		for _, c := range art.Cells {
+			byKey[c.Target+"/"+c.Strategy] = c
+		}
+		for ti, l := range art.Learned {
+			tool := byKey[l.Target+"/partial-history"]
+			fmt.Printf("  %-13s %-19s", l.Target, tool.Oracle)
+			cells := []struct {
+				detected   bool
+				executions int
+			}{
+				{tool.Detected, tool.Executions},
+				{l.Detected, l.Executions},
+				{byKey[l.Target+"/crashtuner"].Detected, byKey[l.Target+"/crashtuner"].Executions},
+				{byKey[l.Target+"/cofi"].Detected, byKey[l.Target+"/cofi"].Executions},
+				{byKey[l.Target+"/random"].Detected, byKey[l.Target+"/random"].Executions},
+			}
 			for ci, r := range cells {
-				cell := fmt.Sprintf("no (%d)", r.Executions)
-				if r.Detected {
-					cell = fmt.Sprintf("YES (%d)", r.Executions)
+				cell := fmt.Sprintf("no (%d)", r.executions)
+				if r.detected {
+					cell = fmt.Sprintf("YES (%d)", r.executions)
 				}
 				width := 16
 				if ci < 2 {
@@ -480,28 +479,36 @@ func BenchmarkE5_Sec7_BugMatrix(b *testing.B) {
 				fmt.Printf(" %-*s", width, cell)
 			}
 			fmt.Println()
+			_ = ti
 		}
 		fmt.Printf("  (cells: detected? (executions until first detection); learned column prunes\n")
-		fmt.Printf("   %d–%d plans per target with zero unsound deferrals)\n",
-			minPruned(learned), maxPruned(learned))
+		fmt.Printf("   %d–%d plans per target with zero unsound deferrals; artifact: BENCH_E5.json)\n",
+			minPruned(art.Learned), maxPruned(art.Learned))
 	})
 }
 
-func minPruned(rs []campaign.Result) int {
+// benchE5MaxExec and benchE6MaxExec pin the artifact parameters; they are
+// recorded in the emitted JSON and re-used by cmd/benchcheck.
+const (
+	benchE5MaxExec = 400
+	benchE6MaxExec = 800
+)
+
+func minPruned(ls []bench.LearnedCell) int {
 	m := int(^uint(0) >> 1)
-	for _, r := range rs {
-		if r.Stats.PlansPruned < m {
-			m = r.Stats.PlansPruned
+	for _, l := range ls {
+		if l.PlansPruned < m {
+			m = l.PlansPruned
 		}
 	}
 	return m
 }
 
-func maxPruned(rs []campaign.Result) int {
+func maxPruned(ls []bench.LearnedCell) int {
 	m := 0
-	for _, r := range rs {
-		if r.Stats.PlansPruned > m {
-			m = r.Stats.PlansPruned
+	for _, l := range ls {
+		if l.PlansPruned > m {
+			m = l.PlansPruned
 		}
 	}
 	return m
@@ -512,67 +519,41 @@ func maxPruned(rs []campaign.Result) int {
 // ---------------------------------------------------------------------
 
 func BenchmarkE6_Sec6_PlannerEfficiency(b *testing.B) {
-	unguided := func() *core.Planner {
-		p := core.NewPlanner()
-		p.CausalFilter = false
-		p.CausalRanking = false
-		p.PrioritizeDeletionPaths = false
-		return p
-	}
-	targets := []core.Target{workload.Target56261(), workload.TargetCass398(), workload.TargetCass400()}
-
-	type row struct {
-		target                                                string
-		guidedPlans, guidedExec                               int
-		learnedPlans, learnedExec                             int
-		unguidedPlans, unguidedExec                           int
-		randomExec                                            int
-		guidedFound, learnedFound, unguidedFound, randomFound bool
-	}
-	// Campaigns run through the parallel engine (unguided mode, so the
-	// execution counts match the serial reference exactly). The learned
-	// column routes the guided planner through -prune -ranked.
-	eng := campaign.New(campaign.Config{Workers: 4, MaxExecutions: 800})
-	engLearned := campaign.New(campaign.Config{Workers: 4, MaxExecutions: 800, Prune: true, Ranked: true})
-
-	var rows []row
+	// Campaigns run through the parallel engine with prefix checkpointing
+	// (unguided mode, so the execution counts match the serial full-replay
+	// reference exactly). The learned column routes the guided planner
+	// through -prune -ranked. Deterministic results come from
+	// internal/bench and are re-emitted as BENCH_E6.json, which
+	// cmd/benchcheck guards against drift.
+	var art bench.E6
 	for i := 0; i < b.N; i++ {
-		rows = rows[:0]
-		for _, t := range targets {
-			g := eng.Run(t, core.NewPlanner()).Campaign
-			l := engLearned.Run(t, core.NewPlanner())
-			u := eng.Run(t, unguided()).Campaign
-			r := eng.Run(t, baselines.Random{Seed: 11, N: 800}).Campaign
-			rows = append(rows, row{
-				target:      t.Name,
-				guidedPlans: g.PlansTotal, guidedExec: g.Executions, guidedFound: g.Detected,
-				learnedPlans: l.Campaign.PlansTotal - l.Stats.PlansPruned, learnedExec: l.Campaign.Executions, learnedFound: l.Detected,
-				unguidedPlans: u.PlansTotal, unguidedExec: u.Executions, unguidedFound: u.Detected,
-				randomExec: r.Executions, randomFound: r.Detected,
-			})
-		}
+		art = bench.ComputeE6(benchE6MaxExec, 4)
 	}
 	var sumG, sumU, sumL int
-	for _, r := range rows {
-		sumG += r.guidedExec
-		sumU += r.unguidedExec
-		sumL += r.learnedExec
+	for _, r := range art.Rows {
+		sumG += r.Guided.Executions
+		sumU += r.Unguided.Executions
+		sumL += r.Learned.Executions
 	}
 	if sumG > 0 {
 		b.ReportMetric(float64(sumU)/float64(sumG), "unguided/guided-executions")
 		b.ReportMetric(float64(sumL)/float64(sumG), "learned/guided-executions")
 	}
+	if err := bench.WriteFile("BENCH_E6.json", art); err != nil {
+		b.Fatalf("E6: write artifact: %v", err)
+	}
 	printOnce("E6", func() {
 		fmt.Printf("\nE6 (paper §6.1) — \"a tool focusing on partial histories can reorder only\n")
 		fmt.Printf("selected events and detect partial-history bugs efficiently\"\n")
 		fmt.Printf("  %-13s %-24s %-24s %-24s %s\n", "bug", "guided (plans/execs)", "pruned+ranked", "unguided (plans/execs)", "random (execs)")
-		for _, r := range rows {
-			fmt.Printf("  %-13s %-24s %-24s %-24s %s\n", r.target,
-				cellE6(r.guidedFound, r.guidedPlans, r.guidedExec),
-				cellE6(r.learnedFound, r.learnedPlans, r.learnedExec),
-				cellE6(r.unguidedFound, r.unguidedPlans, r.unguidedExec),
-				cellE6(r.randomFound, 800, r.randomExec))
+		for _, r := range art.Rows {
+			fmt.Printf("  %-13s %-24s %-24s %-24s %s\n", r.Target,
+				cellE6(r.Guided.Detected, r.Guided.PlansTotal, r.Guided.Executions),
+				cellE6(r.Learned.Detected, r.Learned.PlansTotal-r.Learned.PlansPruned, r.Learned.Executions),
+				cellE6(r.Unguided.Detected, r.Unguided.PlansTotal, r.Unguided.Executions),
+				cellE6(r.Random.Detected, art.MaxExecutions, r.Random.Executions))
 		}
+		fmt.Printf("  (artifact: BENCH_E6.json)\n")
 	})
 }
 
@@ -581,6 +562,94 @@ func cellE6(found bool, plans, execs int) string {
 		return fmt.Sprintf("%d / %d", plans, execs)
 	}
 	return fmt.Sprintf("%d / not found (%d)", plans, execs)
+}
+
+// ---------------------------------------------------------------------
+// E9 — prefix checkpointing: CPU time with and without -snapshot.
+// ---------------------------------------------------------------------
+
+func BenchmarkE9_SnapshotSpeedup(b *testing.B) {
+	// Same campaign, same results (the cross-check tests prove the
+	// canonicalized artifacts byte-identical) — only the execution substrate
+	// changes: full replay from t=0 vs. forking from the latest
+	// copy-on-write checkpoint at or before each plan's earliest effect.
+	// Workers=1 and KeepGoing pin the comparison: single-threaded, so wall
+	// time is CPU time, and a fixed execution count for both modes. The
+	// snapshot column *includes* the checkpoint ladder's cost (one extra
+	// plan-free run per campaign); the cassandra targets are not
+	// snapshotable, so their rows measure the price of silent fallback.
+	// Only snapshotable rows count toward the reported best-speedup —
+	// apparent "speedups" on fallback rows are scheduler noise.
+	// 200 executions per campaign: long enough that the plan list reaches
+	// past the front-loaded early-effect cluster (the causal ranking puts
+	// the hottest mined window first, where checkpoints save the least),
+	// short enough to keep the benchmark honest about ladder amortization.
+	const execs = 200
+	type row struct {
+		name         string
+		offMs        float64
+		onMs         float64
+		executions   int
+		speedup      float64
+		snapshotable bool
+	}
+	var rows []row
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, t := range workload.AllTargets() {
+			// Min-of-3 per mode: 2–3 ms executions on a shared host carry
+			// scheduler noise comparable to the effect being measured; the
+			// minimum is the cleanest estimate of the intrinsic cost.
+			const reps = 3
+			measure := func(snapshot bool) (campaign.Result, int64) {
+				cfg := campaign.Config{Workers: 1, MaxExecutions: execs, KeepGoing: true, Snapshot: snapshot}
+				var res campaign.Result
+				best := int64(0)
+				for rep := 0; rep < reps; rep++ {
+					res = campaign.New(cfg).Run(t, core.NewPlanner())
+					if best == 0 || res.Stats.WallNanos < best {
+						best = res.Stats.WallNanos
+					}
+				}
+				return res, best
+			}
+			off, offNs := measure(false)
+			on, onNs := measure(true)
+			if !reflect.DeepEqual(campaign.Canonicalize(off), campaign.Canonicalize(on)) {
+				b.Fatalf("E9 %s: snapshot campaign diverged from full replay", t.Name)
+			}
+			r := row{
+				name:         t.Name,
+				offMs:        float64(offNs) / 1e6,
+				onMs:         float64(onNs) / 1e6,
+				executions:   off.Campaign.Executions,
+				snapshotable: t.Build(1).Snapshotable(),
+			}
+			if onNs > 0 {
+				r.speedup = float64(offNs) / float64(onNs)
+			}
+			rows = append(rows, r)
+		}
+	}
+	best := 0.0
+	for _, r := range rows {
+		if r.snapshotable && r.speedup > best {
+			best = r.speedup
+		}
+	}
+	b.ReportMetric(best, "best-speedup")
+	printOnce("E9", func() {
+		fmt.Printf("\nE9 — prefix checkpointing (-snapshot): CPU time per campaign, %d executions, 1 worker\n", execs)
+		fmt.Printf("  %-13s %-18s %-18s %s\n", "bug", "full replay (ms)", "snapshot (ms)", "speedup")
+		for _, r := range rows {
+			note := ""
+			if !r.snapshotable {
+				note = "  (not snapshotable: full-replay fallback)"
+			}
+			fmt.Printf("  %-13s %-18.0f %-18.0f %.2f×%s\n", r.name, r.offMs, r.onMs, r.speedup, note)
+		}
+		fmt.Printf("  (identical campaign results asserted per row; ladder cost included)\n")
+	})
 }
 
 // ---------------------------------------------------------------------

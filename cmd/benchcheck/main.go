@@ -1,0 +1,107 @@
+// Command benchcheck guards the committed benchmark artifacts against
+// drift. BENCH_E5.json and BENCH_E6.json record the deterministic results
+// of the E5 (Section 7 bug-finding matrix) and E6 (§6.1 planner
+// efficiency) experiments; benchcheck recomputes both from scratch —
+// through the same internal/bench code path the benchmarks use — and
+// fails with a field-level diff when a committed artifact disagrees with
+// the fresh run. A behaviour change that shifts a detection, an execution
+// count, or a pruning decision therefore breaks this check until the
+// artifacts are regenerated (and the diff reviewed) with -write.
+//
+// Usage:
+//
+//	benchcheck [-e5 BENCH_E5.json] [-e6 BENCH_E6.json] [-parallel N] [-write]
+//
+// Exit codes: 0 artifacts agree, 1 drift detected or an artifact is
+// missing/unreadable, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	e5Path := fs.String("e5", "BENCH_E5.json", "committed E5 artifact path")
+	e6Path := fs.String("e6", "BENCH_E6.json", "committed E6 artifact path")
+	parallel := fs.Int("parallel", 4, "worker-pool width for the recomputation (does not affect results)")
+	write := fs.Bool("write", false, "regenerate the artifacts instead of checking them")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *write {
+		// Default parameters match bench_test.go (recorded in the files).
+		if err := regenerate(*e5Path, *e6Path, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			return 1
+		}
+		return 0
+	}
+
+	drift := false
+	drift = checkE5(*e5Path, *parallel) || drift
+	drift = checkE6(*e6Path, *parallel) || drift
+	if drift {
+		fmt.Fprintln(os.Stderr, "benchcheck: committed artifacts disagree with a fresh run; regenerate with -write and review the diff")
+		return 1
+	}
+	fmt.Println("benchcheck: committed artifacts match the fresh run")
+	return 0
+}
+
+func regenerate(e5Path, e6Path string, workers int) error {
+	fmt.Printf("benchcheck: computing E5 (max %d executions)...\n", 400)
+	if err := bench.WriteFile(e5Path, bench.ComputeE5(400, workers)); err != nil {
+		return err
+	}
+	fmt.Printf("benchcheck: computing E6 (max %d executions)...\n", 800)
+	if err := bench.WriteFile(e6Path, bench.ComputeE6(800, workers)); err != nil {
+		return err
+	}
+	fmt.Printf("benchcheck: wrote %s and %s\n", e5Path, e6Path)
+	return nil
+}
+
+func checkE5(path string, workers int) (drift bool) {
+	committed, err := bench.ReadE5(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return true
+	}
+	fmt.Printf("benchcheck: recomputing E5 (max %d executions)...\n", committed.MaxExecutions)
+	fresh := bench.ComputeE5(committed.MaxExecutions, workers)
+	return report(path, bench.Diff(committed, fresh))
+}
+
+func checkE6(path string, workers int) (drift bool) {
+	committed, err := bench.ReadE6(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return true
+	}
+	fmt.Printf("benchcheck: recomputing E6 (max %d executions)...\n", committed.MaxExecutions)
+	fresh := bench.ComputeE6(committed.MaxExecutions, workers)
+	return report(path, bench.Diff(committed, fresh))
+}
+
+func report(path string, diffs []string) bool {
+	if len(diffs) == 0 {
+		fmt.Printf("benchcheck: %s agrees with the fresh run\n", path)
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "benchcheck: %s drifted (%d differences):\n", path, len(diffs))
+	for _, d := range diffs {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	return true
+}

@@ -332,17 +332,26 @@ func sortedSubKeys(m map[string]*clientSub) []string {
 
 // scheduleResync keeps a liveness timer: if the store stream has been
 // silent for ResyncInterval, pull any missed events.
-func (s *Server) scheduleResync() {
-	epoch := s.epoch
-	s.world.Kernel().Schedule(s.cfg.ResyncInterval, func() {
-		if s.down || epoch != s.epoch {
-			return
-		}
-		if s.ready && s.world.Now().Sub(s.lastEventAt) >= s.cfg.ResyncInterval {
-			s.recoverGap(nil)
-		}
-		s.scheduleResync()
-	})
+func (s *Server) scheduleResync() { s.armResync(s.epoch) }
+
+// armResync schedules one resync firing carrying the epoch observed at arm
+// time. The tag lets the prefix-checkpoint layer re-arm a pending firing
+// with the identical armed epoch (a stale firing must stay a no-op in a
+// forked run, exactly as it would in a full replay).
+func (s *Server) armResync(epoch uint64) {
+	s.world.Kernel().ScheduleTagged(s.cfg.ResyncInterval,
+		sim.EventTag{Owner: string(s.id), Kind: "resync", Epoch: epoch},
+		func() { s.resyncFire(epoch) })
+}
+
+func (s *Server) resyncFire(epoch uint64) {
+	if s.down || epoch != s.epoch {
+		return
+	}
+	if s.ready && s.world.Now().Sub(s.lastEventAt) >= s.cfg.ResyncInterval {
+		s.recoverGap(nil)
+	}
+	s.scheduleResync()
 }
 
 func (s *Server) register() {

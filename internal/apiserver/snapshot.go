@@ -1,0 +1,124 @@
+package apiserver
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/history"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Snapshot captures an apiserver's watch-cache state at a checkpoint. The
+// retained event window is shared copy-on-write (capped slice; applyOne's
+// append reallocates, and trims always allocate fresh). Cached KVs share
+// their value bytes — the apiserver never mutates a cached value in place,
+// it installs fresh KV structs.
+type Snapshot struct {
+	ID          sim.NodeID
+	Cfg         Config
+	Down        bool
+	Ready       bool
+	Epoch       uint64
+	Cache       map[string]store.KV
+	CachedRev   int64
+	Window      []history.Event // cap == len; shared with the source server
+	MinStartRev int64
+	Subs        []ClientSubSnapshot // sorted by subscription key
+	StoreSubID  uint64
+	LastEventAt sim.Time
+	RPCNext     uint64 // request-ID counter of the store-facing RPC client
+}
+
+// ClientSubSnapshot describes one client watch subscription.
+type ClientSubSnapshot struct {
+	SubID    uint64
+	Client   sim.NodeID
+	Kind     cluster.Kind
+	LastSent int64
+}
+
+// Snapshot captures the server's state.
+func (s *Server) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		ID:          s.id,
+		Cfg:         s.cfg,
+		Down:        s.down,
+		Ready:       s.ready,
+		Epoch:       s.epoch,
+		Cache:       make(map[string]store.KV, len(s.cache)),
+		CachedRev:   s.cachedRev,
+		Window:      s.window[:len(s.window):len(s.window)],
+		MinStartRev: s.minStartRev,
+		StoreSubID:  s.storeSubID,
+		LastEventAt: s.lastEventAt,
+		RPCNext:     s.rpcCl.Next(),
+	}
+	for k, kv := range s.cache {
+		snap.Cache[k] = kv
+	}
+	for _, sk := range sortedSubKeys(s.subs) {
+		sub := s.subs[sk]
+		snap.Subs = append(snap.Subs, ClientSubSnapshot{
+			SubID:    sub.subID,
+			Client:   sub.client,
+			Kind:     sub.kind,
+			LastSent: sub.lastSent,
+		})
+	}
+	return snap
+}
+
+// Restore reconstructs an apiserver from a snapshot inside world w without
+// bootstrapping or scheduling: the watch cache, subscriptions, epoch, and
+// RPC counters come straight from the snapshot; pending timers (the resync
+// liveness firing) are re-installed by the restore orchestration via
+// Rearm.
+func Restore(w *sim.World, snap *Snapshot) *Server {
+	s := &Server{
+		id:          snap.ID,
+		world:       w,
+		cfg:         snap.Cfg,
+		down:        snap.Down,
+		ready:       snap.Ready,
+		epoch:       snap.Epoch,
+		cache:       make(map[string]store.KV, len(snap.Cache)),
+		cachedRev:   snap.CachedRev,
+		window:      snap.Window,
+		minStartRev: snap.MinStartRev,
+		subs:        make(map[string]*clientSub, len(snap.Subs)),
+		storeSubID:  snap.StoreSubID,
+		lastEventAt: snap.LastEventAt,
+	}
+	for k, kv := range snap.Cache {
+		s.cache[k] = kv
+	}
+	for _, sub := range snap.Subs {
+		key := fmt.Sprintf("%s/%d", sub.Client, sub.SubID)
+		s.subs[key] = &clientSub{
+			subID:    sub.SubID,
+			client:   sub.Client,
+			kind:     sub.Kind,
+			lastSent: sub.LastSent,
+		}
+	}
+	s.rpcSrv = sim.NewRPCServer(w.Network(), s.id)
+	s.rpcCl = sim.NewRPCClient(w.Network(), s.id, s.cfg.RPCTimeout)
+	s.rpcCl.SetNext(snap.RPCNext)
+	s.register()
+	w.Network().Register(s.id, s)
+	w.AddProcess(s)
+	return s
+}
+
+// Rearm returns the callback for a pending kernel event owned by this
+// apiserver, identified by its snapshot tag.
+func (s *Server) Rearm(tag sim.EventTag) (func(), error) {
+	switch tag.Kind {
+	case "resync":
+		epoch := tag.Epoch
+		return func() { s.resyncFire(epoch) }, nil
+	default:
+		return nil, fmt.Errorf("apiserver: unknown pending event kind %q for %s", tag.Kind, s.id)
+	}
+}

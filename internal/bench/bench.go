@@ -1,0 +1,282 @@
+// Package bench computes the deterministic results behind the E5 and E6
+// benchmark tables (bench_test.go at the repo root) and serializes them
+// as committed artifacts — BENCH_E5.json and BENCH_E6.json. The
+// benchmarks regenerate the artifacts on every run; cmd/benchcheck
+// recomputes them from scratch and fails when the committed files
+// disagree, so silent drift in the headline numbers (a planner change
+// shifting executions-to-detection, a pruning change deferring different
+// plans) breaks a check instead of rotting in the repo.
+//
+// Only virtual-time results live here: detections, execution counts, plan
+// counts, pruning decisions. Wall-clock measurements are incidental to
+// the benchmarks and never enter the artifacts, so the files are
+// byte-stable across machines (the same canonicalization discipline as
+// internal/campaign's telemetry stream).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// SchemaE5 and SchemaE6 version the artifact formats; benchcheck refuses
+// files with an unknown schema instead of mis-diffing them.
+const (
+	SchemaE5 = "bench-e5/v1"
+	SchemaE6 = "bench-e6/v1"
+)
+
+// Cell is one (target, strategy) campaign's deterministic outcome.
+type Cell struct {
+	Target     string `json:"target"`
+	Oracle     string `json:"oracle"`
+	Strategy   string `json:"strategy"`
+	Detected   bool   `json:"detected"`
+	Executions int    `json:"executions"`
+	PlansTotal int    `json:"plans_total"`
+}
+
+// LearnedCell is one target's pruned+ranked planner campaign: the same
+// deterministic outcome plus the learning phase's decision counters.
+type LearnedCell struct {
+	Target            string `json:"target"`
+	Detected          bool   `json:"detected"`
+	Executions        int    `json:"executions"`
+	PlansTotal        int    `json:"plans_total"`
+	PlansPruned       int    `json:"plans_pruned"`
+	PlansDeduped      int    `json:"plans_deduped"`
+	UnsoundDetections int    `json:"pruning_unsound_detections"`
+}
+
+// E5 is the Section 7 bug-finding matrix artifact.
+type E5 struct {
+	Schema        string        `json:"schema"`
+	MaxExecutions int           `json:"max_executions"`
+	Cells         []Cell        `json:"cells"`
+	Learned       []LearnedCell `json:"learned"`
+}
+
+// E6Row is one target's planner-efficiency comparison (§6.1).
+type E6Row struct {
+	Target   string      `json:"target"`
+	Guided   Cell        `json:"guided"`
+	Learned  LearnedCell `json:"learned"`
+	Unguided Cell        `json:"unguided"`
+	Random   Cell        `json:"random"`
+}
+
+// E6 is the planner-efficiency artifact.
+type E6 struct {
+	Schema        string  `json:"schema"`
+	MaxExecutions int     `json:"max_executions"`
+	Rows          []E6Row `json:"rows"`
+}
+
+// e5Strategies is the strategy column order of the E5 matrix.
+func e5Strategies(maxExec int) []core.Strategy {
+	return []core.Strategy{
+		core.NewPlanner(),
+		baselines.CrashTuner{},
+		baselines.CoFI{},
+		baselines.Random{Seed: 7, N: maxExec},
+	}
+}
+
+func cellOf(t core.Target, strategy string, cr core.CampaignResult, detected bool) Cell {
+	return Cell{
+		Target:     t.Name,
+		Oracle:     t.Bug,
+		Strategy:   strategy,
+		Detected:   detected,
+		Executions: cr.Executions,
+		PlansTotal: cr.PlansTotal,
+	}
+}
+
+func learnedOf(t core.Target, res campaign.Result) LearnedCell {
+	return LearnedCell{
+		Target:            t.Name,
+		Detected:          res.Detected,
+		Executions:        res.Campaign.Executions,
+		PlansTotal:        res.Campaign.PlansTotal,
+		PlansPruned:       res.Stats.PlansPruned,
+		PlansDeduped:      res.Stats.PlansDeduped,
+		UnsoundDetections: res.Stats.PruningUnsoundDetections,
+	}
+}
+
+// ComputeE5 runs the Section 7 matrix: every target under every strategy
+// column plus the pruned+ranked planner column. Campaigns execute through
+// the parallel engine with prefix checkpointing enabled — unguided
+// results are byte-identical to the serial core.Matrix at any worker
+// count, and snapshot forking is artifact-invisible by construction, so
+// the artifact is a pure function of maxExec.
+func ComputeE5(maxExec, workers int) E5 {
+	targets := workload.AllTargets()
+	eng := campaign.New(campaign.Config{Workers: workers, MaxExecutions: maxExec, Snapshot: true})
+	engLearned := campaign.New(campaign.Config{Workers: workers, MaxExecutions: maxExec, Prune: true, Ranked: true, Snapshot: true})
+
+	art := E5{Schema: SchemaE5, MaxExecutions: maxExec}
+	for _, t := range targets {
+		for _, s := range e5Strategies(maxExec) {
+			res := eng.Run(t, s)
+			art.Cells = append(art.Cells, cellOf(t, s.Name(), res.Campaign, res.Detected))
+		}
+		art.Learned = append(art.Learned, learnedOf(t, engLearned.Run(t, core.NewPlanner())))
+	}
+	return art
+}
+
+// unguidedPlanner is the E6 baseline: the paper's planner with its causal
+// guidance knobs switched off.
+func unguidedPlanner() *core.Planner {
+	p := core.NewPlanner()
+	p.CausalFilter = false
+	p.CausalRanking = false
+	p.PrioritizeDeletionPaths = false
+	return p
+}
+
+// ComputeE6 runs the §6.1 planner-efficiency comparison on the three E6
+// targets: guided planner, pruned+ranked planner, unguided planner, and
+// the random baseline.
+func ComputeE6(maxExec, workers int) E6 {
+	targets := []core.Target{workload.Target56261(), workload.TargetCass398(), workload.TargetCass400()}
+	eng := campaign.New(campaign.Config{Workers: workers, MaxExecutions: maxExec, Snapshot: true})
+	engLearned := campaign.New(campaign.Config{Workers: workers, MaxExecutions: maxExec, Prune: true, Ranked: true, Snapshot: true})
+
+	art := E6{Schema: SchemaE6, MaxExecutions: maxExec}
+	for _, t := range targets {
+		g := eng.Run(t, core.NewPlanner())
+		l := engLearned.Run(t, core.NewPlanner())
+		u := eng.Run(t, unguidedPlanner())
+		r := eng.Run(t, baselines.Random{Seed: 11, N: maxExec})
+		art.Rows = append(art.Rows, E6Row{
+			Target:   t.Name,
+			Guided:   cellOf(t, "partial-history", g.Campaign, g.Detected),
+			Learned:  learnedOf(t, l),
+			Unguided: cellOf(t, "partial-history-unguided", u.Campaign, u.Detected),
+			Random:   cellOf(t, "random", r.Campaign, r.Detected),
+		})
+	}
+	return art
+}
+
+// WriteFile serializes an artifact (E5 or E6) to path with a trailing
+// newline, in the indented form the repo commits.
+func WriteFile(path string, artifact any) error {
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadE5 and ReadE6 load committed artifacts, rejecting unknown schemas.
+func ReadE5(path string) (E5, error) {
+	var art E5
+	if err := readJSON(path, &art); err != nil {
+		return E5{}, err
+	}
+	if art.Schema != SchemaE5 {
+		return E5{}, fmt.Errorf("bench: %s: schema %q, want %q", path, art.Schema, SchemaE5)
+	}
+	return art, nil
+}
+
+func ReadE6(path string) (E6, error) {
+	var art E6
+	if err := readJSON(path, &art); err != nil {
+		return E6{}, err
+	}
+	if art.Schema != SchemaE6 {
+		return E6{}, fmt.Errorf("bench: %s: schema %q, want %q", path, art.Schema, SchemaE6)
+	}
+	return art, nil
+}
+
+func readJSON(path string, into any) error {
+	var err error
+	var data []byte
+	if data, err = os.ReadFile(path); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		return fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return nil
+}
+
+// Diff compares two artifacts of the same type and returns one
+// human-readable line per disagreement (empty means identical). It works
+// on the marshaled forms, so any field drift — a flipped detection, a
+// shifted execution count, a changed pruning decision — is caught.
+func Diff(committed, fresh any) []string {
+	a, errA := json.Marshal(committed)
+	b, errB := json.Marshal(fresh)
+	if errA != nil || errB != nil {
+		return []string{fmt.Sprintf("marshal failure: %v / %v", errA, errB)}
+	}
+	if string(a) == string(b) {
+		return nil
+	}
+	var va, vb any
+	_ = json.Unmarshal(a, &va)
+	_ = json.Unmarshal(b, &vb)
+	var out []string
+	diffValue("", va, vb, &out)
+	if len(out) == 0 {
+		out = append(out, "artifacts differ (unlocalized)")
+	}
+	return out
+}
+
+func diffValue(path string, a, b any, out *[]string) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: type changed", path))
+			return
+		}
+		set := map[string]bool{}
+		for k := range av {
+			set[k] = true
+		}
+		for k := range bv {
+			set[k] = true
+		}
+		keys := make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			diffValue(path+"."+k, av[k], bv[k], out)
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			*out = append(*out, fmt.Sprintf("%s: type changed", path))
+			return
+		}
+		if len(av) != len(bv) {
+			*out = append(*out, fmt.Sprintf("%s: length %d (committed) vs %d (fresh)", path, len(av), len(bv)))
+			return
+		}
+		for i := range av {
+			diffValue(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i], out)
+		}
+	default:
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			*out = append(*out, fmt.Sprintf("%s: committed %v, fresh %v", path, a, b))
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package campaign
+
+// This file is the single canonicalization point for byte-identity
+// comparisons of campaign outputs. Campaign results are deterministic by
+// construction — the execution set, buckets, outcomes, failures, and
+// telemetry are pure functions of (target, strategy, config, seeds) — but
+// four fields measure the host machine rather than the simulation:
+//
+//	Stats.WallNanos        ("wall_ns")            campaign wall-clock time
+//	Stats.ExecutionsPerSec ("executions_per_sec") derived from wall time
+//	Stats.RawExecutions    ("raw_executions")     includes in-flight work a
+//	                                              detection made redundant —
+//	                                              how much depends on worker
+//	                                              timing, so two identical
+//	                                              campaigns can differ here
+//	PlanOutcome.WallMicros ("wall_us")            per-execution wall time
+//
+// Stats.Workers and Artifact.Workers are config echoes, not execution
+// results; tests comparing campaigns across worker counts must ignore
+// them too. Every byte-identity test (cross-worker determinism, snapshot
+// on/off equivalence, bench drift) goes through these helpers so no test
+// grows its own slightly-different scrub list.
+
+// Canonicalize returns res with every environment-dependent field zeroed:
+// the wall-clock measurements and the worker-count config echo. Two
+// canonicalized Results from equivalent campaigns compare equal with
+// reflect.DeepEqual; everything that survives is part of the
+// deterministic execution set.
+func Canonicalize(res Result) Result {
+	res.Stats = canonicalStats(res.Stats)
+	res.Outcomes = canonicalOutcomes(res.Outcomes)
+	return res
+}
+
+// CanonicalizeArtifact is Canonicalize for the campaign.json form: the
+// same three wall-clock fields plus the top-level and Stats worker-count
+// echoes are zeroed, so canonicalized artifacts from equivalent campaigns
+// marshal to identical bytes.
+func CanonicalizeArtifact(art Artifact) Artifact {
+	art.Workers = 0
+	art.Stats = canonicalStats(art.Stats)
+	art.Outcomes = canonicalOutcomes(art.Outcomes)
+	return art
+}
+
+func canonicalStats(st Stats) Stats {
+	st.Workers = 0
+	st.WallNanos = 0
+	st.ExecutionsPerSec = 0
+	st.RawExecutions = 0
+	return st
+}
+
+func canonicalOutcomes(outs []PlanOutcome) []PlanOutcome {
+	if outs == nil {
+		return nil
+	}
+	canon := make([]PlanOutcome, len(outs))
+	copy(canon, outs)
+	for i := range canon {
+		canon[i].WallMicros = 0
+	}
+	return canon
+}

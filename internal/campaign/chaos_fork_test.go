@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// grayPlanner returns the paper's planner restricted to its gray-failure
+// family: slow links, flaky links, and compaction pressure. Gray plans are
+// the adversarial case for prefix checkpointing — flaky and slow links
+// consume kernel RNG inside the perturbation window, so a fork that
+// mis-replays the RNG frontier or restores a link in the wrong quality
+// state produces a visibly different degraded schedule.
+func grayPlanner() core.Strategy {
+	p := core.NewPlanner()
+	p.DisableGaps = true
+	p.DisableTimeTravel = true
+	p.DisableStaleness = true
+	return p
+}
+
+// TestChaosSoakSnapshotGrayFailures soaks the fork-at-checkpoint path
+// under gray-failure plans across four seeds: every campaign is run twice,
+// with full replay and with prefix checkpointing, and the two must agree
+// byte-for-byte on canonicalized artifacts, telemetry, and — asserted
+// separately because it is the headline claim — the failure buckets. Run
+// under -race in CI (the chaos soak step), this doubles as a concurrency
+// soak of the snapshot substrate.
+func TestChaosSoakSnapshotGrayFailures(t *testing.T) {
+	targets := []core.Target{workload.Target59848(), workload.Target56261()}
+	for _, target := range targets {
+		target := target
+		t.Run(target.Name, func(t *testing.T) {
+			if testing.Short() && target.Name == "k8s-56261" {
+				t.Skip("short mode: one gray soak target is enough")
+			}
+			cfg := Config{
+				Workers:       2,
+				Seeds:         []int64{1, 2, 3, 5},
+				MaxExecutions: 12,
+				Collect:       true,
+				KeepGoing:     true,
+			}
+			off, on := runBoth(t, target, grayPlanner, cfg)
+			cfgOff, cfgOn := cfg, cfg
+			cfgOff.Snapshot, cfgOn.Snapshot = false, true
+			assertEquivalent(t, off, on, cfgOff, cfgOn)
+
+			// The headline assertion spelled out: identical failure buckets.
+			if !reflect.DeepEqual(off.Buckets, on.Buckets) {
+				t.Fatalf("failure buckets diverged under forking\n off: %+v\n  on: %+v", off.Buckets, on.Buckets)
+			}
+			// A soak that crashed or hung executions proves nothing.
+			if on.Stats.FailedExecutions != 0 || on.Stats.HungExecutions != 0 {
+				t.Fatalf("gray soak had broken executions under forking: %+v", on.Stats)
+			}
+			if off.Campaign.Executions == 0 {
+				t.Fatal("gray soak executed nothing; the equivalence is vacuous")
+			}
+		})
+	}
+}
+
+// TestGrayFailureHealthyLinksZeroRNGDraws pins the invariant prefix
+// checkpointing leans on: only degraded links consume kernel RNG. A
+// checkpoint records the RNG draw count at capture time; if healthy
+// traffic drew randomness, that count would depend on the volume of
+// unrelated messages and forked executions could desynchronize from full
+// replays. The contract: with base jitter zero, a healthy network delivers
+// arbitrary traffic with zero draws; degrading a link starts the draws;
+// clearing it stops them at exactly the degraded-window total.
+func TestGrayFailureHealthyLinksZeroRNGDraws(t *testing.T) {
+	k := sim.NewKernel(42)
+	n := sim.NewNetwork(k, sim.Millisecond, 0) // jitter 0: the healthy path must be RNG-free
+
+	delivered := 0
+	sink := sim.HandlerFunc(func(m *sim.Message) { delivered++ })
+	n.Register("a", sink)
+	n.Register("b", sink)
+
+	burst := func(count int) {
+		for i := 0; i < count; i++ {
+			n.Send("a", "b", "rpc", i)
+			n.Send("b", "a", "rpc", i)
+		}
+		k.RunFor(10 * sim.Millisecond)
+	}
+
+	// Phase 1: healthy links, heavy traffic, zero draws.
+	burst(200)
+	if got := k.RNGDraws(); got != 0 {
+		t.Fatalf("healthy links drew %d RNG values; the checkpoint RNG frontier would depend on traffic volume", got)
+	}
+	if delivered == 0 {
+		t.Fatal("no messages delivered; the zero-draw observation is vacuous")
+	}
+
+	// Phase 2: degrade the link; the gray machinery must start drawing.
+	n.SetLinkQuality("a", "b", sim.LinkQuality{
+		ExtraJitter: sim.Millisecond,
+		DropPercent: 30,
+		DupPercent:  10,
+	})
+	burst(50)
+	grayDraws := k.RNGDraws()
+	if grayDraws == 0 {
+		t.Fatal("degraded link drew no RNG: drop/dup/jitter decisions are not randomized")
+	}
+
+	// Phase 3: heal the link; the draw counter must freeze.
+	n.ClearLinkQuality("a", "b")
+	burst(200)
+	if got := k.RNGDraws(); got != grayDraws {
+		t.Fatalf("healed links kept drawing RNG: %d draws after heal, %d during the gray window", got, grayDraws)
+	}
+}

@@ -73,6 +73,17 @@ type Config struct {
 	// surface density, CAS/txn proximity, deletion adjacency, past-bucket
 	// class affinity) instead of raw planner order.
 	Ranked bool
+	// Snapshot enables copy-on-write prefix checkpointing: per (target,
+	// seed), one extra plan-free run captures cluster snapshots at mined
+	// freeze points, and each plan execution forks from the latest
+	// checkpoint preceding the plan's earliest effect instead of
+	// re-simulating the prefix from t=0. Any execution whose fork cannot
+	// be proven byte-equivalent to a full replay (unsnapshotable cluster,
+	// unknown plan type, strict-past violation, restore error, panic,
+	// watchdog trip) silently falls back to the full-replay path, so every
+	// artifact — buckets, outcomes, telemetry records — is byte-identical
+	// to the same campaign with Snapshot off.
+	Snapshot bool
 }
 
 func (c Config) workerCount() int {
@@ -271,6 +282,16 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 	cr.PlansTotal = len(plans)
 	cr.Executions = 1 // the reference run
 
+	// Prefix-checkpoint substrate: one plan-free ladder run per (target,
+	// seed), shared read-only by all workers. nil (snapshotting off, an
+	// unsnapshotable target, or no capturable checkpoint) means every plan
+	// runs as a full replay. The ladder is infrastructure, not an
+	// execution: it is not counted and leaves no trace in any artifact.
+	var fs *forkState
+	if e.cfg.Snapshot {
+		fs = buildForkState(t, seed, plans, ref)
+	}
+
 	// Execution order: identity without learning; kept-then-deferred
 	// (optionally impact-ranked) with it. Original strategy indices ride
 	// along in planRefs so every report keeps its coordinates.
@@ -301,7 +322,7 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 	if e.cfg.Guided {
 		run = e.runGuided
 	}
-	slots, detect := run(t, refs[:keptLen], seed, e.cfg.MaxExecutions)
+	slots, detect := run(t, refs[:keptLen], seed, e.cfg.MaxExecutions, fs)
 	keptSlots := len(slots)
 	keptDetected := detect >= 0
 	if tail := refs[keptLen:]; len(tail) > 0 && (detect < 0 || e.cfg.KeepGoing) {
@@ -314,7 +335,7 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 			remaining = m - keptSlots
 		}
 		if e.cfg.MaxExecutions == 0 || remaining > 0 {
-			tailSlots, tailDetect := run(t, tail, seed, remaining)
+			tailSlots, tailDetect := run(t, tail, seed, remaining, fs)
 			if tailDetect >= 0 && detect < 0 {
 				detect = keptSlots + tailDetect
 			}
@@ -429,7 +450,7 @@ func perturbedTrace(t core.Target, p core.Plan, seed int64) (*trace.Trace, []ora
 // it are not started (early cancel) unless KeepGoing is set. maxExec
 // bounds dispatches (0 = unlimited); the returned detect is a position in
 // the given list, not an original strategy index.
-func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec int) ([]slot, int) {
+func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec int, fs *forkState) ([]slot, int) {
 	limit := len(plans)
 	if maxExec > 0 && maxExec < limit {
 		limit = maxExec
@@ -462,7 +483,7 @@ func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec 
 					return
 				}
 				start := time.Now()
-				exec, sig := runGuarded(t, plans[i].plan, seed, instrument, e.cfg.EventBudget)
+				exec, sig := e.execute(t, plans[i].plan, seed, instrument, fs)
 				slots[i] = slot{
 					ran: true, planIndex: plans[i].index, plan: plans[i].plan,
 					exec: exec, sig: sig, wall: time.Since(start),
@@ -500,7 +521,7 @@ func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec 
 // set or the deferred tail; schedItem indices are positions in that list,
 // so coverage tie-breaking follows the learned order while reported plan
 // indices stay the strategy's.
-func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec int) ([]slot, int) {
+func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec int, fs *forkState) ([]slot, int) {
 	limit := len(plans)
 	if maxExec > 0 && maxExec < limit {
 		limit = maxExec
@@ -539,7 +560,7 @@ func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec i
 			go func(bi int) {
 				defer wg.Done()
 				start := time.Now()
-				exec, sig := runGuarded(t, batch[bi].plan, seed, true, e.cfg.EventBudget)
+				exec, sig := e.execute(t, batch[bi].plan, seed, true, fs)
 				slots[seqs[bi]] = slot{
 					ran: true, planIndex: plans[batch[bi].index].index, plan: batch[bi].plan,
 					exec: exec, sig: sig, wall: time.Since(start),
@@ -558,6 +579,19 @@ func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec i
 		dispatched += len(batch)
 	}
 	return slots, detect
+}
+
+// execute runs one plan: forked from a prefix checkpoint when the fork
+// substrate exists and can prove the fork exact, as a full replay
+// otherwise. The fallback is silent by design — fork vs. full replay is
+// an implementation detail that must never surface in any artifact.
+func (e *Engine) execute(t core.Target, p core.Plan, seed int64, instrument bool, fs *forkState) (core.Execution, Signature) {
+	if fs != nil {
+		if exec, sig, ok := runForked(t, p, seed, instrument, e.cfg.EventBudget, fs); ok {
+			return exec, sig
+		}
+	}
+	return runGuarded(t, p, seed, instrument, e.cfg.EventBudget)
 }
 
 // violates reports whether the named oracle appears in the violation list.

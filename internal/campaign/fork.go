@@ -1,0 +1,279 @@
+package campaign
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/infra"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file implements copy-on-write prefix checkpointing for campaign
+// executions. Every plan execution of a (target, seed) campaign replays the
+// same unperturbed prefix up to the plan's first perturbation; instead of
+// re-simulating that prefix from t=0, the engine runs ONE extra plan-free
+// "ladder" run that captures cluster snapshots at mined freeze points, and
+// forks each plan execution from the latest checkpoint that precedes the
+// plan's earliest effect (core.EarliestEffect).
+//
+// Correctness is enforced by construction, not by sampling:
+//
+//   - a checkpoint is only captured at a quiescent instant (every pending
+//     kernel event tagged, no held messages, no RPC calls in flight) —
+//     otherwise capture slides forward in 1ms steps and eventually abandons
+//     the candidate;
+//   - a fork replicates the full replay's sequence-number allocation
+//     exactly: the kernel is rewound to the post-Build counter, the plan is
+//     applied (consuming the same band Apply would in a full replay, under
+//     strict-past checking), the workload is replayed in rehydration mode
+//     (burning the pre-checkpoint actions' numbers), pending events are
+//     re-installed shifted by the plan's allocation count, and the counter
+//     is fast-forwarded to the prefix counter plus the same shift;
+//   - anything that cannot be proven exact — an unsnapshotable cluster, an
+//     unknown plan type, a strict-past violation, a restore error, a panic,
+//     or a watchdog trip inside the fork — falls back to the full-replay
+//     path, whose records are canonical.
+//
+// The ladder run is infrastructure, not an execution: it is not counted in
+// Executions, produces no outcome records, and leaves no trace in any
+// artifact, so snapshot-on and snapshot-off campaigns emit byte-identical
+// canonicalized artifacts.
+
+// maxCheckpoints caps the ladder's length; more rungs cost capture time and
+// memory for diminishing prefix savings.
+const maxCheckpoints = 12
+
+// captureSlideAttempts bounds how far (in 1ms steps) a capture slides past
+// its candidate instant looking for quiescence before abandoning it.
+const captureSlideAttempts = 25
+
+// captureMargin is how far before a quantile effect time the ladder aims
+// its capture. Candidates sit AT mined moments by construction (they are
+// quantiles of the plans' effect times), which are exactly the busy
+// instants where capture must slide forward — often past the effect time
+// itself, leaving the rung useless for the very plans that put it there.
+// Aiming a few virtual milliseconds early gives the slide room to find a
+// quiescent instant that is still at or before the effect.
+const captureMargin = 4 * sim.Millisecond
+
+// checkpoint is one rung of the ladder: a cluster snapshot plus the
+// reference trace prefix recorded up to the capture instant.
+type checkpoint struct {
+	at    sim.Time
+	snap  *infra.Snapshot
+	trace *trace.Trace
+}
+
+// forkState is the per-(target, seed) prefix-checkpoint substrate, built
+// once per campaign seed and shared read-only by all workers.
+type forkState struct {
+	ref        *trace.Trace
+	buildSeq   uint64   // kernel sequence counter right after Build
+	buildSteps uint64   // kernel step counter right after Build
+	buildEnd   sim.Time // virtual clock right after Build
+	horizon    sim.Duration
+	// checkpoints are sorted by ascending capture time.
+	checkpoints []checkpoint
+}
+
+// buildForkState runs the checkpoint ladder for one (target, seed): a
+// plan-free prefix run captured at the quantiles of the plans' earliest
+// effect times. It returns nil when the target's cluster is not
+// snapshotable or no checkpoint could be captured — the campaign then runs
+// every plan as a full replay, exactly as with snapshotting disabled.
+func buildForkState(t core.Target, seed int64, plans []core.Plan, ref *trace.Trace) (fs *forkState) {
+	defer func() {
+		if recover() != nil {
+			fs = nil
+		}
+	}()
+	c := t.Build(seed)
+	if !c.Snapshotable() {
+		return nil
+	}
+	k := c.World.Kernel()
+	fs = &forkState{
+		ref:        ref,
+		buildSeq:   k.Seq(),
+		buildSteps: k.Steps(),
+		buildEnd:   k.Now(),
+		horizon:    t.Horizon,
+	}
+	rec := trace.NewRecorder()
+	rec.Attach(c.World.Network(), c.Store.Store())
+	// Tag the workload's own timers so they are identifiable in snapshots
+	// (forks skip them on restore and recreate them by rehydration).
+	wtag := sim.EventTag{Owner: "workload", Kind: "action"}
+	k.SetDefaultTag(&wtag)
+	t.Workload(c)
+	k.SetDefaultTag(nil)
+
+	end := fs.buildEnd.Add(t.Horizon)
+	for _, cand := range candidateTimes(fs, plans, ref, end) {
+		if cand < k.Now() {
+			continue // a previous capture slid past this candidate
+		}
+		k.Run(cand)
+		snap, ok := captureWithSlide(c, k, end)
+		if !ok {
+			continue
+		}
+		fs.checkpoints = append(fs.checkpoints, checkpoint{
+			at:    k.Now(),
+			snap:  snap,
+			trace: rec.T.Fork(),
+		})
+	}
+	if len(fs.checkpoints) == 0 {
+		return nil
+	}
+	return fs
+}
+
+// candidateTimes selects the checkpoint instants: the build boundary (every
+// plan whose effect follows warmup can fork from it) plus up to
+// maxCheckpoints-1 quantiles of the earliest-effect times of the campaign's
+// plans inside (buildEnd, end). Quantiles are taken over the per-plan
+// multiset — NOT the distinct times — so when many plans share one mined
+// moment (gap plans all dropping deliveries of the same hot object), a rung
+// lands exactly there and the bulk of the campaign forks with a minimal
+// residual replay.
+func candidateTimes(fs *forkState, plans []core.Plan, ref *trace.Trace, end sim.Time) []sim.Time {
+	var effs []sim.Time
+	for _, p := range plans {
+		eff, ok := core.EarliestEffect(p, ref)
+		if !ok {
+			continue
+		}
+		if eff > fs.buildEnd && eff < end {
+			effs = append(effs, eff)
+		}
+	}
+	sort.Slice(effs, func(i, j int) bool { return effs[i] < effs[j] })
+	out := []sim.Time{fs.buildEnd}
+	quota := maxCheckpoints - 1
+	if len(effs) == 0 {
+		return out
+	}
+	// Mass-weighted quantiles, endpoints included; duplicates collapse.
+	// Each candidate aims captureMargin before its effect time so the
+	// quiescence slide has room to land at or before the effect.
+	for i := 0; i < quota; i++ {
+		idx := i * (len(effs) - 1) / (quota - 1)
+		cand := effs[idx].Add(-captureMargin)
+		if cand <= fs.buildEnd {
+			continue
+		}
+		if out[len(out)-1] != cand {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// captureWithSlide captures the cluster at the current instant, advancing
+// virtual time in 1ms steps while the instant is not quiescent (an untagged
+// timer pending, a message held, an RPC call in flight).
+func captureWithSlide(c *infra.Cluster, k *sim.Kernel, end sim.Time) (*infra.Snapshot, bool) {
+	for attempt := 0; attempt < captureSlideAttempts; attempt++ {
+		if snap, ok := c.Capture(); ok {
+			return snap, true
+		}
+		if k.Now() >= end {
+			return nil, false
+		}
+		k.RunFor(sim.Millisecond)
+	}
+	return nil, false
+}
+
+// forkPoint returns the latest checkpoint at or before the plan's earliest
+// effect, or nil when none qualifies (or the effect cannot be bounded).
+func (fs *forkState) forkPoint(p core.Plan) *checkpoint {
+	eff, ok := core.EarliestEffect(p, fs.ref)
+	if !ok {
+		return nil
+	}
+	var cp *checkpoint
+	for i := range fs.checkpoints {
+		if fs.checkpoints[i].at <= eff {
+			cp = &fs.checkpoints[i]
+		} else {
+			break
+		}
+	}
+	return cp
+}
+
+// runForked executes one plan by forking from a prefix checkpoint. It
+// returns ok=false whenever the fork cannot be proven byte-equivalent to a
+// full replay — no qualifying checkpoint, a strict-past violation from the
+// plan, a restore error, a panic, or a watchdog trip — in which case the
+// caller must fall back to runGuarded, whose records are canonical.
+func runForked(t core.Target, p core.Plan, seed int64, instrument bool, budget uint64, fs *forkState) (exec core.Execution, sig Signature, ok bool) {
+	cp := fs.forkPoint(p)
+	if cp == nil {
+		return core.Execution{}, 0, false
+	}
+	defer func() {
+		if recover() != nil {
+			exec, sig, ok = core.Execution{}, 0, false
+		}
+	}()
+	if budget == 0 {
+		budget = DefaultEventBudget
+	}
+	c2, err := cp.snap.NewCluster()
+	if err != nil {
+		return core.Execution{}, 0, false
+	}
+	k := c2.World.Kernel()
+	var rec *trace.Recorder
+	if instrument {
+		rec = trace.NewRecorderFor(cp.trace.Fork())
+		rec.Attach(c2.World.Network(), c2.Store.Store())
+	}
+	// (1) Plan application consumes the sequence band directly after the
+	// Build boundary, exactly as in a full replay. Strict mode rejects
+	// plans with effects inside the checkpointed prefix.
+	k.SetSeq(fs.buildSeq)
+	k.SetStrictPast(true)
+	p.Apply(c2)
+	k.SetStrictPast(false)
+	if k.StrictViolation() != "" {
+		return core.Execution{}, 0, false
+	}
+	shift := k.Seq() - fs.buildSeq
+	// (2) Workload rehydration burns the sequence numbers of pre-checkpoint
+	// actions and schedules the rest for real.
+	k.BeginRehydrate(cp.snap.Kernel.Now)
+	t.Workload(c2)
+	k.EndRehydrate()
+	// (3) Pending events return with their original tie-break order,
+	// shifted past the plan's allocation band.
+	if err := c2.InstallPending(cp.snap.Kernel.Pending, fs.buildSeq, shift); err != nil {
+		return core.Execution{}, 0, false
+	}
+	// (4) Fast-forward the counter to the prefix counter plus the shift and
+	// run to the horizon under the same watchdog budget as a full replay.
+	k.SetSeq(cp.snap.Kernel.Seq + shift)
+	k.SetMaxSteps(fs.buildSteps + budget)
+	deadline := fs.buildEnd.Add(t.Horizon)
+	k.Run(deadline)
+	if k.Steps() >= fs.buildSteps+budget && k.Now() < deadline {
+		// Livelocked: discard the fork so the full replay produces the
+		// canonical Hung record.
+		return core.Execution{}, 0, false
+	}
+	exec = core.Execution{
+		Plan:       p,
+		Seed:       seed,
+		Violations: c2.Violations(),
+		Detected:   c2.Oracles.Violated(t.Bug),
+	}
+	if instrument {
+		sig = signatureOf(rec.T, exec.Violations)
+	}
+	return exec, sig, true
+}

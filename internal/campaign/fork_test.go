@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// runBoth executes the same campaign with snapshotting off and on and
+// returns both results. Everything downstream compares canonicalized
+// forms: fork vs. full replay is an implementation detail that must never
+// surface in any artifact.
+func runBoth(t *testing.T, target core.Target, s func() core.Strategy, cfg Config) (off, on Result) {
+	t.Helper()
+	cfgOff, cfgOn := cfg, cfg
+	cfgOff.Snapshot = false
+	cfgOn.Snapshot = true
+	off = New(cfgOff).Run(target, s())
+	on = New(cfgOn).Run(target, s())
+	return off, on
+}
+
+// assertEquivalent asserts byte-identical canonicalized artifacts and
+// NDJSON streams between a snapshot-off and a snapshot-on campaign.
+func assertEquivalent(t *testing.T, off, on Result, cfgOff, cfgOn Config) {
+	t.Helper()
+	if !reflect.DeepEqual(Canonicalize(off), Canonicalize(on)) {
+		t.Fatalf("snapshot-on result diverged from snapshot-off\n off: %+v\n  on: %+v",
+			Canonicalize(off), Canonicalize(on))
+	}
+	artOff, err := json.MarshalIndent(CanonicalizeArtifact(BuildArtifact(off, cfgOff)), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	artOn, err := json.MarshalIndent(CanonicalizeArtifact(BuildArtifact(on, cfgOn)), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(artOff, artOn) {
+		t.Fatalf("canonicalized campaign.json bytes differ:\n--- off ---\n%s\n--- on ---\n%s", artOff, artOn)
+	}
+	var ndOff, ndOn bytes.Buffer
+	if err := WriteNDJSON(&ndOff, off, cfgOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(&ndOn, on, cfgOn); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ndOff.Bytes(), ndOn.Bytes()) {
+		t.Fatalf("telemetry NDJSON bytes differ:\n--- off ---\n%s\n--- on ---\n%s", ndOff.Bytes(), ndOn.Bytes())
+	}
+}
+
+// TestSnapshotMatchesFullReplay is the correctness cross-check the prefix
+// checkpoint layer exists to honor: for every seeded-bug target, a
+// campaign with Config.Snapshot produces byte-identical canonicalized
+// campaign.json artifacts and NDJSON telemetry streams to the same
+// campaign replaying every plan from t=0 — at -parallel 1, 2, and 4.
+// The k8s targets exercise the fork path for real; the cassandra-operator
+// targets are not snapshotable and prove the fallback is invisible.
+func TestSnapshotMatchesFullReplay(t *testing.T) {
+	targets := []core.Target{
+		workload.Target59848(),
+		workload.Target56261(),
+		workload.TargetCass398(),
+		workload.TargetCass400(),
+		workload.TargetCass402(),
+	}
+	for _, target := range targets {
+		target := target
+		t.Run(target.Name, func(t *testing.T) {
+			if testing.Short() && (target.Name == "cass-op-400" || target.Name == "cass-op-402") {
+				t.Skip("short mode: fallback path covered by cass-op-398")
+			}
+			for _, workers := range []int{1, 2, 4} {
+				cfg := Config{Workers: workers, MaxExecutions: 25, Collect: true, KeepGoing: true}
+				off, on := runBoth(t, target, func() core.Strategy { return core.NewPlanner() }, cfg)
+				cfgOff, cfgOn := cfg, cfg
+				cfgOff.Snapshot, cfgOn.Snapshot = false, true
+				assertEquivalent(t, off, on, cfgOff, cfgOn)
+			}
+		})
+	}
+}
+
+// TestSnapshotActuallyForks guards against the cross-check passing
+// vacuously: on a snapshotable k8s target the fork substrate must build
+// and serve at least one checkpoint, and forked executions must agree
+// with their full replays plan by plan.
+func TestSnapshotActuallyForks(t *testing.T) {
+	target := workload.Target59848()
+	seed := int64(1)
+	ref, _ := core.ReferenceSeed(target, seed)
+	plans := core.NewPlanner().Plans(target, ref)
+	fs := buildForkState(target, seed, plans, ref)
+	if fs == nil {
+		t.Fatal("buildForkState returned nil for a snapshotable target")
+	}
+	if len(fs.checkpoints) == 0 {
+		t.Fatal("fork state has no checkpoints")
+	}
+	forked := 0
+	for i, p := range plans {
+		if i >= 20 {
+			break
+		}
+		exec, sig, ok := runForked(target, p, seed, true, 0, fs)
+		if !ok {
+			continue
+		}
+		forked++
+		want, wantSig := runGuarded(target, p, seed, true, 0)
+		if !reflect.DeepEqual(exec.Violations, want.Violations) ||
+			exec.Detected != want.Detected || sig != wantSig {
+			t.Fatalf("plan %d (%s): fork diverged from full replay\nfork: det=%v sig=%x viol=%+v\nfull: det=%v sig=%x viol=%+v",
+				i, p.Describe(), exec.Detected, sig, exec.Violations,
+				want.Detected, wantSig, want.Violations)
+		}
+	}
+	if forked == 0 {
+		t.Fatal("no plan forked: the snapshot cross-check would be vacuous")
+	}
+	t.Logf("forked %d/20 plans from %d checkpoints", forked, len(fs.checkpoints))
+}
+
+// TestSnapshotGuidedAndLearning covers the remaining engine modes on one
+// snapshotable target: coverage-guided scheduling and the learning phase
+// (prune + ranked) must both be byte-equivalent under forking.
+func TestSnapshotGuidedAndLearning(t *testing.T) {
+	target := workload.Target56261()
+	cfgs := []Config{
+		{Workers: 2, Guided: true, MaxExecutions: 30, Collect: true},
+		{Workers: 2, MaxExecutions: 30, Collect: true, Prune: true, Ranked: true, KeepGoing: true},
+		{Workers: 2, Seeds: []int64{1, 2}, MaxExecutions: 15, Collect: true},
+	}
+	for _, cfg := range cfgs {
+		off, on := runBoth(t, target, func() core.Strategy { return core.NewPlanner() }, cfg)
+		cfgOff, cfgOn := cfg, cfg
+		cfgOff.Snapshot, cfgOn.Snapshot = false, true
+		assertEquivalent(t, off, on, cfgOff, cfgOn)
+	}
+}

@@ -67,21 +67,11 @@ func (s spliceStrategy) Plans(t core.Target, ref *trace.Trace) []core.Plan {
 	return out
 }
 
-// normalize zeroes the only non-deterministic fields a Result carries
-// (wall-clock measurements), so whole Results can be compared across
-// worker counts with reflect.DeepEqual.
-func normalize(res Result) Result {
-	res.Stats.Workers = 0 // config echo, not an execution result
-	res.Stats.WallNanos = 0
-	res.Stats.ExecutionsPerSec = 0
-	outs := make([]PlanOutcome, len(res.Outcomes))
-	copy(outs, res.Outcomes)
-	for i := range outs {
-		outs[i].WallMicros = 0
-	}
-	res.Outcomes = outs
-	return res
-}
+// normalize is the shared canonicalization helper (canonical.go): it
+// zeroes the wall-clock measurements and the worker-count config echo so
+// whole Results can be compared across worker counts with
+// reflect.DeepEqual.
+func normalize(res Result) Result { return Canonicalize(res) }
 
 // TestPanicBecomesFailedRecord is acceptance criterion 3: a worker panic
 // injected mid-campaign yields a Failed execution record carrying the

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/apiserver"
@@ -133,13 +134,19 @@ func (i *Informer) Run() {
 }
 
 func (i *Informer) schedulePeriodicRelist() {
-	i.conn.world.Kernel().Schedule(i.cfg.RelistEvery, func() {
-		if _, ok := i.conn.informers[i.subID]; !ok {
-			return // informer dropped (component crashed)
-		}
-		i.relist("periodic resync")
-		i.schedulePeriodicRelist()
-	})
+	i.conn.world.Kernel().ScheduleTagged(i.cfg.RelistEvery,
+		sim.EventTag{Owner: string(i.conn.self), Kind: "inf-relist", Key: fmt.Sprint(i.subID)},
+		i.periodicRelistFire)
+}
+
+// periodicRelistFire is the periodic-resync timer body; the tag lets a
+// restored world re-arm a pending firing.
+func (i *Informer) periodicRelistFire() {
+	if _, ok := i.conn.informers[i.subID]; !ok {
+		return // informer dropped (component crashed)
+	}
+	i.relist("periodic resync")
+	i.schedulePeriodicRelist()
 }
 
 // Synced reports whether the initial list completed.
@@ -337,20 +344,29 @@ func (i *Informer) onPush(events []apiserver.WatchEvent) {
 	i.lastEventAt = i.conn.world.Now()
 }
 
-func (i *Informer) scheduleLiveness() {
-	epoch := i.epoch
-	i.conn.world.Kernel().Schedule(i.cfg.WatchTimeout, func() {
-		if _, ok := i.conn.informers[i.subID]; !ok {
-			return // informer dropped (component crashed)
-		}
-		if i.synced && epoch == i.epoch &&
-			i.conn.world.Now().Sub(i.lastEventAt) >= i.cfg.WatchTimeout {
-			// Stream went quiet: the apiserver may have restarted and lost
-			// our subscription. Re-establish.
-			i.startWatch(i.epoch)
-		}
-		i.scheduleLiveness()
-	})
+func (i *Informer) scheduleLiveness() { i.armLiveness(i.epoch) }
+
+// armLiveness schedules one liveness firing carrying the epoch observed at
+// arm time; the tag lets a restored world re-arm a pending firing with the
+// identical armed epoch (stale firings must stay no-ops in forked runs,
+// exactly as in a full replay).
+func (i *Informer) armLiveness(epoch uint64) {
+	i.conn.world.Kernel().ScheduleTagged(i.cfg.WatchTimeout,
+		sim.EventTag{Owner: string(i.conn.self), Kind: "inf-liveness", Key: fmt.Sprint(i.subID), Epoch: epoch},
+		func() { i.livenessFire(epoch) })
+}
+
+func (i *Informer) livenessFire(epoch uint64) {
+	if _, ok := i.conn.informers[i.subID]; !ok {
+		return // informer dropped (component crashed)
+	}
+	if i.synced && epoch == i.epoch &&
+		i.conn.world.Now().Sub(i.lastEventAt) >= i.cfg.WatchTimeout {
+		// Stream went quiet: the apiserver may have restarted and lost
+		// our subscription. Re-establish.
+		i.startWatch(i.epoch)
+	}
+	i.scheduleLiveness()
 }
 
 func (i *Informer) emitAdd(o *cluster.Object) {

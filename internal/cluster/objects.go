@@ -294,3 +294,9 @@ func (g *UIDGen) Next() string {
 	g.n++
 	return fmt.Sprintf("%s-%04d", g.prefix, g.n)
 }
+
+// Counter returns how many UIDs have been issued (snapshot path).
+func (g *UIDGen) Counter() int { return g.n }
+
+// SetCounter overwrites the issued-UID count (restore path only).
+func (g *UIDGen) SetCounter(n int) { g.n = n }

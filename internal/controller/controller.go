@@ -60,6 +60,7 @@ type Queue struct {
 	k        *sim.Kernel
 	cfg      QueueConfig
 	rec      Reconciler
+	owner    string // event-tag owner for snapshots
 	order    []string
 	set      map[string]bool
 	failures map[string]int
@@ -86,9 +87,15 @@ func (q *Queue) Add(key string) {
 	q.kick()
 }
 
+// SetOwner names the queue in kernel event tags, making its pending timers
+// identifiable in snapshots. Must be set before the first Add.
+func (q *Queue) SetOwner(name string) { q.owner = name }
+
 // AddAfter enqueues key after a delay.
 func (q *Queue) AddAfter(key string, d sim.Duration) {
-	q.k.Schedule(d, func() { q.Add(key) })
+	q.k.ScheduleTagged(d,
+		sim.EventTag{Owner: q.owner, Kind: "addafter", Key: key},
+		func() { q.Add(key) })
 }
 
 // Len returns the number of queued keys.
@@ -102,7 +109,9 @@ func (q *Queue) kick() {
 		return
 	}
 	q.running = true
-	q.k.Schedule(q.cfg.BaseDelay, q.processNext)
+	q.k.ScheduleTagged(q.cfg.BaseDelay,
+		sim.EventTag{Owner: q.owner, Kind: "process"},
+		q.processNext)
 }
 
 func (q *Queue) processNext() {

@@ -1,0 +1,79 @@
+package controller
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// QueueSnapshot captures a work queue at a checkpoint. Pending AddAfter
+// and process timers are kernel events (tagged with the queue's owner) and
+// are restored by the orchestration layer via Rearm, not here.
+type QueueSnapshot struct {
+	Cfg       QueueConfig
+	Owner     string
+	Order     []string
+	Failures  map[string]int
+	Running   bool
+	Stopped   bool
+	Processed int
+	Errors    int
+}
+
+// Snapshot captures the queue's state.
+func (q *Queue) Snapshot() *QueueSnapshot {
+	s := &QueueSnapshot{
+		Cfg:       q.cfg,
+		Owner:     q.owner,
+		Order:     append([]string(nil), q.order...),
+		Failures:  make(map[string]int, len(q.failures)),
+		Running:   q.running,
+		Stopped:   q.stopped,
+		Processed: q.Processed,
+		Errors:    q.Errors,
+	}
+	for k, v := range q.failures {
+		s.Failures[k] = v
+	}
+	return s
+}
+
+// RestoreQueue reconstructs a queue from a snapshot, feeding keys to rec.
+// No timers are armed: a captured in-flight "process" event is re-installed
+// by the restore orchestration via Rearm.
+func RestoreQueue(k *sim.Kernel, snap *QueueSnapshot, rec Reconciler) *Queue {
+	q := &Queue{
+		k:         k,
+		cfg:       snap.Cfg,
+		rec:       rec,
+		owner:     snap.Owner,
+		order:     append([]string(nil), snap.Order...),
+		set:       make(map[string]bool, len(snap.Order)),
+		failures:  make(map[string]int, len(snap.Failures)),
+		running:   snap.Running,
+		stopped:   snap.Stopped,
+		Processed: snap.Processed,
+		Errors:    snap.Errors,
+	}
+	for _, key := range snap.Order {
+		q.set[key] = true
+	}
+	for key, n := range snap.Failures {
+		q.failures[key] = n
+	}
+	return q
+}
+
+// Rearm returns the callback for a pending kernel event owned by this
+// queue, identified by its snapshot tag.
+func (q *Queue) Rearm(tag sim.EventTag) (func(), error) {
+	switch tag.Kind {
+	case "addafter":
+		key := tag.Key
+		return func() { q.Add(key) }, nil
+	case "process":
+		return q.processNext, nil
+	default:
+		return nil, fmt.Errorf("controller: unknown pending event kind %q for queue %s", tag.Kind, q.owner)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// NoEffect is the sentinel EarliestEffect returns for plans with no
+// prefix constraint at all (e.g. NopPlan): any checkpoint precedes it.
+const NoEffect = sim.Time(math.MaxInt64)
+
+// EarliestEffect returns the earliest virtual time at which the plan can
+// influence the execution, given the reference trace the plan was mined
+// from. A prefix checkpoint taken at or before this instant is safe to
+// fork from: the checkpointed prefix is byte-identical between the
+// unperturbed reference run and a full replay under the plan.
+//
+// The second return is false when the plan's effect time cannot be
+// bounded (an unknown plan type) — such plans must run as full replays.
+//
+// Occurrence-targeted gap plans are special: their interceptor counts
+// matching deliveries from the moment it is installed, so a fork must be
+// taken before the FIRST matching delivery of the reference run (not
+// merely before the dropped occurrence) or the fork's count would start
+// late and drop the wrong event.
+func EarliestEffect(p Plan, ref *trace.Trace) (sim.Time, bool) {
+	switch p := p.(type) {
+	case StalenessPlan:
+		return p.From, true
+	case GapPlan:
+		if p.Occurrence > 0 {
+			return firstMatchingDelivery(p, ref), true
+		}
+		return p.From, true
+	case TimeTravelPlan:
+		return p.FreezeAt, true
+	case CrashPlan:
+		return p.At, true
+	case PartitionPlan:
+		return p.From, true
+	case SlowLinkPlan:
+		return p.From, true
+	case FlakyLinkPlan:
+		return p.From, true
+	case CompactionPressurePlan:
+		return p.At, true
+	case SequencePlan:
+		eff := NoEffect
+		for _, sub := range p.Plans {
+			t, ok := EarliestEffect(sub, ref)
+			if !ok {
+				return 0, false
+			}
+			if t < eff {
+				eff = t
+			}
+		}
+		return eff, true
+	case NopPlan:
+		return NoEffect, true
+	default:
+		return 0, false
+	}
+}
+
+// firstMatchingDelivery returns the send time of the first reference-run
+// delivery the gap plan's interceptor would count, or NoEffect when the
+// reference contains none (then the interceptor state cannot diverge
+// before some other perturbation does).
+func firstMatchingDelivery(p GapPlan, ref *trace.Trace) sim.Time {
+	if ref == nil {
+		return 0 // unknown reference: only the build boundary is safe
+	}
+	for _, d := range ref.Deliveries {
+		if d.To != p.Victim || d.Kind != p.Kind || d.Name != p.Name {
+			continue
+		}
+		if p.Type != "" && d.EventType != p.Type {
+			continue
+		}
+		return d.Time
+	}
+	return NoEffect
+}

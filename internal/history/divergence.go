@@ -66,6 +66,13 @@ type ObservationLog struct {
 // Record appends an observation.
 func (l *ObservationLog) Record(o Observation) { l.obs = append(l.obs, o) }
 
+// Fork returns a copy-on-write fork of the log: it shares the recorded
+// prefix (capped so the first Record on either side reallocates) — the
+// prefix-checkpoint layer's snapshot primitive.
+func (l *ObservationLog) Fork() ObservationLog {
+	return ObservationLog{obs: l.obs[:len(l.obs):len(l.obs)]}
+}
+
 // Len returns the number of recorded observations.
 func (l *ObservationLog) Len() int { return len(l.obs) }
 

@@ -31,6 +31,21 @@ func newAdmin(c *Cluster) *Admin {
 	return a
 }
 
+// restoreAdmin reconstructs the admin client from a checkpoint (snapshot
+// orchestration only).
+func restoreAdmin(c *Cluster, conn *client.ConnSnapshot, uidCounter int) *Admin {
+	a := &Admin{
+		c:    c,
+		uids: cluster.NewUIDGen("admin"),
+	}
+	a.uids.SetCounter(uidCounter)
+	a.conn = client.RestoreConn(c.World, conn)
+	c.World.Network().Register(AdminID, sim.HandlerFunc(func(m *sim.Message) {
+		a.conn.HandleMessage(m)
+	}))
+	return a
+}
+
 // Conn exposes the raw connection for custom workload steps.
 func (a *Admin) Conn() *client.Conn { return a.conn }
 

@@ -198,6 +198,14 @@ func New(opts Options) *Cluster {
 }
 
 func (c *Cluster) installOracles() {
+	c.addOracles()
+	c.Oracles.InstallPeriodic(c.World, c.Opts.OraclePeriod)
+}
+
+// addOracles registers the oracle set for this cluster's options, in a
+// deterministic order (the restore path relies on re-registering the same
+// oracles in the same order to transplant their state positionally).
+func (c *Cluster) addOracles() {
 	st := c.Store.Store()
 	var hosts []*kubelet.Host
 	for _, node := range c.Opts.Nodes {
@@ -223,7 +231,6 @@ func (c *Cluster) installOracles() {
 		}
 		c.Oracles.Add(oracle.CASAtomicity(servers))
 	}
-	c.Oracles.InstallPeriodic(c.World, c.Opts.OraclePeriod)
 }
 
 // RunFor advances the simulation.

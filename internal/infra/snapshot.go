@@ -1,0 +1,208 @@
+// This file is the component half of the prefix-checkpoint layer
+// (internal/sim/snapshot.go holds the simulation half). A cluster snapshot
+// bundles the kernel's scheduling identity with every component's state;
+// Snapshot.NewCluster rebuilds an equivalent cluster positioned mid-run,
+// and InstallPending re-inserts the captured pending events with their
+// sequence numbers shifted past a forked plan's allocation band.
+//
+// Sharing rules (see DESIGN.md, "Prefix checkpointing"): committed history
+// events, apiserver watch windows, informer observation logs, and cached
+// object pointers are shared copy-on-write; every mutable map (store KVs,
+// caches, leases, queue sets, counters) is deep-copied at capture.
+package infra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apiserver"
+	"repro/internal/client"
+	"repro/internal/kubelet"
+	"repro/internal/oracle"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Snapshot captures a snapshotable cluster at a quiescent instant.
+type Snapshot struct {
+	Opts   Options
+	Kernel sim.KernelSnapshot
+	Net    sim.NetworkSnapshot
+	DownAt map[sim.NodeID]sim.Time
+
+	Store     *store.Snapshot
+	APIs      []*apiserver.Snapshot
+	Kubelets  map[string]*kubelet.Snapshot
+	Scheduler *scheduler.Snapshot // nil when the scheduler is disabled
+	AdminConn *client.ConnSnapshot
+	AdminUIDs int
+	Oracles   *oracle.RunnerSnapshot
+}
+
+// Snapshotable reports whether every component in this cluster has a
+// snapshot/restore implementation. Clusters running the volume, node
+// lifecycle, or app controllers, the Cassandra operator, or the region
+// service fall back to full replay.
+func (c *Cluster) Snapshotable() bool {
+	return c.Volume == nil && c.NodeLC == nil && c.App == nil &&
+		c.Cassandra == nil && c.RegionManager == nil && len(c.RegionServers) == 0
+}
+
+// Capture snapshots the cluster. It fails (ok=false) when the instant is
+// not quiescent: an untagged kernel event is pending, a network message is
+// held, or a component RPC call is in flight. The caller should advance
+// virtual time slightly and retry.
+func (c *Cluster) Capture() (*Snapshot, bool) {
+	if !c.Snapshotable() {
+		return nil, false
+	}
+	if c.World.Network().HeldCount() > 0 {
+		return nil, false
+	}
+	ks, ok := c.World.Kernel().CaptureSnapshot()
+	if !ok {
+		return nil, false
+	}
+	snap := &Snapshot{
+		Opts:      c.Opts,
+		Kernel:    ks,
+		Net:       c.World.Network().Snapshot(),
+		DownAt:    c.World.DownAtSnapshot(),
+		Kubelets:  make(map[string]*kubelet.Snapshot, len(c.Kubelet)),
+		AdminUIDs: c.Admin.uids.Counter(),
+		Oracles:   c.Oracles.Snapshot(),
+	}
+	ss, ok := c.Store.Snapshot()
+	if !ok {
+		return nil, false
+	}
+	snap.Store = ss
+	for _, api := range c.APIs {
+		snap.APIs = append(snap.APIs, api.Snapshot())
+	}
+	for _, node := range c.Opts.Nodes {
+		ksnap, ok := c.Kubelet[node].Snapshot()
+		if !ok {
+			return nil, false
+		}
+		snap.Kubelets[node] = ksnap
+	}
+	if c.Scheduler != nil {
+		sc, ok := c.Scheduler.Snapshot()
+		if !ok {
+			return nil, false
+		}
+		snap.Scheduler = sc
+	}
+	ac, ok := c.Admin.conn.Snapshot()
+	if !ok {
+		return nil, false
+	}
+	snap.AdminConn = ac
+	return snap, true
+}
+
+// NewCluster rebuilds a cluster from the snapshot, positioned at the
+// capture instant. No timers are armed and network down flags are applied
+// after every component has re-registered; the caller re-installs pending
+// kernel events via InstallPending after applying the forked plan and
+// rehydrating the workload.
+func (s *Snapshot) NewCluster() (*Cluster, error) {
+	w := sim.NewRestoredWorld(
+		sim.WorldConfig{Seed: s.Opts.Seed, Latency: sim.Millisecond, Jitter: sim.Millisecond / 2},
+		s.Kernel.Now, s.Kernel.Steps, s.Kernel.RNGDraws, s.Net)
+	c := &Cluster{
+		Opts:    s.Opts,
+		World:   w,
+		Hosts:   make(map[string]*kubelet.Host),
+		Kubelet: make(map[string]*kubelet.Kubelet),
+		Oracles: oracle.NewRunner(),
+	}
+	c.Store = store.RestoreServer(w, s.Store)
+	for _, as := range s.APIs {
+		c.APIs = append(c.APIs, apiserver.Restore(w, as))
+	}
+	for _, node := range s.Opts.Nodes {
+		ks, ok := s.Kubelets[node]
+		if !ok {
+			return nil, fmt.Errorf("infra: snapshot missing kubelet for node %s", node)
+		}
+		k := kubelet.Restore(w, ks)
+		c.Kubelet[node] = k
+		c.Hosts[node] = k.Host()
+	}
+	if s.Scheduler != nil {
+		c.Scheduler = scheduler.Restore(w, s.Scheduler)
+	}
+	c.Admin = restoreAdmin(c, s.AdminConn, s.AdminUIDs)
+	// Oracles: re-register the same set in the same order, then transplant
+	// their recorded violations and private state.
+	c.addOracles()
+	if err := c.Oracles.RestoreFrom(s.Oracles); err != nil {
+		return nil, err
+	}
+	c.Oracles.BindPeriodic(w, c.Opts.OraclePeriod)
+	// Down flags last: Network.Register (called by every component restore
+	// above) clears them.
+	w.Network().RestoreDown(s.Net)
+	w.RestoreDownAt(s.DownAt)
+	return c, nil
+}
+
+// InstallPending re-inserts the snapshot's pending kernel events into the
+// restored cluster. Events allocated after the Build boundary (seq >
+// buildSeq) are shifted by the forked plan's sequence allocation count;
+// workload-owned events are skipped — rehydrating the workload recreates
+// them with exactly the shifted sequence numbers a full replay would use.
+func (c *Cluster) InstallPending(pending []sim.PendingEvent, buildSeq, shift uint64) error {
+	for _, pe := range pending {
+		if pe.Tag.Owner == "workload" {
+			continue
+		}
+		fn, err := c.rearm(pe.Tag)
+		if err != nil {
+			return err
+		}
+		seq := pe.Seq
+		if seq > buildSeq {
+			seq += shift
+		}
+		if _, err := c.World.Kernel().RestorePending(pe.At, seq, pe.Tag, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rearm routes a pending event tag to its owning component.
+func (c *Cluster) rearm(tag sim.EventTag) (func(), error) {
+	owner := sim.NodeID(tag.Owner)
+	switch {
+	case tag.Owner == "oracles":
+		return c.Oracles.Rearm(tag)
+	case owner == StoreID:
+		return c.Store.Rearm(tag)
+	case owner == scheduler.ID:
+		if c.Scheduler == nil {
+			return nil, fmt.Errorf("infra: pending event for disabled scheduler: %v", tag)
+		}
+		return c.Scheduler.Rearm(tag)
+	case strings.HasPrefix(tag.Owner, "api-"):
+		for _, api := range c.APIs {
+			if api.ID() == owner {
+				return api.Rearm(tag)
+			}
+		}
+		return nil, fmt.Errorf("infra: pending event for unknown apiserver: %v", tag)
+	case strings.HasPrefix(tag.Owner, "kubelet-"):
+		node := strings.TrimPrefix(tag.Owner, "kubelet-")
+		k, ok := c.Kubelet[node]
+		if !ok {
+			return nil, fmt.Errorf("infra: pending event for unknown kubelet: %v", tag)
+		}
+		return k.Rearm(tag)
+	default:
+		return nil, fmt.Errorf("infra: pending event with unknown owner: %v", tag)
+	}
+}

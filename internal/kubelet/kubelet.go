@@ -229,13 +229,17 @@ func (k *Kubelet) registerNode(epoch uint64) {
 }
 
 func (k *Kubelet) scheduleHeartbeat(epoch uint64) {
-	k.world.Kernel().Schedule(k.cfg.HeartbeatInterval, func() {
-		if k.down || epoch != k.epoch {
-			return
-		}
-		k.heartbeat(epoch)
-		k.scheduleHeartbeat(epoch)
-	})
+	k.world.Kernel().ScheduleTagged(k.cfg.HeartbeatInterval,
+		sim.EventTag{Owner: string(k.id), Kind: "heartbeat", Epoch: epoch},
+		func() { k.heartbeatFire(epoch) })
+}
+
+func (k *Kubelet) heartbeatFire(epoch uint64) {
+	if k.down || epoch != k.epoch {
+		return
+	}
+	k.heartbeat(epoch)
+	k.scheduleHeartbeat(epoch)
 }
 
 // heartbeat refreshes the node object's liveness label.
@@ -259,22 +263,30 @@ func (k *Kubelet) heartbeat(epoch uint64) {
 }
 
 func (k *Kubelet) schedulePeriodicSync(epoch uint64) {
-	k.world.Kernel().Schedule(k.cfg.SyncInterval, func() {
-		if k.down || epoch != k.epoch {
-			return
-		}
-		k.syncPods(epoch)
-		k.schedulePeriodicSync(epoch)
-	})
+	k.world.Kernel().ScheduleTagged(k.cfg.SyncInterval,
+		sim.EventTag{Owner: string(k.id), Kind: "sync", Epoch: epoch},
+		func() { k.syncFire(epoch) })
+}
+
+func (k *Kubelet) syncFire(epoch uint64) {
+	if k.down || epoch != k.epoch {
+		return
+	}
+	k.syncPods(epoch)
+	k.schedulePeriodicSync(epoch)
 }
 
 func (k *Kubelet) scheduleSyncSoon(epoch uint64) {
-	k.world.Kernel().Schedule(sim.Millisecond, func() {
-		if k.down || epoch != k.epoch {
-			return
-		}
-		k.syncPods(epoch)
-	})
+	k.world.Kernel().ScheduleTagged(sim.Millisecond,
+		sim.EventTag{Owner: string(k.id), Kind: "syncsoon", Epoch: epoch},
+		func() { k.syncSoonFire(epoch) })
+}
+
+func (k *Kubelet) syncSoonFire(epoch uint64) {
+	if k.down || epoch != k.epoch {
+		return
+	}
+	k.syncPods(epoch)
 }
 
 // syncPods reconciles host containers against the pods bound to this node

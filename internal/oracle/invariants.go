@@ -73,57 +73,85 @@ func UniquePod(hosts []*kubelet.Host) Oracle {
 
 // SchedulerProgress checks the Kubernetes-56261 liveness guarantee: a pod
 // must not stay unscheduled longer than patience while a ready node with
-// free capacity exists in ground truth.
+// free capacity exists in ground truth. The returned oracle is Stateful
+// (its pending-since tracker survives prefix-checkpoint forks).
 func SchedulerProgress(st *store.Store, patience sim.Duration) Oracle {
-	pendingSince := map[string]sim.Time{}
-	return Func{
-		OracleName: NameSchedulerProgress,
-		CheckFunc: func(now sim.Time) *Violation {
-			pods := decodeState(st, cluster.KindPod)
-			nodes := decodeState(st, cluster.KindNode)
-			used := map[string]int{}
-			for _, p := range pods {
-				if p.Pod != nil && p.Pod.NodeName != "" && !p.Terminating() {
-					used[p.Pod.NodeName]++
-				}
-			}
-			freeNode := false
-			for _, n := range nodes {
-				if n.Node != nil && n.Node.Ready && n.Node.Capacity-used[n.Meta.Name] > 0 {
-					freeNode = true
-					break
-				}
-			}
-			seen := map[string]bool{}
-			for _, p := range pods {
-				if p.Pod == nil || p.Pod.NodeName != "" || p.Terminating() {
-					continue
-				}
-				seen[p.Meta.Name] = true
-				first, ok := pendingSince[p.Meta.Name]
-				if !ok {
-					pendingSince[p.Meta.Name] = now
-					continue
-				}
-				if freeNode && now.Sub(first) > patience {
-					return &Violation{
-						Oracle:    NameSchedulerProgress,
-						Time:      now,
-						Detail:    fmt.Sprintf("pod %q unscheduled for %s despite free ready nodes", p.Meta.Name, now.Sub(first)),
-						Kind:      string(cluster.KindPod),
-						Object:    p.Meta.Name,
-						Component: "scheduler",
-					}
-				}
-			}
-			for name := range pendingSince {
-				if !seen[name] {
-					delete(pendingSince, name)
-				}
-			}
-			return nil
-		},
+	return &schedulerProgress{st: st, patience: patience, pendingSince: map[string]sim.Time{}}
+}
+
+type schedulerProgress struct {
+	st           *store.Store
+	patience     sim.Duration
+	pendingSince map[string]sim.Time
+}
+
+// Name implements Oracle.
+func (o *schedulerProgress) Name() string { return NameSchedulerProgress }
+
+// SnapshotState implements Stateful: a copy of the pending-since tracker.
+func (o *schedulerProgress) SnapshotState() any {
+	out := make(map[string]sim.Time, len(o.pendingSince))
+	for k, v := range o.pendingSince {
+		out[k] = v
 	}
+	return out
+}
+
+// RestoreState implements Stateful.
+func (o *schedulerProgress) RestoreState(s any) {
+	src := s.(map[string]sim.Time)
+	o.pendingSince = make(map[string]sim.Time, len(src))
+	for k, v := range src {
+		o.pendingSince[k] = v
+	}
+}
+
+// Check implements Oracle.
+func (o *schedulerProgress) Check(now sim.Time) *Violation {
+	pendingSince := o.pendingSince
+	pods := decodeState(o.st, cluster.KindPod)
+	nodes := decodeState(o.st, cluster.KindNode)
+	used := map[string]int{}
+	for _, p := range pods {
+		if p.Pod != nil && p.Pod.NodeName != "" && !p.Terminating() {
+			used[p.Pod.NodeName]++
+		}
+	}
+	freeNode := false
+	for _, n := range nodes {
+		if n.Node != nil && n.Node.Ready && n.Node.Capacity-used[n.Meta.Name] > 0 {
+			freeNode = true
+			break
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range pods {
+		if p.Pod == nil || p.Pod.NodeName != "" || p.Terminating() {
+			continue
+		}
+		seen[p.Meta.Name] = true
+		first, ok := pendingSince[p.Meta.Name]
+		if !ok {
+			pendingSince[p.Meta.Name] = now
+			continue
+		}
+		if freeNode && now.Sub(first) > o.patience {
+			return &Violation{
+				Oracle:    NameSchedulerProgress,
+				Time:      now,
+				Detail:    fmt.Sprintf("pod %q unscheduled for %s despite free ready nodes", p.Meta.Name, now.Sub(first)),
+				Kind:      string(cluster.KindPod),
+				Object:    p.Meta.Name,
+				Component: "scheduler",
+			}
+		}
+	}
+	for name := range pendingSince {
+		if !seen[name] {
+			delete(pendingSince, name)
+		}
+	}
+	return nil
 }
 
 // NoOrphanPVC checks the volume-release guarantee ([17], op-398): a Bound

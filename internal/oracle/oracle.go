@@ -51,12 +51,26 @@ func (f Func) Name() string { return f.OracleName }
 // Check implements Oracle.
 func (f Func) Check(now sim.Time) *Violation { return f.CheckFunc(now) }
 
+// Stateful is implemented by oracles that accumulate state across Check
+// calls (e.g. since-when trackers). The prefix-checkpoint layer uses it to
+// transplant that state into a forked run; SnapshotState must return a
+// value that is safe to hold across the original run's continued execution
+// (i.e. a copy).
+type Stateful interface {
+	SnapshotState() any
+	RestoreState(any)
+}
+
 // Runner evaluates a set of oracles periodically and collects the first
 // violation of each.
 type Runner struct {
 	oracles []Oracle
 	first   map[string]Violation
 	order   []string
+
+	// Periodic-tick binding (set by InstallPeriodic / BindPeriodic).
+	w     *sim.World
+	every sim.Duration
 }
 
 // NewRunner creates an empty runner.
@@ -91,14 +105,91 @@ func (r *Runner) CheckNow(now sim.Time) {
 }
 
 // InstallPeriodic schedules CheckNow every interval on the world's kernel,
-// forever (the simulation's run bound ends it).
+// forever (the simulation's run bound ends it). The tick is tagged so
+// prefix checkpoints can capture and re-arm it.
 func (r *Runner) InstallPeriodic(w *sim.World, every sim.Duration) {
-	var tick func()
-	tick = func() {
-		r.CheckNow(w.Now())
-		w.Kernel().Schedule(every, tick)
+	r.BindPeriodic(w, every)
+	r.armTick()
+}
+
+// BindPeriodic records the world and interval the periodic tick uses
+// without scheduling anything (restore path: the pending tick event is
+// re-installed by the orchestration via Rearm).
+func (r *Runner) BindPeriodic(w *sim.World, every sim.Duration) {
+	r.w = w
+	r.every = every
+}
+
+func (r *Runner) armTick() {
+	r.w.Kernel().ScheduleTagged(r.every, sim.EventTag{Owner: "oracles", Kind: "tick"}, r.tickFire)
+}
+
+func (r *Runner) tickFire() {
+	r.CheckNow(r.w.Now())
+	r.armTick()
+}
+
+// Rearm returns the callback for a pending kernel event owned by the
+// oracle runner. BindPeriodic must have been called first.
+func (r *Runner) Rearm(tag sim.EventTag) (func(), error) {
+	switch tag.Kind {
+	case "tick":
+		return r.tickFire, nil
+	default:
+		return nil, fmt.Errorf("oracle: unknown pending event kind %q", tag.Kind)
 	}
-	w.Kernel().Schedule(every, tick)
+}
+
+// RunnerSnapshot captures the runner's recorded violations and the private
+// state of every Stateful oracle (positionally, in registration order).
+type RunnerSnapshot struct {
+	First  map[string]Violation
+	Order  []string
+	States []any // one entry per registered oracle; nil when stateless
+}
+
+// Snapshot captures the runner. The caller restores it onto a runner whose
+// oracles were re-registered in the same order (RestoreFrom).
+func (r *Runner) Snapshot() *RunnerSnapshot {
+	s := &RunnerSnapshot{
+		First:  make(map[string]Violation, len(r.first)),
+		Order:  append([]string(nil), r.order...),
+		States: make([]any, len(r.oracles)),
+	}
+	for k, v := range r.first {
+		s.First[k] = v
+	}
+	for i, o := range r.oracles {
+		if st, ok := o.(Stateful); ok {
+			s.States[i] = st.SnapshotState()
+		}
+	}
+	return s
+}
+
+// RestoreFrom transplants a snapshot into this runner. The runner's oracle
+// set must have been rebuilt (bound to the restored world's components) in
+// the same registration order as at capture.
+func (r *Runner) RestoreFrom(snap *RunnerSnapshot) error {
+	if len(snap.States) != len(r.oracles) {
+		return fmt.Errorf("oracle: restore with %d oracles, snapshot has %d", len(r.oracles), len(snap.States))
+	}
+	r.first = make(map[string]Violation, len(snap.First))
+	for k, v := range snap.First {
+		r.first[k] = v
+	}
+	r.order = append([]string(nil), snap.Order...)
+	for i, o := range r.oracles {
+		if snap.States[i] == nil {
+			continue
+		}
+		st, ok := o.(Stateful)
+		if !ok {
+			return fmt.Errorf("oracle: snapshot state for non-stateful oracle %s", o.Name())
+		}
+		st.RestoreState(snap.States[i])
+	}
+	return nil
 }
 
 // Violations returns all recorded violations in detection order.

@@ -127,6 +127,7 @@ func (s *Scheduler) boot() {
 	s.conn = client.NewConn(s.world, s.id, s.cfg.APIServer, s.cfg.RPCTimeout)
 	s.queue = controller.NewQueue(s.world.Kernel(), controller.DefaultQueueConfig(),
 		controller.ReconcilerFunc(s.reconcile))
+	s.queue.SetOwner(string(s.id))
 	s.nodeInf = client.NewInformer(s.conn, cluster.KindNode, client.InformerConfig{
 		WatchTimeout: sim.Second,
 	})

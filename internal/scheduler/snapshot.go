@@ -1,0 +1,109 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/sim"
+)
+
+// Snapshot captures the scheduler at a checkpoint. The informer caches
+// live inside the connection snapshot; the queue's pending timers are
+// kernel events restored by the orchestration via Rearm.
+type Snapshot struct {
+	Cfg          Config
+	Down         bool
+	Epoch        uint64
+	DeadNodes    map[string]bool
+	Binds        int
+	BindFailures int
+
+	Conn         *client.ConnSnapshot
+	HasInformers bool
+	PodSub       uint64
+	NodeSub      uint64
+	Queue        *controller.QueueSnapshot
+}
+
+// Snapshot captures the scheduler's state. It fails (ok=false) when an RPC
+// call is in flight (a pending bind Get/Update continuation cannot be
+// reconstructed).
+func (s *Scheduler) Snapshot() (*Snapshot, bool) {
+	cs, ok := s.conn.Snapshot()
+	if !ok {
+		return nil, false
+	}
+	snap := &Snapshot{
+		Cfg:          s.cfg,
+		Down:         s.down,
+		Epoch:        s.epoch,
+		DeadNodes:    make(map[string]bool, len(s.deadNodes)),
+		Binds:        s.Binds,
+		BindFailures: s.BindFailures,
+		Conn:         cs,
+		Queue:        s.queue.Snapshot(),
+	}
+	for n, v := range s.deadNodes {
+		snap.DeadNodes[n] = v
+	}
+	if s.podInf != nil && s.nodeInf != nil {
+		snap.HasInformers = true
+		snap.PodSub = s.podInf.SubID()
+		snap.NodeSub = s.nodeInf.SubID()
+	}
+	return snap, true
+}
+
+// Restore reconstructs a scheduler from a snapshot inside world w. Informer
+// handlers are re-attached without cache replay; no timers are armed.
+func Restore(w *sim.World, snap *Snapshot) *Scheduler {
+	s := &Scheduler{
+		id:           ID,
+		world:        w,
+		cfg:          snap.Cfg,
+		down:         snap.Down,
+		epoch:        snap.Epoch,
+		deadNodes:    make(map[string]bool, len(snap.DeadNodes)),
+		Binds:        snap.Binds,
+		BindFailures: snap.BindFailures,
+	}
+	for n, v := range snap.DeadNodes {
+		s.deadNodes[n] = v
+	}
+	w.Network().Register(s.id, s)
+	w.AddProcess(s)
+	s.conn = client.RestoreConn(w, snap.Conn)
+	s.queue = controller.RestoreQueue(w.Kernel(), snap.Queue, controller.ReconcilerFunc(s.reconcile))
+	if snap.HasInformers {
+		nodeInf, ok := s.conn.Informer(snap.NodeSub)
+		if !ok {
+			panic(fmt.Sprintf("scheduler: restore: node informer sub %d missing", snap.NodeSub))
+		}
+		nodeInf.RestoreHandler(client.HandlerFuncs{
+			DeleteFunc: func(o *cluster.Object) { delete(s.deadNodes, o.Meta.Name) },
+		})
+		s.nodeInf = nodeInf
+		podInf, ok := s.conn.Informer(snap.PodSub)
+		if !ok {
+			panic(fmt.Sprintf("scheduler: restore: pod informer sub %d missing", snap.PodSub))
+		}
+		podInf.RestoreHandler(controller.EnqueueHandler{Queue: s.queue})
+		s.podInf = podInf
+	}
+	return s
+}
+
+// Rearm returns the callback for a pending kernel event owned by this
+// scheduler (work-queue timers and informer timers share its owner name).
+func (s *Scheduler) Rearm(tag sim.EventTag) (func(), error) {
+	switch tag.Kind {
+	case "addafter", "process":
+		return s.queue.Rearm(tag)
+	case "inf-liveness", "inf-relist":
+		return s.conn.RearmInformer(tag)
+	default:
+		return nil, fmt.Errorf("scheduler: unknown pending event kind %q", tag.Kind)
+	}
+}

@@ -69,10 +69,33 @@ func (t *Timer) Pending() bool {
 	return t != nil && t.ev != nil && !t.ev.canceled && !t.ev.fired
 }
 
+// EventTag identifies the semantic role of a pending kernel event so a
+// snapshot can describe it declaratively (and a restored world can re-arm
+// it) without serializing the closure itself. The zero tag marks an
+// anonymous event: such events cannot be captured by a snapshot, so a
+// checkpoint is only taken at instants where every pending event is
+// tagged (see Kernel.CapturePending).
+type EventTag struct {
+	// Owner is the component the event belongs to (a NodeID string such
+	// as "etcd" or "kubelet-n1", or a well-known owner like "workload"
+	// and "oracles").
+	Owner string
+	// Kind names the timer within its owner ("leasetick", "resync",
+	// "heartbeat", ...).
+	Kind string
+	// Key discriminates multiple timers of the same kind (an informer
+	// subscription ID, a workqueue key, ...).
+	Key string
+	// Epoch carries the owner's crash/relist epoch at arm time for timers
+	// whose fire-time behaviour depends on whether the epoch is stale.
+	Epoch uint64
+}
+
 type event struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	tag      EventTag
 	canceled bool
 	fired    bool
 	index    int // heap index
@@ -106,6 +129,33 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// countingSource wraps the kernel's deterministic random source and counts
+// how many raw 64-bit draws have been consumed. A snapshot records the
+// count; a restored kernel replays (discards) exactly that many draws from
+// a fresh source seeded identically, leaving the stream in the same
+// position. Counting at the Source64 level (rather than per rand.Rand
+// method) makes the count exact even for rejection-sampled helpers like
+// Int63n.
+//
+// Int63 mirrors math/rand's rngSource.Int63 (mask, not shift) so wrapping
+// the source does not change any value the simulation observes.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 { return int64(c.Uint64() & (1<<63 - 1)) }
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(s int64) {
+	c.src.Seed(s)
+	c.draws = 0
+}
+
 // Kernel is the discrete-event scheduler. It is not safe for concurrent use;
 // the simulated world is single-threaded by design.
 type Kernel struct {
@@ -113,15 +163,31 @@ type Kernel struct {
 	heap    eventHeap
 	seq     uint64
 	rng     *rand.Rand
+	src     *countingSource
 	steps   uint64
 	maxStep uint64 // safety valve; 0 = unlimited
 	stopped bool
+
+	// Snapshot/fork support (see snapshot.go). defaultTag, when non-nil,
+	// is applied to events scheduled through the untagged At/Schedule
+	// entry points — used to blanket-tag the workload's top-level timers.
+	// rehydrating+rehydrateCutoff implement fork-time workload replay:
+	// an At strictly before the cutoff burns its sequence number (the
+	// full-replay run would have allocated it) but schedules nothing.
+	// strictPast records an attempt to schedule into the past, which a
+	// forked plan application must treat as "this plan cannot fork here".
+	defaultTag      *EventTag
+	rehydrating     bool
+	rehydrateCutoff Time
+	strictPast      bool
+	strictErr       string
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
 // Identical seeds yield identical simulations for identical inputs.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Kernel{rng: rand.New(src), src: src}
 }
 
 // Now returns the current virtual time.
@@ -148,14 +214,45 @@ func (k *Kernel) Schedule(d Duration, fn func()) *Timer {
 	return k.At(k.now.Add(d), fn)
 }
 
+// ScheduleTagged is Schedule with an explicit snapshot tag (see EventTag).
+func (k *Kernel) ScheduleTagged(d Duration, tag EventTag, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.AtTagged(k.now.Add(d), tag, fn)
+}
+
 // At runs fn at absolute virtual time t (clamped to now) and returns a
-// cancelable timer.
+// cancelable timer. When a default tag is installed (SetDefaultTag) the
+// event carries it; otherwise the event is anonymous and blocks snapshots
+// while pending.
 func (k *Kernel) At(t Time, fn func()) *Timer {
+	var tag EventTag
+	if k.defaultTag != nil {
+		tag = *k.defaultTag
+	}
+	return k.AtTagged(t, tag, fn)
+}
+
+// AtTagged is At with an explicit snapshot tag.
+func (k *Kernel) AtTagged(t Time, tag EventTag, fn func()) *Timer {
+	if k.rehydrating && t < k.rehydrateCutoff {
+		// Fork-time workload rehydration: the full-replay run scheduled
+		// (and already fired) this event before the checkpoint. Burn the
+		// sequence number it would have consumed so every later
+		// allocation keeps its full-replay identity, but schedule
+		// nothing.
+		k.seq++
+		return &Timer{ev: &event{at: t, seq: k.seq, fn: fn, fired: true}}
+	}
+	if k.strictPast && t < k.now && k.strictErr == "" {
+		k.strictErr = fmt.Sprintf("sim: schedule into the past: at=%s now=%s", t, k.now)
+	}
 	if t < k.now {
 		t = k.now
 	}
 	k.seq++
-	ev := &event{at: t, seq: k.seq, fn: fn}
+	ev := &event{at: t, seq: k.seq, fn: fn, tag: tag}
 	heap.Push(&k.heap, ev)
 	return &Timer{ev: ev}
 }

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// This file is the simulation half of the prefix-checkpoint layer
+// (internal/infra/snapshot.go holds the component half). A checkpoint
+// captures the kernel's scheduling identity — virtual clock, sequence
+// counter, step counter, RNG stream position, and the (tag, at, seq) of
+// every pending event — plus the network's mutable routing state. It does
+// NOT capture event closures: a restored world reconstructs each pending
+// event's callback from its tag and re-inserts it with its original
+// sequence number, so tie-breaking order in the forked run is
+// byte-identical to a full replay.
+//
+// The contract that makes forking exact (see DESIGN.md, "Prefix
+// checkpointing"):
+//
+//   - a snapshot is only legal at a quiescent instant: every pending
+//     non-canceled event is tagged and no network messages are held;
+//   - a forked run re-applies the plan first (consuming the same sequence
+//     band a full replay's Apply would), then replays the workload in
+//     rehydration mode (burning the sequence numbers of pre-checkpoint
+//     actions), then re-installs pending events shifted by the plan's
+//     allocation count, and finally fast-forwards the sequence counter to
+//     the prefix counter plus that same shift.
+
+// PendingEvent describes one pending, tagged kernel event at capture time.
+type PendingEvent struct {
+	At  Time
+	Seq uint64
+	Tag EventTag
+}
+
+// KernelSnapshot is the kernel's scheduling identity at a checkpoint.
+type KernelSnapshot struct {
+	Now      Time
+	Seq      uint64 // sequence counter at capture
+	Steps    uint64 // events executed so far
+	RNGDraws uint64 // raw 64-bit draws consumed from the seeded source
+	Pending  []PendingEvent
+}
+
+// CaptureSnapshot captures the kernel's state if every pending event is
+// tagged. It returns ok=false (and no snapshot) when an anonymous event is
+// pending — the caller should advance virtual time slightly and retry, or
+// abandon this checkpoint.
+func (k *Kernel) CaptureSnapshot() (KernelSnapshot, bool) {
+	pending := make([]PendingEvent, 0, len(k.heap))
+	for _, ev := range k.heap {
+		if ev.canceled {
+			continue
+		}
+		if ev.tag == (EventTag{}) {
+			return KernelSnapshot{}, false
+		}
+		pending = append(pending, PendingEvent{At: ev.at, Seq: ev.seq, Tag: ev.tag})
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].At != pending[j].At {
+			return pending[i].At < pending[j].At
+		}
+		return pending[i].Seq < pending[j].Seq
+	})
+	return KernelSnapshot{
+		Now:      k.now,
+		Seq:      k.seq,
+		Steps:    k.steps,
+		RNGDraws: k.src.draws,
+		Pending:  pending,
+	}, true
+}
+
+// Seq returns the current event sequence counter.
+func (k *Kernel) Seq() uint64 { return k.seq }
+
+// RNGDraws returns how many raw 64-bit values have been drawn from the
+// kernel's seeded random source.
+func (k *Kernel) RNGDraws() uint64 { return k.src.draws }
+
+// SetDefaultTag installs (or, with nil, removes) a tag applied to events
+// scheduled through the untagged At/Schedule entry points. The campaign
+// layer brackets the top-level workload invocation with it so workload
+// timers are identifiable in snapshots.
+func (k *Kernel) SetDefaultTag(tag *EventTag) { k.defaultTag = tag }
+
+// BeginRehydrate puts the kernel in fork-time workload replay mode: until
+// EndRehydrate, an At strictly before cutoff burns a sequence number but
+// schedules nothing (the full-replay run fired that event inside the
+// checkpointed prefix).
+func (k *Kernel) BeginRehydrate(cutoff Time) {
+	k.rehydrating = true
+	k.rehydrateCutoff = cutoff
+}
+
+// EndRehydrate leaves rehydration mode.
+func (k *Kernel) EndRehydrate() {
+	k.rehydrating = false
+	k.rehydrateCutoff = 0
+}
+
+// SetStrictPast enables (or disables) recording of attempts to schedule
+// into the past. While enabled, the first At with t < now is remembered;
+// StrictViolation returns it. A forked plan application runs under strict
+// mode: a violation means the plan has effects inside the checkpointed
+// prefix and the fork must be abandoned in favour of a full replay.
+func (k *Kernel) SetStrictPast(on bool) {
+	k.strictPast = on
+	if on {
+		k.strictErr = ""
+	}
+}
+
+// StrictViolation returns a description of the first schedule-into-the-past
+// observed under strict mode, or "" if none.
+func (k *Kernel) StrictViolation() string { return k.strictErr }
+
+// NewRestoredKernel creates a kernel positioned mid-run: same seed, clock
+// at now, steps executed, and exactly rngDraws values consumed from the
+// random stream. The sequence counter starts at 0; the restore
+// orchestration sets it explicitly (SetSeq) around plan re-application.
+func NewRestoredKernel(seed int64, now Time, steps, rngDraws uint64) *Kernel {
+	k := NewKernel(seed)
+	for i := uint64(0); i < rngDraws; i++ {
+		k.src.Uint64() // discard; leaves the counting source at rngDraws
+	}
+	k.now = now
+	k.steps = steps
+	return k
+}
+
+// SetSeq overwrites the event sequence counter (restore path only).
+func (k *Kernel) SetSeq(n uint64) { k.seq = n }
+
+// SetSteps overwrites the executed-event counter (restore path only).
+func (k *Kernel) SetSteps(n uint64) { k.steps = n }
+
+// RestorePending re-inserts a pending event with an explicit sequence
+// number without touching the sequence counter. at must not precede the
+// restored clock. Restore orchestration only.
+func (k *Kernel) RestorePending(at Time, seq uint64, tag EventTag, fn func()) (*Timer, error) {
+	if at < k.now {
+		return nil, fmt.Errorf("sim: restore pending event %v into the past: at=%s now=%s", tag, at, k.now)
+	}
+	ev := &event{at: at, seq: seq, fn: fn, tag: tag}
+	heap.Push(&k.heap, ev)
+	return &Timer{ev: ev}, nil
+}
+
+// NetworkSnapshot is the network's mutable routing state at a checkpoint.
+// Registered handlers and observers are not part of it — the restored
+// components re-register themselves — and held messages are forbidden at
+// capture (checked by the caller via HeldCount).
+type NetworkSnapshot struct {
+	Seq     uint64
+	Down    map[NodeID]bool
+	Links   map[linkKey]linkState
+	LastAt  map[linkKey]Time
+	Quality map[linkKey]LinkQuality
+	Stats   NetStats
+}
+
+// Snapshot captures the network's mutable state. The caller must have
+// verified HeldCount() == 0.
+func (n *Network) Snapshot() NetworkSnapshot {
+	s := NetworkSnapshot{
+		Seq:     n.seq,
+		Down:    make(map[NodeID]bool, len(n.down)),
+		Links:   make(map[linkKey]linkState, len(n.links)),
+		LastAt:  make(map[linkKey]Time, len(n.lastAt)),
+		Quality: make(map[linkKey]LinkQuality, len(n.quality)),
+		Stats:   n.stats,
+	}
+	for k, v := range n.down {
+		s.Down[k] = v
+	}
+	for k, v := range n.links {
+		s.Links[k] = v
+	}
+	for k, v := range n.lastAt {
+		s.LastAt[k] = v
+	}
+	for k, v := range n.quality {
+		s.Quality[k] = v
+	}
+	return s
+}
+
+// RestoreRouting re-applies captured link and stream state. Down flags are
+// NOT applied here: Network.Register clears a node's down flag, so the
+// restore orchestration must call RestoreDown after all components have
+// re-registered their handlers.
+func (n *Network) RestoreRouting(s NetworkSnapshot) {
+	n.seq = s.Seq
+	n.stats = s.Stats
+	n.links = make(map[linkKey]linkState, len(s.Links))
+	for k, v := range s.Links {
+		n.links[k] = v
+	}
+	n.lastAt = make(map[linkKey]Time, len(s.LastAt))
+	for k, v := range s.LastAt {
+		n.lastAt[k] = v
+	}
+	n.quality = make(map[linkKey]LinkQuality, len(s.Quality))
+	for k, v := range s.Quality {
+		n.quality[k] = v
+	}
+}
+
+// RestoreDown re-applies captured down flags. Must run after every
+// component handler registration (Register deletes the flag).
+func (n *Network) RestoreDown(s NetworkSnapshot) {
+	for id, v := range s.Down {
+		if v {
+			n.down[id] = true
+		}
+	}
+}
+
+// Next returns the RPC client's request-ID counter (restore path only).
+func (c *RPCClient) Next() uint64 { return c.next }
+
+// Timeout returns the client's configured call timeout.
+func (c *RPCClient) Timeout() Duration { return c.timeout }
+
+// SetNext overwrites the RPC client's request-ID counter (restore path
+// only).
+func (c *RPCClient) SetNext(n uint64) { c.next = n }
+
+// NewRestoredWorld builds a world around a mid-run kernel: the kernel is
+// positioned by NewRestoredKernel, the network's routing state is
+// re-applied, and the process registry starts empty (components re-add
+// themselves). Down flags must be re-applied by the caller via
+// Network.RestoreDown + RestoreDownAt after component registration.
+func NewRestoredWorld(cfg WorldConfig, now Time, steps, rngDraws uint64, net NetworkSnapshot) *World {
+	k := NewRestoredKernel(cfg.Seed, now, steps, rngDraws)
+	w := &World{
+		kernel: k,
+		net:    NewNetwork(k, cfg.Latency, cfg.Jitter),
+		procs:  make(map[NodeID]Process),
+		downAt: make(map[NodeID]Time),
+	}
+	w.net.RestoreRouting(net)
+	return w
+}
+
+// DownAtSnapshot returns a copy of the crash-time registry.
+func (w *World) DownAtSnapshot() map[NodeID]Time {
+	out := make(map[NodeID]Time, len(w.downAt))
+	for id, t := range w.downAt {
+		out[id] = t
+	}
+	return out
+}
+
+// RestoreDownAt re-applies a captured crash-time registry.
+func (w *World) RestoreDownAt(m map[NodeID]Time) {
+	for id, t := range m {
+		w.downAt[id] = t
+	}
+}

@@ -181,14 +181,19 @@ func (s *Server) HandleMessage(m *sim.Message) {
 }
 
 func (s *Server) scheduleLeaseTick() {
-	s.world.Kernel().Schedule(s.leaseTick, func() {
-		if s.down {
-			return
-		}
-		s.st.SetNow(int64(s.world.Now()))
-		s.st.ExpireDue()
-		s.scheduleLeaseTick()
-	})
+	s.world.Kernel().ScheduleTagged(s.leaseTick,
+		sim.EventTag{Owner: string(s.id), Kind: "leasetick"}, s.leaseTickFire)
+}
+
+// leaseTickFire is the lease-expiry timer body; scheduleLeaseTick arms it
+// and a restored world re-arms it from its snapshot tag.
+func (s *Server) leaseTickFire() {
+	if s.down {
+		return
+	}
+	s.st.SetNow(int64(s.world.Now()))
+	s.st.ExpireDue()
+	s.scheduleLeaseTick()
 }
 
 func subKey(client sim.NodeID, subID uint64) string {

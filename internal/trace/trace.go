@@ -103,6 +103,49 @@ func New() *Trace {
 	}
 }
 
+// Fork returns a copy-on-write copy of the trace for a forked run: the
+// event slices are shared with capacity clamped to length (appends in
+// either run reallocate), while the mutable maps — subscriptions,
+// drop/duplicate counters, occurrence and seen-push trackers — are
+// deep-copied so the original and the fork diverge independently.
+func (t *Trace) Fork() *Trace {
+	f := &Trace{
+		Deliveries:      t.Deliveries[:len(t.Deliveries):len(t.Deliveries)],
+		Writes:          t.Writes[:len(t.Writes):len(t.Writes)],
+		Commits:         t.Commits[:len(t.Commits):len(t.Commits)],
+		Lists:           t.Lists[:len(t.Lists):len(t.Lists)],
+		Subscriptions:   make(map[sim.NodeID]map[cluster.Kind]bool, len(t.Subscriptions)),
+		DroppedPushes:   make(map[sim.NodeID]int, len(t.DroppedPushes)),
+		DuplicatePushes: make(map[sim.NodeID]int, len(t.DuplicatePushes)),
+		occ:             make(map[occKey]int, len(t.occ)),
+		seenPush:        make(map[seenKey]bool, len(t.seenPush)),
+	}
+	for id, kinds := range t.Subscriptions {
+		inner := make(map[cluster.Kind]bool, len(kinds))
+		for k, v := range kinds {
+			inner[k] = v
+		}
+		f.Subscriptions[id] = inner
+	}
+	for id, n := range t.DroppedPushes {
+		f.DroppedPushes[id] = n
+	}
+	for id, n := range t.DuplicatePushes {
+		f.DuplicatePushes[id] = n
+	}
+	for k, v := range t.occ {
+		f.occ[k] = v
+	}
+	for k, v := range t.seenPush {
+		f.seenPush[k] = v
+	}
+	return f
+}
+
+// NewRecorderFor creates a recorder that appends to an existing trace
+// (restore path: the forked run continues the prefix's recording).
+func NewRecorderFor(t *Trace) *Recorder { return &Recorder{T: t} }
+
 // Recorder attaches a Trace to a world's network (as an Observer) and to a
 // store (commit hook).
 type Recorder struct {
