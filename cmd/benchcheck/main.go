@@ -10,98 +10,146 @@
 //
 // Usage:
 //
-//	benchcheck [-e5 BENCH_E5.json] [-e6 BENCH_E6.json] [-parallel N] [-write]
+//	benchcheck [-e5 BENCH_E5.json] [-e6 BENCH_E6.json] [-parallel N] [-write] [-json]
 //
-// Exit codes: 0 artifacts agree, 1 drift detected or an artifact is
-// missing/unreadable, 2 usage error.
+// With -json, stdout carries exactly one machine-readable report
+// (per-artifact field-level diff entries, bench.DiffEntry form) and all
+// progress chatter moves to stderr, so the output can feed CI tooling
+// directly. Exit codes are unchanged: 0 artifacts agree, 1 drift
+// detected or an artifact is missing/unreadable, 2 usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// artifactReport is one artifact's comparison result in -json form.
+type artifactReport struct {
+	Path    string            `json:"path"`
+	Drift   bool              `json:"drift"`
+	Error   string            `json:"error,omitempty"`
+	Entries []bench.DiffEntry `json:"entries,omitempty"`
+}
+
+type jsonReport struct {
+	Tool      string           `json:"tool"`
+	Drift     bool             `json:"drift"`
+	Artifacts []artifactReport `json:"artifacts"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
+	fs.SetOutput(stderr)
 	e5Path := fs.String("e5", "BENCH_E5.json", "committed E5 artifact path")
 	e6Path := fs.String("e6", "BENCH_E6.json", "committed E6 artifact path")
 	parallel := fs.Int("parallel", 4, "worker-pool width for the recomputation (does not affect results)")
 	write := fs.Bool("write", false, "regenerate the artifacts instead of checking them")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable field-level diff report on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	// In -json mode stdout is reserved for the report document.
+	status := stdout
+	if *jsonOut {
+		status = stderr
+	}
+
 	if *write {
 		// Default parameters match bench_test.go (recorded in the files).
-		if err := regenerate(*e5Path, *e6Path, *parallel); err != nil {
-			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		if err := regenerate(status, *e5Path, *e6Path, *parallel); err != nil {
+			fmt.Fprintln(stderr, "benchcheck:", err)
 			return 1
 		}
 		return 0
 	}
 
+	reports := []artifactReport{
+		checkE5(status, *e5Path, *parallel),
+		checkE6(status, *e6Path, *parallel),
+	}
 	drift := false
-	drift = checkE5(*e5Path, *parallel) || drift
-	drift = checkE6(*e6Path, *parallel) || drift
+	for _, r := range reports {
+		drift = drift || r.Drift
+	}
+
+	if *jsonOut {
+		doc := jsonReport{Tool: "benchcheck", Drift: drift, Artifacts: reports}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(stderr, "benchcheck:", err)
+			return 1
+		}
+	} else {
+		for _, r := range reports {
+			report(stdout, stderr, r)
+		}
+	}
 	if drift {
-		fmt.Fprintln(os.Stderr, "benchcheck: committed artifacts disagree with a fresh run; regenerate with -write and review the diff")
+		fmt.Fprintln(stderr, "benchcheck: committed artifacts disagree with a fresh run; regenerate with -write and review the diff")
 		return 1
 	}
-	fmt.Println("benchcheck: committed artifacts match the fresh run")
+	fmt.Fprintln(status, "benchcheck: committed artifacts match the fresh run")
 	return 0
 }
 
-func regenerate(e5Path, e6Path string, workers int) error {
-	fmt.Printf("benchcheck: computing E5 (max %d executions)...\n", 400)
+func regenerate(status io.Writer, e5Path, e6Path string, workers int) error {
+	fmt.Fprintf(status, "benchcheck: computing E5 (max %d executions)...\n", 400)
 	if err := bench.WriteFile(e5Path, bench.ComputeE5(400, workers)); err != nil {
 		return err
 	}
-	fmt.Printf("benchcheck: computing E6 (max %d executions)...\n", 800)
+	fmt.Fprintf(status, "benchcheck: computing E6 (max %d executions)...\n", 800)
 	if err := bench.WriteFile(e6Path, bench.ComputeE6(800, workers)); err != nil {
 		return err
 	}
-	fmt.Printf("benchcheck: wrote %s and %s\n", e5Path, e6Path)
+	fmt.Fprintf(status, "benchcheck: wrote %s and %s\n", e5Path, e6Path)
 	return nil
 }
 
-func checkE5(path string, workers int) (drift bool) {
+// checkE5/checkE6 load one committed artifact, recompute it fresh at the
+// committed budget, and report the field-level diff.
+func checkE5(status io.Writer, path string, workers int) artifactReport {
 	committed, err := bench.ReadE5(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck:", err)
-		return true
+		return artifactReport{Path: path, Drift: true, Error: err.Error()}
 	}
-	fmt.Printf("benchcheck: recomputing E5 (max %d executions)...\n", committed.MaxExecutions)
-	fresh := bench.ComputeE5(committed.MaxExecutions, workers)
-	return report(path, bench.Diff(committed, fresh))
+	fmt.Fprintf(status, "benchcheck: recomputing %s (max %d executions)...\n", path, committed.MaxExecutions)
+	entries := bench.DiffEntries(committed, bench.ComputeE5(committed.MaxExecutions, workers))
+	return artifactReport{Path: path, Drift: len(entries) > 0, Entries: entries}
 }
 
-func checkE6(path string, workers int) (drift bool) {
+func checkE6(status io.Writer, path string, workers int) artifactReport {
 	committed, err := bench.ReadE6(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck:", err)
-		return true
+		return artifactReport{Path: path, Drift: true, Error: err.Error()}
 	}
-	fmt.Printf("benchcheck: recomputing E6 (max %d executions)...\n", committed.MaxExecutions)
-	fresh := bench.ComputeE6(committed.MaxExecutions, workers)
-	return report(path, bench.Diff(committed, fresh))
+	fmt.Fprintf(status, "benchcheck: recomputing %s (max %d executions)...\n", path, committed.MaxExecutions)
+	entries := bench.DiffEntries(committed, bench.ComputeE6(committed.MaxExecutions, workers))
+	return artifactReport{Path: path, Drift: len(entries) > 0, Entries: entries}
 }
 
-func report(path string, diffs []string) bool {
-	if len(diffs) == 0 {
-		fmt.Printf("benchcheck: %s agrees with the fresh run\n", path)
-		return false
+func report(stdout, stderr io.Writer, r artifactReport) {
+	if r.Error != "" {
+		fmt.Fprintln(stderr, "benchcheck:", r.Error)
+		return
 	}
-	fmt.Fprintf(os.Stderr, "benchcheck: %s drifted (%d differences):\n", path, len(diffs))
-	for _, d := range diffs {
-		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	if !r.Drift {
+		fmt.Fprintf(stdout, "benchcheck: %s agrees with the fresh run\n", r.Path)
+		return
 	}
-	return true
+	fmt.Fprintf(stderr, "benchcheck: %s drifted (%d differences):\n", r.Path, len(r.Entries))
+	for _, e := range r.Entries {
+		fmt.Fprintf(stderr, "  %s\n", e)
+	}
 }

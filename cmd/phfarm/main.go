@@ -1,0 +1,454 @@
+// Command phfarm runs campaign fleets: the same bug-finding campaigns
+// as phtest, sharded across worker subprocesses by a coordinator that
+// merges the shards back into byte-identical artifacts.
+//
+// Three modes:
+//
+//	phfarm [flags]             coordinator: shard the (target × seed)
+//	                           space across -workers subprocesses
+//	phfarm -worker             worker: serve tasks over stdin/stdout
+//	                           (spawned by the coordinator; not for
+//	                           interactive use)
+//	phfarm -grid grid.json     experiment grid: expand a declarative
+//	                           targets × strategies × toggles × repeats
+//	                           grid, run it across the fleet, and emit
+//	                           a summary table (and -csv file)
+//
+// Sharding follows the engine's independence structure: seeds shard
+// freely, except for learning campaigns (-prune/-ranked) whose
+// cross-seed bucket affinity couples the sweep — those cells run whole
+// on one worker. Merged campaign.json and NDJSON artifacts are
+// byte-identical to a single-process phtest run with the same flags
+// (after -canonical scrubbing of wall-clock fields), at any worker
+// count; guided campaigns additionally require matching -parallel,
+// because guided schedules are deterministic per in-process pool width.
+//
+// -corpus dir maintains a persistent cross-campaign corpus: each
+// campaign seeds from it (known buckets re-confirm first, recorded
+// healthy plans are skipped) and records into it when done.
+//
+// SIGINT/SIGTERM kill the fleet, flush the cells that completed as a
+// valid artifact marked "interrupted": true, and exit 130.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"text/tabwriter"
+
+	"repro/internal/campaign"
+	"repro/internal/farm"
+	"repro/internal/farm/corpus"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// newTransports builds the worker fleet; a variable so tests can swap
+// in in-process transports instead of spawning subprocesses.
+var newTransports = func(n int) ([]farm.Transport, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("phfarm: cannot find own binary: %w", err)
+	}
+	out := make([]farm.Transport, n)
+	for i := range out {
+		out[i] = farm.NewProcessTransport(exe, "-worker")
+	}
+	return out, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("phfarm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	worker := fs.Bool("worker", false, "run as a farm worker serving tasks on stdin/stdout (internal)")
+	gridPath := fs.String("grid", "", "run the experiment grid in this JSON file")
+	csvPath := fs.String("csv", "", "write the grid's deterministic per-cell CSV to this path (grid mode)")
+	workers := fs.Int("workers", 2, "number of worker processes")
+	targetsFlag := fs.String("targets", "all", "comma-separated target bugs or 'all'")
+	strategiesFlag := fs.String("strategies", "all", "comma-separated strategies or 'all'")
+	maxExec := fs.Int("max", 500, "max plan executions per (target, strategy, seed)")
+	seed := fs.Int64("seed", 7, "seed for the random baseline's plan generator")
+	randomN := fs.Int("random-n", 500, "number of random plans to generate")
+	parallel := fs.Int("parallel", 0, "in-process pool width per worker (0 = GOMAXPROCS)")
+	seedsFlag := fs.String("seeds", "1", "comma-separated world seeds to sweep")
+	guided := fs.Bool("guided", false, "coverage-guided plan scheduling (fuzzer-style)")
+	prune := fs.Bool("prune", false, "learn read-dependency profiles and defer non-intersecting plans")
+	ranked := fs.Bool("ranked", false, "order kept plans by learned impact score (requires -prune)")
+	snapshot := fs.Bool("snapshot", false, "fork plan executions from copy-on-write prefix checkpoints")
+	jsonPath := fs.String("json", "", "write the merged campaign artifact to this path")
+	ndjsonPath := fs.String("ndjson", "", "write the merged NDJSON telemetry stream to this path")
+	canonical := fs.Bool("canonical", false, "zero wall-clock and worker-count fields in the artifact (byte-comparable form)")
+	corpusDir := fs.String("corpus", "", "persistent cross-campaign corpus directory (seed from it, record into it)")
+	keepGoing := fs.Bool("keep-going", false, "do not cancel on first detection; execute every plan")
+	eventBudget := fs.Uint64("event-budget", 0, "kernel step budget per execution for the livelock watchdog (0 = default)")
+	explainFlag := fs.Bool("explain", false, "minimize and causally explain every detected failure bucket")
+	fixed := fs.Bool("fixed", false, "run against the fixed component variants (expect no detections)")
+	verbose := fs.Bool("v", false, "print per-cell stats and streaming progress")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *worker {
+		if err := farm.WorkerLoop(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(stderr, "phfarm:", err)
+			return 1
+		}
+		return 0
+	}
+	if *ranked && !*prune {
+		fmt.Fprintln(stderr, "phfarm: -ranked requires -prune")
+		return 2
+	}
+	if *snapshot && *fixed {
+		fmt.Fprintln(stderr, "phfarm: -snapshot is incompatible with -fixed (fixed-variant baselines must execute full replays)")
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintln(stderr, "phfarm: -workers must be >= 1")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *gridPath != "" {
+		return runGrid(ctx, *gridPath, *csvPath, *workers, *parallel, *verbose, stdout, stderr)
+	}
+
+	seeds, err := farm.ParseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	base := farm.TaskSpec{
+		Fixed:         *fixed,
+		RandomSeed:    *seed,
+		RandomN:       *randomN,
+		Seeds:         seeds,
+		MaxExecutions: *maxExec,
+		Parallel:      *parallel,
+		Guided:        *guided,
+		KeepGoing:     *keepGoing,
+		Explain:       *explainFlag,
+		Prune:         *prune,
+		Ranked:        *ranked,
+		Snapshot:      *snapshot,
+		EventBudget:   *eventBudget,
+	}
+	return runMatrix(ctx, matrixOpts{
+		targets: *targetsFlag, strategies: *strategiesFlag,
+		base: base, workers: *workers,
+		jsonPath: *jsonPath, ndjsonPath: *ndjsonPath,
+		canonical: *canonical, corpusDir: *corpusDir,
+		verbose: *verbose,
+	}, stdout, stderr)
+}
+
+type matrixOpts struct {
+	targets, strategies  string
+	base                 farm.TaskSpec
+	workers              int
+	jsonPath, ndjsonPath string
+	canonical            bool
+	corpusDir            string
+	verbose              bool
+}
+
+func runMatrix(ctx context.Context, o matrixOpts, stdout, stderr io.Writer) int {
+	// Resolve up front so bad names fail before any worker spawns.
+	targets, err := farm.ResolveTargets(o.targets, o.base.Fixed)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	strategies, err := farm.ResolveStrategies(o.strategies, o.base.RandomSeed, o.base.RandomN)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	targetNames := make([]string, len(targets))
+	for i, t := range targets {
+		targetNames[i] = t.Name
+	}
+	strategyNames := make([]string, len(strategies))
+	for i, s := range strategies {
+		strategyNames[i] = s.Name()
+	}
+
+	tasks := farm.Plan(targetNames, strategyNames, o.base)
+	coverage := map[farm.Cell]*campaign.CoverageSeed{}
+	if o.corpusDir != "" {
+		for _, tn := range targetNames {
+			for _, sn := range strategyNames {
+				cov, err := corpus.Load(o.corpusDir, tn, sn)
+				if err != nil {
+					fmt.Fprintln(stderr, "phfarm:", err)
+					return 1
+				}
+				coverage[farm.Cell{Target: tn, Strategy: sn}] = cov
+			}
+		}
+		for i := range tasks {
+			tasks[i].Coverage = coverage[farm.Cell{Target: tasks[i].Target, Strategy: tasks[i].Strategy}]
+		}
+	}
+
+	fmt.Fprintf(stdout, "Campaign fleet: %d tasks across %d workers\n", len(tasks), o.workers)
+	fmt.Fprintf(stdout, "targets=%d strategies=%d max-executions=%d seeds=%v guided=%v prune=%v ranked=%v snapshot=%v corpus=%v\n\n",
+		len(targets), len(strategies), o.base.MaxExecutions, o.base.Seeds,
+		o.base.Guided, o.base.Prune, o.base.Ranked, o.base.Snapshot, o.corpusDir != "")
+
+	results, interrupted, err := dispatch(ctx, tasks, o.workers, o.verbose, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "phfarm:", err)
+		return 1
+	}
+	merged, incomplete := farm.Collate(results)
+
+	printMatrix(stdout, targetNames, strategyNames, merged, len(o.base.Seeds) > 1)
+	if o.verbose {
+		for _, res := range merged {
+			fmt.Fprintln(stdout, res.Campaign)
+			fmt.Fprintf(stdout, "  %s\n", res.Stats)
+		}
+	}
+	for _, c := range incomplete {
+		fmt.Fprintf(stderr, "phfarm: cell %s/%s incomplete (worker failed or run interrupted)\n", c.Target, c.Strategy)
+	}
+
+	if o.corpusDir != "" && !interrupted {
+		for _, res := range merged {
+			if err := corpus.Record(o.corpusDir, res.Target, res.Strategy, res); err != nil {
+				fmt.Fprintln(stderr, "phfarm:", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "\ncorpus updated: %s (%d cells)\n", o.corpusDir, len(merged))
+	}
+
+	if o.jsonPath != "" {
+		var artifacts []campaign.Artifact
+		for _, res := range merged {
+			art := campaign.BuildArtifact(res, cellConfig(o.base, coverage[farm.Cell{Target: res.Target, Strategy: res.Strategy}]))
+			if o.canonical {
+				art = campaign.CanonicalizeArtifact(art)
+			}
+			artifacts = append(artifacts, art)
+		}
+		if err := campaign.WriteArtifactsStatus(o.jsonPath, artifacts, interrupted); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\ncampaign artifact: %s (%d campaigns)\n", o.jsonPath, len(artifacts))
+	}
+	if o.ndjsonPath != "" {
+		if err := writeNDJSON(o.ndjsonPath, merged, o.base, coverage); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "telemetry stream: %s (%d campaigns)\n", o.ndjsonPath, len(merged))
+	}
+
+	if interrupted {
+		fmt.Fprintln(stderr, "phfarm: interrupted; partial results flushed")
+		return 130
+	}
+	for _, tr := range results {
+		if tr.Err != "" {
+			fmt.Fprintf(stderr, "phfarm: task %d (%s/%s) failed: %s\n", tr.Spec.ID, tr.Spec.Target, tr.Spec.Strategy, tr.Err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// dispatch runs the task list across a fresh fleet.
+func dispatch(ctx context.Context, tasks []farm.TaskSpec, workers int, verbose bool, stderr io.Writer) ([]farm.TaskResult, bool, error) {
+	transports, err := newTransports(workers)
+	if err != nil {
+		return nil, false, err
+	}
+	var streamed int64
+	coord := &farm.Coordinator{}
+	if verbose {
+		coord.OnRecord = func(spec farm.TaskSpec, out campaign.PlanOutcome) {
+			if n := atomic.AddInt64(&streamed, 1); n%250 == 0 {
+				fmt.Fprintf(stderr, "  ... %d execution records streamed\n", n)
+			}
+		}
+	}
+	return coord.Run(ctx, transports, tasks)
+}
+
+// cellConfig reconstructs the campaign.Config a single-process run of
+// this cell would use — what BuildArtifact and WriteNDJSON key their
+// config echoes on.
+func cellConfig(base farm.TaskSpec, cov *campaign.CoverageSeed) campaign.Config {
+	return campaign.Config{
+		Workers:       base.Parallel,
+		Seeds:         base.Seeds,
+		MaxExecutions: base.MaxExecutions,
+		Guided:        base.Guided,
+		Collect:       true,
+		KeepGoing:     base.KeepGoing,
+		Explain:       base.Explain,
+		EventBudget:   base.EventBudget,
+		Prune:         base.Prune,
+		Ranked:        base.Ranked,
+		Snapshot:      base.Snapshot,
+		Coverage:      cov,
+	}
+}
+
+func writeNDJSON(path string, merged []campaign.Result, base farm.TaskSpec, coverage map[farm.Cell]*campaign.CoverageSeed) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("phfarm: create telemetry file: %w", err)
+	}
+	for _, res := range merged {
+		cfg := cellConfig(base, coverage[farm.Cell{Target: res.Target, Strategy: res.Strategy}])
+		if err := campaign.WriteNDJSON(f, res, cfg); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func printMatrix(w io.Writer, targets, strategies []string, merged []campaign.Result, multiSeed bool) {
+	byKey := map[string]campaign.Result{}
+	for _, r := range merged {
+		byKey[r.Target+"/"+r.Strategy] = r
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "bug\t")
+	for _, s := range strategies {
+		fmt.Fprintf(tw, "%s\t", s)
+	}
+	fmt.Fprintln(tw)
+	for _, t := range targets {
+		fmt.Fprintf(tw, "%s\t", t)
+		for _, s := range strategies {
+			r, ok := byKey[t+"/"+s]
+			switch {
+			case !ok:
+				fmt.Fprintf(tw, "?\t")
+			case r.Detected && multiSeed:
+				fmt.Fprintf(tw, "YES (%d execs, seed %d)\t", r.Campaign.Executions, r.DetectedSeed)
+			case r.Detected:
+				fmt.Fprintf(tw, "YES (%d execs)\t", r.Campaign.Executions)
+			default:
+				fmt.Fprintf(tw, "no (%d execs)\t", r.Campaign.Executions)
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+func runGrid(ctx context.Context, gridPath, csvPath string, workers, parallel int, verbose bool, stdout, stderr io.Writer) int {
+	g, err := farm.LoadGrid(gridPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "phfarm:", err)
+		return 2
+	}
+	exps := g.Expand(parallel)
+
+	// Validate every cell name once before spawning anything.
+	if _, err := farm.ResolveTargets(joinNames(exps[0].Tasks, func(t farm.TaskSpec) string { return t.Target }), false); err != nil {
+		fmt.Fprintln(stderr, "phfarm:", err)
+		return 2
+	}
+	if _, err := farm.ResolveStrategies(joinNames(exps[0].Tasks, func(t farm.TaskSpec) string { return t.Strategy }), g.RandomSeed, g.RandomN); err != nil {
+		fmt.Fprintln(stderr, "phfarm:", err)
+		return 2
+	}
+
+	var tasks []farm.TaskSpec
+	var expIdx []int
+	for ei, exp := range exps {
+		for _, t := range exp.Tasks {
+			t.ID = len(tasks)
+			tasks = append(tasks, t)
+			expIdx = append(expIdx, ei)
+		}
+	}
+	fmt.Fprintf(stdout, "Experiment grid %q: %d experiments, %d tasks across %d workers\n\n",
+		g.Name, len(exps), len(tasks), workers)
+
+	results, interrupted, err := dispatch(ctx, tasks, workers, verbose, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "phfarm:", err)
+		return 1
+	}
+	perExp := make([][]farm.TaskResult, len(exps))
+	for i, tr := range results {
+		perExp[expIdx[i]] = append(perExp[expIdx[i]], tr)
+	}
+	var rows []farm.CellSummary
+	failed := false
+	for ei, exp := range exps {
+		merged, incomplete := farm.Collate(perExp[ei])
+		rows = append(rows, farm.Summarize(g.Name, exp, merged)...)
+		for _, c := range incomplete {
+			fmt.Fprintf(stderr, "phfarm: experiment %s/repeat %d cell %s/%s incomplete\n",
+				exp.Toggle.Name, exp.Repeat, c.Target, c.Strategy)
+			failed = true
+		}
+	}
+
+	farm.WriteSummaryTable(stdout, rows)
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "phfarm:", err)
+			return 1
+		}
+		if err := farm.WriteCSV(f, rows); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "phfarm:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "phfarm:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\ngrid CSV: %s (%d rows)\n", csvPath, len(rows))
+	}
+
+	if interrupted {
+		fmt.Fprintln(stderr, "phfarm: interrupted; partial grid results flushed")
+		return 130
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// joinNames collects the distinct values of one task field, in task
+// order, as a comma-separated resolver spec.
+func joinNames(tasks []farm.TaskSpec, field func(farm.TaskSpec) string) string {
+	seen := map[string]bool{}
+	out := ""
+	for _, t := range tasks {
+		n := field(t)
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if out != "" {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -9,6 +12,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/farm"
 	"repro/internal/workload"
 )
 
@@ -86,21 +90,21 @@ func TestRejectedFlagsExitTwo(t *testing.T) {
 }
 
 func TestSelectTargets(t *testing.T) {
-	all, err := selectTargets("all")
+	all, err := farm.ResolveTargets("all", false)
 	if err != nil || len(all) != 5 {
 		t.Fatalf("all: %d targets, err=%v", len(all), err)
 	}
-	two, err := selectTargets("k8s-59848, cass-op-402")
+	two, err := farm.ResolveTargets("k8s-59848, cass-op-402", false)
 	if err != nil || len(two) != 2 || two[0].Name != "k8s-59848" || two[1].Name != "cass-op-402" {
 		t.Fatalf("subset: %+v err=%v", two, err)
 	}
-	if _, err := selectTargets("no-such-bug"); err == nil {
+	if _, err := farm.ResolveTargets("no-such-bug", false); err == nil {
 		t.Fatal("unknown target accepted")
 	}
 }
 
 func TestSelectStrategies(t *testing.T) {
-	all, err := selectStrategies("all", 1, 10)
+	all, err := farm.ResolveStrategies("all", 1, 10)
 	if err != nil || len(all) != 4 {
 		t.Fatalf("all: %d strategies, err=%v", len(all), err)
 	}
@@ -113,20 +117,20 @@ func TestSelectStrategies(t *testing.T) {
 			t.Fatalf("missing strategy %q in %v", want, names)
 		}
 	}
-	if _, err := selectStrategies("quantum", 1, 10); err == nil {
+	if _, err := farm.ResolveStrategies("quantum", 1, 10); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 }
 
 func TestParseSeeds(t *testing.T) {
-	got, err := parseSeeds("1, 2,3")
+	got, err := farm.ParseSeeds("1, 2,3")
 	if err != nil || !reflect.DeepEqual(got, []int64{1, 2, 3}) {
 		t.Fatalf("parseSeeds: %v err=%v", got, err)
 	}
-	if _, err := parseSeeds("1,x"); err == nil {
+	if _, err := farm.ParseSeeds("1,x"); err == nil {
 		t.Fatal("bad seed accepted")
 	}
-	if _, err := parseSeeds(""); err == nil {
+	if _, err := farm.ParseSeeds(""); err == nil {
 		t.Fatal("empty seed list accepted")
 	}
 }
@@ -161,5 +165,37 @@ func TestCampaignArtifactRoundTrip(t *testing.T) {
 	}
 	if len(got.Outcomes) == 0 {
 		t.Fatal("Collect artifact has no per-plan outcomes")
+	}
+}
+
+// TestInterruptFlushesPartialArtifact is the graceful-shutdown
+// regression test: a cancelled context (what SIGINT/SIGTERM deliver via
+// signal.NotifyContext) must still produce a valid artifact document
+// marked "interrupted": true, and exit 130.
+func TestInterruptFlushesPartialArtifact(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the signal arrives before the sweep starts
+	artPath := filepath.Join(t.TempDir(), "campaign.json")
+	var out, errBuf bytes.Buffer
+	code := runCtx(ctx, []string{
+		"-targets", "cass-op-400", "-strategies", "partial-history",
+		"-max", "20", "-json", artPath,
+	}, &out, &errBuf)
+	if code != 130 {
+		t.Fatalf("exit %d, want 130\nstderr: %s", code, errBuf.String())
+	}
+	data, err := os.ReadFile(artPath)
+	if err != nil {
+		t.Fatalf("interrupted run left no artifact: %v", err)
+	}
+	var doc struct {
+		Tool        string `json:"tool"`
+		Interrupted bool   `json:"interrupted"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if !doc.Interrupted {
+		t.Error("artifact not marked interrupted")
 	}
 }

@@ -18,7 +18,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
 
 	"repro/internal/baselines"
 	"repro/internal/campaign"
@@ -212,71 +211,4 @@ func readJSON(path string, into any) error {
 		return fmt.Errorf("bench: parse %s: %w", path, err)
 	}
 	return nil
-}
-
-// Diff compares two artifacts of the same type and returns one
-// human-readable line per disagreement (empty means identical). It works
-// on the marshaled forms, so any field drift — a flipped detection, a
-// shifted execution count, a changed pruning decision — is caught.
-func Diff(committed, fresh any) []string {
-	a, errA := json.Marshal(committed)
-	b, errB := json.Marshal(fresh)
-	if errA != nil || errB != nil {
-		return []string{fmt.Sprintf("marshal failure: %v / %v", errA, errB)}
-	}
-	if string(a) == string(b) {
-		return nil
-	}
-	var va, vb any
-	_ = json.Unmarshal(a, &va)
-	_ = json.Unmarshal(b, &vb)
-	var out []string
-	diffValue("", va, vb, &out)
-	if len(out) == 0 {
-		out = append(out, "artifacts differ (unlocalized)")
-	}
-	return out
-}
-
-func diffValue(path string, a, b any, out *[]string) {
-	switch av := a.(type) {
-	case map[string]any:
-		bv, ok := b.(map[string]any)
-		if !ok {
-			*out = append(*out, fmt.Sprintf("%s: type changed", path))
-			return
-		}
-		set := map[string]bool{}
-		for k := range av {
-			set[k] = true
-		}
-		for k := range bv {
-			set[k] = true
-		}
-		keys := make([]string, 0, len(set))
-		for k := range set {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			diffValue(path+"."+k, av[k], bv[k], out)
-		}
-	case []any:
-		bv, ok := b.([]any)
-		if !ok {
-			*out = append(*out, fmt.Sprintf("%s: type changed", path))
-			return
-		}
-		if len(av) != len(bv) {
-			*out = append(*out, fmt.Sprintf("%s: length %d (committed) vs %d (fresh)", path, len(av), len(bv)))
-			return
-		}
-		for i := range av {
-			diffValue(fmt.Sprintf("%s[%d]", path, i), av[i], bv[i], out)
-		}
-	default:
-		if fmt.Sprint(a) != fmt.Sprint(b) {
-			*out = append(*out, fmt.Sprintf("%s: committed %v, fresh %v", path, a, b))
-		}
-	}
 }

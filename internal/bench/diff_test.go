@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func baseE5() E5 {
+	return E5{
+		Schema:        SchemaE5,
+		MaxExecutions: 400,
+		Cells: []Cell{
+			{Target: "k8s-59848", Oracle: "UniquePod", Strategy: "partial-history", Detected: true, Executions: 98, PlansTotal: 210},
+			{Target: "cass-op-400", Oracle: "ScaleDownCompletes", Strategy: "random", Detected: false, Executions: 400, PlansTotal: 400},
+		},
+		Learned: []LearnedCell{
+			{Target: "k8s-59848", Detected: true, Executions: 40, PlansTotal: 210, PlansPruned: 100},
+		},
+	}
+}
+
+func TestDiffEntriesIdentical(t *testing.T) {
+	if entries := DiffEntries(baseE5(), baseE5()); entries != nil {
+		t.Fatalf("identical artifacts produced entries: %+v", entries)
+	}
+	if lines := Diff(baseE5(), baseE5()); lines != nil {
+		t.Fatalf("identical artifacts produced lines: %v", lines)
+	}
+}
+
+func TestDiffEntriesValueDrift(t *testing.T) {
+	fresh := baseE5()
+	fresh.Cells[0].Executions = 99
+	fresh.Learned[0].Detected = false
+	entries := DiffEntries(baseE5(), fresh)
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(entries), entries)
+	}
+	want := []DiffEntry{
+		{Path: ".cells[0].executions", Kind: "value", Committed: "98", Fresh: "99"},
+		{Path: ".learned[0].detected", Kind: "value", Committed: "true", Fresh: "false"},
+	}
+	if !reflect.DeepEqual(entries, want) {
+		t.Errorf("entries:\ngot:  %+v\nwant: %+v", entries, want)
+	}
+	// The human rendering localizes the same fields.
+	lines := Diff(baseE5(), fresh)
+	if len(lines) != 2 || lines[0] != ".cells[0].executions: committed 98, fresh 99" {
+		t.Errorf("human lines: %v", lines)
+	}
+}
+
+func TestDiffEntriesLengthDrift(t *testing.T) {
+	fresh := baseE5()
+	fresh.Cells = fresh.Cells[:1]
+	entries := DiffEntries(baseE5(), fresh)
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.Path != ".cells" || e.Kind != "length" || e.Committed != "2" || e.Fresh != "1" {
+		t.Errorf("length entry wrong: %+v", e)
+	}
+	if got := e.String(); got != ".cells: length 2 (committed) vs 1 (fresh)" {
+		t.Errorf("rendering: %q", got)
+	}
+}
+
+func TestDiffEntriesAcrossTypes(t *testing.T) {
+	// E5 vs E6 share no structure; the diff must localize type changes
+	// rather than panic or stay silent.
+	entries := DiffEntries(baseE5(), E6{Schema: SchemaE6, MaxExecutions: 400})
+	if len(entries) == 0 {
+		t.Fatal("cross-type diff found nothing")
+	}
+	for _, e := range entries {
+		if e.Kind == "" {
+			t.Errorf("entry without kind: %+v", e)
+		}
+	}
+}

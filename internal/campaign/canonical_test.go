@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+)
+
+func dirtyResult() Result {
+	return Result{
+		Target:   "tgt",
+		Strategy: "str",
+		Detected: true,
+		Stats: Stats{
+			Seeds:            2,
+			Workers:          8,
+			WallNanos:        123456789,
+			ExecutionsPerSec: 41.5,
+			RawExecutions:    99,
+			Detections:       3,
+			FailedExecutions: 1,
+			HungExecutions:   2,
+		},
+		Outcomes: []PlanOutcome{
+			{Seed: 1, Index: 0, Class: "crash", Signature: "aa", WallMicros: 500},
+			{Seed: 1, Index: 1, Class: "stale", Signature: "bb", WallMicros: 700, Failed: true},
+			{Seed: 2, Index: 0, Class: "crash", Signature: "aa", WallMicros: 900, Hung: true},
+		},
+	}
+}
+
+// TestCanonicalizeZeroesEnvironmentFields: exactly the wall-clock
+// measurements and the worker-count echo go to zero; the deterministic
+// execution set survives untouched.
+func TestCanonicalizeZeroesEnvironmentFields(t *testing.T) {
+	got := Canonicalize(dirtyResult())
+	if got.Stats.Workers != 0 || got.Stats.WallNanos != 0 ||
+		got.Stats.ExecutionsPerSec != 0 || got.Stats.RawExecutions != 0 {
+		t.Errorf("environment fields not zeroed: %+v", got.Stats)
+	}
+	if got.Stats.Seeds != 2 || got.Stats.Detections != 3 ||
+		got.Stats.FailedExecutions != 1 || got.Stats.HungExecutions != 2 {
+		t.Errorf("deterministic stats were altered: %+v", got.Stats)
+	}
+	for i, out := range got.Outcomes {
+		if out.WallMicros != 0 {
+			t.Errorf("outcome %d still carries wall time: %+v", i, out)
+		}
+	}
+	// Failed/Hung flags and signatures are execution results, not timing.
+	if !got.Outcomes[1].Failed || !got.Outcomes[2].Hung || got.Outcomes[0].Signature != "aa" {
+		t.Errorf("outcome payload was altered: %+v", got.Outcomes)
+	}
+	if !got.Detected || got.Target != "tgt" {
+		t.Errorf("top-level fields altered: %+v", got)
+	}
+}
+
+// TestCanonicalizeEquivalence: two results differing only in
+// environment-dependent fields canonicalize DeepEqual.
+func TestCanonicalizeEquivalence(t *testing.T) {
+	a := dirtyResult()
+	b := dirtyResult()
+	b.Stats.Workers = 1
+	b.Stats.WallNanos = 1
+	b.Stats.ExecutionsPerSec = 0.001
+	b.Stats.RawExecutions = 12345
+	for i := range b.Outcomes {
+		b.Outcomes[i].WallMicros = int64(i) * 31337
+	}
+	if !reflect.DeepEqual(Canonicalize(a), Canonicalize(b)) {
+		t.Error("equivalent campaigns do not canonicalize equal")
+	}
+}
+
+// TestCanonicalizeDoesNotMutateInput: the caller's result (and its
+// outcome slice) must come back untouched.
+func TestCanonicalizeDoesNotMutateInput(t *testing.T) {
+	in := dirtyResult()
+	_ = Canonicalize(in)
+	want := dirtyResult()
+	if !reflect.DeepEqual(in, want) {
+		t.Errorf("Canonicalize mutated its input:\ngot:  %+v\nwant: %+v", in, want)
+	}
+}
+
+// TestCanonicalOutcomesPreservesNil: nil in, nil out — a collected-but-
+// empty campaign and an uncollected one must stay distinguishable in
+// the marshaled artifact.
+func TestCanonicalOutcomesPreservesNil(t *testing.T) {
+	res := dirtyResult()
+	res.Outcomes = nil
+	if got := Canonicalize(res); got.Outcomes != nil {
+		t.Errorf("nil outcomes became %#v", got.Outcomes)
+	}
+	res.Outcomes = []PlanOutcome{}
+	if got := Canonicalize(res); got.Outcomes == nil || len(got.Outcomes) != 0 {
+		t.Errorf("empty outcomes became %#v", got.Outcomes)
+	}
+}
+
+// TestCanonicalizeArtifact: the artifact form additionally zeroes the
+// top-level worker-count echo.
+func TestCanonicalizeArtifact(t *testing.T) {
+	res := dirtyResult()
+	art := BuildArtifact(res, Config{Workers: 8, Seeds: []int64{1, 2}, MaxExecutions: 50})
+	if art.Workers == 0 {
+		t.Fatal("test premise broken: artifact has no worker echo to scrub")
+	}
+	got := CanonicalizeArtifact(art)
+	if got.Workers != 0 || got.Stats.Workers != 0 || got.Stats.WallNanos != 0 {
+		t.Errorf("artifact echoes not zeroed: workers=%d stats=%+v", got.Workers, got.Stats)
+	}
+	if got.MaxExecutions != art.MaxExecutions || len(got.Seeds) != len(art.Seeds) {
+		t.Errorf("config echoes beyond workers were altered: %+v", got)
+	}
+	for i, out := range got.Outcomes {
+		if out.WallMicros != 0 {
+			t.Errorf("artifact outcome %d still carries wall time", i)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package campaign
+
+// Cross-campaign corpus hooks. A persistent corpus (internal/farm/corpus)
+// records, per (target, strategy), what earlier campaigns already paid
+// for: coverage signatures, failure buckets, and the exact signature each
+// healthy plan execution produced. CoverageSeed is the slice of that
+// corpus handed to one campaign; the engine uses it two ways:
+//
+//   - Regression first: every previously-recorded failure bucket's example
+//     plan runs before anything else, in corpus order, and the block always
+//     runs to completion — so a resumed campaign re-confirms every known
+//     bucket signature within its first |Regression| executions.
+//   - Known-coverage skip: a plan whose previous execution (same target,
+//     strategy, seed, plan ID) was healthy and non-violating is skipped
+//     outright. This is a genuine skip, not a deferral: the simulation is
+//     deterministic, so under an unchanged reference state hash the re-run
+//     is provably byte-identical to the recorded one, and re-buying the
+//     same coverage is the waste the corpus exists to prevent.
+//
+// Both effects are guarded per seed by the reference-trace state hash: if
+// the world the corpus was recorded under no longer matches (code change,
+// workload change), the corpus is ignored for that seed and the campaign
+// runs cold — counted in Stats.CorpusInvalidatedSeeds, never silent.
+type CoverageSeed struct {
+	// RefHash maps each world seed to the reference-trace state hash (hex,
+	// trace.StateHash) its corpus entries were recorded under.
+	RefHash map[int64]string `json:"ref_hash,omitempty"`
+	// Regression lists plan IDs to execute first, in corpus order
+	// (detected buckets before undetected ones). IDs not present in the
+	// current plan list are ignored.
+	Regression []string `json:"regression,omitempty"`
+	// KnownSignatures is the sorted set of coverage signatures previous
+	// campaigns observed. Guided scheduling seeds its novelty set with
+	// them, so plans predicted to re-hash into old coverage are starved
+	// from the first round.
+	KnownSignatures []string `json:"known_signatures,omitempty"`
+	// PlanSigs maps seed → plan ID → recorded signature, for plans whose
+	// previous execution completed healthy (not failed/hung) with zero
+	// violations. Only those are skip-eligible: violating plans must
+	// re-run so bucket evidence is reproduced, broken plans must re-run
+	// because their outcome was never trustworthy.
+	PlanSigs map[int64]map[string]string `json:"plan_sigs,omitempty"`
+}
+
+// corpusSchedule is the result of applying a CoverageSeed to one seed's
+// execution order.
+type corpusSchedule struct {
+	// regression is the always-run prefix block, in corpus order.
+	regression []planRef
+	// rest is the remaining execution order with skips removed; the kept /
+	// deferred partition survives at keptLen.
+	rest    []planRef
+	keptLen int
+	skipped int
+	// invalidated reports that the corpus recorded a different reference
+	// hash for this seed and was ignored wholesale.
+	invalidated bool
+	// valid reports that corpus data was applied for this seed (the hash
+	// matched, or the seed was never recorded and only the seed-agnostic
+	// regression block applies).
+	valid bool
+}
+
+// applyCorpus partitions one seed's execution order against the corpus:
+// regression plans are pulled to a dedicated front block, recorded-healthy
+// plans are dropped, everything else keeps its order and its kept/deferred
+// position. refs carries original strategy indices; keptLen bounds the
+// learning phase's kept region.
+func applyCorpus(cs *CoverageSeed, seed int64, refHash string, refs []planRef, keptLen int) corpusSchedule {
+	if recorded, ok := cs.RefHash[seed]; ok && recorded != refHash {
+		// The world this seed's corpus entries were recorded under no
+		// longer exists; pretend there is no corpus.
+		return corpusSchedule{rest: refs, keptLen: keptLen, invalidated: true}
+	}
+	regOrder := make(map[string]int, len(cs.Regression))
+	for i, id := range cs.Regression {
+		if _, dup := regOrder[id]; !dup {
+			regOrder[id] = i
+		}
+	}
+	known := cs.PlanSigs[seed]
+
+	out := corpusSchedule{valid: true}
+	regression := make([]planRef, len(cs.Regression))
+	regSet := make([]bool, len(cs.Regression))
+	for i, pr := range refs {
+		id := pr.plan.ID()
+		if at, ok := regOrder[id]; ok && !regSet[at] {
+			regression[at] = pr
+			regSet[at] = true
+			continue
+		}
+		if _, ok := known[id]; ok {
+			out.skipped++
+			continue
+		}
+		out.rest = append(out.rest, pr)
+		if i < keptLen {
+			out.keptLen++
+		}
+	}
+	for at, ok := range regSet {
+		if ok {
+			out.regression = append(out.regression, regression[at])
+		}
+	}
+	return out
+}

@@ -50,13 +50,19 @@ type coverageScheduler struct {
 }
 
 // newCoverageScheduler indexes the plan list. limit caps total dispatches
-// (the engine's MaxExecutions).
-func newCoverageScheduler(plans []planRef, limit int) *coverageScheduler {
+// (the engine's MaxExecutions). preSeen seeds the novelty set with
+// signatures earlier campaigns already observed (the cross-campaign
+// corpus): classes that keep re-hashing into corpus-known coverage are
+// starved from the first round instead of after rediscovering it.
+func newCoverageScheduler(plans []planRef, limit int, preSeen []Signature) *coverageScheduler {
 	s := &coverageScheduler{
 		pending: make([]schedItem, 0, len(plans)),
 		classes: make(map[string]*classStats),
 		seen:    make(map[Signature]int),
 		limit:   limit,
+	}
+	for _, sig := range preSeen {
+		s.seen[sig]++
 	}
 	for i, p := range plans {
 		cls := classOf(p.plan)

@@ -29,7 +29,7 @@ func schedFixture() []planRef {
 // TestSchedulerExploresClassesFirst: before any class is revisited, every
 // class must have been dispatched once.
 func TestSchedulerExploresClassesFirst(t *testing.T) {
-	s := newCoverageScheduler(schedFixture(), 0)
+	s := newCoverageScheduler(schedFixture(), 0, nil)
 	seen := map[string]bool{}
 	for i := 0; i < 3; i++ {
 		item, seq, ok := s.next()
@@ -51,7 +51,7 @@ func TestSchedulerExploresClassesFirst(t *testing.T) {
 // same signature must be deprioritized relative to one still yielding
 // novel coverage.
 func TestSchedulerStarvesSaturatedClass(t *testing.T) {
-	s := newCoverageScheduler(schedFixture(), 0)
+	s := newCoverageScheduler(schedFixture(), 0, nil)
 	novel := Signature(1000)
 	// First wave: one execution per class. api-1 plans hash to the same
 	// stale signature forever; crash plans keep finding new coverage.
@@ -76,7 +76,7 @@ func TestSchedulerStarvesSaturatedClass(t *testing.T) {
 	// classes (same signature every time) must be starved: the remaining
 	// crash plans — still yielding novel signatures — run back to back.
 	// Verify with a fresh scheduler, replaying the same feedback.
-	s2 := newCoverageScheduler(schedFixture(), 0)
+	s2 := newCoverageScheduler(schedFixture(), 0, nil)
 	var order []string
 	for i := 0; i < 8; i++ {
 		item, _, ok := s2.next()
@@ -96,7 +96,7 @@ func TestSchedulerStarvesSaturatedClass(t *testing.T) {
 
 // TestSchedulerHonorsLimit: MaxExecutions caps dispatches.
 func TestSchedulerHonorsLimit(t *testing.T) {
-	s := newCoverageScheduler(schedFixture(), 5)
+	s := newCoverageScheduler(schedFixture(), 5, nil)
 	n := 0
 	for {
 		_, _, ok := s.next()

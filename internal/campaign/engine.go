@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -84,6 +85,20 @@ type Config struct {
 	// artifact — buckets, outcomes, telemetry records — is byte-identical
 	// to the same campaign with Snapshot off.
 	Snapshot bool
+	// Coverage seeds the campaign from a persistent cross-campaign corpus
+	// (see CoverageSeed): previously-detected buckets' example plans run
+	// first as an always-complete regression block, plans whose recorded
+	// execution was healthy and non-violating are skipped outright, and
+	// guided scheduling treats recorded signatures as already-seen. nil
+	// means no corpus — the historical cold-start behavior.
+	Coverage *CoverageSeed
+	// OnOutcome, when non-nil, is called for every execution record as it
+	// enters the deterministic execution set (reference runs included), in
+	// aggregation order — the farm worker's per-execution streaming hook.
+	// Called from the engine's aggregation loop, never concurrently.
+	// Implies Collect-style instrumentation costs only if Collect is also
+	// set; the hook itself fires regardless of Collect.
+	OnOutcome func(PlanOutcome)
 }
 
 func (c Config) workerCount() int {
@@ -116,8 +131,13 @@ func New(cfg Config) *Engine { return &Engine{cfg: cfg} }
 
 // SeedResult is one seed's campaign outcome.
 type SeedResult struct {
-	Seed     int64
-	Campaign core.CampaignResult
+	Seed     int64               `json:"seed"`
+	Campaign core.CampaignResult `json:"campaign"`
+	// RefHash is the reference trace's state hash (hex) — the fingerprint
+	// of the unperturbed world this seed's plans were mined from. The
+	// cross-campaign corpus keys its validity guard on it: corpus entries
+	// recorded under a different reference hash are ignored.
+	RefHash string `json:"ref_hash,omitempty"`
 }
 
 // Result is the full outcome of one (target, strategy) campaign across
@@ -196,7 +216,7 @@ func (e *Engine) Run(t core.Target, s core.Strategy) Result {
 			res.Detected = true
 		}
 	}
-	res.Campaign, res.DetectedSeed = primaryCampaign(res.Seeds)
+	res.Campaign, res.DetectedSeed = PrimaryCampaign(res.Seeds)
 	if e.cfg.Explain {
 		e.explainBuckets(t, agg, refs)
 	}
@@ -208,14 +228,16 @@ func (e *Engine) Run(t core.Target, s core.Strategy) Result {
 	return res
 }
 
-// primaryCampaign aggregates the per-seed results into the sweep-level
+// PrimaryCampaign aggregates the per-seed results into the sweep-level
 // headline: the first detecting seed's campaign in sweep order (its
 // Executions incremented by every execution the preceding non-detecting
 // seeds spent), else the first seed's campaign with the sweep's total
 // executions. This is the fix for detections that only occur under a
 // later seed: they used to be invisible in the printed E5 matrix because
-// the primary result was unconditionally Seeds[0].
-func primaryCampaign(seeds []SeedResult) (core.CampaignResult, int64) {
+// the primary result was unconditionally Seeds[0]. Exported because the
+// farm coordinator rebuilds sweep results from per-seed shards through
+// the exact same aggregation.
+func PrimaryCampaign(seeds []SeedResult) (core.CampaignResult, int64) {
 	spent := 0
 	for _, sr := range seeds {
 		if sr.Campaign.Detected {
@@ -248,6 +270,7 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 	// Reference run: the planning substrate, and a real execution.
 	refStart := time.Now()
 	ref, refViolations := core.ReferenceSeed(t, seed)
+	refHash := fmt.Sprintf("%016x", ref.StateHash())
 	refSlot := slot{
 		ran:       true,
 		planIndex: -1,
@@ -275,7 +298,7 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 		if fv := firstViolation(refViolations, t.Bug); fv != nil {
 			cr.FirstViolation = fv
 		}
-		return SeedResult{Seed: seed, Campaign: cr}, ref
+		return SeedResult{Seed: seed, Campaign: cr, RefHash: refHash}, ref
 	}
 
 	plans := s.Plans(t, ref)
@@ -318,11 +341,52 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 		agg.noteLearn(seed, model, sched)
 	}
 
-	run := e.runOrdered
-	if e.cfg.Guided {
-		run = e.runGuided
+	// Cross-campaign corpus pass (Config.Coverage): previously-recorded
+	// bucket examples become an always-complete regression block at the
+	// very front, and plans whose recorded execution was healthy and
+	// non-violating are skipped outright — both guarded per seed by the
+	// reference state hash, so a changed world falls back to a cold run.
+	var regRefs []planRef
+	var preSeen []Signature
+	if cs := e.cfg.Coverage; cs != nil {
+		sched := applyCorpus(cs, seed, refHash, refs, keptLen)
+		regRefs, refs, keptLen = sched.regression, sched.rest, sched.keptLen
+		agg.noteCorpus(len(regRefs), sched.skipped, sched.invalidated)
+		if sched.valid {
+			preSeen = parseSignatures(cs.KnownSignatures)
+		}
 	}
-	slots, detect := run(t, refs[:keptLen], seed, e.cfg.MaxExecutions, fs)
+
+	run := func(plans []planRef, maxExec int) ([]slot, int) {
+		if e.cfg.Guided {
+			return e.runGuided(t, plans, seed, maxExec, fs, preSeen)
+		}
+		return e.runOrdered(t, plans, seed, maxExec, fs, false)
+	}
+
+	// Regression block: corpus bucket examples, in corpus order, always
+	// run to completion (no early cancel) so every known bucket signature
+	// is re-confirmed even when the first regression plan already detects.
+	var slots []slot
+	detect := -1
+	regSlots := 0
+	if len(regRefs) > 0 {
+		regSlotsRun, regDetect := e.runOrdered(t, regRefs, seed, e.cfg.MaxExecutions, fs, true)
+		slots = regSlotsRun
+		regSlots = len(regSlotsRun)
+		detect = regDetect
+	}
+	mainBudget := 0
+	if m := e.cfg.MaxExecutions; m > 0 {
+		mainBudget = m - regSlots
+	}
+	if (detect < 0 || e.cfg.KeepGoing) && (e.cfg.MaxExecutions == 0 || mainBudget > 0) {
+		mainSlots, mainDetect := run(refs[:keptLen], mainBudget)
+		if mainDetect >= 0 && detect < 0 {
+			detect = regSlots + mainDetect
+		}
+		slots = append(slots, mainSlots...)
+	}
 	keptSlots := len(slots)
 	keptDetected := detect >= 0
 	if tail := refs[keptLen:]; len(tail) > 0 && (detect < 0 || e.cfg.KeepGoing) {
@@ -335,7 +399,7 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 			remaining = m - keptSlots
 		}
 		if e.cfg.MaxExecutions == 0 || remaining > 0 {
-			tailSlots, tailDetect := run(t, tail, seed, remaining, fs)
+			tailSlots, tailDetect := run(tail, remaining)
 			if tailDetect >= 0 && detect < 0 {
 				detect = keptSlots + tailDetect
 			}
@@ -354,8 +418,9 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 		// with the worker count. For unguided runs the deterministic set
 		// is exactly the serial-equivalent prefix; guided runs aggregate
 		// every execution of their (deterministic per worker count)
-		// schedule.
-		if !e.cfg.Guided && !e.cfg.KeepGoing && detect >= 0 && i > detect {
+		// schedule. The regression block (i < regSlots) always belongs to
+		// the deterministic set — it runs to completion by construction.
+		if !e.cfg.Guided && !e.cfg.KeepGoing && detect >= 0 && i > detect && i >= regSlots {
 			continue
 		}
 		if i >= keptSlots {
@@ -383,7 +448,20 @@ func (e *Engine) runSeed(t core.Target, s core.Strategy, seedIdx int, seed int64
 		}
 		cr.Executions = 1 + ran
 	}
-	return SeedResult{Seed: seed, Campaign: cr}, ref
+	return SeedResult{Seed: seed, Campaign: cr, RefHash: refHash}, ref
+}
+
+// parseSignatures decodes the corpus's hex signature list; malformed
+// entries are dropped (an unreadable corpus line must not kill a run).
+func parseSignatures(hexes []string) []Signature {
+	out := make([]Signature, 0, len(hexes))
+	for _, h := range hexes {
+		var v uint64
+		if _, err := fmt.Sscanf(h, "%x", &v); err == nil {
+			out = append(out, Signature(v))
+		}
+	}
+	return out
 }
 
 // explainBuckets post-processes every detected failure bucket: minimize
@@ -447,10 +525,11 @@ func perturbedTrace(t core.Target, p core.Plan, seed int64) (*trace.Trace, []ora
 // slots, so the outcome — detect = the lowest detecting index, with every
 // lower index executed and undetected — is identical to the serial
 // campaign at any worker count. Once a detection is known, indices beyond
-// it are not started (early cancel) unless KeepGoing is set. maxExec
-// bounds dispatches (0 = unlimited); the returned detect is a position in
-// the given list, not an original strategy index.
-func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec int, fs *forkState) ([]slot, int) {
+// it are not started (early cancel) unless KeepGoing is set or runAll
+// forces the whole list (the corpus regression block). maxExec bounds
+// dispatches (0 = unlimited); the returned detect is a position in the
+// given list, not an original strategy index.
+func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec int, fs *forkState, runAll bool) ([]slot, int) {
 	limit := len(plans)
 	if maxExec > 0 && maxExec < limit {
 		limit = maxExec
@@ -477,7 +556,7 @@ func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec 
 				if i >= limit {
 					return
 				}
-				if !e.cfg.KeepGoing && int64(i) > atomic.LoadInt64(&firstDetect) {
+				if !runAll && !e.cfg.KeepGoing && int64(i) > atomic.LoadInt64(&firstDetect) {
 					// A plan ordered before this one already detected;
 					// the serial campaign would never have run it.
 					return
@@ -521,7 +600,7 @@ func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec 
 // set or the deferred tail; schedItem indices are positions in that list,
 // so coverage tie-breaking follows the learned order while reported plan
 // indices stay the strategy's.
-func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec int, fs *forkState) ([]slot, int) {
+func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec int, fs *forkState, preSeen []Signature) ([]slot, int) {
 	limit := len(plans)
 	if maxExec > 0 && maxExec < limit {
 		limit = maxExec
@@ -530,7 +609,7 @@ func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec i
 	if limit == 0 {
 		return slots, -1
 	}
-	sched := newCoverageScheduler(plans, limit)
+	sched := newCoverageScheduler(plans, limit, preSeen)
 	nw := e.cfg.workerCount()
 
 	detect := -1

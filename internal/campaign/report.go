@@ -63,6 +63,17 @@ type Stats struct {
 	PlansDeduped             int `json:"plans_deduped"`
 	PrunedExecuted           int `json:"pruned_executed"`
 	PruningUnsoundDetections int `json:"pruning_unsound_detections"`
+	// CorpusRegressionPlans counts plans promoted into the always-run
+	// regression block by the cross-campaign corpus (Config.Coverage);
+	// CorpusSkippedPlans counts plans skipped outright because the corpus
+	// recorded their healthy, non-violating execution under a matching
+	// reference hash; CorpusInvalidatedSeeds counts seeds whose corpus
+	// entries failed the reference-hash guard and were ignored. All three
+	// are zero (and omitted) in corpus-less campaigns, so historical
+	// artifacts keep their bytes.
+	CorpusRegressionPlans  int `json:"corpus_regression_plans,omitempty"`
+	CorpusSkippedPlans     int `json:"corpus_skipped_plans,omitempty"`
+	CorpusInvalidatedSeeds int `json:"corpus_invalidated_seeds,omitempty"`
 	// WallNanos is the campaign's wall-clock time; ExecutionsPerSec is
 	// RawExecutions normalized by it.
 	WallNanos        int64   `json:"wall_ns"`
@@ -85,6 +96,12 @@ func (s Stats) String() string {
 	}
 	if s.PruningUnsoundDetections > 0 {
 		out += fmt.Sprintf(", %d UNSOUND PRUNES", s.PruningUnsoundDetections)
+	}
+	if s.CorpusRegressionPlans > 0 || s.CorpusSkippedPlans > 0 {
+		out += fmt.Sprintf(", corpus: %d regression + %d skipped", s.CorpusRegressionPlans, s.CorpusSkippedPlans)
+	}
+	if s.CorpusInvalidatedSeeds > 0 {
+		out += fmt.Sprintf(", %d CORPUS-INVALIDATED SEEDS", s.CorpusInvalidatedSeeds)
 	}
 	return out
 }
@@ -133,11 +150,13 @@ type FailureBucket struct {
 	Oracles []string `json:"oracles"`
 	// Count is how many executions landed in the bucket.
 	Count int `json:"count"`
-	// ExamplePlan/ExampleSeed identify one reproducing execution — the
-	// earliest one in (sweep order, plan order), so the example is stable
-	// across reruns.
-	ExamplePlan string `json:"example_plan"`
-	ExampleSeed int64  `json:"example_seed"`
+	// ExamplePlan/ExamplePlanID/ExampleSeed identify one reproducing
+	// execution — the earliest one in (sweep order, plan order), so the
+	// example is stable across reruns. The ID is the strategy-stable plan
+	// coordinate the cross-campaign corpus keys regression checks on.
+	ExamplePlan   string `json:"example_plan"`
+	ExamplePlanID string `json:"example_plan_id,omitempty"`
+	ExampleSeed   int64  `json:"example_seed"`
 	// Detected marks buckets containing the target bug's oracle.
 	Detected bool `json:"detected"`
 	// MinimalPlan/MinimalPlanID/MinimizeExecutions and Explanation are
@@ -173,35 +192,40 @@ func (x bucketExample) earlier(y bucketExample) bool {
 // deterministically (slots in dispatch order, after each pool drains), so
 // no locking is needed.
 type aggregator struct {
-	collect bool
+	collect   bool
+	onOutcome func(PlanOutcome)
 
-	raw            int
-	detections     int
-	violating      int
-	minimizeExecs  int
-	explained      int
-	failed         int
-	hung           int
-	plansPruned    int
-	plansDeduped   int
-	prunedExecuted int
-	unsoundPrunes  int
-	classes        map[string]bool
-	sigs           map[Signature]bool
-	buckets        map[Signature]*FailureBucket
-	examples       map[Signature]bucketExample
-	outcomes       []PlanOutcome
-	failures       []ExecutionFailure
-	learn          []SeedLearn
+	raw               int
+	detections        int
+	violating         int
+	minimizeExecs     int
+	explained         int
+	failed            int
+	hung              int
+	plansPruned       int
+	plansDeduped      int
+	prunedExecuted    int
+	unsoundPrunes     int
+	corpusRegression  int
+	corpusSkipped     int
+	corpusInvalidated int
+	classes           map[string]bool
+	sigs              map[Signature]bool
+	buckets           map[Signature]*FailureBucket
+	examples          map[Signature]bucketExample
+	outcomes          []PlanOutcome
+	failures          []ExecutionFailure
+	learn             []SeedLearn
 }
 
 func newAggregator(cfg Config) *aggregator {
 	return &aggregator{
-		collect:  cfg.Collect,
-		classes:  make(map[string]bool),
-		sigs:     make(map[Signature]bool),
-		buckets:  make(map[Signature]*FailureBucket),
-		examples: make(map[Signature]bucketExample),
+		collect:   cfg.Collect,
+		onOutcome: cfg.OnOutcome,
+		classes:   make(map[string]bool),
+		sigs:      make(map[Signature]bool),
+		buckets:   make(map[Signature]*FailureBucket),
+		examples:  make(map[Signature]bucketExample),
 	}
 }
 
@@ -246,7 +270,7 @@ func (a *aggregator) add(seedIdx int, seed int64, sl slot, instrumented bool) {
 			a.bucket(seedIdx, seed, sl)
 		}
 	}
-	if a.collect {
+	if a.collect || a.onOutcome != nil {
 		out := PlanOutcome{
 			Seed:        seed,
 			Index:       sl.planIndex,
@@ -265,7 +289,23 @@ func (a *aggregator) add(seedIdx int, seed int64, sl slot, instrumented bool) {
 		for _, v := range sl.exec.Violations {
 			out.Violations = append(out.Violations, v.Oracle)
 		}
-		a.outcomes = append(a.outcomes, out)
+		if a.collect {
+			a.outcomes = append(a.outcomes, out)
+		}
+		if a.onOutcome != nil {
+			a.onOutcome(out)
+		}
+	}
+}
+
+// noteCorpus records one seed's cross-campaign corpus decisions:
+// regression-block size, outright skips, and whether the seed's corpus
+// entries failed the reference-hash guard.
+func (a *aggregator) noteCorpus(regression, skipped int, invalidated bool) {
+	a.corpusRegression += regression
+	a.corpusSkipped += skipped
+	if invalidated {
+		a.corpusInvalidated++
 	}
 }
 
@@ -295,6 +335,7 @@ func (a *aggregator) bucket(seedIdx int, seed int64, sl slot) {
 	b.Count++
 	chosen := a.examples[sl.sig]
 	b.ExamplePlan = chosen.plan.Describe()
+	b.ExamplePlanID = chosen.plan.ID()
 	b.ExampleSeed = chosen.seed
 }
 
@@ -332,6 +373,9 @@ func (a *aggregator) stats(cfg Config, wall time.Duration) Stats {
 		PlansDeduped:             a.plansDeduped,
 		PrunedExecuted:           a.prunedExecuted,
 		PruningUnsoundDetections: a.unsoundPrunes,
+		CorpusRegressionPlans:    a.corpusRegression,
+		CorpusSkippedPlans:       a.corpusSkipped,
+		CorpusInvalidatedSeeds:   a.corpusInvalidated,
 		WallNanos:                wall.Nanoseconds(),
 	}
 	if cfg.instrumented() {
@@ -408,10 +452,19 @@ func BuildArtifact(res Result, cfg Config) Artifact {
 // WriteArtifacts writes the campaign artifact file: a JSON document with
 // one entry per (target, strategy) campaign.
 func WriteArtifacts(path string, artifacts []Artifact) error {
+	return WriteArtifactsStatus(path, artifacts, false)
+}
+
+// WriteArtifactsStatus is WriteArtifacts with an explicit interrupted
+// marker: a run cancelled by SIGINT/SIGTERM flushes the campaigns it
+// completed as a valid document tagged "interrupted": true, instead of
+// dying mid-write and leaving a truncated file.
+func WriteArtifactsStatus(path string, artifacts []Artifact, interrupted bool) error {
 	doc := struct {
-		Tool      string     `json:"tool"`
-		Campaigns []Artifact `json:"campaigns"`
-	}{Tool: "phtest", Campaigns: artifacts}
+		Tool        string     `json:"tool"`
+		Interrupted bool       `json:"interrupted,omitempty"`
+		Campaigns   []Artifact `json:"campaigns"`
+	}{Tool: "phtest", Interrupted: interrupted, Campaigns: artifacts}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return fmt.Errorf("campaign: marshal artifact: %w", err)

@@ -105,6 +105,12 @@ type telemetryEvent struct {
 	PlansDeduped             *int `json:"plans_deduped,omitempty"`
 	PrunedExecuted           *int `json:"pruned_executed,omitempty"`
 	PruningUnsoundDetections *int `json:"pruning_unsound_detections,omitempty"`
+	// Corpus counters are emitted on campaign_end only when the campaign
+	// ran with a cross-campaign corpus (Config.Coverage), so corpus-less
+	// streams keep their historical bytes.
+	CorpusRegressionPlans  *int `json:"corpus_regression_plans,omitempty"`
+	CorpusSkippedPlans     *int `json:"corpus_skipped_plans,omitempty"`
+	CorpusInvalidatedSeeds *int `json:"corpus_invalidated_seeds,omitempty"`
 }
 
 func boolPtr(b bool) *bool    { return &b }
@@ -242,6 +248,11 @@ func WriteNDJSON(w io.Writer, res Result, cfg Config) error {
 	}
 	if res.Detected {
 		end.DetectedSeed = int64Ptr(res.DetectedSeed)
+	}
+	if cfg.Coverage != nil {
+		end.CorpusRegressionPlans = intPtr(res.Stats.CorpusRegressionPlans)
+		end.CorpusSkippedPlans = intPtr(res.Stats.CorpusSkippedPlans)
+		end.CorpusInvalidatedSeeds = intPtr(res.Stats.CorpusInvalidatedSeeds)
 	}
 	return emit(end)
 }

@@ -1,0 +1,140 @@
+package farm
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/campaign"
+)
+
+// CellSummary is one grid cell's analyzed result — one row of the CSV
+// and the summary table. Every field except WallMS is a pure function
+// of the deterministic execution set, so the CSV reproduces byte-for-
+// byte across runs; WallMS appears only in the human summary table.
+type CellSummary struct {
+	Grid     string
+	Toggle   string
+	Repeat   int
+	Target   string
+	Strategy string
+	Seeds    []int64
+	Detected bool
+	// DetectedSeed is the first detecting world seed (0 when none).
+	DetectedSeed int64
+	// Executions is the sweep-level executions-to-first-detection (or
+	// the total spent when nothing detected) — Campaign.Executions.
+	Executions int
+	// TotalExecutions sums every seed's deterministic execution count.
+	TotalExecutions int
+	PlansTotal      int
+	Buckets         int
+	DetectedBuckets int
+	Failed          int
+	Hung            int
+	Pruned          int
+	Deduped         int
+	Signatures      int
+	Classes         int
+	WallMS          int64
+}
+
+// Summarize flattens one experiment's merged cell results into summary
+// rows, in matrix order.
+func Summarize(gridName string, exp Experiment, merged []campaign.Result) []CellSummary {
+	out := make([]CellSummary, 0, len(merged))
+	for _, res := range merged {
+		row := CellSummary{
+			Grid:       gridName,
+			Toggle:     exp.Toggle.Name,
+			Repeat:     exp.Repeat,
+			Target:     res.Target,
+			Strategy:   res.Strategy,
+			Seeds:      exp.Seeds,
+			Detected:   res.Detected,
+			Executions: res.Campaign.Executions,
+			PlansTotal: res.Campaign.PlansTotal,
+			Buckets:    len(res.Buckets),
+			Failed:     res.Stats.FailedExecutions,
+			Hung:       res.Stats.HungExecutions,
+			Pruned:     res.Stats.PlansPruned,
+			Deduped:    res.Stats.PlansDeduped,
+			Signatures: res.Stats.NovelSignatures,
+			Classes:    res.Stats.CoverageClasses,
+			WallMS:     res.Stats.WallNanos / 1e6,
+		}
+		if res.Detected {
+			row.DetectedSeed = res.DetectedSeed
+		}
+		for _, sr := range res.Seeds {
+			row.TotalExecutions += sr.Campaign.Executions
+		}
+		for _, b := range res.Buckets {
+			if b.Detected {
+				row.DetectedBuckets++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// csvHeader lists the CSV columns — deterministic fields only, so two
+// runs of the same grid produce identical files.
+var csvHeader = []string{
+	"grid", "toggle", "repeat", "target", "strategy", "seeds",
+	"detected", "detected_seed", "executions_to_detection",
+	"total_executions", "plans_total", "buckets", "detected_buckets",
+	"failed", "hung", "pruned", "deduped", "signatures", "classes",
+}
+
+// WriteCSV emits the rows as a deterministic CSV (no wall-clock
+// columns). Seeds are joined with '+' so the field needs no quoting.
+func WriteCSV(w io.Writer, rows []CellSummary) error {
+	if _, err := fmt.Fprintln(w, strings.Join(csvHeader, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fields := []string{
+			r.Grid, r.Toggle, strconv.Itoa(r.Repeat), r.Target, r.Strategy,
+			joinSeeds(r.Seeds), strconv.FormatBool(r.Detected),
+			strconv.FormatInt(r.DetectedSeed, 10), strconv.Itoa(r.Executions),
+			strconv.Itoa(r.TotalExecutions), strconv.Itoa(r.PlansTotal),
+			strconv.Itoa(r.Buckets), strconv.Itoa(r.DetectedBuckets),
+			strconv.Itoa(r.Failed), strconv.Itoa(r.Hung),
+			strconv.Itoa(r.Pruned), strconv.Itoa(r.Deduped),
+			strconv.Itoa(r.Signatures), strconv.Itoa(r.Classes),
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinSeeds(seeds []int64) string {
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = strconv.FormatInt(s, 10)
+	}
+	return strings.Join(parts, "+")
+}
+
+// WriteSummaryTable renders the rows as an aligned human-readable table
+// — the CSV's deterministic columns condensed, plus wall-clock time.
+func WriteSummaryTable(w io.Writer, rows []CellSummary) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "toggle\trep\ttarget\tstrategy\tdetected\texecs\tbuckets\tsigs\twall_ms")
+	for _, r := range rows {
+		det := "no"
+		if r.Detected {
+			det = fmt.Sprintf("YES@%d", r.DetectedSeed)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%d\t%d(%d*)\t%d\t%d\n",
+			r.Toggle, r.Repeat, r.Target, r.Strategy, det,
+			r.Executions, r.Buckets, r.DetectedBuckets, r.Signatures, r.WallMS)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,172 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// TaskResult is one task's outcome as the coordinator saw it: the
+// worker's full campaign.Result, or the error that stopped it. Res is
+// nil for tasks that never completed (cancellation, worker death).
+type TaskResult struct {
+	Spec TaskSpec
+	Res  *campaign.Result
+	Err  string
+}
+
+// Coordinator drives a set of workers through a task list. Dispatch is
+// pull-based: each worker serves one task at a time and takes the next
+// free one when it reports a result, so slow shards (a learning-coupled
+// cell sweeping many seeds) never stall the rest of the fleet behind a
+// static assignment.
+type Coordinator struct {
+	// OnRecord, when non-nil, observes every streamed per-execution
+	// record as it arrives. Records from different workers interleave
+	// arbitrarily — per-task order is guaranteed, cross-task order is
+	// not — which is why merged artifacts are rebuilt from task results,
+	// never from the record stream.
+	OnRecord func(spec TaskSpec, out campaign.PlanOutcome)
+}
+
+// Run executes tasks across the given worker transports and returns one
+// TaskResult per task, in task order. The second return is true when
+// ctx was cancelled: the fleet was killed, and the results hold
+// whatever completed before the interrupt — partial but valid.
+// A worker failure on one task is recorded in that task's Err and does
+// not stop the fleet; Run returns an error only when it cannot make
+// progress at all (no workers could start, or every worker died with
+// tasks still queued).
+func (c *Coordinator) Run(ctx context.Context, transports []Transport, tasks []TaskSpec) ([]TaskResult, bool, error) {
+	results := make([]TaskResult, len(tasks))
+	for i, spec := range tasks {
+		if spec.ID != i {
+			return nil, false, fmt.Errorf("farm: task %d has ID %d; IDs must be dense and ordered", i, spec.ID)
+		}
+		results[i] = TaskResult{Spec: spec}
+	}
+	if len(tasks) == 0 {
+		return results, false, nil
+	}
+	if len(transports) == 0 {
+		return nil, false, errors.New("farm: no worker transports")
+	}
+
+	queue := make(chan int, len(tasks))
+	for i := range tasks {
+		queue <- i
+	}
+	close(queue)
+
+	// The kill watcher frees workers blocked inside a task the moment the
+	// context dies; stop() also fires it on normal return so the watcher
+	// goroutine never outlives Run.
+	kctx, stop := context.WithCancel(ctx)
+	defer stop()
+	var killOnce sync.Once
+	killAll := func() {
+		killOnce.Do(func() {
+			for _, t := range transports {
+				t.Kill()
+			}
+		})
+	}
+	go func() {
+		<-kctx.Done()
+		if ctx.Err() != nil {
+			killAll()
+		}
+	}()
+
+	var mu sync.Mutex // guards results
+	started := 0
+	var wg sync.WaitGroup
+	for _, tr := range transports {
+		in, out, err := tr.Start()
+		if err != nil {
+			continue
+		}
+		started++
+		wg.Add(1)
+		go func(tr Transport, in io.WriteCloser, out io.Reader) {
+			defer wg.Done()
+			c.serve(ctx, in, out, tasks, queue, results, &mu)
+			in.Close()
+			if ctx.Err() != nil {
+				tr.Kill()
+			}
+			_ = tr.Wait()
+		}(tr, in, out)
+	}
+	if started == 0 {
+		return nil, false, errors.New("farm: no workers started")
+	}
+	wg.Wait()
+	killAll() // idempotent; reaps anything still alive after an interrupt
+
+	interrupted := ctx.Err() != nil
+	if !interrupted {
+		for i := range results {
+			if results[i].Res == nil && results[i].Err == "" {
+				return results, false, fmt.Errorf("farm: task %d (%s/%s) never completed: all workers exited",
+					i, results[i].Spec.Target, results[i].Spec.Strategy)
+			}
+		}
+	}
+	return results, interrupted, nil
+}
+
+// serve runs one worker's protocol session: wait for ready, then feed
+// it tasks until the queue drains, the context dies, or the transport
+// breaks. Errors are per-task (recorded in results) except transport
+// breakage, which ends the session — the still-queued tasks stay
+// available to the surviving workers.
+func (c *Coordinator) serve(ctx context.Context, in io.Writer, out io.Reader, tasks []TaskSpec, queue <-chan int, results []TaskResult, mu *sync.Mutex) {
+	enc := json.NewEncoder(in)
+	dec := json.NewDecoder(out)
+
+	var hello wireMsg
+	if err := dec.Decode(&hello); err != nil || hello.Type != msgReady {
+		return
+	}
+	for id := range queue {
+		if ctx.Err() != nil {
+			return
+		}
+		spec := tasks[id]
+		if err := enc.Encode(wireMsg{Type: msgTask, Task: &spec}); err != nil {
+			return
+		}
+		done := false
+		for !done {
+			var msg wireMsg
+			if err := dec.Decode(&msg); err != nil {
+				return // transport broke mid-task; the task stays incomplete
+			}
+			switch msg.Type {
+			case msgRecord:
+				if c.OnRecord != nil && msg.Record != nil {
+					c.OnRecord(spec, *msg.Record)
+				}
+			case msgResult:
+				mu.Lock()
+				results[id].Res = msg.Result
+				mu.Unlock()
+				done = true
+			case msgError:
+				mu.Lock()
+				results[id].Err = msg.Error
+				mu.Unlock()
+				done = true
+			default:
+				return
+			}
+		}
+	}
+	_ = enc.Encode(wireMsg{Type: msgShutdown})
+}

@@ -1,0 +1,243 @@
+// Package corpus is the fleet's persistent cross-campaign memory: an
+// on-disk, versioned record of what every past campaign already paid
+// for, keyed by (target, strategy). Three kinds of knowledge persist:
+//
+//   - coverage signature classes: every execution signature observed,
+//     so guided scheduling in later campaigns starves plans predicted
+//     to re-hash into known coverage;
+//   - detection buckets: each failure bucket's signature, oracles, and
+//     example plan ID (plus its minimized form when one was computed),
+//     so later campaigns re-confirm known failures first — a built-in
+//     regression suite that grows itself;
+//   - healthy plan outcomes: the exact signature each non-violating,
+//     non-broken plan execution produced, per world seed, so resumed
+//     campaigns skip plans whose outcome is already known.
+//
+// Soundness rests on the simulation's determinism: a recorded outcome
+// is only reused while the seed's reference-trace state hash still
+// matches (campaign.CoverageSeed.RefHash), so any change to the world —
+// code, workload, horizon — invalidates that seed's entries instead of
+// silently serving stale knowledge.
+//
+// Layout: <dir>/v1/<target>__<strategy>.json, one file per cell,
+// written atomically (temp file + rename) with deterministic content
+// (sorted keys and slices), so corpus diffs are reviewable and
+// concurrent readers never observe a torn file. The v1 path component
+// is the schema version; an incompatible future format moves to v2
+// rather than breaking old files in place.
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/campaign"
+)
+
+// Version is the corpus schema version this package reads and writes.
+const Version = 1
+
+// Bucket is one remembered failure bucket.
+type Bucket struct {
+	Signature string   `json:"signature"`
+	Oracles   []string `json:"oracles"`
+	// ExamplePlanID is the strategy-stable plan coordinate regression
+	// checks re-run; ExampleSeed is the world seed it reproduced under.
+	ExamplePlanID string `json:"example_plan_id"`
+	ExampleSeed   int64  `json:"example_seed"`
+	Detected      bool   `json:"detected"`
+	// Count accumulates how many executions have landed in this bucket
+	// across all recorded campaigns.
+	Count int `json:"count"`
+	// MinimalPlanID is the minimized reproducer, when an explain pass
+	// computed one.
+	MinimalPlanID string `json:"minimal_plan_id,omitempty"`
+}
+
+// File is the on-disk form of one cell's corpus.
+type File struct {
+	Version  int    `json:"version"`
+	Target   string `json:"target"`
+	Strategy string `json:"strategy"`
+	// RefHash maps world seed → the reference-trace state hash its
+	// entries were recorded under (the validity guard).
+	RefHash map[int64]string `json:"ref_hash,omitempty"`
+	// Buckets are the remembered failure buckets, detected first, then
+	// by signature — the regression order.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	// Signatures is the sorted set of every coverage signature observed.
+	Signatures []string `json:"signatures,omitempty"`
+	// PlanSigs maps seed → plan ID → signature for executions that
+	// completed healthy (not failed/hung) with zero violations — the
+	// skip-eligible set.
+	PlanSigs map[int64]map[string]string `json:"plan_sigs,omitempty"`
+}
+
+func cellPath(dir, target, strategy string) string {
+	return filepath.Join(dir, fmt.Sprintf("v%d", Version), target+"__"+strategy+".json")
+}
+
+// Load reads one cell's corpus and converts it to the engine's
+// CoverageSeed form. A cell that was never recorded returns (nil, nil)
+// — the cold-start case, not an error.
+func Load(dir, target, strategy string) (*campaign.CoverageSeed, error) {
+	f, err := read(dir, target, strategy)
+	if err != nil || f == nil {
+		return nil, err
+	}
+	cs := &campaign.CoverageSeed{
+		RefHash:         f.RefHash,
+		KnownSignatures: f.Signatures,
+		PlanSigs:        f.PlanSigs,
+	}
+	seen := map[string]bool{}
+	for _, b := range f.Buckets {
+		if b.ExamplePlanID == "" || seen[b.ExamplePlanID] {
+			continue
+		}
+		seen[b.ExamplePlanID] = true
+		cs.Regression = append(cs.Regression, b.ExamplePlanID)
+	}
+	return cs, nil
+}
+
+func read(dir, target, strategy string) (*File, error) {
+	data, err := os.ReadFile(cellPath(dir, target, strategy))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("corpus: read %s/%s: %w", target, strategy, err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("corpus: parse %s/%s: %w", target, strategy, err)
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("corpus: %s/%s has version %d, want %d", target, strategy, f.Version, Version)
+	}
+	return &f, nil
+}
+
+// Record merges one finished campaign's results into the cell's corpus
+// and writes it back atomically. Per seed, entries recorded under a
+// different reference hash are replaced (the old world no longer
+// exists); under a matching hash they are merged, so plans the campaign
+// skipped this time stay remembered — skipping must not forget.
+func Record(dir, target, strategy string, res campaign.Result) error {
+	f, err := read(dir, target, strategy)
+	if err != nil {
+		return err
+	}
+	if f == nil {
+		f = &File{Version: Version, Target: target, Strategy: strategy}
+	}
+	if f.RefHash == nil {
+		f.RefHash = map[int64]string{}
+	}
+	if f.PlanSigs == nil {
+		f.PlanSigs = map[int64]map[string]string{}
+	}
+
+	for _, sr := range res.Seeds {
+		if sr.RefHash == "" {
+			continue // uninstrumented historical result; nothing to guard
+		}
+		if old, ok := f.RefHash[sr.Seed]; ok && old != sr.RefHash {
+			delete(f.PlanSigs, sr.Seed)
+		}
+		f.RefHash[sr.Seed] = sr.RefHash
+	}
+
+	sigs := map[string]bool{}
+	for _, s := range f.Signatures {
+		sigs[s] = true
+	}
+	for _, out := range res.Outcomes {
+		if out.Signature != "" {
+			sigs[out.Signature] = true
+		}
+		if out.Index < 0 || out.Failed || out.Hung || len(out.Violations) > 0 || out.Signature == "" {
+			continue // reference runs and non-healthy outcomes are not skip-eligible
+		}
+		m := f.PlanSigs[out.Seed]
+		if m == nil {
+			m = map[string]string{}
+			f.PlanSigs[out.Seed] = m
+		}
+		m[out.Plan] = out.Signature
+	}
+	f.Signatures = make([]string, 0, len(sigs))
+	for s := range sigs {
+		f.Signatures = append(f.Signatures, s)
+	}
+	sort.Strings(f.Signatures)
+
+	idxBySig := map[string]int{}
+	for i := range f.Buckets {
+		idxBySig[f.Buckets[i].Signature] = i
+	}
+	var added []Bucket
+	for _, b := range res.Buckets {
+		if i, ok := idxBySig[b.Signature]; ok {
+			f.Buckets[i].Count += b.Count
+			if f.Buckets[i].MinimalPlanID == "" {
+				f.Buckets[i].MinimalPlanID = b.MinimalPlanID
+			}
+			continue
+		}
+		added = append(added, Bucket{
+			Signature:     b.Signature,
+			Oracles:       b.Oracles,
+			ExamplePlanID: b.ExamplePlanID,
+			ExampleSeed:   b.ExampleSeed,
+			Detected:      b.Detected,
+			Count:         b.Count,
+			MinimalPlanID: b.MinimalPlanID,
+		})
+	}
+	f.Buckets = append(f.Buckets, added...)
+	sort.SliceStable(f.Buckets, func(i, j int) bool {
+		if f.Buckets[i].Detected != f.Buckets[j].Detected {
+			return f.Buckets[i].Detected
+		}
+		return f.Buckets[i].Signature < f.Buckets[j].Signature
+	})
+
+	return write(dir, target, strategy, f)
+}
+
+// write persists the file atomically: full marshal to a temp file in
+// the destination directory, then rename over the old version.
+func write(dir, target, strategy string, f *File) error {
+	path := cellPath(dir, target, strategy)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("corpus: mkdir: %w", err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("corpus: marshal %s/%s: %w", target, strategy, err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".corpus-*")
+	if err != nil {
+		return fmt.Errorf("corpus: temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("corpus: rename: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package farm
+
+import (
+	"sort"
+
+	"repro/internal/campaign"
+)
+
+// MergeCell rebuilds one cell's sweep-level campaign.Result from its
+// per-seed shards, in seed-sweep order. The merge must reproduce — byte
+// for byte, after canonicalization — what a single engine computes when
+// it runs the whole sweep itself, so every rule below mirrors a
+// specific aggregator behavior:
+//
+//   - Seeds / Outcomes / Failures / Learn concatenate: the single-engine
+//     aggregation order is seed-sweep-major, and each shard's records
+//     are exactly its seed's slice of that order.
+//   - Campaign / DetectedSeed go through campaign.PrimaryCampaign, the
+//     same sweep-level aggregation the engine applies to its own
+//     per-seed results.
+//   - Buckets merge by signature with Count summed and everything else
+//     taken from the lowest-seed shard containing the signature: the
+//     aggregator fixes Oracles and Detected at bucket creation (first
+//     occurrence in aggregation order = lowest seed), its example
+//     ordering (seedIdx, planIndex) can never prefer a later seed over
+//     an earlier one, and the explanation pass minimizes each bucket
+//     under its example's seed — which is that same lowest-seed
+//     example. Bucket order is sorted signature hex, the aggregator's
+//     bucketOrder.
+//   - Coverage stats recompute from the merged outcomes: the aggregator
+//     inserts into its class/signature sets exactly once per collected
+//     outcome (classes for every outcome, signatures for healthy
+//     instrumented ones — the outcomes with a non-empty signature), so
+//     distinct-over-outcomes is the exact cross-seed count, not an
+//     approximation. Everything else in Stats is a plain sum, except
+//     the explanation counters, which are recomputed from the merged
+//     bucket set because shards may redundantly explain the same
+//     signature under higher seeds — work the single engine never does
+//     and the merge must not count.
+//
+// A single-part cell (the learning-coupled case, where the whole sweep
+// ran as one task) passes through untouched.
+func MergeCell(parts []campaign.Result) campaign.Result {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	res := campaign.Result{Target: parts[0].Target, Strategy: parts[0].Strategy}
+	for _, p := range parts {
+		res.Seeds = append(res.Seeds, p.Seeds...)
+		res.Outcomes = append(res.Outcomes, p.Outcomes...)
+		res.Failures = append(res.Failures, p.Failures...)
+		res.Learn = append(res.Learn, p.Learn...)
+		if p.Detected {
+			res.Detected = true
+		}
+	}
+	res.Campaign, res.DetectedSeed = campaign.PrimaryCampaign(res.Seeds)
+	res.Buckets = mergeBuckets(parts)
+	res.Stats = mergeStats(parts, res)
+	return res
+}
+
+func mergeBuckets(parts []campaign.Result) []campaign.FailureBucket {
+	bySig := map[string]*campaign.FailureBucket{}
+	for _, p := range parts {
+		for _, b := range p.Buckets {
+			if base, ok := bySig[b.Signature]; ok {
+				base.Count += b.Count
+				continue
+			}
+			nb := b
+			bySig[b.Signature] = &nb
+		}
+	}
+	if len(bySig) == 0 {
+		return nil
+	}
+	sigs := make([]string, 0, len(bySig))
+	for sig := range bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]campaign.FailureBucket, 0, len(sigs))
+	for _, sig := range sigs {
+		out = append(out, *bySig[sig])
+	}
+	return out
+}
+
+func mergeStats(parts []campaign.Result, merged campaign.Result) campaign.Stats {
+	st := campaign.Stats{Workers: parts[0].Stats.Workers}
+	for _, p := range parts {
+		st.Seeds += p.Stats.Seeds
+		st.RawExecutions += p.Stats.RawExecutions
+		st.Detections += p.Stats.Detections
+		st.ViolatingExecutions += p.Stats.ViolatingExecutions
+		st.FailedExecutions += p.Stats.FailedExecutions
+		st.HungExecutions += p.Stats.HungExecutions
+		st.PlansPruned += p.Stats.PlansPruned
+		st.PlansDeduped += p.Stats.PlansDeduped
+		st.PrunedExecuted += p.Stats.PrunedExecuted
+		st.PruningUnsoundDetections += p.Stats.PruningUnsoundDetections
+		st.CorpusRegressionPlans += p.Stats.CorpusRegressionPlans
+		st.CorpusSkippedPlans += p.Stats.CorpusSkippedPlans
+		st.CorpusInvalidatedSeeds += p.Stats.CorpusInvalidatedSeeds
+		st.WallNanos += p.Stats.WallNanos
+	}
+	classes := map[string]bool{}
+	sigs := map[string]bool{}
+	for _, out := range merged.Outcomes {
+		classes[out.Class] = true
+		if out.Signature != "" {
+			sigs[out.Signature] = true
+		}
+	}
+	st.CoverageClasses = len(classes)
+	st.NovelSignatures = len(sigs)
+	for _, b := range merged.Buckets {
+		if b.Explanation != nil {
+			st.MinimizeExecutions += b.MinimizeExecutions
+			st.ExplainedBuckets++
+		}
+	}
+	if st.WallNanos > 0 {
+		st.ExecutionsPerSec = float64(st.RawExecutions) / (float64(st.WallNanos) / 1e9)
+	}
+	return st
+}

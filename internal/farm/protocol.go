@@ -1,0 +1,125 @@
+// Package farm is the campaign fleet: a coordinator/worker subsystem
+// that shards the (target × seed × plan-class) space of a campaign
+// matrix across worker processes and merges the shards back into
+// results that are byte-identical to a single-process run.
+//
+// The pieces:
+//
+//   - protocol.go  the task unit (TaskSpec) and the NDJSON wire messages
+//   - transport.go how a worker is launched and spoken to (subprocess
+//     over stdin/stdout pipes, or an in-process goroutine for tests —
+//     a TCP transport slots in behind the same interface)
+//   - worker.go    the worker side: run one task through the unchanged
+//     campaign.Engine, streaming per-execution records
+//   - shard.go     how a campaign matrix becomes tasks (seed-sharded,
+//     except when cross-seed learning forbids it)
+//   - coordinator.go pull-based task dispatch, cancellation, partial
+//     results
+//   - merge.go     deterministic shard merging — the proof obligation
+//     that farmed == single-process, field by field
+//   - resolve.go   target/strategy/seed name resolution shared with the
+//     single-process CLI
+//   - grid.go      declarative experiment grids (targets × seeds ×
+//     plan-family toggles × repeats)
+//   - analyze.go   grid summary tables and CSV
+//
+// Everything the merge relies on — execution sets, bucket contents,
+// telemetry — is deterministic in the engine by construction; the farm
+// adds no nondeterminism of its own because shard boundaries follow the
+// engine's own independence structure (seeds are independent unless the
+// learning phase couples them through cross-seed bucket affinity).
+package farm
+
+import (
+	"repro/internal/campaign"
+)
+
+// TaskSpec is one unit of farmed work: a full campaign.Config worth of
+// knobs plus the cell coordinates, flattened to plain serializable
+// fields (campaign.Config itself carries a function hook and is not a
+// wire type). A task runs one (target, strategy) campaign over Seeds —
+// a single seed for seed-sharded cells, the whole sweep for cells the
+// learning phase couples across seeds.
+type TaskSpec struct {
+	// ID is the task's dense index in the coordinator's plan (0-based);
+	// workers echo it on every record and result.
+	ID int `json:"id"`
+
+	// Cell coordinates.
+	Target   string `json:"target"`
+	Strategy string `json:"strategy"`
+	// Fixed selects the fixed component variants of the target (the
+	// no-detection correctness baseline).
+	Fixed bool `json:"fixed,omitempty"`
+	// RandomSeed / RandomN parameterize the random baseline strategy's
+	// plan generator; ignored by the other strategies.
+	RandomSeed int64 `json:"random_seed,omitempty"`
+	RandomN    int   `json:"random_n,omitempty"`
+
+	// Engine knobs, mirroring campaign.Config. Parallel is the
+	// in-process pool width per worker (campaign.Config.Workers) — it
+	// must match the single-process -parallel value for guided schedules
+	// to be comparable, because guided scheduling is deterministic per
+	// pool width.
+	Seeds         []int64 `json:"seeds"`
+	MaxExecutions int     `json:"max_executions,omitempty"`
+	Parallel      int     `json:"parallel,omitempty"`
+	Guided        bool    `json:"guided,omitempty"`
+	KeepGoing     bool    `json:"keep_going,omitempty"`
+	Explain       bool    `json:"explain,omitempty"`
+	Prune         bool    `json:"prune,omitempty"`
+	Ranked        bool    `json:"ranked,omitempty"`
+	Snapshot      bool    `json:"snapshot,omitempty"`
+	EventBudget   uint64  `json:"event_budget,omitempty"`
+
+	// Coverage carries the cell's slice of the persistent corpus, when
+	// the coordinator runs with one.
+	Coverage *campaign.CoverageSeed `json:"coverage,omitempty"`
+}
+
+// engineConfig reconstitutes the campaign.Config a worker runs the task
+// under. Collect is always on: the coordinator needs per-plan outcomes
+// to merge artifacts and regenerate telemetry streams.
+func (s TaskSpec) engineConfig(onOutcome func(campaign.PlanOutcome)) campaign.Config {
+	return campaign.Config{
+		Workers:       s.Parallel,
+		Seeds:         s.Seeds,
+		MaxExecutions: s.MaxExecutions,
+		Guided:        s.Guided,
+		Collect:       true,
+		KeepGoing:     s.KeepGoing,
+		Explain:       s.Explain,
+		EventBudget:   s.EventBudget,
+		Prune:         s.Prune,
+		Ranked:        s.Ranked,
+		Snapshot:      s.Snapshot,
+		Coverage:      s.Coverage,
+		OnOutcome:     onOutcome,
+	}
+}
+
+// Wire message types, coordinator → worker and back. The protocol is
+// NDJSON in both directions: one JSON object per line, strictly ordered
+// per pipe.
+const (
+	// coordinator → worker
+	msgTask     = "task"     // carries Task; run it
+	msgShutdown = "shutdown" // drain and exit cleanly
+
+	// worker → coordinator
+	msgReady  = "ready"  // worker is up and idle
+	msgRecord = "record" // one per-execution record, streamed mid-task
+	msgResult = "result" // the task's full campaign.Result
+	msgError  = "error"  // the task failed; Error explains
+)
+
+// wireMsg is the single envelope both directions use; Type selects
+// which payload fields are meaningful.
+type wireMsg struct {
+	Type   string                `json:"type"`
+	Task   *TaskSpec             `json:"task,omitempty"`
+	TaskID int                   `json:"task_id,omitempty"`
+	Record *campaign.PlanOutcome `json:"record,omitempty"`
+	Result *campaign.Result      `json:"result,omitempty"`
+	Error  string                `json:"error,omitempty"`
+}

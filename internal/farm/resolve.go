@@ -1,0 +1,132 @@
+package farm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Name resolution shared by the single-process CLI (phtest) and the
+// farm (coordinator validation up front, workers again at execution
+// time). Keeping one resolver means a task that validated on the
+// coordinator cannot fail to resolve on a worker.
+
+// AllStrategyNames is the canonical strategy order — the matrix column
+// order every report uses.
+var AllStrategyNames = []string{"partial-history", "crashtuner", "cofi", "random"}
+
+// AllTargetNames returns the target names in canonical (matrix row)
+// order.
+func AllTargetNames() []string {
+	all := workload.AllTargets()
+	out := make([]string, len(all))
+	for i, t := range all {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// ResolveTargets parses a comma-separated target list ("all" for every
+// target); fixed swaps in the fixed component variants (the
+// no-detection correctness baseline).
+func ResolveTargets(spec string, fixed bool) ([]core.Target, error) {
+	var names []string
+	if spec == "all" {
+		names = AllTargetNames()
+	} else {
+		for _, name := range strings.Split(spec, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
+	out := make([]core.Target, 0, len(names))
+	for _, name := range names {
+		t, err := ResolveTarget(name, fixed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ResolveTarget resolves one target by name.
+func ResolveTarget(name string, fixed bool) (core.Target, error) {
+	for _, t := range workload.AllTargets() {
+		if t.Name == name {
+			if fixed {
+				return workload.Fixed(t), nil
+			}
+			return t, nil
+		}
+	}
+	return core.Target{}, fmt.Errorf("unknown target %q (have: %s)", name, strings.Join(AllTargetNames(), ", "))
+}
+
+// ResolveStrategies parses a comma-separated strategy list ("all" for
+// the canonical four). randomSeed/randomN parameterize the random
+// baseline's plan generator.
+func ResolveStrategies(spec string, randomSeed int64, randomN int) ([]core.Strategy, error) {
+	names := AllStrategyNames
+	if spec != "all" {
+		names = nil
+		for _, name := range strings.Split(spec, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+	}
+	out := make([]core.Strategy, 0, len(names))
+	for _, name := range names {
+		s, err := ResolveStrategy(name, randomSeed, randomN)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ResolveStrategy resolves one strategy by name. Planner knob mistakes
+// fail loudly instead of silently planning nothing.
+func ResolveStrategy(name string, randomSeed int64, randomN int) (core.Strategy, error) {
+	var s core.Strategy
+	switch name {
+	case "partial-history":
+		p := core.NewPlanner()
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("planner configuration: %v", err)
+		}
+		s = p
+	case "crashtuner":
+		s = baselines.CrashTuner{}
+	case "cofi":
+		s = baselines.CoFI{}
+	case "random":
+		s = baselines.Random{Seed: randomSeed, N: randomN}
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (have: %s)", name, strings.Join(AllStrategyNames, ", "))
+	}
+	return s, nil
+}
+
+// ParseSeeds parses a comma-separated list of world seeds.
+func ParseSeeds(spec string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-seeds: no seeds in %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package farm
+
+import "repro/internal/campaign"
+
+// Cell identifies one (target, strategy) campaign — one entry of the
+// matrix, one artifact in campaign.json.
+type Cell struct {
+	Target   string
+	Strategy string
+}
+
+// Plan expands a campaign matrix into farm tasks. base carries every
+// engine knob plus the full seed sweep; Plan fills in ID, Target,
+// Strategy, and the per-task seed slice. Tasks come out cell-major
+// (target-major, then strategy, then seed) with dense IDs, so grouping
+// completed tasks by first appearance reproduces the matrix order.
+//
+// The shard boundary follows the engine's independence structure:
+//
+//   - Without learning, seeds are fully independent — the engine runs
+//     each seed's reference, planning, and execution in isolation and
+//     only the aggregator crosses seeds (and every cross-seed quantity
+//     it computes is reconstructible from per-seed parts; see merge.go).
+//     Such cells shard to one task per seed.
+//   - With learning (Prune/Ranked), seed N's schedule consults the
+//     bucket-class affinity of seeds < N (aggregator.affinity), so seed
+//     sharding would change the schedules. Those cells stay whole: one
+//     task carrying the full sweep.
+func Plan(targets, strategies []string, base TaskSpec) []TaskSpec {
+	seeds := base.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1} // the engine's historical default sweep
+	}
+	var out []TaskSpec
+	for _, t := range targets {
+		for _, s := range strategies {
+			if base.Prune || base.Ranked {
+				spec := base
+				spec.ID = len(out)
+				spec.Target, spec.Strategy = t, s
+				spec.Seeds = seeds
+				out = append(out, spec)
+				continue
+			}
+			for _, seed := range seeds {
+				spec := base
+				spec.ID = len(out)
+				spec.Target, spec.Strategy = t, s
+				spec.Seeds = []int64{seed}
+				out = append(out, spec)
+			}
+		}
+	}
+	return out
+}
+
+// Collate groups task results by cell in task (= matrix) order and
+// merges every cell whose tasks all completed. Cells with a missing or
+// failed task — a cancelled run's tail — are returned separately so the
+// caller can report them; their completed shards are discarded rather
+// than presented as a valid (but silently truncated) campaign.
+func Collate(results []TaskResult) (merged []campaign.Result, incomplete []Cell) {
+	order := []Cell{}
+	parts := map[Cell][]TaskResult{}
+	for _, tr := range results {
+		c := Cell{Target: tr.Spec.Target, Strategy: tr.Spec.Strategy}
+		if _, seen := parts[c]; !seen {
+			order = append(order, c)
+		}
+		parts[c] = append(parts[c], tr)
+	}
+	for _, c := range order {
+		rs := make([]campaign.Result, 0, len(parts[c]))
+		ok := true
+		for _, tr := range parts[c] {
+			if tr.Res == nil {
+				ok = false
+				break
+			}
+			rs = append(rs, *tr.Res)
+		}
+		if !ok {
+			incomplete = append(incomplete, c)
+			continue
+		}
+		merged = append(merged, MergeCell(rs))
+	}
+	return merged, incomplete
+}

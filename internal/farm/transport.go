@@ -1,0 +1,121 @@
+package farm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// Transport launches one worker and exposes its two message pipes. The
+// coordinator speaks the same NDJSON protocol over any transport;
+// subprocess pipes are the local implementation, an in-process
+// goroutine serves tests, and a TCP dialer can slot in later without
+// touching the coordinator.
+type Transport interface {
+	// Start launches the worker and returns the coordinator's ends of
+	// its message streams: in carries coordinator→worker messages, out
+	// carries worker→coordinator messages.
+	Start() (in io.WriteCloser, out io.Reader, err error)
+	// Kill force-stops the worker mid-task (cancellation path). Safe to
+	// call more than once and after a clean exit.
+	Kill()
+	// Wait blocks until the worker has exited and releases its
+	// resources.
+	Wait() error
+}
+
+// ProcessTransport runs a worker as a subprocess speaking the protocol
+// over its stdin/stdout; stderr passes through to the coordinator's so
+// worker diagnostics stay visible.
+type ProcessTransport struct {
+	Path   string
+	Args   []string
+	Stderr io.Writer // nil = os.Stderr
+
+	cmd *exec.Cmd
+}
+
+// NewProcessTransport returns a transport that will exec path with args
+// (typically the coordinator's own binary with -worker).
+func NewProcessTransport(path string, args ...string) *ProcessTransport {
+	return &ProcessTransport{Path: path, Args: args}
+}
+
+func (t *ProcessTransport) Start() (io.WriteCloser, io.Reader, error) {
+	cmd := exec.Command(t.Path, t.Args...)
+	cmd.Stderr = t.Stderr
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, nil, fmt.Errorf("farm: worker stdin: %w", err)
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, fmt.Errorf("farm: worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, fmt.Errorf("farm: start worker: %w", err)
+	}
+	t.cmd = cmd
+	return in, out, nil
+}
+
+func (t *ProcessTransport) Kill() {
+	if t.cmd != nil && t.cmd.Process != nil {
+		_ = t.cmd.Process.Kill()
+	}
+}
+
+func (t *ProcessTransport) Wait() error {
+	if t.cmd == nil {
+		return nil
+	}
+	return t.cmd.Wait()
+}
+
+// InProcTransport runs WorkerLoop in a goroutine connected by pipes —
+// the test double that exercises the full protocol (framing, record
+// streaming, shutdown) without spawning processes. Kill closes the
+// pipes, which stops the protocol loop; a task already executing inside
+// the engine runs to completion in the background (in-process code
+// cannot be preempted), its result discarded.
+type InProcTransport struct {
+	inW  *io.PipeWriter
+	outR *io.PipeReader
+	done chan error
+}
+
+func NewInProcTransport() *InProcTransport { return &InProcTransport{} }
+
+func (t *InProcTransport) Start() (io.WriteCloser, io.Reader, error) {
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	t.inW, t.outR = inW, outR
+	t.done = make(chan error, 1)
+	go func() {
+		err := WorkerLoop(inR, outW)
+		outW.CloseWithError(io.EOF)
+		inR.CloseWithError(io.EOF)
+		t.done <- err
+	}()
+	return inW, outR, nil
+}
+
+func (t *InProcTransport) Kill() {
+	if t.inW != nil {
+		t.inW.CloseWithError(io.ErrClosedPipe)
+	}
+	if t.outR != nil {
+		t.outR.CloseWithError(io.ErrClosedPipe)
+	}
+}
+
+func (t *InProcTransport) Wait() error {
+	if t.done == nil {
+		return nil
+	}
+	return <-t.done
+}

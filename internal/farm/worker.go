@@ -1,0 +1,77 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/campaign"
+)
+
+// WorkerLoop is the worker side of the farm protocol: announce ready,
+// then serve tasks from r until a shutdown message or EOF. Each task
+// runs through the unchanged campaign.Engine; per-execution records
+// stream to w as they enter the deterministic execution set, followed
+// by one result (or error) message. All writes happen on the calling
+// goroutine — the engine's OnOutcome hook fires from its aggregation
+// loop, which RunTask executes synchronously — so the stream needs no
+// locking and stays strictly ordered.
+func WorkerLoop(r io.Reader, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	dec := json.NewDecoder(r)
+	if err := enc.Encode(wireMsg{Type: msgReady}); err != nil {
+		return fmt.Errorf("farm: worker hello: %w", err)
+	}
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
+				return nil // coordinator hung up; clean exit
+			}
+			return fmt.Errorf("farm: worker read: %w", err)
+		}
+		switch msg.Type {
+		case msgShutdown:
+			return nil
+		case msgTask:
+			if msg.Task == nil {
+				return fmt.Errorf("farm: task message without task")
+			}
+			spec := *msg.Task
+			var streamErr error
+			res, err := RunTask(spec, func(out campaign.PlanOutcome) {
+				if streamErr == nil {
+					streamErr = enc.Encode(wireMsg{Type: msgRecord, TaskID: spec.ID, Record: &out})
+				}
+			})
+			if streamErr != nil {
+				return fmt.Errorf("farm: worker stream: %w", streamErr)
+			}
+			reply := wireMsg{Type: msgResult, TaskID: spec.ID, Result: &res}
+			if err != nil {
+				reply = wireMsg{Type: msgError, TaskID: spec.ID, Error: err.Error()}
+			}
+			if err := enc.Encode(reply); err != nil {
+				return fmt.Errorf("farm: worker reply: %w", err)
+			}
+		default:
+			return fmt.Errorf("farm: worker got unknown message type %q", msg.Type)
+		}
+	}
+}
+
+// RunTask resolves one task's cell and executes its campaign. onOutcome
+// (optional) observes every per-execution record in aggregation order.
+func RunTask(spec TaskSpec, onOutcome func(campaign.PlanOutcome)) (campaign.Result, error) {
+	t, err := ResolveTarget(spec.Target, spec.Fixed)
+	if err != nil {
+		return campaign.Result{}, err
+	}
+	s, err := ResolveStrategy(spec.Strategy, spec.RandomSeed, spec.RandomN)
+	if err != nil {
+		return campaign.Result{}, err
+	}
+	eng := campaign.New(spec.engineConfig(onOutcome))
+	return eng.Run(t, s), nil
+}
