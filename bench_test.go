@@ -487,11 +487,13 @@ func BenchmarkE5_Sec7_BugMatrix(b *testing.B) {
 	})
 }
 
-// benchE5MaxExec and benchE6MaxExec pin the artifact parameters; they are
-// recorded in the emitted JSON and re-used by cmd/benchcheck.
+// benchE5MaxExec, benchE6MaxExec and benchE10MaxExec pin the artifact
+// parameters; they are recorded in the emitted JSON and re-used by
+// cmd/benchcheck.
 const (
-	benchE5MaxExec = 400
-	benchE6MaxExec = 800
+	benchE5MaxExec  = 400
+	benchE6MaxExec  = 800
+	benchE10MaxExec = 200
 )
 
 func minPruned(ls []bench.LearnedCell) int {
@@ -571,15 +573,15 @@ func cellE6(found bool, plans, execs int) string {
 func BenchmarkE9_SnapshotSpeedup(b *testing.B) {
 	// Same campaign, same results (the cross-check tests prove the
 	// canonicalized artifacts byte-identical) — only the execution substrate
-	// changes: full replay from t=0 vs. forking from the latest
-	// copy-on-write checkpoint at or before each plan's earliest effect.
-	// Workers=1 and KeepGoing pin the comparison: single-threaded, so wall
-	// time is CPU time, and a fixed execution count for both modes. The
-	// snapshot column *includes* the checkpoint ladder's cost (one extra
-	// plan-free run per campaign); the cassandra targets are not
-	// snapshotable, so their rows measure the price of silent fallback.
-	// Only snapshotable rows count toward the reported best-speedup —
-	// apparent "speedups" on fallback rows are scheduler noise.
+	// changes: full replay from t=0 vs. forking from the deepest
+	// copy-on-write checkpoint-tree rung at or before each plan's earliest
+	// effect. Workers=1 and KeepGoing pin the comparison: single-threaded,
+	// so wall time is CPU time, and a fixed execution count for both modes.
+	// The snapshot column *includes* the checkpoint tree's capture cost
+	// (one extra plan-free run per campaign). All five targets — the k8s
+	// pair and the three cassandra-operator ones — are snapshotable, so
+	// every row exercises the fork path for real; the snapshotable guard
+	// on best-speedup stays as a regression tripwire.
 	// 200 executions per campaign: long enough that the plan list reaches
 	// past the front-loaded early-effect cluster (the causal ranking puts
 	// the hottest mined window first, where checkpoints save the least),
@@ -648,7 +650,83 @@ func BenchmarkE9_SnapshotSpeedup(b *testing.B) {
 			}
 			fmt.Printf("  %-13s %-18.0f %-18.0f %.2f×%s\n", r.name, r.offMs, r.onMs, r.speedup, note)
 		}
-		fmt.Printf("  (identical campaign results asserted per row; ladder cost included)\n")
+		fmt.Printf("  (identical campaign results asserted per row; checkpoint-tree cost included)\n")
+	})
+}
+
+// ---------------------------------------------------------------------
+// E10 — snapshot substrate: executions/sec with checkpoint trees, plus
+// the committed equivalence artifact.
+// ---------------------------------------------------------------------
+
+func BenchmarkE10_SnapshotSubstrate(b *testing.B) {
+	// E9 measures the on/off ratio; E10 records the absolute throughput the
+	// ratio compounds with (the raw-speed allocation work multiplies both
+	// columns) and commits the deterministic equivalence evidence as
+	// BENCH_E10.json: all five targets snapshotable, zero fallbacks, and
+	// byte-identical canonicalized campaign.json + raw NDJSON between the
+	// snapshot-on and snapshot-off passes. cmd/benchcheck -e10 guards the
+	// artifact against drift, so a snapshot-layer regression (a component
+	// losing Snapshotable, a fork diverging) breaks CI instead of silently
+	// falling back.
+	var art bench.E10
+	for i := 0; i < b.N; i++ {
+		art = bench.ComputeE10(benchE10MaxExec, 4)
+	}
+	for _, r := range art.Rows {
+		if !r.Snapshotable {
+			b.Errorf("E10 %s: target not snapshotable", r.Target)
+		}
+		if r.SnapshotFallbacks != 0 {
+			b.Errorf("E10 %s: %d snapshot fallbacks, want 0", r.Target, r.SnapshotFallbacks)
+		}
+		if !r.ArtifactIdentical || !r.TelemetryIdentical {
+			b.Errorf("E10 %s: snapshot-on artifacts diverged (artifact=%v telemetry=%v)",
+				r.Target, r.ArtifactIdentical, r.TelemetryIdentical)
+		}
+	}
+	if err := bench.WriteFile("BENCH_E10.json", art); err != nil {
+		b.Fatalf("E10: write artifact: %v", err)
+	}
+
+	// Wall-clock side: executions/sec per target with the snapshot substrate
+	// on, single worker (wall time = CPU time), min-of-3 like E9.
+	type row struct {
+		name       string
+		execs      int
+		execPerSec float64
+	}
+	var rows []row
+	for _, t := range workload.AllTargets() {
+		cfg := campaign.Config{Workers: 1, MaxExecutions: benchE10MaxExec, KeepGoing: true, Snapshot: true}
+		var res campaign.Result
+		best := int64(0)
+		for rep := 0; rep < 3; rep++ {
+			res = campaign.New(cfg).Run(t, core.NewPlanner())
+			if best == 0 || res.Stats.WallNanos < best {
+				best = res.Stats.WallNanos
+			}
+		}
+		r := row{name: t.Name, execs: res.Stats.RawExecutions}
+		if best > 0 {
+			r.execPerSec = float64(res.Stats.RawExecutions) / (float64(best) / 1e9)
+		}
+		rows = append(rows, r)
+	}
+	top := 0.0
+	for _, r := range rows {
+		if r.execPerSec > top {
+			top = r.execPerSec
+		}
+	}
+	b.ReportMetric(top, "execs/sec")
+	printOnce("E10", func() {
+		fmt.Printf("\nE10 — snapshot substrate: executions/sec with checkpoint-tree forking, 1 worker\n")
+		fmt.Printf("  %-13s %-12s %s\n", "bug", "executions", "execs/sec")
+		for _, r := range rows {
+			fmt.Printf("  %-13s %-12d %.0f\n", r.name, r.execs, r.execPerSec)
+		}
+		fmt.Printf("  (artifact: BENCH_E10.json — fallbacks and on/off byte-identity pinned per row)\n")
 	})
 }
 

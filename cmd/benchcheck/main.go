@@ -1,7 +1,10 @@
 // Command benchcheck guards the committed benchmark artifacts against
-// drift. BENCH_E5.json and BENCH_E6.json record the deterministic results
-// of the E5 (Section 7 bug-finding matrix) and E6 (§6.1 planner
-// efficiency) experiments; benchcheck recomputes both from scratch —
+// drift. BENCH_E5.json, BENCH_E6.json and BENCH_E10.json record the
+// deterministic results of the E5 (Section 7 bug-finding matrix), E6
+// (§6.1 planner efficiency) and E10 (snapshot-substrate equivalence:
+// checkpoint-tree forking with zero fallbacks and snapshot-on/off
+// byte-identity on all five targets) experiments; benchcheck recomputes
+// each from scratch —
 // through the same internal/bench code path the benchmarks use — and
 // fails with a field-level diff when a committed artifact disagrees with
 // the fresh run. A behaviour change that shifts a detection, an execution
@@ -10,7 +13,7 @@
 //
 // Usage:
 //
-//	benchcheck [-e5 BENCH_E5.json] [-e6 BENCH_E6.json] [-parallel N] [-write] [-json]
+//	benchcheck [-e5 BENCH_E5.json] [-e6 BENCH_E6.json] [-e10 BENCH_E10.json] [-parallel N] [-write] [-json]
 //
 // With -json, stdout carries exactly one machine-readable report
 // (per-artifact field-level diff entries, bench.DiffEntry form) and all
@@ -52,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	e5Path := fs.String("e5", "BENCH_E5.json", "committed E5 artifact path")
 	e6Path := fs.String("e6", "BENCH_E6.json", "committed E6 artifact path")
+	e10Path := fs.String("e10", "BENCH_E10.json", "committed E10 artifact path")
 	parallel := fs.Int("parallel", 4, "worker-pool width for the recomputation (does not affect results)")
 	write := fs.Bool("write", false, "regenerate the artifacts instead of checking them")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable field-level diff report on stdout")
@@ -67,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *write {
 		// Default parameters match bench_test.go (recorded in the files).
-		if err := regenerate(status, *e5Path, *e6Path, *parallel); err != nil {
+		if err := regenerate(status, *e5Path, *e6Path, *e10Path, *parallel); err != nil {
 			fmt.Fprintln(stderr, "benchcheck:", err)
 			return 1
 		}
@@ -77,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reports := []artifactReport{
 		checkE5(status, *e5Path, *parallel),
 		checkE6(status, *e6Path, *parallel),
+		checkE10(status, *e10Path, *parallel),
 	}
 	drift := false
 	for _, r := range reports {
@@ -104,7 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func regenerate(status io.Writer, e5Path, e6Path string, workers int) error {
+func regenerate(status io.Writer, e5Path, e6Path, e10Path string, workers int) error {
 	fmt.Fprintf(status, "benchcheck: computing E5 (max %d executions)...\n", 400)
 	if err := bench.WriteFile(e5Path, bench.ComputeE5(400, workers)); err != nil {
 		return err
@@ -113,7 +118,11 @@ func regenerate(status io.Writer, e5Path, e6Path string, workers int) error {
 	if err := bench.WriteFile(e6Path, bench.ComputeE6(800, workers)); err != nil {
 		return err
 	}
-	fmt.Fprintf(status, "benchcheck: wrote %s and %s\n", e5Path, e6Path)
+	fmt.Fprintf(status, "benchcheck: computing E10 (max %d executions)...\n", 200)
+	if err := bench.WriteFile(e10Path, bench.ComputeE10(200, workers)); err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "benchcheck: wrote %s, %s and %s\n", e5Path, e6Path, e10Path)
 	return nil
 }
 
@@ -136,6 +145,16 @@ func checkE6(status io.Writer, path string, workers int) artifactReport {
 	}
 	fmt.Fprintf(status, "benchcheck: recomputing %s (max %d executions)...\n", path, committed.MaxExecutions)
 	entries := bench.DiffEntries(committed, bench.ComputeE6(committed.MaxExecutions, workers))
+	return artifactReport{Path: path, Drift: len(entries) > 0, Entries: entries}
+}
+
+func checkE10(status io.Writer, path string, workers int) artifactReport {
+	committed, err := bench.ReadE10(path)
+	if err != nil {
+		return artifactReport{Path: path, Drift: true, Error: err.Error()}
+	}
+	fmt.Fprintf(status, "benchcheck: recomputing %s (max %d executions)...\n", path, committed.MaxExecutions)
+	entries := bench.DiffEntries(committed, bench.ComputeE10(committed.MaxExecutions, workers))
 	return artifactReport{Path: path, Drift: len(entries) > 0, Entries: entries}
 }
 

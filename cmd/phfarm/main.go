@@ -103,12 +103,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *ranked && !*prune {
-		fmt.Fprintln(stderr, "phfarm: -ranked requires -prune")
-		return 2
-	}
-	if *snapshot && *fixed {
-		fmt.Fprintln(stderr, "phfarm: -snapshot is incompatible with -fixed (fixed-variant baselines must execute full replays)")
+	if err := farm.ValidateFlags(farm.FlagRules{
+		Prune: *prune, Ranked: *ranked, Explain: *explainFlag,
+		Snapshot: *snapshot, Fixed: *fixed,
+	}); err != nil {
+		fmt.Fprintln(stderr, "phfarm:", err)
 		return 2
 	}
 	if *workers < 1 {

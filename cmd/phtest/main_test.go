@@ -7,7 +7,6 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"strings"
 	"testing"
 
 	"repro/internal/campaign"
@@ -16,48 +15,8 @@ import (
 	"repro/internal/workload"
 )
 
-// TestValidateFlags is the table-driven regression test for the flag
-// combinations phtest rejects after flag.Parse(): combinations that would
-// silently do nothing (-ranked without -prune), double-specify one pass
-// through its deprecated alias (-minimize with -explain), or fork the
-// full-replay correctness baselines (-snapshot with -fixed).
-func TestValidateFlags(t *testing.T) {
-	cases := []struct {
-		name    string
-		spec    flagSpec
-		wantErr string // substring; "" means the combination is valid
-	}{
-		{"defaults", flagSpec{}, ""},
-		{"prune-alone", flagSpec{prune: true}, ""},
-		{"prune-ranked", flagSpec{prune: true, ranked: true}, ""},
-		{"ranked-without-prune", flagSpec{ranked: true}, "-ranked requires -prune"},
-		{"explain-alone", flagSpec{explain: true}, ""},
-		{"minimize-alone", flagSpec{minimize: true}, ""},
-		{"minimize-and-explain", flagSpec{minimize: true, explain: true}, "-minimize and -explain are mutually exclusive"},
-		{"snapshot-alone", flagSpec{snapshot: true}, ""},
-		{"fixed-alone", flagSpec{fixed: true}, ""},
-		{"snapshot-with-fixed", flagSpec{snapshot: true, fixed: true}, "-snapshot is incompatible with -fixed"},
-		{"everything-valid", flagSpec{prune: true, ranked: true, explain: true, snapshot: true}, ""},
-	}
-	for _, tc := range cases {
-		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.spec)
-			if tc.wantErr == "" {
-				if err != nil {
-					t.Fatalf("valid combination rejected: %v", err)
-				}
-				return
-			}
-			if err == nil {
-				t.Fatalf("inert/contradictory combination accepted: %+v", tc.spec)
-			}
-			if !strings.Contains(err.Error(), tc.wantErr) {
-				t.Fatalf("error %q does not describe the problem (want substring %q)", err, tc.wantErr)
-			}
-		})
-	}
-}
+// The table-driven validator test lives with the shared rules in
+// internal/farm (TestValidateFlags); here we verify the full CLI path.
 
 // TestRejectedFlagsExitTwo verifies the full path: run() with a rejected
 // flag combination returns exit code 2 and prints the reason to stderr

@@ -76,6 +76,7 @@ type Server struct {
 	window      []history.Event
 	minStartRev int64 // newest revision no longer replayable from the window
 	subs        map[string]*clientSub
+	subsOrder   []string // cached sorted sub keys; nil means stale
 	storeSubID  uint64
 	lastEventAt sim.Time
 }
@@ -305,9 +306,9 @@ func (s *Server) relay(ev WatchEvent, key string) {
 	if err != nil {
 		return
 	}
-	for _, sk := range sortedSubKeys(s.subs) {
-		sub := s.subs[sk]
-		if sub.kind != kind || ev.Revision <= sub.lastSent {
+	for _, sk := range s.sortedSubs() {
+		sub, ok := s.subs[sk]
+		if !ok || sub.kind != kind || ev.Revision <= sub.lastSent {
 			continue
 		}
 		sub.lastSent = ev.Revision
@@ -328,6 +329,15 @@ func sortedSubKeys(m map[string]*clientSub) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// sortedSubs returns the cached sorted sub-key order (relay runs on every
+// committed event); subscription add/remove invalidates it.
+func (s *Server) sortedSubs() []string {
+	if s.subsOrder == nil {
+		s.subsOrder = sortedSubKeys(s.subs)
+	}
+	return s.subsOrder
 }
 
 // scheduleResync keeps a liveness timer: if the store stream has been
@@ -522,6 +532,7 @@ func (s *Server) register() {
 		key := fmt.Sprintf("%s/%d", from, req.SubID)
 		sub := &clientSub{subID: req.SubID, client: from, kind: req.Kind, lastSent: req.StartRev}
 		s.subs[key] = sub
+		s.subsOrder = nil
 		// Replay the window backlog beyond the client's start revision.
 		var backlog []WatchEvent
 		for _, e := range s.window {
@@ -544,6 +555,7 @@ func (s *Server) register() {
 	s.rpcSrv.Handle(MethodCancelWatch, func(from sim.NodeID, body any) (any, error) {
 		req := body.(*CancelWatchRequest)
 		delete(s.subs, fmt.Sprintf("%s/%d", from, req.SubID))
+		s.subsOrder = nil
 		return &struct{}{}, nil
 	})
 }

@@ -1,11 +1,12 @@
-// Package bench computes the deterministic results behind the E5 and E6
-// benchmark tables (bench_test.go at the repo root) and serializes them
-// as committed artifacts — BENCH_E5.json and BENCH_E6.json. The
-// benchmarks regenerate the artifacts on every run; cmd/benchcheck
-// recomputes them from scratch and fails when the committed files
-// disagree, so silent drift in the headline numbers (a planner change
-// shifting executions-to-detection, a pruning change deferring different
-// plans) breaks a check instead of rotting in the repo.
+// Package bench computes the deterministic results behind the E5, E6 and
+// E10 benchmark tables (bench_test.go at the repo root) and serializes
+// them as committed artifacts — BENCH_E5.json, BENCH_E6.json and
+// BENCH_E10.json. The benchmarks regenerate the artifacts on every run;
+// cmd/benchcheck recomputes them from scratch and fails when the
+// committed files disagree, so silent drift in the headline numbers (a
+// planner change shifting executions-to-detection, a pruning change
+// deferring different plans, a snapshot-layer change breaking on/off
+// byte-identity) breaks a check instead of rotting in the repo.
 //
 // Only virtual-time results live here: detections, execution counts, plan
 // counts, pruning decisions. Wall-clock measurements are incidental to
@@ -15,6 +16,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -25,11 +27,13 @@ import (
 	"repro/internal/workload"
 )
 
-// SchemaE5 and SchemaE6 version the artifact formats; benchcheck refuses
-// files with an unknown schema instead of mis-diffing them.
+// SchemaE5, SchemaE6 and SchemaE10 version the artifact formats;
+// benchcheck refuses files with an unknown schema instead of mis-diffing
+// them.
 const (
-	SchemaE5 = "bench-e5/v1"
-	SchemaE6 = "bench-e6/v1"
+	SchemaE5  = "bench-e5/v1"
+	SchemaE6  = "bench-e6/v1"
+	SchemaE10 = "bench-e10/v1"
 )
 
 // Cell is one (target, strategy) campaign's deterministic outcome.
@@ -168,6 +172,92 @@ func ComputeE6(maxExec, workers int) E6 {
 	return art
 }
 
+// E10Row is one target's snapshot-substrate audit: the campaign outcome
+// under checkpoint-tree forking plus the equivalence evidence — fallback
+// count (zero on a healthy substrate), and byte-identity of the
+// canonicalized campaign.json and raw NDJSON telemetry between the
+// snapshot-on and snapshot-off runs of the same campaign.
+type E10Row struct {
+	Target       string `json:"target"`
+	Oracle       string `json:"oracle"`
+	Snapshotable bool   `json:"snapshotable"`
+	Detected     bool   `json:"detected"`
+	Executions   int    `json:"executions"`
+	PlansTotal   int    `json:"plans_total"`
+	// SnapshotFallbacks totals the diagnosable fork-to-full-replay
+	// fallbacks (unconditional, so the gate can assert == 0).
+	SnapshotFallbacks int `json:"snapshot_fallbacks"`
+	// ArtifactIdentical / TelemetryIdentical record whether the snapshot-on
+	// campaign produced byte-identical canonicalized campaign.json and raw
+	// NDJSON to the snapshot-off campaign. Committed true, so any future
+	// divergence is drift benchcheck refuses.
+	ArtifactIdentical  bool `json:"artifact_identical"`
+	TelemetryIdentical bool `json:"telemetry_identical"`
+}
+
+// E10 is the snapshot-substrate equivalence artifact: all five targets
+// forked from checkpoint trees, with fallback visibility and on/off
+// byte-identity pinned. The wall-clock side of E10 (executions/sec)
+// lives in BenchmarkE10 and never enters the artifact.
+type E10 struct {
+	Schema        string   `json:"schema"`
+	MaxExecutions int      `json:"max_executions"`
+	Rows          []E10Row `json:"rows"`
+}
+
+// ComputeE10 runs every target twice — full replay and checkpoint-tree
+// forking — and records the deterministic equivalence evidence. KeepGoing
+// pins a fixed execution count so both modes run the identical plan set.
+func ComputeE10(maxExec, workers int) E10 {
+	art := E10{Schema: SchemaE10, MaxExecutions: maxExec}
+	for _, t := range workload.AllTargets() {
+		cfgOff := campaign.Config{Workers: workers, MaxExecutions: maxExec, KeepGoing: true, Collect: true}
+		cfgOn := cfgOff
+		cfgOn.Snapshot = true
+		off := campaign.New(cfgOff).Run(t, core.NewPlanner())
+		on := campaign.New(cfgOn).Run(t, core.NewPlanner())
+
+		artOff := mustCanonicalJSON(campaign.BuildArtifact(off, cfgOff))
+		artOn := mustCanonicalJSON(campaign.BuildArtifact(on, cfgOn))
+		var ndOff, ndOn bytes.Buffer
+		mustNDJSON(&ndOff, off, cfgOff)
+		mustNDJSON(&ndOn, on, cfgOn)
+
+		fallbacks := 0
+		if f := on.Stats.SnapshotFallbacks; f != nil {
+			fallbacks = f.Unsnapshotable + f.StrictPast + f.RestoreError + f.Watchdog
+		}
+		art.Rows = append(art.Rows, E10Row{
+			Target:             t.Name,
+			Oracle:             t.Bug,
+			Snapshotable:       t.Build(1).Snapshotable(),
+			Detected:           on.Detected,
+			Executions:         on.Campaign.Executions,
+			PlansTotal:         on.Campaign.PlansTotal,
+			SnapshotFallbacks:  fallbacks,
+			ArtifactIdentical:  bytes.Equal(artOff, artOn),
+			TelemetryIdentical: bytes.Equal(ndOff.Bytes(), ndOn.Bytes()),
+		})
+	}
+	return art
+}
+
+func mustCanonicalJSON(art campaign.Artifact) []byte {
+	data, err := json.Marshal(campaign.CanonicalizeArtifact(art))
+	if err != nil {
+		// Artifacts marshal by construction; a failure is a programming
+		// error, not a runtime condition.
+		panic(fmt.Sprintf("bench: marshal artifact: %v", err))
+	}
+	return data
+}
+
+func mustNDJSON(w *bytes.Buffer, res campaign.Result, cfg campaign.Config) {
+	if err := campaign.WriteNDJSON(w, res, cfg); err != nil {
+		panic(fmt.Sprintf("bench: telemetry stream: %v", err))
+	}
+}
+
 // WriteFile serializes an artifact (E5 or E6) to path with a trailing
 // newline, in the indented form the repo commits.
 func WriteFile(path string, artifact any) error {
@@ -197,6 +287,17 @@ func ReadE6(path string) (E6, error) {
 	}
 	if art.Schema != SchemaE6 {
 		return E6{}, fmt.Errorf("bench: %s: schema %q, want %q", path, art.Schema, SchemaE6)
+	}
+	return art, nil
+}
+
+func ReadE10(path string) (E10, error) {
+	var art E10
+	if err := readJSON(path, &art); err != nil {
+		return E10{}, err
+	}
+	if art.Schema != SchemaE10 {
+		return E10{}, fmt.Errorf("bench: %s: schema %q, want %q", path, art.Schema, SchemaE10)
 	}
 	return art, nil
 }

@@ -197,6 +197,7 @@ type slot struct {
 	exec      core.Execution
 	sig       Signature
 	wall      time.Duration
+	fallback  fallbackCause // why a fork fell back to full replay, if it did
 }
 
 // Run executes one campaign: for every seed, a reference run, plan
@@ -485,20 +486,53 @@ func (e *Engine) explainBuckets(t core.Target, agg *aggregator, refs map[int64]*
 // the minimization pass re-executes candidate plans, and a pathological
 // plan must not take down the whole explanation pass — the bucket is
 // simply left unexplained (the detection itself stands).
+//
+// With snapshotting on, a checkpoint tree rooted at the bucket's example
+// plan backs the probes: minimization candidates and the instrumented
+// re-execution fork from a rung captured mid-plan, after the perturbed
+// prefix they share with the example, and fall back to full replays
+// whenever the fork cannot be proven exact — results are identical either
+// way, diagnosable fallbacks are counted.
 func (e *Engine) explainBucket(t core.Target, agg *aggregator, b *FailureBucket, ex bucketExample, refs map[int64]*trace.Trace) {
 	defer func() { _ = recover() }()
-	minimal, execs := core.MinimizeSeed(t, ex.plan, ex.seed)
+	runner := core.PlanRunner(core.RunPlanSeed)
+	var pt *planTree
+	if e.cfg.Snapshot {
+		pt = buildPlanTree(t, ex.plan, ex.seed, refs[ex.seed])
+	}
+	if pt != nil {
+		runner = func(rt core.Target, q core.Plan, seed int64) core.Execution {
+			if exec, _, ok, cause := pt.run(rt, q, false); ok {
+				return exec
+			} else {
+				agg.noteFallback(cause)
+			}
+			return core.RunPlanSeed(rt, q, seed)
+		}
+	}
+	minimal, execs := core.MinimizeSeedRun(t, ex.plan, ex.seed, runner)
 	switch mp := minimal.(type) {
 	case core.StalenessPlan:
-		narrowed, more := core.NarrowWindowSeed(t, mp, ex.seed)
+		narrowed, more := core.NarrowWindowSeedRun(t, mp, ex.seed, runner)
 		minimal = narrowed
 		execs += more
 	case core.FlakyLinkPlan:
-		narrowed, more := core.NarrowFlakyWindowSeed(t, mp, ex.seed)
+		narrowed, more := core.NarrowFlakyWindowSeedRun(t, mp, ex.seed, runner)
 		minimal = narrowed
 		execs += more
 	}
-	pert, violations := perturbedTrace(t, minimal, ex.seed)
+	var pert *trace.Trace
+	var violations []oracle.Violation
+	if pt != nil {
+		if pexec, tr, ok, cause := pt.run(t, minimal, true); ok {
+			pert, violations = tr, pexec.Violations
+		} else {
+			agg.noteFallback(cause)
+		}
+	}
+	if pert == nil {
+		pert, violations = perturbedTrace(t, minimal, ex.seed)
+	}
 	execs++ // the instrumented re-execution
 	b.MinimalPlan = minimal.Describe()
 	b.MinimalPlanID = minimal.ID()
@@ -562,10 +596,10 @@ func (e *Engine) runOrdered(t core.Target, plans []planRef, seed int64, maxExec 
 					return
 				}
 				start := time.Now()
-				exec, sig := e.execute(t, plans[i].plan, seed, instrument, fs)
+				exec, sig, fb := e.execute(t, plans[i].plan, seed, instrument, fs)
 				slots[i] = slot{
 					ran: true, planIndex: plans[i].index, plan: plans[i].plan,
-					exec: exec, sig: sig, wall: time.Since(start),
+					exec: exec, sig: sig, wall: time.Since(start), fallback: fb,
 				}
 				if exec.Detected {
 					for {
@@ -639,10 +673,10 @@ func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec i
 			go func(bi int) {
 				defer wg.Done()
 				start := time.Now()
-				exec, sig := e.execute(t, batch[bi].plan, seed, true, fs)
+				exec, sig, fb := e.execute(t, batch[bi].plan, seed, true, fs)
 				slots[seqs[bi]] = slot{
 					ran: true, planIndex: plans[batch[bi].index].index, plan: batch[bi].plan,
-					exec: exec, sig: sig, wall: time.Since(start),
+					exec: exec, sig: sig, wall: time.Since(start), fallback: fb,
 				}
 			}(bi)
 		}
@@ -660,17 +694,24 @@ func (e *Engine) runGuided(t core.Target, plans []planRef, seed int64, maxExec i
 	return slots, detect
 }
 
-// execute runs one plan: forked from a prefix checkpoint when the fork
+/// execute runs one plan: forked from a prefix checkpoint when the fork
 // substrate exists and can prove the fork exact, as a full replay
-// otherwise. The fallback is silent by design — fork vs. full replay is
-// an implementation detail that must never surface in any artifact.
-func (e *Engine) execute(t core.Target, p core.Plan, seed int64, instrument bool, fs *forkState) (core.Execution, Signature) {
+// otherwise. Execution RECORDS are identical either way — fork vs. full
+// replay must never change any artifact byte — but diagnosable fallbacks
+// (unsnapshotable cluster, strict-past violation, restore error, watchdog
+// trip) are counted per cause so a substrate that silently degrades to
+// full replay is visible in Stats.SnapshotFallbacks.
+func (e *Engine) execute(t core.Target, p core.Plan, seed int64, instrument bool, fs *forkState) (core.Execution, Signature, fallbackCause) {
 	if fs != nil {
-		if exec, sig, ok := runForked(t, p, seed, instrument, e.cfg.EventBudget, fs); ok {
-			return exec, sig
+		exec, sig, ok, cause := runForked(t, p, seed, instrument, e.cfg.EventBudget, fs)
+		if ok {
+			return exec, sig, fallbackNone
 		}
+		exec, sig = runGuarded(t, p, seed, instrument, e.cfg.EventBudget)
+		return exec, sig, cause
 	}
-	return runGuarded(t, p, seed, instrument, e.cfg.EventBudget)
+	exec, sig := runGuarded(t, p, seed, instrument, e.cfg.EventBudget)
+	return exec, sig, fallbackNone
 }
 
 // violates reports whether the named oracle appears in the violation list.

@@ -65,6 +65,21 @@ type checkpoint struct {
 	trace *trace.Trace
 }
 
+// fallbackCause classifies why a fork fell back to full replay. Only
+// diagnosable causes are counted in Stats.SnapshotFallbacks; a plan that
+// simply has no qualifying checkpoint (effect before the first rung, or an
+// unbounded effect time) is routine prefix economics, not a fallback worth
+// surfacing.
+type fallbackCause uint8
+
+const (
+	fallbackNone fallbackCause = iota
+	fallbackUnsnapshotable
+	fallbackStrictPast
+	fallbackRestoreError
+	fallbackWatchdog
+)
+
 // forkState is the per-(target, seed) prefix-checkpoint substrate, built
 // once per campaign seed and shared read-only by all workers.
 type forkState struct {
@@ -75,13 +90,18 @@ type forkState struct {
 	horizon    sim.Duration
 	// checkpoints are sorted by ascending capture time.
 	checkpoints []checkpoint
+	// unsnapshotable marks a substrate whose cluster refused Snapshotable();
+	// every execution then falls back with a counted cause instead of the
+	// historical silent nil substrate.
+	unsnapshotable bool
 }
 
 // buildForkState runs the checkpoint ladder for one (target, seed): a
 // plan-free prefix run captured at the quantiles of the plans' earliest
-// effect times. It returns nil when the target's cluster is not
-// snapshotable or no checkpoint could be captured — the campaign then runs
-// every plan as a full replay, exactly as with snapshotting disabled.
+// effect times. It returns nil when no checkpoint could be captured — the
+// campaign then runs every plan as a full replay, exactly as with
+// snapshotting disabled. An unsnapshotable cluster returns a sentinel
+// substrate instead so every execution's fallback is counted per cause.
 func buildForkState(t core.Target, seed int64, plans []core.Plan, ref *trace.Trace) (fs *forkState) {
 	defer func() {
 		if recover() != nil {
@@ -90,7 +110,7 @@ func buildForkState(t core.Target, seed int64, plans []core.Plan, ref *trace.Tra
 	}()
 	c := t.Build(seed)
 	if !c.Snapshotable() {
-		return nil
+		return &forkState{unsnapshotable: true}
 	}
 	k := c.World.Kernel()
 	fs = &forkState{
@@ -210,15 +230,20 @@ func (fs *forkState) forkPoint(p core.Plan) *checkpoint {
 // returns ok=false whenever the fork cannot be proven byte-equivalent to a
 // full replay — no qualifying checkpoint, a strict-past violation from the
 // plan, a restore error, a panic, or a watchdog trip — in which case the
-// caller must fall back to runGuarded, whose records are canonical.
-func runForked(t core.Target, p core.Plan, seed int64, instrument bool, budget uint64, fs *forkState) (exec core.Execution, sig Signature, ok bool) {
+// caller must fall back to runGuarded, whose records are canonical. The
+// returned cause classifies diagnosable fallbacks for Stats.SnapshotFallbacks;
+// a missing checkpoint reports fallbackNone (routine, not a defect).
+func runForked(t core.Target, p core.Plan, seed int64, instrument bool, budget uint64, fs *forkState) (exec core.Execution, sig Signature, ok bool, cause fallbackCause) {
+	if fs.unsnapshotable {
+		return core.Execution{}, 0, false, fallbackUnsnapshotable
+	}
 	cp := fs.forkPoint(p)
 	if cp == nil {
-		return core.Execution{}, 0, false
+		return core.Execution{}, 0, false, fallbackNone
 	}
 	defer func() {
 		if recover() != nil {
-			exec, sig, ok = core.Execution{}, 0, false
+			exec, sig, ok, cause = core.Execution{}, 0, false, fallbackRestoreError
 		}
 	}()
 	if budget == 0 {
@@ -226,7 +251,7 @@ func runForked(t core.Target, p core.Plan, seed int64, instrument bool, budget u
 	}
 	c2, err := cp.snap.NewCluster()
 	if err != nil {
-		return core.Execution{}, 0, false
+		return core.Execution{}, 0, false, fallbackRestoreError
 	}
 	k := c2.World.Kernel()
 	var rec *trace.Recorder
@@ -242,7 +267,7 @@ func runForked(t core.Target, p core.Plan, seed int64, instrument bool, budget u
 	p.Apply(c2)
 	k.SetStrictPast(false)
 	if k.StrictViolation() != "" {
-		return core.Execution{}, 0, false
+		return core.Execution{}, 0, false, fallbackStrictPast
 	}
 	shift := k.Seq() - fs.buildSeq
 	// (2) Workload rehydration burns the sequence numbers of pre-checkpoint
@@ -252,8 +277,8 @@ func runForked(t core.Target, p core.Plan, seed int64, instrument bool, budget u
 	k.EndRehydrate()
 	// (3) Pending events return with their original tie-break order,
 	// shifted past the plan's allocation band.
-	if err := c2.InstallPending(cp.snap.Kernel.Pending, fs.buildSeq, shift); err != nil {
-		return core.Execution{}, 0, false
+	if err := c2.InstallPending(cp.snap.Kernel.Pending, fs.buildSeq, int64(shift)); err != nil {
+		return core.Execution{}, 0, false, fallbackRestoreError
 	}
 	// (4) Fast-forward the counter to the prefix counter plus the shift and
 	// run to the horizon under the same watchdog budget as a full replay.
@@ -264,7 +289,7 @@ func runForked(t core.Target, p core.Plan, seed int64, instrument bool, budget u
 	if k.Steps() >= fs.buildSteps+budget && k.Now() < deadline {
 		// Livelocked: discard the fork so the full replay produces the
 		// canonical Hung record.
-		return core.Execution{}, 0, false
+		return core.Execution{}, 0, false, fallbackWatchdog
 	}
 	exec = core.Execution{
 		Plan:       p,
@@ -275,5 +300,5 @@ func runForked(t core.Target, p core.Plan, seed int64, instrument bool, budget u
 	if instrument {
 		sig = signatureOf(rec.T, exec.Violations)
 	}
-	return exec, sig, true
+	return exec, sig, true, fallbackNone
 }

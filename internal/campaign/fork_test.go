@@ -60,8 +60,8 @@ func assertEquivalent(t *testing.T, off, on Result, cfgOff, cfgOn Config) {
 // campaign with Config.Snapshot produces byte-identical canonicalized
 // campaign.json artifacts and NDJSON telemetry streams to the same
 // campaign replaying every plan from t=0 — at -parallel 1, 2, and 4.
-// The k8s targets exercise the fork path for real; the cassandra-operator
-// targets are not snapshotable and prove the fallback is invisible.
+// All five targets — the k8s pair and the three cassandra-operator ones —
+// are snapshotable and exercise the fork path for real.
 func TestSnapshotMatchesFullReplay(t *testing.T) {
 	targets := []core.Target{
 		workload.Target59848(),
@@ -74,7 +74,7 @@ func TestSnapshotMatchesFullReplay(t *testing.T) {
 		target := target
 		t.Run(target.Name, func(t *testing.T) {
 			if testing.Short() && (target.Name == "cass-op-400" || target.Name == "cass-op-402") {
-				t.Skip("short mode: fallback path covered by cass-op-398")
+				t.Skip("short mode: cassandra fork path covered by cass-op-398")
 			}
 			for _, workers := range []int{1, 2, 4} {
 				cfg := Config{Workers: workers, MaxExecutions: 25, Collect: true, KeepGoing: true}
@@ -108,8 +108,11 @@ func TestSnapshotActuallyForks(t *testing.T) {
 		if i >= 20 {
 			break
 		}
-		exec, sig, ok := runForked(target, p, seed, true, 0, fs)
+		exec, sig, ok, cause := runForked(target, p, seed, true, 0, fs)
 		if !ok {
+			if cause != fallbackNone {
+				t.Fatalf("plan %d (%s): diagnosable fallback cause %d", i, p.Describe(), cause)
+			}
 			continue
 		}
 		forked++

@@ -74,10 +74,35 @@ type Stats struct {
 	CorpusRegressionPlans  int `json:"corpus_regression_plans,omitempty"`
 	CorpusSkippedPlans     int `json:"corpus_skipped_plans,omitempty"`
 	CorpusInvalidatedSeeds int `json:"corpus_invalidated_seeds,omitempty"`
+	// SnapshotFallbacks counts deterministic-set executions whose prefix
+	// fork fell back to full replay for a diagnosable cause. Nil (omitted)
+	// when every cause is zero or snapshotting is off, so snapshot-on and
+	// snapshot-off artifacts stay byte-identical on healthy substrates. The
+	// counts are a pure function of (target, seed, plan set) — forks never
+	// race — so they survive canonicalization.
+	SnapshotFallbacks *SnapshotFallbacks `json:"snapshot_fallbacks,omitempty"`
 	// WallNanos is the campaign's wall-clock time; ExecutionsPerSec is
 	// RawExecutions normalized by it.
 	WallNanos        int64   `json:"wall_ns"`
 	ExecutionsPerSec float64 `json:"executions_per_sec"`
+}
+
+// SnapshotFallbacks breaks down fork-to-full-replay fallbacks by cause.
+// Routine "no qualifying checkpoint" replays are not fallbacks and are not
+// counted; these four causes all indicate a snapshot-layer defect or a
+// component contract violation worth investigating.
+type SnapshotFallbacks struct {
+	Unsnapshotable int `json:"unsnapshotable,omitempty"`
+	StrictPast     int `json:"strict_past,omitempty"`
+	RestoreError   int `json:"restore_error,omitempty"`
+	Watchdog       int `json:"watchdog,omitempty"`
+}
+
+func (f *SnapshotFallbacks) total() int {
+	if f == nil {
+		return 0
+	}
+	return f.Unsnapshotable + f.StrictPast + f.RestoreError + f.Watchdog
 }
 
 func (s Stats) String() string {
@@ -89,6 +114,9 @@ func (s Stats) String() string {
 	}
 	if s.FailedExecutions > 0 || s.HungExecutions > 0 {
 		out += fmt.Sprintf(", %d FAILED, %d HUNG", s.FailedExecutions, s.HungExecutions)
+	}
+	if n := s.SnapshotFallbacks.total(); n > 0 {
+		out += fmt.Sprintf(", %d snapshot fallbacks", n)
 	}
 	if s.PlansPruned > 0 || s.PlansDeduped > 0 {
 		out += fmt.Sprintf(", %d pruned + %d deduped (%d deferred executed)",
@@ -209,6 +237,7 @@ type aggregator struct {
 	corpusRegression  int
 	corpusSkipped     int
 	corpusInvalidated int
+	fallbacks         SnapshotFallbacks
 	classes           map[string]bool
 	sigs              map[Signature]bool
 	buckets           map[Signature]*FailureBucket
@@ -234,11 +263,28 @@ func newAggregator(cfg Config) *aggregator {
 // detection made redundant.
 func (a *aggregator) noteRaw() { a.raw++ }
 
+// noteFallback counts one diagnosable fork fallback from outside the
+// deterministic execution set (the explain pass's tree probes).
+// fallbackNone — a probe with no eligible rung — is routine and ignored.
+func (a *aggregator) noteFallback(c fallbackCause) {
+	switch c {
+	case fallbackUnsnapshotable:
+		a.fallbacks.Unsnapshotable++
+	case fallbackStrictPast:
+		a.fallbacks.StrictPast++
+	case fallbackRestoreError:
+		a.fallbacks.RestoreError++
+	case fallbackWatchdog:
+		a.fallbacks.Watchdog++
+	}
+}
+
 // add records one executed slot from the deterministic execution set.
 func (a *aggregator) add(seedIdx int, seed int64, sl slot, instrumented bool) {
 	if sl.exec.Detected {
 		a.detections++
 	}
+	a.noteFallback(sl.fallback)
 	if len(sl.exec.Violations) > 0 {
 		a.violating++
 	}
@@ -377,6 +423,10 @@ func (a *aggregator) stats(cfg Config, wall time.Duration) Stats {
 		CorpusSkippedPlans:       a.corpusSkipped,
 		CorpusInvalidatedSeeds:   a.corpusInvalidated,
 		WallNanos:                wall.Nanoseconds(),
+	}
+	if a.fallbacks.total() > 0 {
+		fb := a.fallbacks
+		st.SnapshotFallbacks = &fb
 	}
 	if cfg.instrumented() {
 		st.CoverageClasses = len(a.classes)

@@ -111,6 +111,11 @@ type telemetryEvent struct {
 	CorpusRegressionPlans  *int `json:"corpus_regression_plans,omitempty"`
 	CorpusSkippedPlans     *int `json:"corpus_skipped_plans,omitempty"`
 	CorpusInvalidatedSeeds *int `json:"corpus_invalidated_seeds,omitempty"`
+	// SnapshotFallbacks is emitted on campaign_end only when at least one
+	// fork fell back for a diagnosable cause, so healthy snapshot-on
+	// streams stay byte-identical to snapshot-off streams. The counts are
+	// a pure function of the deterministic execution set.
+	SnapshotFallbacks *SnapshotFallbacks `json:"snapshot_fallbacks,omitempty"`
 }
 
 func boolPtr(b bool) *bool    { return &b }
@@ -253,6 +258,10 @@ func WriteNDJSON(w io.Writer, res Result, cfg Config) error {
 		end.CorpusRegressionPlans = intPtr(res.Stats.CorpusRegressionPlans)
 		end.CorpusSkippedPlans = intPtr(res.Stats.CorpusSkippedPlans)
 		end.CorpusInvalidatedSeeds = intPtr(res.Stats.CorpusInvalidatedSeeds)
+	}
+	if res.Stats.SnapshotFallbacks.total() > 0 {
+		fb := *res.Stats.SnapshotFallbacks
+		end.SnapshotFallbacks = &fb
 	}
 	return emit(end)
 }

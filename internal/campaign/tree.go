@@ -1,0 +1,362 @@
+package campaign
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/infra"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file generalizes the flat checkpoint ladder (fork.go) into a
+// checkpoint TREE: rungs captured mid-plan, during an execution of a base
+// plan P, after P's perturbed prefix has already played out. A candidate
+// plan Q that shares P's prefix up to a rung's capture instant forks from
+// that rung instead of replaying warmup + workload + the shared
+// perturbations from t=0. The minimization pass (core.MinimizeSeedRun) and
+// the explanation pass's instrumented re-execution are the consumers: both
+// probe many variants of one detected plan, and those variants share most
+// of the detected plan's prefix by construction.
+//
+// Fork discipline follows fork.go with one addition: Q.Apply runs in
+// rehydration mode, so sub-plan timers whose fire time precedes the rung —
+// shared perturbations whose effects are already inside the snapshot —
+// burn their sequence numbers without firing, exactly replicating the
+// allocation pattern of Q's full replay.
+//
+// Eligibility is conservative, proven per (rung, Q) pair:
+//
+//   - the divergence bound d is the earliest effect of any sub-plan in the
+//     symmetric difference of P's and Q's sub-plan multisets, evaluated
+//     against BOTH the unperturbed reference trace and the base run's
+//     perturbed trace (a perturbation can move a mined delivery);
+//   - occurrence-counted gap sub-plans contribute their first matching
+//     delivery in both streams even when shared: their interceptor state
+//     (matches seen) is not part of a snapshot, so a fork is exact only
+//     when counting had not started by the rung;
+//   - a rung qualifies iff its capture instant is at or before d; any
+//     sub-plan with an unbounded effect time, or an occurrence-counted gap
+//     when the base trace dropped watch pushes (the match stream is then
+//     incomplete), disqualifies the tree for that Q entirely.
+//
+// Anything that fails these checks — or trips the restore/watchdog guards
+// at fork time — falls back to core.RunPlanSeed, whose result is
+// canonical, so tree-on and tree-off campaigns produce identical minimal
+// plans and causal explanations.
+
+// rung is one checkpoint of the tree: a snapshot captured mid-plan plus
+// the base run's trace prefix at the capture instant.
+type rung struct {
+	at    sim.Time
+	snap  *infra.Snapshot
+	trace *trace.Trace
+}
+
+// planTree is the per-(target, seed, base plan) fork substrate for
+// minimization probes and explain re-executions.
+type planTree struct {
+	seed       int64
+	base       core.Plan
+	baseKeys   map[string]subCount
+	ref        *trace.Trace
+	baseTrace  *trace.Trace
+	baseDrops  int
+	baseExec   core.Execution
+	buildSeq   uint64
+	buildSteps uint64
+	buildEnd   sim.Time
+	horizon    sim.Duration
+	shiftBase  uint64
+	rungs      []rung
+}
+
+// subCount is one entry of a sub-plan multiset: a representative plan and
+// its multiplicity.
+type subCount struct {
+	plan  core.Plan
+	count int
+}
+
+// buildPlanTree executes base once from t=0, capturing rungs at the
+// quantile effect times of its sub-plans (and at the build boundary), and
+// finishes the run so the base execution's own result and complete
+// perturbed trace are available. Returns nil when the substrate cannot be
+// built — the caller then probes with full replays.
+func buildPlanTree(t core.Target, base core.Plan, seed int64, ref *trace.Trace) (pt *planTree) {
+	defer func() {
+		if recover() != nil {
+			pt = nil
+		}
+	}()
+	c := t.Build(seed)
+	if !c.Snapshotable() {
+		return nil
+	}
+	k := c.World.Kernel()
+	pt = &planTree{
+		seed:       seed,
+		base:       base,
+		baseKeys:   subplanMultiset(base),
+		ref:        ref,
+		buildSeq:   k.Seq(),
+		buildSteps: k.Steps(),
+		buildEnd:   k.Now(),
+		horizon:    t.Horizon,
+	}
+	rec := trace.NewRecorder()
+	rec.Attach(c.World.Network(), c.Store.Store())
+	// Tag the plan band so its pending timers are identifiable in rung
+	// snapshots: forks skip them and recreate Q's own via Q.Apply. Nested
+	// timers scheduled by a plan action at fire time stay untagged — a rung
+	// whose capture instant has one pending simply fails to capture.
+	ptag := sim.EventTag{Owner: "plan", Kind: "action"}
+	k.SetDefaultTag(&ptag)
+	base.Apply(c)
+	k.SetDefaultTag(nil)
+	pt.shiftBase = k.Seq() - pt.buildSeq
+	wtag := sim.EventTag{Owner: "workload", Kind: "action"}
+	k.SetDefaultTag(&wtag)
+	t.Workload(c)
+	k.SetDefaultTag(nil)
+	pt.baseTrace = rec.T
+
+	end := pt.buildEnd.Add(t.Horizon)
+	for _, cand := range treeCandidateTimes(pt, end) {
+		if cand < k.Now() {
+			continue // a previous capture slid past this candidate
+		}
+		k.Run(cand)
+		snap, ok := captureWithSlide(c, k, end)
+		if !ok {
+			continue
+		}
+		pt.rungs = append(pt.rungs, rung{at: k.Now(), snap: snap, trace: rec.T.Fork()})
+	}
+	// Finish the base run: the complete perturbed trace backs occurrence
+	// eligibility, and the base execution doubles as the minimizer's
+	// initial reproduction probe.
+	k.Run(end)
+	for _, n := range rec.T.DroppedPushes {
+		pt.baseDrops += n
+	}
+	pt.baseExec = core.Execution{
+		Plan:       base,
+		Seed:       seed,
+		Violations: c.Violations(),
+		Detected:   c.Oracles.Violated(t.Bug),
+	}
+	if len(pt.rungs) == 0 {
+		return nil
+	}
+	return pt
+}
+
+// treeCandidateTimes mirrors candidateTimes for the tree: the build
+// boundary plus quantiles of the base plan's sub-plan effect times against
+// the reference trace (placement is a heuristic; soundness is enforced
+// per-fork by divergence).
+func treeCandidateTimes(pt *planTree, end sim.Time) []sim.Time {
+	var effs []sim.Time
+	for _, sc := range pt.baseKeys {
+		eff, ok := core.EarliestEffect(sc.plan, pt.ref)
+		if !ok {
+			continue
+		}
+		if eff > pt.buildEnd && eff < end {
+			for i := 0; i < sc.count; i++ {
+				effs = append(effs, eff)
+			}
+		}
+	}
+	sort.Slice(effs, func(i, j int) bool { return effs[i] < effs[j] })
+	out := []sim.Time{pt.buildEnd}
+	quota := maxCheckpoints - 1
+	if len(effs) == 0 {
+		return out
+	}
+	for i := 0; i < quota; i++ {
+		idx := i * (len(effs) - 1) / (quota - 1)
+		cand := effs[idx].Add(-captureMargin)
+		if cand <= pt.buildEnd {
+			continue
+		}
+		if out[len(out)-1] != cand {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// subplanMultiset flattens a plan into its sub-plan multiset, keyed by
+// ID+Describe (IDs alone omit some secondary parameters).
+func subplanMultiset(p core.Plan) map[string]subCount {
+	out := make(map[string]subCount)
+	var walk func(core.Plan)
+	walk = func(q core.Plan) {
+		if sp, ok := q.(core.SequencePlan); ok {
+			for _, sub := range sp.Plans {
+				walk(sub)
+			}
+			return
+		}
+		key := q.ID() + "\x00" + q.Describe()
+		sc := out[key]
+		sc.plan = q
+		sc.count++
+		out[key] = sc
+	}
+	walk(p)
+	return out
+}
+
+// isOccurrenceGap reports whether p is an occurrence-counted gap plan —
+// the one plan kind whose interceptor carries state a snapshot cannot hold.
+func isOccurrenceGap(p core.Plan) bool {
+	gp, ok := p.(core.GapPlan)
+	return ok && gp.Occurrence > 0
+}
+
+// divergence returns the latest instant up to which an execution of q is
+// provably identical to the base run, or ok=false when no such bound can
+// be established.
+func (pt *planTree) divergence(q core.Plan) (sim.Time, bool) {
+	qKeys := subplanMultiset(q)
+	d := sim.Time(math.MaxInt64)
+	consider := func(sub core.Plan) bool {
+		effRef, ok := core.EarliestEffect(sub, pt.ref)
+		if !ok {
+			return false
+		}
+		effBase, ok := core.EarliestEffect(sub, pt.baseTrace)
+		if !ok {
+			return false
+		}
+		eff := effRef
+		if effBase < eff {
+			eff = effBase
+		}
+		if eff < d {
+			d = eff
+		}
+		return true
+	}
+	keys := make([]string, 0, len(pt.baseKeys)+len(qKeys))
+	for k := range pt.baseKeys {
+		keys = append(keys, k)
+	}
+	for k := range qKeys {
+		if _, dup := pt.baseKeys[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, inQ := pt.baseKeys[k], qKeys[k]
+		sub := b.plan
+		if sub == nil {
+			sub = inQ.plan
+		}
+		occ := isOccurrenceGap(sub)
+		if occ && pt.baseDrops > 0 {
+			// The base trace lost watch pushes; its match stream is
+			// incomplete and no occurrence bound is trustworthy.
+			return 0, false
+		}
+		switch {
+		case b.count != inQ.count:
+			if !consider(sub) {
+				return 0, false
+			}
+		case occ && b.count > 0:
+			// Shared occurrence gap: the fork's fresh interceptor starts at
+			// zero matches, so counting must not have begun by the rung.
+			if !consider(sub) {
+				return 0, false
+			}
+		}
+	}
+	return d, true
+}
+
+// forkRung returns the latest rung at or before q's divergence bound, or
+// nil when none qualifies.
+func (pt *planTree) forkRung(q core.Plan) *rung {
+	d, ok := pt.divergence(q)
+	if !ok {
+		return nil
+	}
+	var best *rung
+	for i := range pt.rungs {
+		if pt.rungs[i].at <= d {
+			best = &pt.rungs[i]
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// run executes q by forking from the deepest eligible rung. With
+// instrument set the returned trace is the full perturbed trace from t=0
+// (rung prefix + recorded suffix), as perturbedTrace would produce.
+// ok=false means the caller must fall back to a full replay; cause
+// classifies diagnosable failures exactly as runForked does.
+func (pt *planTree) run(t core.Target, q core.Plan, instrument bool) (exec core.Execution, tr *trace.Trace, ok bool, cause fallbackCause) {
+	if !instrument && q.ID() == pt.base.ID() && q.Describe() == pt.base.Describe() {
+		return pt.baseExec, nil, true, fallbackNone
+	}
+	rg := pt.forkRung(q)
+	if rg == nil {
+		return core.Execution{}, nil, false, fallbackNone
+	}
+	defer func() {
+		if recover() != nil {
+			exec, tr, ok, cause = core.Execution{}, nil, false, fallbackRestoreError
+		}
+	}()
+	c2, err := rg.snap.NewCluster()
+	if err != nil {
+		return core.Execution{}, nil, false, fallbackRestoreError
+	}
+	k := c2.World.Kernel()
+	var rec *trace.Recorder
+	if instrument {
+		rec = trace.NewRecorderFor(rg.trace.Fork())
+		rec.Attach(c2.World.Network(), c2.Store.Store())
+	}
+	// Q's plan band replays directly after the Build boundary, in
+	// rehydration mode: shared sub-plan timers that already fired inside
+	// the prefix burn their numbers, later ones schedule for real.
+	k.SetSeq(pt.buildSeq)
+	k.BeginRehydrate(rg.snap.Kernel.Now)
+	q.Apply(c2)
+	shiftQ := k.Seq() - pt.buildSeq
+	t.Workload(c2)
+	k.EndRehydrate()
+	// Pending component events shift by the DIFFERENCE between Q's and the
+	// base plan's allocation bands — signed, since Q usually allocates less
+	// (minimization removes sub-plans).
+	delta := int64(shiftQ) - int64(pt.shiftBase)
+	if err := c2.InstallPending(rg.snap.Kernel.Pending, pt.buildSeq, delta); err != nil {
+		return core.Execution{}, nil, false, fallbackRestoreError
+	}
+	k.SetSeq(uint64(int64(rg.snap.Kernel.Seq) + delta))
+	k.SetMaxSteps(pt.buildSteps + DefaultEventBudget)
+	deadline := pt.buildEnd.Add(pt.horizon)
+	k.Run(deadline)
+	if k.Steps() >= pt.buildSteps+DefaultEventBudget && k.Now() < deadline {
+		return core.Execution{}, nil, false, fallbackWatchdog
+	}
+	exec = core.Execution{
+		Plan:       q,
+		Seed:       pt.seed,
+		Violations: c2.Violations(),
+		Detected:   c2.Oracles.Violated(t.Bug),
+	}
+	if instrument {
+		tr = rec.T
+	}
+	return exec, tr, true, fallbackNone
+}

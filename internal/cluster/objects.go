@@ -230,8 +230,22 @@ func Key(kind Kind, name string) string {
 	return RegistryPrefix + string(kind) + "/" + name
 }
 
+// kindPrefixes interns the prefixes of the well-known kinds: KindPrefix is
+// called on hot read paths and the concatenation allocates.
+var kindPrefixes = map[Kind]string{
+	KindPod:       RegistryPrefix + string(KindPod) + "/",
+	KindNode:      RegistryPrefix + string(KindNode) + "/",
+	KindPVC:       RegistryPrefix + string(KindPVC) + "/",
+	KindCassandra: RegistryPrefix + string(KindCassandra) + "/",
+	KindRegion:    RegistryPrefix + string(KindRegion) + "/",
+	KindAppSet:    RegistryPrefix + string(KindAppSet) + "/",
+}
+
 // KindPrefix returns the store key prefix holding all objects of a kind.
 func KindPrefix(kind Kind) string {
+	if p, ok := kindPrefixes[kind]; ok {
+		return p
+	}
 	return RegistryPrefix + string(kind) + "/"
 }
 

@@ -117,6 +117,7 @@ func (c *AppSetController) boot() {
 	c.conn = client.NewConn(c.world, c.id, c.cfg.APIServer, c.cfg.RPCTimeout)
 	c.queue = controller.NewQueue(c.world.Kernel(), controller.DefaultQueueConfig(),
 		controller.ReconcilerFunc(c.reconcile))
+	c.queue.SetOwner(string(c.id))
 	c.appInf = client.NewInformer(c.conn, cluster.KindAppSet, client.InformerConfig{WatchTimeout: sim.Second})
 	c.appInf.AddHandler(controller.EnqueueHandler{Queue: c.queue})
 	c.podInf = client.NewInformer(c.conn, cluster.KindPod, client.InformerConfig{WatchTimeout: sim.Second})
@@ -140,15 +141,20 @@ func (c *AppSetController) enqueueOwner(p *cluster.Object) {
 }
 
 func (c *AppSetController) scheduleResync(epoch uint64) {
-	c.world.Kernel().Schedule(c.cfg.ResyncInterval, func() {
-		if c.down || epoch != c.epoch {
-			return
-		}
-		for _, app := range c.appInf.ListCached() {
-			c.queue.Add(app.Meta.Name)
-		}
-		c.scheduleResync(epoch)
-	})
+	tag := sim.EventTag{Owner: string(c.id), Kind: "resync", Epoch: epoch}
+	c.world.Kernel().ScheduleTagged(c.cfg.ResyncInterval, tag, func() { c.resyncFire(epoch) })
+}
+
+// resyncFire is the resync timer body, named so a restored cluster can
+// rearm a pending resync event by tag.
+func (c *AppSetController) resyncFire(epoch uint64) {
+	if c.down || epoch != c.epoch {
+		return
+	}
+	for _, app := range c.appInf.ListCached() {
+		c.queue.Add(app.Meta.Name)
+	}
+	c.scheduleResync(epoch)
 }
 
 func (c *AppSetController) podName(app string, ordinal int) string {

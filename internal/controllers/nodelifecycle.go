@@ -109,13 +109,18 @@ func (c *NodeLifecycleController) boot() {
 }
 
 func (c *NodeLifecycleController) scheduleCheck(epoch uint64) {
-	c.world.Kernel().Schedule(c.cfg.CheckInterval, func() {
-		if c.down || epoch != c.epoch {
-			return
-		}
-		c.check(epoch)
-		c.scheduleCheck(epoch)
-	})
+	tag := sim.EventTag{Owner: string(c.id), Kind: "check", Epoch: epoch}
+	c.world.Kernel().ScheduleTagged(c.cfg.CheckInterval, tag, func() { c.checkFire(epoch) })
+}
+
+// checkFire is the heartbeat-scan timer body, named so a restored cluster
+// can rearm a pending check event by tag.
+func (c *NodeLifecycleController) checkFire(epoch uint64) {
+	if c.down || epoch != c.epoch {
+		return
+	}
+	c.check(epoch)
+	c.scheduleCheck(epoch)
 }
 
 func (c *NodeLifecycleController) check(epoch uint64) {

@@ -1,0 +1,275 @@
+package controllers
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/sim"
+)
+
+// This file gives every built-in controller a snapshot/restore pair
+// following the scheduler's contract: mutable maps are deep-copied at
+// capture, informer caches travel inside the connection snapshot, and
+// pending kernel timers are re-installed by the orchestration via Rearm.
+
+// VolumeSnapshot captures the volume releaser at a checkpoint.
+type VolumeSnapshot struct {
+	Cfg      VolumeConfig
+	Down     bool
+	Epoch    uint64
+	Releases int
+
+	Conn         *client.ConnSnapshot
+	HasInformers bool
+	PodSub       uint64
+	PVCSub       uint64
+}
+
+// Snapshot captures the controller's state. It fails (ok=false) when an
+// RPC call is in flight.
+func (c *VolumeController) Snapshot() (*VolumeSnapshot, bool) {
+	cs, ok := c.conn.Snapshot()
+	if !ok {
+		return nil, false
+	}
+	snap := &VolumeSnapshot{
+		Cfg:      c.cfg,
+		Down:     c.down,
+		Epoch:    c.epoch,
+		Releases: c.Releases,
+		Conn:     cs,
+	}
+	if c.podInf != nil && c.pvcInf != nil {
+		snap.HasInformers = true
+		snap.PodSub = c.podInf.SubID()
+		snap.PVCSub = c.pvcInf.SubID()
+	}
+	return snap, true
+}
+
+// RestoreVolume reconstructs a volume controller from a snapshot inside
+// world w. The controller attaches no informer handlers (it is purely
+// poll-driven), so restore only needs the cache pointers; no timers are
+// armed.
+func RestoreVolume(w *sim.World, snap *VolumeSnapshot) *VolumeController {
+	c := &VolumeController{
+		id:       VolumeControllerID,
+		world:    w,
+		cfg:      snap.Cfg,
+		down:     snap.Down,
+		epoch:    snap.Epoch,
+		Releases: snap.Releases,
+	}
+	w.Network().Register(c.id, c)
+	w.AddProcess(c)
+	c.conn = client.RestoreConn(w, snap.Conn)
+	if snap.HasInformers {
+		c.podInf = mustInformer(c.conn, snap.PodSub, "volume", "pod")
+		c.pvcInf = mustInformer(c.conn, snap.PVCSub, "volume", "PVC")
+	}
+	return c
+}
+
+// Rearm returns the callback for a pending kernel event owned by the
+// volume controller.
+func (c *VolumeController) Rearm(tag sim.EventTag) (func(), error) {
+	switch tag.Kind {
+	case "inf-liveness", "inf-relist":
+		return c.conn.RearmInformer(tag)
+	case "poll":
+		epoch := tag.Epoch
+		return func() { c.pollFire(epoch) }, nil
+	default:
+		return nil, fmt.Errorf("volume: unknown pending event kind %q", tag.Kind)
+	}
+}
+
+// NodeLifecycleSnapshot captures the node lifecycle controller at a
+// checkpoint.
+type NodeLifecycleSnapshot struct {
+	Cfg            NodeLifecycleConfig
+	Down           bool
+	Epoch          uint64
+	MarkedNotReady int
+	DeletedNodes   int
+	EvictedPods    int
+
+	Conn         *client.ConnSnapshot
+	HasInformers bool
+	NodeSub      uint64
+	PodSub       uint64
+}
+
+// Snapshot captures the controller's state. It fails (ok=false) when an
+// RPC call is in flight.
+func (c *NodeLifecycleController) Snapshot() (*NodeLifecycleSnapshot, bool) {
+	cs, ok := c.conn.Snapshot()
+	if !ok {
+		return nil, false
+	}
+	snap := &NodeLifecycleSnapshot{
+		Cfg:            c.cfg,
+		Down:           c.down,
+		Epoch:          c.epoch,
+		MarkedNotReady: c.MarkedNotReady,
+		DeletedNodes:   c.DeletedNodes,
+		EvictedPods:    c.EvictedPods,
+		Conn:           cs,
+	}
+	if c.nodeInf != nil && c.podInf != nil {
+		snap.HasInformers = true
+		snap.NodeSub = c.nodeInf.SubID()
+		snap.PodSub = c.podInf.SubID()
+	}
+	return snap, true
+}
+
+// RestoreNodeLifecycle reconstructs a node lifecycle controller from a
+// snapshot inside world w. No handlers (timer-driven) and no timers armed.
+func RestoreNodeLifecycle(w *sim.World, snap *NodeLifecycleSnapshot) *NodeLifecycleController {
+	c := &NodeLifecycleController{
+		id:             NodeLifecycleID,
+		world:          w,
+		cfg:            snap.Cfg,
+		down:           snap.Down,
+		epoch:          snap.Epoch,
+		MarkedNotReady: snap.MarkedNotReady,
+		DeletedNodes:   snap.DeletedNodes,
+		EvictedPods:    snap.EvictedPods,
+	}
+	w.Network().Register(c.id, c)
+	w.AddProcess(c)
+	c.conn = client.RestoreConn(w, snap.Conn)
+	if snap.HasInformers {
+		c.nodeInf = mustInformer(c.conn, snap.NodeSub, "node-lifecycle", "node")
+		c.podInf = mustInformer(c.conn, snap.PodSub, "node-lifecycle", "pod")
+	}
+	return c
+}
+
+// Rearm returns the callback for a pending kernel event owned by the node
+// lifecycle controller.
+func (c *NodeLifecycleController) Rearm(tag sim.EventTag) (func(), error) {
+	switch tag.Kind {
+	case "inf-liveness", "inf-relist":
+		return c.conn.RearmInformer(tag)
+	case "check":
+		epoch := tag.Epoch
+		return func() { c.checkFire(epoch) }, nil
+	default:
+		return nil, fmt.Errorf("node-lifecycle: unknown pending event kind %q", tag.Kind)
+	}
+}
+
+// AppSetSnapshot captures the appset controller at a checkpoint.
+type AppSetSnapshot struct {
+	Cfg        AppSetConfig
+	Down       bool
+	Epoch      uint64
+	UIDs       int
+	Replacing  map[string]int
+	PodCreates int
+	PodDeletes int
+	Rollouts   int
+
+	Conn         *client.ConnSnapshot
+	HasInformers bool
+	AppSub       uint64
+	PodSub       uint64
+	Queue        *controller.QueueSnapshot
+}
+
+// Snapshot captures the controller's state. It fails (ok=false) when an
+// RPC call is in flight.
+func (c *AppSetController) Snapshot() (*AppSetSnapshot, bool) {
+	cs, ok := c.conn.Snapshot()
+	if !ok {
+		return nil, false
+	}
+	snap := &AppSetSnapshot{
+		Cfg:        c.cfg,
+		Down:       c.down,
+		Epoch:      c.epoch,
+		UIDs:       c.uids.Counter(),
+		Replacing:  make(map[string]int, len(c.replacing)),
+		PodCreates: c.PodCreates,
+		PodDeletes: c.PodDeletes,
+		Rollouts:   c.Rollouts,
+		Conn:       cs,
+		Queue:      c.queue.Snapshot(),
+	}
+	for app, n := range c.replacing {
+		snap.Replacing[app] = n
+	}
+	if c.appInf != nil && c.podInf != nil {
+		snap.HasInformers = true
+		snap.AppSub = c.appInf.SubID()
+		snap.PodSub = c.podInf.SubID()
+	}
+	return snap, true
+}
+
+// RestoreAppSet reconstructs an appset controller from a snapshot inside
+// world w. Informer handlers are re-attached without cache replay; no
+// timers are armed.
+func RestoreAppSet(w *sim.World, snap *AppSetSnapshot) *AppSetController {
+	c := &AppSetController{
+		id:         AppSetControllerID,
+		world:      w,
+		cfg:        snap.Cfg,
+		down:       snap.Down,
+		epoch:      snap.Epoch,
+		uids:       cluster.NewUIDGen("appset"),
+		replacing:  make(map[string]int, len(snap.Replacing)),
+		PodCreates: snap.PodCreates,
+		PodDeletes: snap.PodDeletes,
+		Rollouts:   snap.Rollouts,
+	}
+	c.uids.SetCounter(snap.UIDs)
+	for app, n := range snap.Replacing {
+		c.replacing[app] = n
+	}
+	w.Network().Register(c.id, c)
+	w.AddProcess(c)
+	c.conn = client.RestoreConn(w, snap.Conn)
+	c.queue = controller.RestoreQueue(w.Kernel(), snap.Queue, controller.ReconcilerFunc(c.reconcile))
+	if snap.HasInformers {
+		appInf := mustInformer(c.conn, snap.AppSub, "appset", "appset")
+		appInf.RestoreHandler(controller.EnqueueHandler{Queue: c.queue})
+		c.appInf = appInf
+		podInf := mustInformer(c.conn, snap.PodSub, "appset", "pod")
+		podInf.RestoreHandler(client.HandlerFuncs{
+			AddFunc:    func(p *cluster.Object) { c.enqueueOwner(p) },
+			UpdateFunc: func(_, p *cluster.Object) { c.enqueueOwner(p) },
+			DeleteFunc: func(p *cluster.Object) { c.enqueueOwner(p) },
+		})
+		c.podInf = podInf
+	}
+	return c
+}
+
+// Rearm returns the callback for a pending kernel event owned by the
+// appset controller.
+func (c *AppSetController) Rearm(tag sim.EventTag) (func(), error) {
+	switch tag.Kind {
+	case "addafter", "process":
+		return c.queue.Rearm(tag)
+	case "inf-liveness", "inf-relist":
+		return c.conn.RearmInformer(tag)
+	case "resync":
+		epoch := tag.Epoch
+		return func() { c.resyncFire(epoch) }, nil
+	default:
+		return nil, fmt.Errorf("appset: unknown pending event kind %q", tag.Kind)
+	}
+}
+
+func mustInformer(conn *client.Conn, sub uint64, who, kind string) *client.Informer {
+	inf, ok := conn.Informer(sub)
+	if !ok {
+		panic(fmt.Sprintf("%s: restore: %s informer sub %d missing", who, kind, sub))
+	}
+	return inf
+}

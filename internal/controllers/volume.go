@@ -109,13 +109,18 @@ func (c *VolumeController) boot() {
 }
 
 func (c *VolumeController) schedulePoll(epoch uint64) {
-	c.world.Kernel().Schedule(c.cfg.PollInterval, func() {
-		if c.down || epoch != c.epoch {
-			return
-		}
-		c.poll(epoch)
-		c.schedulePoll(epoch)
-	})
+	tag := sim.EventTag{Owner: string(c.id), Kind: "poll", Epoch: epoch}
+	c.world.Kernel().ScheduleTagged(c.cfg.PollInterval, tag, func() { c.pollFire(epoch) })
+}
+
+// pollFire is the poll timer body, named so a restored cluster can rearm a
+// pending poll event by tag.
+func (c *VolumeController) pollFire(epoch uint64) {
+	if c.down || epoch != c.epoch {
+		return
+	}
+	c.poll(epoch)
+	c.schedulePoll(epoch)
 }
 
 // poll is one sparse read of S': scan cached PVCs and decide releases.

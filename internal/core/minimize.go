@@ -34,10 +34,23 @@ func Minimize(t Target, p Plan) (Plan, int) { return MinimizeSeed(t, p, 1) }
 // discovered under, so the initial reproduction check and each removal
 // probe replay the exact execution the campaign saw.
 func MinimizeSeed(t Target, p Plan, seed int64) (Plan, int) {
+	return MinimizeSeedRun(t, p, seed, RunPlanSeed)
+}
+
+// PlanRunner executes one candidate plan under a fixed (target, seed) and
+// returns the resulting execution. RunPlanSeed is the canonical full-replay
+// runner; callers with a faster exact-equivalent path (the campaign
+// engine's checkpoint-tree forks) substitute their own. A PlanRunner MUST
+// be execution-equivalent to RunPlanSeed — minimization correctness
+// depends on each probe reproducing the replay the campaign saw.
+type PlanRunner func(t Target, p Plan, seed int64) Execution
+
+// MinimizeSeedRun is MinimizeSeed with an explicit candidate runner.
+func MinimizeSeedRun(t Target, p Plan, seed int64, run PlanRunner) (Plan, int) {
 	executions := 0
 	detects := func(candidate Plan) bool {
 		executions++
-		return RunPlanSeed(t, candidate, seed).Detected
+		return run(t, candidate, seed).Detected
 	}
 	if !detects(p) {
 		// Not reproducible (should not happen for a plan a campaign just
@@ -133,10 +146,15 @@ func NarrowWindow(t Target, p StalenessPlan) (StalenessPlan, int) {
 // NarrowWindowSeed is NarrowWindow under an explicit world seed, verifying
 // every probe with the seed the plan was discovered under.
 func NarrowWindowSeed(t Target, p StalenessPlan, seed int64) (StalenessPlan, int) {
+	return NarrowWindowSeedRun(t, p, seed, RunPlanSeed)
+}
+
+// NarrowWindowSeedRun is NarrowWindowSeed with an explicit probe runner.
+func NarrowWindowSeedRun(t Target, p StalenessPlan, seed int64, run PlanRunner) (StalenessPlan, int) {
 	executions := 0
 	detects := func(candidate StalenessPlan) bool {
 		executions++
-		return RunPlanSeed(t, candidate, seed).Detected
+		return run(t, candidate, seed).Detected
 	}
 	if !detects(p) {
 		return p, executions
@@ -168,10 +186,16 @@ func NarrowWindowSeed(t Target, p StalenessPlan, seed int64) (StalenessPlan, int
 // degraded schedule is a pure function of plan + seed), so the search is
 // exact even though the degradation itself is probabilistic.
 func NarrowFlakyWindowSeed(t Target, p FlakyLinkPlan, seed int64) (FlakyLinkPlan, int) {
+	return NarrowFlakyWindowSeedRun(t, p, seed, RunPlanSeed)
+}
+
+// NarrowFlakyWindowSeedRun is NarrowFlakyWindowSeed with an explicit probe
+// runner.
+func NarrowFlakyWindowSeedRun(t Target, p FlakyLinkPlan, seed int64, run PlanRunner) (FlakyLinkPlan, int) {
 	executions := 0
 	detects := func(candidate FlakyLinkPlan) bool {
 		executions++
-		return RunPlanSeed(t, candidate, seed).Detected
+		return run(t, candidate, seed).Detected
 	}
 	if !detects(p) {
 		return p, executions

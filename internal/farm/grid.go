@@ -92,8 +92,11 @@ func (g *Grid) validate() error {
 			return fmt.Errorf("duplicate toggle %q", t.Name)
 		}
 		names[t.Name] = true
-		if t.Ranked && !t.Prune {
-			return fmt.Errorf("toggle %q: ranked requires prune", t.Name)
+		if err := ValidateFlags(FlagRules{
+			Prune: t.Prune, Ranked: t.Ranked,
+			Explain: t.Explain, Snapshot: t.Snapshot,
+		}); err != nil {
+			return fmt.Errorf("toggle %q: %w", t.Name, err)
 		}
 	}
 	if g.Repeats < 0 {

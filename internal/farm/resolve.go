@@ -111,6 +111,41 @@ func ResolveStrategy(name string, randomSeed int64, randomN int) (core.Strategy,
 	return s, nil
 }
 
+// FlagRules carries the engine-mode switches whose combinations the CLIs
+// must agree on rejecting. Both phtest and phfarm (and the grid loader,
+// for its per-toggle switches) route through ValidateFlags, so an inert
+// or contradictory combination is rejected identically everywhere —
+// a flag set that validated for a single-process run cannot behave
+// differently when handed to the farm.
+type FlagRules struct {
+	Prune    bool
+	Ranked   bool
+	Explain  bool
+	Minimize bool // phtest's deprecated -minimize alias; always false elsewhere
+	Snapshot bool
+	Fixed    bool
+}
+
+// ValidateFlags fails fast on flag combinations that parse fine but make
+// no sense together. Each rejected combination used to be accepted and
+// silently misbehave: -ranked without -prune ran the learning phase in a
+// mode no report distinguishes from plain ordering, -minimize alongside
+// -explain double-specified the same pass through its deprecated alias,
+// and -snapshot with -fixed would fork the fixed-variant baselines whose
+// entire point is exercising the unmodified full-replay path.
+func ValidateFlags(r FlagRules) error {
+	if r.Ranked && !r.Prune {
+		return fmt.Errorf("-ranked requires -prune: impact ranking orders the learning phase's kept set, which only exists when pruning runs")
+	}
+	if r.Minimize && r.Explain {
+		return fmt.Errorf("-minimize and -explain are mutually exclusive: -minimize is a deprecated alias for -explain, pass only one")
+	}
+	if r.Snapshot && r.Fixed {
+		return fmt.Errorf("-snapshot is incompatible with -fixed: fixed-variant runs are correctness baselines and must execute full replays")
+	}
+	return nil
+}
+
 // ParseSeeds parses a comma-separated list of world seeds.
 func ParseSeeds(spec string) ([]int64, error) {
 	var out []int64

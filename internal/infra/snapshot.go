@@ -17,8 +17,11 @@ import (
 
 	"repro/internal/apiserver"
 	"repro/internal/client"
+	"repro/internal/controllers"
 	"repro/internal/kubelet"
+	"repro/internal/operators/cassandra"
 	"repro/internal/oracle"
+	"repro/internal/regions"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -35,19 +38,24 @@ type Snapshot struct {
 	APIs      []*apiserver.Snapshot
 	Kubelets  map[string]*kubelet.Snapshot
 	Scheduler *scheduler.Snapshot // nil when the scheduler is disabled
-	AdminConn *client.ConnSnapshot
-	AdminUIDs int
-	Oracles   *oracle.RunnerSnapshot
+	Volume    *controllers.VolumeSnapshot
+	NodeLC    *controllers.NodeLifecycleSnapshot
+	App       *controllers.AppSetSnapshot
+	Cassandra *cassandra.Snapshot
+	// RegionServers is keyed by server name (Opts.Regions.Servers entries).
+	RegionServers map[string]*regions.ServerSnapshot
+	RegionManager *regions.ManagerSnapshot
+	AdminConn     *client.ConnSnapshot
+	AdminUIDs     int
+	Oracles       *oracle.RunnerSnapshot
 }
 
 // Snapshotable reports whether every component in this cluster has a
-// snapshot/restore implementation. Clusters running the volume, node
-// lifecycle, or app controllers, the Cassandra operator, or the region
-// service fall back to full replay.
-func (c *Cluster) Snapshotable() bool {
-	return c.Volume == nil && c.NodeLC == nil && c.App == nil &&
-		c.Cassandra == nil && c.RegionManager == nil && len(c.RegionServers) == 0
-}
+// snapshot/restore implementation. Every built-in component — apiservers,
+// kubelets, scheduler, the volume/node-lifecycle/app controllers, the
+// Cassandra operator, and the region service — now does, so every cluster
+// assembled by New is snapshotable.
+func (c *Cluster) Snapshotable() bool { return true }
 
 // Capture snapshots the cluster. It fails (ok=false) when the instant is
 // not quiescent: an untagged kernel event is pending, a network message is
@@ -95,6 +103,47 @@ func (c *Cluster) Capture() (*Snapshot, bool) {
 		}
 		snap.Scheduler = sc
 	}
+	if c.Volume != nil {
+		vs, ok := c.Volume.Snapshot()
+		if !ok {
+			return nil, false
+		}
+		snap.Volume = vs
+	}
+	if c.NodeLC != nil {
+		ns, ok := c.NodeLC.Snapshot()
+		if !ok {
+			return nil, false
+		}
+		snap.NodeLC = ns
+	}
+	if c.App != nil {
+		as, ok := c.App.Snapshot()
+		if !ok {
+			return nil, false
+		}
+		snap.App = as
+	}
+	if c.Cassandra != nil {
+		cass, ok := c.Cassandra.Snapshot()
+		if !ok {
+			return nil, false
+		}
+		snap.Cassandra = cass
+	}
+	if len(c.RegionServers) > 0 {
+		snap.RegionServers = make(map[string]*regions.ServerSnapshot, len(c.RegionServers))
+		for name, rs := range c.RegionServers {
+			snap.RegionServers[name] = rs.Snapshot()
+		}
+	}
+	if c.RegionManager != nil {
+		ms, ok := c.RegionManager.Snapshot()
+		if !ok {
+			return nil, false
+		}
+		snap.RegionManager = ms
+	}
 	ac, ok := c.Admin.conn.Snapshot()
 	if !ok {
 		return nil, false
@@ -113,11 +162,12 @@ func (s *Snapshot) NewCluster() (*Cluster, error) {
 		sim.WorldConfig{Seed: s.Opts.Seed, Latency: sim.Millisecond, Jitter: sim.Millisecond / 2},
 		s.Kernel.Now, s.Kernel.Steps, s.Kernel.RNGDraws, s.Net)
 	c := &Cluster{
-		Opts:    s.Opts,
-		World:   w,
-		Hosts:   make(map[string]*kubelet.Host),
-		Kubelet: make(map[string]*kubelet.Kubelet),
-		Oracles: oracle.NewRunner(),
+		Opts:          s.Opts,
+		World:         w,
+		Hosts:         make(map[string]*kubelet.Host),
+		Kubelet:       make(map[string]*kubelet.Kubelet),
+		RegionServers: make(map[string]*regions.RegionServer),
+		Oracles:       oracle.NewRunner(),
 	}
 	c.Store = store.RestoreServer(w, s.Store)
 	for _, as := range s.APIs {
@@ -134,6 +184,32 @@ func (s *Snapshot) NewCluster() (*Cluster, error) {
 	}
 	if s.Scheduler != nil {
 		c.Scheduler = scheduler.Restore(w, s.Scheduler)
+	}
+	if s.Volume != nil {
+		c.Volume = controllers.RestoreVolume(w, s.Volume)
+	}
+	if s.NodeLC != nil {
+		c.NodeLC = controllers.RestoreNodeLifecycle(w, s.NodeLC)
+	}
+	if s.App != nil {
+		c.App = controllers.RestoreAppSet(w, s.App)
+	}
+	if s.Cassandra != nil {
+		c.Cassandra = cassandra.Restore(w, s.Cassandra)
+	}
+	if s.Opts.Regions != nil {
+		// Registration order matches New (and the oracle set depends on the
+		// same Opts.Regions.Servers order).
+		for _, name := range s.Opts.Regions.Servers {
+			rs, ok := s.RegionServers[name]
+			if !ok {
+				return nil, fmt.Errorf("infra: snapshot missing region server %s", name)
+			}
+			c.RegionServers[name] = regions.RestoreServer(w, name, rs)
+		}
+		if s.RegionManager != nil {
+			c.RegionManager = regions.RestoreManager(w, s.RegionManager)
+		}
 	}
 	c.Admin = restoreAdmin(c, s.AdminConn, s.AdminUIDs)
 	// Oracles: re-register the same set in the same order, then transplant
@@ -152,12 +228,15 @@ func (s *Snapshot) NewCluster() (*Cluster, error) {
 
 // InstallPending re-inserts the snapshot's pending kernel events into the
 // restored cluster. Events allocated after the Build boundary (seq >
-// buildSeq) are shifted by the forked plan's sequence allocation count;
-// workload-owned events are skipped — rehydrating the workload recreates
-// them with exactly the shifted sequence numbers a full replay would use.
-func (c *Cluster) InstallPending(pending []sim.PendingEvent, buildSeq, shift uint64) error {
+// buildSeq) are shifted by the forked plan's sequence allocation delta —
+// signed, because a checkpoint-tree fork may apply a plan that allocates
+// fewer sequence numbers than the base plan the snapshot was captured
+// under. Workload-owned and plan-owned events are skipped: rehydrating the
+// workload and re-applying the plan recreate them with exactly the
+// sequence numbers a full replay would use.
+func (c *Cluster) InstallPending(pending []sim.PendingEvent, buildSeq uint64, shift int64) error {
 	for _, pe := range pending {
-		if pe.Tag.Owner == "workload" {
+		if pe.Tag.Owner == "workload" || pe.Tag.Owner == "plan" {
 			continue
 		}
 		fn, err := c.rearm(pe.Tag)
@@ -166,7 +245,7 @@ func (c *Cluster) InstallPending(pending []sim.PendingEvent, buildSeq, shift uin
 		}
 		seq := pe.Seq
 		if seq > buildSeq {
-			seq += shift
+			seq = uint64(int64(seq) + shift)
 		}
 		if _, err := c.World.Kernel().RestorePending(pe.At, seq, pe.Tag, fn); err != nil {
 			return err
@@ -202,6 +281,31 @@ func (c *Cluster) rearm(tag sim.EventTag) (func(), error) {
 			return nil, fmt.Errorf("infra: pending event for unknown kubelet: %v", tag)
 		}
 		return k.Rearm(tag)
+	case owner == controllers.VolumeControllerID:
+		if c.Volume == nil {
+			return nil, fmt.Errorf("infra: pending event for disabled volume controller: %v", tag)
+		}
+		return c.Volume.Rearm(tag)
+	case owner == controllers.NodeLifecycleID:
+		if c.NodeLC == nil {
+			return nil, fmt.Errorf("infra: pending event for disabled node lifecycle controller: %v", tag)
+		}
+		return c.NodeLC.Rearm(tag)
+	case owner == controllers.AppSetControllerID:
+		if c.App == nil {
+			return nil, fmt.Errorf("infra: pending event for disabled appset controller: %v", tag)
+		}
+		return c.App.Rearm(tag)
+	case owner == cassandra.OperatorID:
+		if c.Cassandra == nil {
+			return nil, fmt.Errorf("infra: pending event for disabled cassandra operator: %v", tag)
+		}
+		return c.Cassandra.Rearm(tag)
+	case owner == regions.ManagerID:
+		// The manager's move timers are untagged by design (transient
+		// closures over in-flight transitions); a tagged manager event in a
+		// snapshot means the contract was broken.
+		return nil, fmt.Errorf("infra: unexpected tagged region-manager event: %v", tag)
 	default:
 		return nil, fmt.Errorf("infra: pending event with unknown owner: %v", tag)
 	}

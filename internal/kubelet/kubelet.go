@@ -32,6 +32,9 @@ type Container struct {
 type Host struct {
 	Name    string
 	running map[string]Container
+	// names caches the sorted container-name list (the oracle layer reads
+	// it every tick); nil means stale.
+	names []string
 }
 
 // NewHost creates an empty host.
@@ -48,18 +51,34 @@ func (h *Host) Running() map[string]Container {
 	return out
 }
 
-// RunningNames returns sorted names of running containers.
+// RunningNames returns sorted names of running containers. The slice is
+// cached until the container set changes — callers must not mutate it.
 func (h *Host) RunningNames() []string {
-	names := make([]string, 0, len(h.running))
-	for n := range h.running {
-		names = append(names, n)
+	if h.names == nil {
+		h.names = make([]string, 0, len(h.running))
+		for n := range h.running {
+			h.names = append(h.names, n)
+		}
+		sort.Strings(h.names)
 	}
-	sort.Strings(names)
-	return names
+	return h.names
+}
+
+func (h *Host) setContainer(name string, c Container) {
+	h.running[name] = c
+	h.names = nil
+}
+
+func (h *Host) removeContainer(name string) {
+	delete(h.running, name)
+	h.names = nil
 }
 
 // Reset kills all containers (whole-node failure).
-func (h *Host) Reset() { h.running = make(map[string]Container) }
+func (h *Host) Reset() {
+	h.running = make(map[string]Container)
+	h.names = nil
+}
 
 // Config tunes a kubelet.
 type Config struct {
@@ -342,14 +361,19 @@ func (k *Kubelet) reconcile(epoch uint64, pods []*cluster.Object) {
 		desired[p.Meta.Name] = p
 	}
 
-	// Stop containers that should no longer run here.
+	// Stop containers that should no longer run here. Collect first: the
+	// cached RunningNames slice must not be iterated across removals.
+	var stops []string
 	for _, name := range k.host.RunningNames() {
 		c := k.host.running[name]
 		want, ok := desired[name]
 		if ok && want.Meta.UID == c.PodUID {
 			continue
 		}
-		delete(k.host.running, name)
+		stops = append(stops, name)
+	}
+	for _, name := range stops {
+		k.host.removeContainer(name)
 		k.Stops++
 	}
 
@@ -364,12 +388,12 @@ func (k *Kubelet) reconcile(epoch uint64, pods []*cluster.Object) {
 		if c, ok := k.host.running[name]; ok && c.PodUID == p.Meta.UID {
 			continue
 		}
-		k.host.running[name] = Container{
+		k.host.setContainer(name, Container{
 			PodName:   name,
 			PodUID:    p.Meta.UID,
 			Image:     p.Pod.Image,
 			StartedAt: k.world.Now(),
-		}
+		})
 		k.Starts++
 		k.reportRunning(epoch, p)
 	}

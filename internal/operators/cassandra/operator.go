@@ -189,6 +189,7 @@ func (o *Operator) boot() {
 	o.conn = client.NewConn(o.world, o.id, o.cfg.APIServer, o.cfg.RPCTimeout)
 	o.queue = controller.NewQueue(o.world.Kernel(), controller.DefaultQueueConfig(),
 		controller.ReconcilerFunc(o.reconcile))
+	o.queue.SetOwner(string(o.id))
 	infCfg := client.InformerConfig{WatchTimeout: sim.Second}
 	if o.cfg.Fixes.DefensiveRelist {
 		infCfg.RelistEvery = 1500 * sim.Millisecond
@@ -225,13 +226,18 @@ func (o *Operator) observePod(p *cluster.Object) {
 }
 
 func (o *Operator) scheduleResync(epoch uint64) {
-	o.world.Kernel().Schedule(o.cfg.ResyncInterval, func() {
-		if o.down || epoch != o.epoch {
-			return
-		}
-		o.queue.Add(o.cfg.ClusterName)
-		o.scheduleResync(epoch)
-	})
+	tag := sim.EventTag{Owner: string(o.id), Kind: "resync", Epoch: epoch}
+	o.world.Kernel().ScheduleTagged(o.cfg.ResyncInterval, tag, func() { o.resyncFire(epoch) })
+}
+
+// resyncFire is the resync timer body, named so a restored cluster can
+// rearm a pending resync event by tag.
+func (o *Operator) resyncFire(epoch uint64) {
+	if o.down || epoch != o.epoch {
+		return
+	}
+	o.queue.Add(o.cfg.ClusterName)
+	o.scheduleResync(epoch)
 }
 
 // Naming helpers.
@@ -410,42 +416,47 @@ func (o *Operator) drain(epoch uint64, member string) {
 	// "resumes" an operation this process is still executing. Only a crash
 	// (which wipes the map) leaves a resumable CR marker behind.
 	o.draining[member] = true
-	o.world.Kernel().Schedule(o.cfg.DrainTime, func() {
+	tag := sim.EventTag{Owner: string(o.id), Kind: "drain", Key: member, Epoch: epoch}
+	o.world.Kernel().ScheduleTagged(o.cfg.DrainTime, tag, func() { o.drainFire(epoch, member) })
+}
+
+// drainFire completes a drain once the drain time elapses, named so a
+// restored cluster can rearm a pending drain event by tag.
+func (o *Operator) drainFire(epoch uint64, member string) {
+	if o.down || epoch != o.epoch {
+		return
+	}
+	pod, ok := o.podInf.Get(member)
+	if !ok {
+		// Target already gone (e.g. a ghost from stale status, or the
+		// kubelet finalized faster than the drain).
+		o.maybeCleanupPVC(epoch, member)
+		delete(o.draining, member)
+		o.clearDecommission(epoch)
+		return
+	}
+	marked := pod.Clone()
+	marked.Meta.DeletionTimestamp = int64(o.world.Now())
+	o.conn.Update(marked, func(_ *cluster.Object, err error) {
 		if o.down || epoch != o.epoch {
 			return
 		}
-		pod, ok := o.podInf.Get(member)
-		if !ok {
-			// Target already gone (e.g. a ghost from stale status, or the
-			// kubelet finalized faster than the drain).
-			o.maybeCleanupPVC(epoch, member)
+		if err != nil {
 			delete(o.draining, member)
-			o.clearDecommission(epoch)
+			o.queue.AddAfter(o.cfg.ClusterName, 50*sim.Millisecond)
 			return
 		}
-		marked := pod.Clone()
-		marked.Meta.DeletionTimestamp = int64(o.world.Now())
-		o.conn.Update(marked, func(_ *cluster.Object, err error) {
-			if o.down || epoch != o.epoch {
-				return
-			}
-			if err != nil {
-				delete(o.draining, member)
-				o.queue.AddAfter(o.cfg.ClusterName, 50*sim.Millisecond)
-				return
-			}
-			// Unscheduled members have no kubelet to finalize them; the
-			// operator removes the object itself. Scheduled members are
-			// finalized by their kubelet once containers stop.
-			if pod.Pod.NodeName == "" {
-				o.conn.Delete(cluster.KindPod, member, 0, func(err error) {
-					if err == nil {
-						o.PodDeletes++
-					}
-				})
-			}
-			o.awaitGoneThenCleanup(epoch, member, 64)
-		})
+		// Unscheduled members have no kubelet to finalize them; the
+		// operator removes the object itself. Scheduled members are
+		// finalized by their kubelet once containers stop.
+		if pod.Pod.NodeName == "" {
+			o.conn.Delete(cluster.KindPod, member, 0, func(err error) {
+				if err == nil {
+					o.PodDeletes++
+				}
+			})
+		}
+		o.awaitGoneThenCleanup(epoch, member, 64)
 	})
 }
 
@@ -466,8 +477,13 @@ func (o *Operator) awaitGoneThenCleanup(epoch uint64, member string, attempts in
 		delete(o.draining, member)
 		return
 	}
-	o.world.Kernel().Schedule(20*sim.Millisecond, func() {
-		o.awaitGoneThenCleanup(epoch, member, attempts-1)
+	next := attempts - 1
+	tag := sim.EventTag{
+		Owner: string(o.id), Kind: "awaitgone",
+		Key: member + "#" + strconv.Itoa(next), Epoch: epoch,
+	}
+	o.world.Kernel().ScheduleTagged(20*sim.Millisecond, tag, func() {
+		o.awaitGoneThenCleanup(epoch, member, next)
 	})
 }
 

@@ -1,0 +1,176 @@
+package cassandra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/sim"
+)
+
+// Snapshot captures the operator at a checkpoint. The informer caches live
+// inside the connection snapshot; the queue's pending timers and the
+// operator's own resync/drain/awaitgone timers are kernel events restored
+// by the orchestration via Rearm.
+type Snapshot struct {
+	Cfg   Config
+	Down  bool
+	Epoch uint64
+	UIDs  int
+
+	Draining       map[string]bool
+	SawTerminating map[string]bool
+
+	PodCreates     int
+	PodDeletes     int
+	PVCCreates     int
+	PVCDeletes     int
+	Decommissions  int
+	WrongDecomm    int
+	StuckReconcile int
+
+	Conn         *client.ConnSnapshot
+	HasInformers bool
+	CRSub        uint64
+	PodSub       uint64
+	PVCSub       uint64
+	Queue        *controller.QueueSnapshot
+}
+
+// Snapshot captures the operator's state. It fails (ok=false) when an RPC
+// call is in flight (a pending Create/Update/Get continuation cannot be
+// reconstructed).
+func (o *Operator) Snapshot() (*Snapshot, bool) {
+	cs, ok := o.conn.Snapshot()
+	if !ok {
+		return nil, false
+	}
+	snap := &Snapshot{
+		Cfg:            o.cfg,
+		Down:           o.down,
+		Epoch:          o.epoch,
+		UIDs:           o.uids.Counter(),
+		Draining:       make(map[string]bool, len(o.draining)),
+		SawTerminating: make(map[string]bool, len(o.sawTerminating)),
+		PodCreates:     o.PodCreates,
+		PodDeletes:     o.PodDeletes,
+		PVCCreates:     o.PVCCreates,
+		PVCDeletes:     o.PVCDeletes,
+		Decommissions:  o.Decommissions,
+		WrongDecomm:    o.WrongDecomm,
+		StuckReconcile: o.StuckReconcile,
+		Conn:           cs,
+		Queue:          o.queue.Snapshot(),
+	}
+	for m, v := range o.draining {
+		snap.Draining[m] = v
+	}
+	for m, v := range o.sawTerminating {
+		snap.SawTerminating[m] = v
+	}
+	if o.crInf != nil && o.podInf != nil && o.pvcInf != nil {
+		snap.HasInformers = true
+		snap.CRSub = o.crInf.SubID()
+		snap.PodSub = o.podInf.SubID()
+		snap.PVCSub = o.pvcInf.SubID()
+	}
+	return snap, true
+}
+
+// Restore reconstructs an operator from a snapshot inside world w. Informer
+// handlers are re-attached without cache replay; no timers are armed.
+func Restore(w *sim.World, snap *Snapshot) *Operator {
+	o := &Operator{
+		id:             OperatorID,
+		world:          w,
+		cfg:            snap.Cfg,
+		down:           snap.Down,
+		epoch:          snap.Epoch,
+		uids:           cluster.NewUIDGen("cass-op"),
+		draining:       make(map[string]bool, len(snap.Draining)),
+		sawTerminating: make(map[string]bool, len(snap.SawTerminating)),
+		PodCreates:     snap.PodCreates,
+		PodDeletes:     snap.PodDeletes,
+		PVCCreates:     snap.PVCCreates,
+		PVCDeletes:     snap.PVCDeletes,
+		Decommissions:  snap.Decommissions,
+		WrongDecomm:    snap.WrongDecomm,
+		StuckReconcile: snap.StuckReconcile,
+	}
+	o.uids.SetCounter(snap.UIDs)
+	for m, v := range snap.Draining {
+		o.draining[m] = v
+	}
+	for m, v := range snap.SawTerminating {
+		o.sawTerminating[m] = v
+	}
+	w.Network().Register(o.id, o)
+	w.AddProcess(o)
+	o.conn = client.RestoreConn(w, snap.Conn)
+	o.queue = controller.RestoreQueue(w.Kernel(), snap.Queue, controller.ReconcilerFunc(o.reconcile))
+	if snap.HasInformers {
+		crInf, ok := o.conn.Informer(snap.CRSub)
+		if !ok {
+			panic(fmt.Sprintf("cassandra: restore: CR informer sub %d missing", snap.CRSub))
+		}
+		crInf.RestoreHandler(controller.EnqueueHandler{Queue: o.queue})
+		o.crInf = crInf
+		podInf, ok := o.conn.Informer(snap.PodSub)
+		if !ok {
+			panic(fmt.Sprintf("cassandra: restore: pod informer sub %d missing", snap.PodSub))
+		}
+		podInf.RestoreHandler(client.HandlerFuncs{
+			AddFunc: func(p *cluster.Object) { o.observePod(p) },
+			UpdateFunc: func(_, p *cluster.Object) {
+				o.observePod(p)
+			},
+			DeleteFunc: func(p *cluster.Object) {
+				if o.isMember(p) {
+					o.queue.Add(o.cfg.ClusterName)
+				}
+			},
+		})
+		o.podInf = podInf
+		pvcInf, ok := o.conn.Informer(snap.PVCSub)
+		if !ok {
+			panic(fmt.Sprintf("cassandra: restore: PVC informer sub %d missing", snap.PVCSub))
+		}
+		o.pvcInf = pvcInf
+	}
+	return o
+}
+
+// Rearm returns the callback for a pending kernel event owned by this
+// operator (work-queue timers, informer timers, and the operator's own
+// resync/drain/awaitgone timers share its owner name).
+func (o *Operator) Rearm(tag sim.EventTag) (func(), error) {
+	switch tag.Kind {
+	case "addafter", "process":
+		return o.queue.Rearm(tag)
+	case "inf-liveness", "inf-relist":
+		return o.conn.RearmInformer(tag)
+	case "resync":
+		epoch := tag.Epoch
+		return func() { o.resyncFire(epoch) }, nil
+	case "drain":
+		epoch, member := tag.Epoch, tag.Key
+		return func() { o.drainFire(epoch, member) }, nil
+	case "awaitgone":
+		sep := strings.LastIndex(tag.Key, "#")
+		if sep < 0 {
+			return nil, fmt.Errorf("cassandra: malformed awaitgone key %q", tag.Key)
+		}
+		member := tag.Key[:sep]
+		attempts, err := strconv.Atoi(tag.Key[sep+1:])
+		if err != nil {
+			return nil, fmt.Errorf("cassandra: malformed awaitgone key %q: %w", tag.Key, err)
+		}
+		epoch := tag.Epoch
+		return func() { o.awaitGoneThenCleanup(epoch, member, attempts) }, nil
+	default:
+		return nil, fmt.Errorf("cassandra: unknown pending event kind %q", tag.Kind)
+	}
+}

@@ -23,26 +23,66 @@ const (
 	NameCASAtomicity       = "CASAtomicity"
 )
 
-// decodeState lists objects of a kind from ground truth (the store).
-func decodeState(st *store.Store, kind cluster.Kind) []*cluster.Object {
-	kvs, _ := st.Range(cluster.KindPrefix(kind))
-	out := make([]*cluster.Object, 0, len(kvs))
-	for _, kv := range kvs {
-		obj, err := cluster.Decode(kv.Value, kv.ModRevision)
-		if err != nil {
-			continue
+// objLister returns a lister of all objects of a kind from ground truth
+// (the store) that reuses its typed result slice while the store revision
+// is unchanged. Decodes are memoized in the store per (key, revision) —
+// oracles run every tick and most objects are unchanged between ticks — so
+// the returned objects are shared and must never be mutated.
+func objLister(st *store.Store, kind cluster.Kind) func() []*cluster.Object {
+	prefix := cluster.KindPrefix(kind)
+	lastRev := int64(-1)
+	var objs []*cluster.Object
+	return func() []*cluster.Object {
+		if st.Revision() == lastRev {
+			return objs
 		}
-		out = append(out, obj)
+		vals := st.DecodedRange(prefix, decodeObject)
+		objs = make([]*cluster.Object, 0, len(vals))
+		for _, v := range vals {
+			objs = append(objs, v.(*cluster.Object))
+		}
+		lastRev = st.Revision()
+		return objs
 	}
-	return out
+}
+
+func decodeObject(value []byte, rev int64) (any, error) {
+	return cluster.Decode(value, rev)
+}
+
+// decodeOne is the single-key analogue of decodeState.
+func decodeOne(st *store.Store, kind cluster.Kind, name string) (*cluster.Object, bool) {
+	v, ok := st.DecodedGet(cluster.Key(kind, name), decodeObject)
+	if !ok {
+		return nil, false
+	}
+	return v.(*cluster.Object), true
 }
 
 // UniquePod checks the Kubernetes-59848 safety guarantee: at most one host
 // runs a container for any pod name at any time.
 func UniquePod(hosts []*kubelet.Host) Oracle {
+	// seen is reused across ticks (cleared, not reallocated): the oracle
+	// runs every tick and the no-violation case must stay allocation-free.
+	seen := map[string]bool{}
 	return Func{
 		OracleName: NameUniquePod,
 		CheckFunc: func(now sim.Time) *Violation {
+			clear(seen)
+			dup := false
+			for _, h := range hosts {
+				for _, name := range h.RunningNames() {
+					if seen[name] {
+						dup = true
+					}
+					seen[name] = true
+				}
+			}
+			if !dup {
+				return nil
+			}
+			// Violation path (rare): rebuild the full name->hosts view to
+			// report the lexically first offender deterministically.
 			running := map[string][]string{}
 			for _, h := range hosts {
 				for _, name := range h.RunningNames() {
@@ -76,13 +116,20 @@ func UniquePod(hosts []*kubelet.Host) Oracle {
 // free capacity exists in ground truth. The returned oracle is Stateful
 // (its pending-since tracker survives prefix-checkpoint forks).
 func SchedulerProgress(st *store.Store, patience sim.Duration) Oracle {
-	return &schedulerProgress{st: st, patience: patience, pendingSince: map[string]sim.Time{}}
+	return &schedulerProgress{
+		patience:     patience,
+		pendingSince: map[string]sim.Time{},
+		pods:         objLister(st, cluster.KindPod),
+		nodes:        objLister(st, cluster.KindNode),
+	}
 }
 
 type schedulerProgress struct {
-	st           *store.Store
 	patience     sim.Duration
 	pendingSince map[string]sim.Time
+	pods, nodes  func() []*cluster.Object
+	used         map[string]int  // reused per tick
+	seen         map[string]bool // reused per tick
 }
 
 // Name implements Oracle.
@@ -109,9 +156,15 @@ func (o *schedulerProgress) RestoreState(s any) {
 // Check implements Oracle.
 func (o *schedulerProgress) Check(now sim.Time) *Violation {
 	pendingSince := o.pendingSince
-	pods := decodeState(o.st, cluster.KindPod)
-	nodes := decodeState(o.st, cluster.KindNode)
-	used := map[string]int{}
+	pods := o.pods()
+	nodes := o.nodes()
+	if o.used == nil {
+		o.used = map[string]int{}
+		o.seen = map[string]bool{}
+	}
+	used, seen := o.used, o.seen
+	clear(used)
+	clear(seen)
 	for _, p := range pods {
 		if p.Pod != nil && p.Pod.NodeName != "" && !p.Terminating() {
 			used[p.Pod.NodeName]++
@@ -124,7 +177,6 @@ func (o *schedulerProgress) Check(now sim.Time) *Violation {
 			break
 		}
 	}
-	seen := map[string]bool{}
 	for _, p := range pods {
 		if p.Pod == nil || p.Pod.NodeName != "" || p.Terminating() {
 			continue
@@ -159,15 +211,19 @@ func (o *schedulerProgress) Check(now sim.Time) *Violation {
 // is an orphan (storage leak).
 func NoOrphanPVC(st *store.Store, grace sim.Duration) Oracle {
 	orphanSince := map[string]sim.Time{}
+	listPods := objLister(st, cluster.KindPod)
+	listPVCs := objLister(st, cluster.KindPVC)
+	pods := map[string]bool{} // reused per tick
+	seen := map[string]bool{} // reused per tick
 	return Func{
 		OracleName: NameNoOrphanPVC,
 		CheckFunc: func(now sim.Time) *Violation {
-			pods := map[string]bool{}
-			for _, p := range decodeState(st, cluster.KindPod) {
+			clear(pods)
+			clear(seen)
+			for _, p := range listPods() {
 				pods[p.Meta.Name] = true
 			}
-			seen := map[string]bool{}
-			for _, pvc := range decodeState(st, cluster.KindPVC) {
+			for _, pvc := range listPVCs() {
 				if pvc.PVC == nil || pvc.PVC.Phase != cluster.PVCBound || pvc.PVC.OwnerPod == "" {
 					continue
 				}
@@ -223,9 +279,8 @@ func InstallNoLivePVCDeletion(st *store.Store, r *Runner) {
 			if owner == name {
 				continue
 			}
-			if kv, _, ok := st.Get(cluster.Key(cluster.KindPod, owner)); ok {
-				pod, derr := cluster.Decode(kv.Value, kv.ModRevision)
-				if derr == nil && !pod.Terminating() {
+			if pod, ok := decodeOne(st, cluster.KindPod, owner); ok {
+				if !pod.Terminating() {
 					r.Report(Violation{
 						Oracle: NameNoLivePVCDeletion,
 						Time:   sim.Time(e.Time),
@@ -245,15 +300,12 @@ func InstallNoLivePVCDeletion(st *store.Store, r *Runner) {
 func ScaleDownCompletes(st *store.Store, crName string, patience sim.Duration) Oracle {
 	var lastSpecChange sim.Time
 	var lastReplicas = -1
+	listPods := objLister(st, cluster.KindPod)
 	return Func{
 		OracleName: NameScaleDownCompletes,
 		CheckFunc: func(now sim.Time) *Violation {
-			kv, _, ok := st.Get(cluster.Key(cluster.KindCassandra, crName))
-			if !ok {
-				return nil
-			}
-			cr, err := cluster.Decode(kv.Value, kv.ModRevision)
-			if err != nil || cr.Cassandra == nil {
+			cr, ok := decodeOne(st, cluster.KindCassandra, crName)
+			if !ok || cr.Cassandra == nil {
 				return nil
 			}
 			if cr.Cassandra.Replicas != lastReplicas {
@@ -269,7 +321,7 @@ func ScaleDownCompletes(st *store.Store, crName string, patience sim.Duration) O
 				want[fmt.Sprintf("%s-%d", crName, i)] = true
 			}
 			got := map[string]bool{}
-			for _, p := range decodeState(st, cluster.KindPod) {
+			for _, p := range listPods() {
 				if p.Pod != nil && p.Pod.App == crName && !p.Terminating() {
 					got[p.Meta.Name] = true
 				}

@@ -71,6 +71,9 @@ type Runner struct {
 	// Periodic-tick binding (set by InstallPeriodic / BindPeriodic).
 	w     *sim.World
 	every sim.Duration
+	// tickFn caches the tickFire method value: armTick runs every tick and
+	// binding the method fresh each time allocates.
+	tickFn func()
 }
 
 // NewRunner creates an empty runner.
@@ -121,7 +124,10 @@ func (r *Runner) BindPeriodic(w *sim.World, every sim.Duration) {
 }
 
 func (r *Runner) armTick() {
-	r.w.Kernel().ScheduleTagged(r.every, sim.EventTag{Owner: "oracles", Kind: "tick"}, r.tickFire)
+	if r.tickFn == nil {
+		r.tickFn = r.tickFire
+	}
+	r.w.Kernel().ScheduleTagged(r.every, sim.EventTag{Owner: "oracles", Kind: "tick"}, r.tickFn)
 }
 
 func (r *Runner) tickFire() {

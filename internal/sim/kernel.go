@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -98,34 +97,61 @@ type event struct {
 	tag      EventTag
 	canceled bool
 	fired    bool
-	index    int // heap index
+	// timer is the handle returned to the scheduler's caller; embedding it
+	// lets one chunk allocation cover both the event and its Timer.
+	timer Timer
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). The
+// scheduler is the hottest loop in the simulator; avoiding container/heap's
+// interface dispatch and index bookkeeping is worth the ~30 lines.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
+
+func (h *eventHeap) push(ev *event) {
 	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) pop() *event {
+	s := *h
+	n := len(s) - 1
+	ev := s[0]
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && s.less(right, left) {
+			child = right
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
 	return ev
 }
 
@@ -181,7 +207,30 @@ type Kernel struct {
 	rehydrateCutoff Time
 	strictPast      bool
 	strictErr       string
+
+	// chunk is the arena the kernel allocates events from: one make per
+	// eventChunk events instead of one per event. Events are never reused
+	// (fired Timers stay valid), so handing out pointers into the chunk is
+	// safe; the chunk is only retained while any of its events is.
+	chunk []event
 }
+
+const eventChunk = 256
+
+func (k *Kernel) newEvent() *event {
+	if len(k.chunk) == 0 {
+		k.chunk = make([]event, eventChunk)
+	}
+	ev := &k.chunk[0]
+	k.chunk = k.chunk[1:]
+	ev.timer.ev = ev
+	return ev
+}
+
+// burnedTimer is the shared handle returned for rehydration-burned events:
+// semantically an already-fired timer, so Cancel and Pending both report
+// false for every holder.
+var burnedTimer = &Timer{ev: &event{fired: true}}
 
 // NewKernel returns a kernel whose random source is seeded with seed.
 // Identical seeds yield identical simulations for identical inputs.
@@ -243,7 +292,7 @@ func (k *Kernel) AtTagged(t Time, tag EventTag, fn func()) *Timer {
 		// allocation keeps its full-replay identity, but schedule
 		// nothing.
 		k.seq++
-		return &Timer{ev: &event{at: t, seq: k.seq, fn: fn, fired: true}}
+		return burnedTimer
 	}
 	if k.strictPast && t < k.now && k.strictErr == "" {
 		k.strictErr = fmt.Sprintf("sim: schedule into the past: at=%s now=%s", t, k.now)
@@ -252,9 +301,10 @@ func (k *Kernel) AtTagged(t Time, tag EventTag, fn func()) *Timer {
 		t = k.now
 	}
 	k.seq++
-	ev := &event{at: t, seq: k.seq, fn: fn, tag: tag}
-	heap.Push(&k.heap, ev)
-	return &Timer{ev: ev}
+	ev := k.newEvent()
+	ev.at, ev.seq, ev.fn, ev.tag = t, k.seq, fn, tag
+	k.heap.push(ev)
+	return &ev.timer
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -264,14 +314,16 @@ func (k *Kernel) Stop() { k.stopped = true }
 // was executed (false when the queue is empty).
 func (k *Kernel) Step() bool {
 	for len(k.heap) > 0 {
-		ev := heap.Pop(&k.heap).(*event)
+		ev := k.heap.pop()
+		fn := ev.fn
+		ev.fn = nil // release the closure: the chunk arena outlives the event
 		if ev.canceled {
 			continue
 		}
 		k.now = ev.at
 		ev.fired = true
 		k.steps++
-		ev.fn()
+		fn()
 		return true
 	}
 	return false
@@ -297,7 +349,7 @@ func (k *Kernel) Run(until Time) Time {
 		}
 		next := k.heap[0]
 		if next.canceled {
-			heap.Pop(&k.heap)
+			k.heap.pop().fn = nil
 			continue
 		}
 		if until > 0 && next.at >= until {

@@ -156,6 +156,22 @@ type Network struct {
 	icpts   []Interceptor
 	obs     []Observer
 	stats   NetStats
+
+	// msgChunk is the arena messages are allocated from (one make per
+	// msgChunkSize sends). Messages are never reused — holders (held map,
+	// observers) stay valid — so handing out chunk pointers is safe.
+	msgChunk []Message
+}
+
+const msgChunkSize = 128
+
+func (n *Network) newMessage() *Message {
+	if len(n.msgChunk) == 0 {
+		n.msgChunk = make([]Message, msgChunkSize)
+	}
+	m := &n.msgChunk[0]
+	n.msgChunk = n.msgChunk[1:]
+	return m
 }
 
 // NewNetwork creates a network on kernel k with the given base one-way
@@ -306,7 +322,8 @@ func (q LinkQuality) reorderBound() Duration {
 // sequence number (useful for Release after a Hold verdict).
 func (n *Network) Send(from, to NodeID, kind string, payload any) uint64 {
 	n.seq++
-	m := &Message{Seq: n.seq, From: from, To: to, Kind: kind, Payload: payload, SentAt: n.k.Now()}
+	m := n.newMessage()
+	*m = Message{Seq: n.seq, From: from, To: to, Kind: kind, Payload: payload, SentAt: n.k.Now()}
 	n.stats.Sent++
 	for _, o := range n.obs {
 		o.OnSend(m)

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -145,9 +144,10 @@ func (k *Kernel) RestorePending(at Time, seq uint64, tag EventTag, fn func()) (*
 	if at < k.now {
 		return nil, fmt.Errorf("sim: restore pending event %v into the past: at=%s now=%s", tag, at, k.now)
 	}
-	ev := &event{at: at, seq: seq, fn: fn, tag: tag}
-	heap.Push(&k.heap, ev)
-	return &Timer{ev: ev}, nil
+	ev := k.newEvent()
+	ev.at, ev.seq, ev.fn, ev.tag = at, seq, fn, tag
+	k.heap.push(ev)
+	return &ev.timer, nil
 }
 
 // NetworkSnapshot is the network's mutable routing state at a checkpoint.

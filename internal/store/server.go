@@ -130,6 +130,9 @@ type Server struct {
 	down  bool
 
 	leaseTick sim.Duration
+	// leaseTickFn caches the leaseTickFire method value (the tick re-arms
+	// itself constantly; binding the method fresh each time allocates).
+	leaseTickFn func()
 }
 
 // NewServer wires a store actor into the world under the given node ID.
@@ -181,8 +184,11 @@ func (s *Server) HandleMessage(m *sim.Message) {
 }
 
 func (s *Server) scheduleLeaseTick() {
+	if s.leaseTickFn == nil {
+		s.leaseTickFn = s.leaseTickFire
+	}
 	s.world.Kernel().ScheduleTagged(s.leaseTick,
-		sim.EventTag{Owner: string(s.id), Kind: "leasetick"}, s.leaseTickFire)
+		sim.EventTag{Owner: string(s.id), Kind: "leasetick"}, s.leaseTickFn)
 }
 
 // leaseTickFire is the lease-expiry timer body; scheduleLeaseTick arms it

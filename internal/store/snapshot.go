@@ -156,6 +156,7 @@ func RestoreServer(w *sim.World, snap *Snapshot) *Server {
 			s.world.Network().Send(s.id, client, KindWatchPush, &WatchPush{SubID: subID, Events: cp})
 		}
 		st.watchers[sub.WatcherID] = &watcher{id: sub.WatcherID, prefix: sub.Prefix, notify: notify}
+		st.watcherOrder = nil
 		s.subs[subKey(client, subID)] = &subscription{
 			subID:  subID,
 			client: client,

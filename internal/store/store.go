@@ -85,6 +85,28 @@ type Store struct {
 	retainMax   int // max retained history events; 0 = unlimited
 	notifyHooks []func([]history.Event)
 	now         int64 // virtual time stamped on committed events
+
+	// decoded memoizes DecodedGet/DecodedRange results per key: values are
+	// immutable per ModRevision, so a decode is valid until the key is
+	// written again. Pure cache — never part of snapshots or equality.
+	decoded map[string]decodedVal
+	// decodedRanges memoizes whole DecodedRange results per prefix, valid
+	// while the store revision is unchanged (oracles range every tick and
+	// most ticks see no commits).
+	decodedRanges map[string]rangeMemo
+	// watcherOrder caches the sorted watcher IDs used on every commit;
+	// rebuilt only when the watcher set changes.
+	watcherOrder []int64
+}
+
+type decodedVal struct {
+	rev int64
+	v   any
+}
+
+type rangeMemo struct {
+	rev  int64
+	vals []any
 }
 
 // New returns an empty store at revision 0.
@@ -151,6 +173,60 @@ func (s *Store) Range(prefix string) ([]KV, int64) {
 	return out, s.rev
 }
 
+// DecodedGet returns the decode of key's current value, memoized per
+// (key, ModRevision): decode runs only when the key has been written since
+// the last call. The returned value is shared across calls and callers —
+// it MUST be treated as immutable. A store expects one decoder per key.
+func (s *Store) DecodedGet(key string, decode func(value []byte, rev int64) (any, error)) (any, bool) {
+	kv, ok := s.kvs[key]
+	if !ok {
+		return nil, false
+	}
+	return s.decodeMemo(key, kv, decode)
+}
+
+// DecodedRange returns the memoized decodes of all live keys under prefix,
+// in key order. Same memoization and immutability contract as DecodedGet
+// (the returned slice is shared too); values failing to decode are skipped.
+func (s *Store) DecodedRange(prefix string, decode func(value []byte, rev int64) (any, error)) []any {
+	if m, ok := s.decodedRanges[prefix]; ok && m.rev == s.rev {
+		return m.vals
+	}
+	keys := make([]string, 0, 8)
+	for k := range s.kvs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]any, 0, len(keys))
+	for _, k := range keys {
+		if v, ok := s.decodeMemo(k, s.kvs[k], decode); ok {
+			out = append(out, v)
+		}
+	}
+	if s.decodedRanges == nil {
+		s.decodedRanges = make(map[string]rangeMemo)
+	}
+	s.decodedRanges[prefix] = rangeMemo{rev: s.rev, vals: out}
+	return out
+}
+
+func (s *Store) decodeMemo(key string, kv KV, decode func(value []byte, rev int64) (any, error)) (any, bool) {
+	if d, ok := s.decoded[key]; ok && d.rev == kv.ModRevision {
+		return d.v, true
+	}
+	v, err := decode(kv.Value, kv.ModRevision)
+	if err != nil {
+		return nil, false
+	}
+	if s.decoded == nil {
+		s.decoded = make(map[string]decodedVal)
+	}
+	s.decoded[key] = decodedVal{rev: kv.ModRevision, v: v}
+	return v, true
+}
+
 // Put writes key=value and returns the new revision.
 func (s *Store) Put(key string, value []byte) int64 {
 	return s.putWithLease(key, value, 0)
@@ -207,6 +283,7 @@ func (s *Store) Delete(key string) (int64, error) {
 		s.detachLease(prev.Lease, key)
 	}
 	delete(s.kvs, key)
+	delete(s.decoded, key)
 	s.rev++
 	s.commit(history.Event{
 		Revision: s.rev, Type: history.Delete, Key: key, PrevRev: prev.ModRevision,
@@ -227,7 +304,10 @@ func (s *Store) commit(e history.Event) {
 	}
 	batch := []history.Event{e}
 	for _, id := range s.watcherIDs() {
-		w := s.watchers[id]
+		w, ok := s.watchers[id]
+		if !ok {
+			continue // unwatched by an earlier notify in this commit
+		}
 		if strings.HasPrefix(e.Key, w.prefix) {
 			w.notify(batch)
 		}
@@ -237,13 +317,18 @@ func (s *Store) commit(e history.Event) {
 	}
 }
 
+// watcherIDs returns the watcher IDs in ascending order; the sorted slice
+// is cached (commits are the hot path) and invalidated by Watch/Unwatch.
 func (s *Store) watcherIDs() []int64 {
-	ids := make([]int64, 0, len(s.watchers))
-	for id := range s.watchers {
-		ids = append(ids, id)
+	if s.watcherOrder == nil {
+		ids := make([]int64, 0, len(s.watchers))
+		for id := range s.watchers {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		s.watcherOrder = ids
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return s.watcherOrder
 }
 
 // SetNow sets the virtual time recorded on subsequently committed events;

@@ -13,6 +13,7 @@ type WatchHandle struct {
 // Cancel removes the watch. Canceling twice is a no-op.
 func (h WatchHandle) Cancel() {
 	delete(h.s.watchers, h.id)
+	h.s.watcherOrder = nil
 }
 
 // Watch registers notify for all committed events whose key has the given
@@ -47,6 +48,7 @@ func (s *Store) Watch(prefix string, startRev int64, notify WatchNotify) (WatchH
 	s.nextWatch++
 	id := s.nextWatch
 	s.watchers[id] = &watcher{id: id, prefix: prefix, notify: notify}
+	s.watcherOrder = nil
 	return WatchHandle{id: id, s: s}, nil
 }
 
