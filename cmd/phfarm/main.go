@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +42,7 @@ import (
 	"sync/atomic"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/farm"
@@ -51,18 +53,37 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// newTransports builds the worker fleet; a variable so tests can swap
-// in in-process transports instead of spawning subprocesses.
-var newTransports = func(n int) ([]farm.Transport, error) {
-	exe, err := os.Executable()
-	if err != nil {
-		return nil, fmt.Errorf("phfarm: cannot find own binary: %w", err)
+// newWorkerTransport builds one worker incarnation's transport; a
+// variable so tests can swap in in-process transports instead of
+// spawning subprocesses. nil selects the subprocess fleet (the
+// coordinator re-execs its own binary with -worker).
+var newWorkerTransport func(slot, spawn int) farm.Transport
+
+// workerFactory resolves the transport factory for this run, wrapping
+// each slot's first incarnation in a scripted fault when -chaos asks
+// for one. Respawns always come up clean: chaos tests the supervision
+// layer's recovery, and a permanently cursed slot would just retire.
+func workerFactory(chaos []farm.Fault) (func(slot, spawn int) farm.Transport, error) {
+	base := newWorkerTransport
+	if base == nil {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("phfarm: cannot find own binary: %w", err)
+		}
+		base = func(slot, spawn int) farm.Transport {
+			return farm.NewProcessTransport(exe, "-worker")
+		}
 	}
-	out := make([]farm.Transport, n)
-	for i := range out {
-		out[i] = farm.NewProcessTransport(exe, "-worker")
+	if len(chaos) == 0 {
+		return base, nil
 	}
-	return out, nil
+	return func(slot, spawn int) farm.Transport {
+		tr := base(slot, spawn)
+		if spawn == 0 && slot < len(chaos) && chaos[slot].Kind != "" {
+			return &farm.FaultTransport{Inner: tr, Fault: chaos[slot]}
+		}
+		return tr
+	}, nil
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -92,6 +113,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	explainFlag := fs.Bool("explain", false, "minimize and causally explain every detected failure bucket")
 	fixed := fs.Bool("fixed", false, "run against the fixed component variants (expect no detections)")
 	verbose := fs.Bool("v", false, "print per-cell stats and streaming progress")
+	supervise := fs.Bool("supervise", true, "supervise workers: respawn on death, retry their tasks, quarantine poison tasks")
+	journalDir := fs.String("journal", "", "coordinator journal directory (one fsynced line per settled task)")
+	resume := fs.Bool("resume", false, "resume a killed run from its -journal, re-dispatching only unsettled tasks")
+	fleetPath := fs.String("fleet", "", "write the fleet supervision report (deaths, respawns, retries) to this JSON path")
+	chaosFlag := fs.String("chaos", "", "inject scripted worker faults, e.g. 'kill@4,stall@9,torn@6' (slot i's first spawn gets entry i; testing)")
+	taskDeadline := fs.Duration("task-deadline", 0, "per-task completion deadline before the worker is declared stalled (0 = scaled default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -114,12 +141,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "phfarm: -workers must be >= 1")
 		return 2
 	}
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(stderr, "phfarm: -resume requires -journal")
+		return 2
+	}
+	if !*supervise && (*journalDir != "" || *chaosFlag != "") {
+		fmt.Fprintln(stderr, "phfarm: -journal and -chaos require supervision (-supervise)")
+		return 2
+	}
+	chaos, err := farm.ParseChaos(*chaosFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "phfarm:", err)
+		return 2
+	}
+	fleet := fleetOpts{
+		workers: *workers, verbose: *verbose, supervise: *supervise,
+		journalDir: *journalDir, resume: *resume, fleetPath: *fleetPath,
+		chaos: chaos, taskDeadline: *taskDeadline,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *gridPath != "" {
-		return runGrid(ctx, *gridPath, *csvPath, *workers, *parallel, *verbose, stdout, stderr)
+		return runGrid(ctx, *gridPath, *csvPath, fleet, *parallel, stdout, stderr)
 	}
 
 	seeds, err := farm.ParseSeeds(*seedsFlag)
@@ -144,17 +189,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	return runMatrix(ctx, matrixOpts{
 		targets: *targetsFlag, strategies: *strategiesFlag,
-		base: base, workers: *workers,
+		base: base, fleet: fleet,
 		jsonPath: *jsonPath, ndjsonPath: *ndjsonPath,
 		canonical: *canonical, corpusDir: *corpusDir,
 		verbose: *verbose,
 	}, stdout, stderr)
 }
 
+// fleetOpts carries the supervision-layer configuration from flags to
+// dispatch.
+type fleetOpts struct {
+	workers      int
+	verbose      bool
+	supervise    bool
+	journalDir   string
+	resume       bool
+	fleetPath    string
+	chaos        []farm.Fault
+	taskDeadline time.Duration
+}
+
 type matrixOpts struct {
 	targets, strategies  string
 	base                 farm.TaskSpec
-	workers              int
+	fleet                fleetOpts
 	jsonPath, ndjsonPath string
 	canonical            bool
 	corpusDir            string
@@ -200,12 +258,12 @@ func runMatrix(ctx context.Context, o matrixOpts, stdout, stderr io.Writer) int 
 		}
 	}
 
-	fmt.Fprintf(stdout, "Campaign fleet: %d tasks across %d workers\n", len(tasks), o.workers)
+	fmt.Fprintf(stdout, "Campaign fleet: %d tasks across %d workers\n", len(tasks), o.fleet.workers)
 	fmt.Fprintf(stdout, "targets=%d strategies=%d max-executions=%d seeds=%v guided=%v prune=%v ranked=%v snapshot=%v corpus=%v\n\n",
 		len(targets), len(strategies), o.base.MaxExecutions, o.base.Seeds,
 		o.base.Guided, o.base.Prune, o.base.Ranked, o.base.Snapshot, o.corpusDir != "")
 
-	results, interrupted, err := dispatch(ctx, tasks, o.workers, o.verbose, stderr)
+	results, interrupted, err := dispatch(ctx, tasks, o.fleet, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "phfarm:", err)
 		return 1
@@ -225,6 +283,11 @@ func runMatrix(ctx context.Context, o matrixOpts, stdout, stderr io.Writer) int 
 
 	if o.corpusDir != "" && !interrupted {
 		for _, res := range merged {
+			if res.Stats.Fleet != nil && res.Stats.Fleet.TasksQuarantined > 0 {
+				// A quarantined cell's result is a synthetic failure, not
+				// campaign evidence; recording it would poison the corpus.
+				continue
+			}
 			if err := corpus.Record(o.corpusDir, res.Target, res.Strategy, res); err != nil {
 				fmt.Fprintln(stderr, "phfarm:", err)
 				return 1
@@ -265,26 +328,85 @@ func runMatrix(ctx context.Context, o matrixOpts, stdout, stderr io.Writer) int 
 			fmt.Fprintf(stderr, "phfarm: task %d (%s/%s) failed: %s\n", tr.Spec.ID, tr.Spec.Target, tr.Spec.Strategy, tr.Err)
 			return 1
 		}
+		if tr.Quarantine != nil {
+			// Quarantine is a recorded failure, not an abort: the run
+			// succeeds, the poisoned cell's artifact says what happened,
+			// and the operator hears about it here.
+			fmt.Fprintf(stderr, "phfarm: task %d (%s/%s) quarantined: %s\n",
+				tr.Spec.ID, tr.Spec.Target, tr.Spec.Strategy, tr.Quarantine.Detail)
+		}
 	}
 	return 0
 }
 
-// dispatch runs the task list across a fresh fleet.
-func dispatch(ctx context.Context, tasks []farm.TaskSpec, workers int, verbose bool, stderr io.Writer) ([]farm.TaskResult, bool, error) {
-	transports, err := newTransports(workers)
+// dispatch runs the task list across a fresh fleet — supervised by
+// default (death detection, respawn, retry, quarantine, optional
+// journal), or through the legacy abort-on-death coordinator with
+// -supervise=false.
+func dispatch(ctx context.Context, tasks []farm.TaskSpec, o fleetOpts, stderr io.Writer) ([]farm.TaskResult, bool, error) {
+	factory, err := workerFactory(o.chaos)
 	if err != nil {
 		return nil, false, err
 	}
 	var streamed int64
-	coord := &farm.Coordinator{}
-	if verbose {
-		coord.OnRecord = func(spec farm.TaskSpec, out campaign.PlanOutcome) {
-			if n := atomic.AddInt64(&streamed, 1); n%250 == 0 {
-				fmt.Fprintf(stderr, "  ... %d execution records streamed\n", n)
-			}
+	onRecord := func(spec farm.TaskSpec, out campaign.PlanOutcome) {
+		if n := atomic.AddInt64(&streamed, 1); n%250 == 0 {
+			fmt.Fprintf(stderr, "  ... %d execution records streamed\n", n)
 		}
 	}
-	return coord.Run(ctx, transports, tasks)
+
+	if !o.supervise {
+		transports := make([]farm.Transport, o.workers)
+		for i := range transports {
+			transports[i] = factory(i, 0)
+		}
+		coord := &farm.Coordinator{}
+		if o.verbose {
+			coord.OnRecord = onRecord
+		}
+		return coord.Run(ctx, transports, tasks)
+	}
+
+	sup := &farm.Supervisor{Factory: factory, Workers: o.workers}
+	if o.verbose {
+		sup.OnRecord = onRecord
+		sup.Log = stderr
+	}
+	if o.taskDeadline > 0 {
+		d := o.taskDeadline
+		sup.Deadline = func(farm.TaskSpec) time.Duration { return d }
+	}
+	var resumed map[int]farm.ResumedTask
+	if o.journalDir != "" {
+		j, r, err := farm.OpenJournal(o.journalDir, farm.TasksFingerprint(tasks), o.resume)
+		if err != nil {
+			return nil, false, err
+		}
+		defer j.Close()
+		sup.Journal = j
+		resumed = r
+		if o.resume && len(r) > 0 {
+			fmt.Fprintf(stderr, "phfarm: resumed %d settled tasks from journal\n", len(r))
+		}
+	}
+	results, report, interrupted, err := farm.RunSupervised(ctx, sup, tasks, resumed)
+	if err != nil {
+		return results, interrupted, err
+	}
+	if report.Deaths != nil || report.Retried > 0 {
+		fmt.Fprintf(stderr, "phfarm: fleet: %d worker deaths, %d respawns, %d tasks retried, %d quarantined\n",
+			len(report.Deaths), report.Respawns, report.Retried, len(report.Quarantined))
+	}
+	if o.fleetPath != "" {
+		data, merr := json.MarshalIndent(report, "", "  ")
+		if merr != nil {
+			return results, interrupted, fmt.Errorf("phfarm: marshal fleet report: %w", merr)
+		}
+		if werr := os.WriteFile(o.fleetPath, append(data, '\n'), 0o644); werr != nil {
+			return results, interrupted, fmt.Errorf("phfarm: write fleet report: %w", werr)
+		}
+	}
+	return results, interrupted, nil
 }
 
 // cellConfig reconstructs the campaign.Config a single-process run of
@@ -353,7 +475,7 @@ func printMatrix(w io.Writer, targets, strategies []string, merged []campaign.Re
 	tw.Flush()
 }
 
-func runGrid(ctx context.Context, gridPath, csvPath string, workers, parallel int, verbose bool, stdout, stderr io.Writer) int {
+func runGrid(ctx context.Context, gridPath, csvPath string, fleet fleetOpts, parallel int, stdout, stderr io.Writer) int {
 	g, err := farm.LoadGrid(gridPath)
 	if err != nil {
 		fmt.Fprintln(stderr, "phfarm:", err)
@@ -381,9 +503,9 @@ func runGrid(ctx context.Context, gridPath, csvPath string, workers, parallel in
 		}
 	}
 	fmt.Fprintf(stdout, "Experiment grid %q: %d experiments, %d tasks across %d workers\n\n",
-		g.Name, len(exps), len(tasks), workers)
+		g.Name, len(exps), len(tasks), fleet.workers)
 
-	results, interrupted, err := dispatch(ctx, tasks, workers, verbose, stderr)
+	results, interrupted, err := dispatch(ctx, tasks, fleet, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "phfarm:", err)
 		return 1

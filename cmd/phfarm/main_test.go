@@ -15,27 +15,26 @@ import (
 // command-level tests need no self-exec.
 func useInProcFleet(t *testing.T) {
 	t.Helper()
-	old := newTransports
-	newTransports = func(n int) ([]farm.Transport, error) {
-		out := make([]farm.Transport, n)
-		for i := range out {
-			out[i] = farm.NewInProcTransport()
-		}
-		return out, nil
+	old := newWorkerTransport
+	newWorkerTransport = func(slot, spawn int) farm.Transport {
+		return farm.NewInProcTransport()
 	}
-	t.Cleanup(func() { newTransports = old })
+	t.Cleanup(func() { newWorkerTransport = old })
 }
 
 func TestFlagValidation(t *testing.T) {
 	cases := [][]string{
-		{"-ranked"},                 // ranked requires prune
-		{"-snapshot", "-fixed"},     // incompatible
-		{"-workers", "0"},           // fleet must exist
-		{"-targets", "no-such-bug"}, // unknown target
-		{"-strategies", "no-such"},  // unknown strategy
-		{"-seeds", "one,two"},       // unparsable seeds
-		{"-grid", "/absent/g.json"}, // missing grid file
-		{"-not-a-flag"},             // flag parse error
+		{"-ranked"},                                // ranked requires prune
+		{"-snapshot", "-fixed"},                    // incompatible
+		{"-workers", "0"},                          // fleet must exist
+		{"-targets", "no-such-bug"},                // unknown target
+		{"-strategies", "no-such"},                 // unknown strategy
+		{"-seeds", "one,two"},                      // unparsable seeds
+		{"-grid", "/absent/g.json"},                // missing grid file
+		{"-not-a-flag"},                            // flag parse error
+		{"-resume"},                                // resume requires a journal
+		{"-supervise=false", "-journal", "/tmp/j"}, // journal requires supervision
+		{"-chaos", "explode@banana"},               // unparsable chaos script
 	}
 	for _, args := range cases {
 		var out, errBuf bytes.Buffer

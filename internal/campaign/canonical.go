@@ -17,9 +17,15 @@ package campaign
 //
 // Stats.Workers and Artifact.Workers are config echoes, not execution
 // results; tests comparing campaigns across worker counts must ignore
-// them too. Every byte-identity test (cross-worker determinism, snapshot
-// on/off equivalence, bench drift) goes through these helpers so no test
-// grows its own slightly-different scrub list.
+// them too. Stats.Fleet ("fleet") likewise measures the host, not the
+// simulation: which worker process died, how many times a task was
+// retried before a healthy worker finished it. Scrubbing it is the farm's
+// fault-tolerance invariant in miniature — a campaign with injected
+// worker crashes must canonicalize to the same bytes as a failure-free
+// run, because retried tasks are deterministic re-executions. Every
+// byte-identity test (cross-worker determinism, snapshot on/off
+// equivalence, chaos-farm equivalence, bench drift) goes through these
+// helpers so no test grows its own slightly-different scrub list.
 
 // Canonicalize returns res with every environment-dependent field zeroed:
 // the wall-clock measurements and the worker-count config echo. Two
@@ -48,6 +54,7 @@ func canonicalStats(st Stats) Stats {
 	st.WallNanos = 0
 	st.ExecutionsPerSec = 0
 	st.RawExecutions = 0
+	st.Fleet = nil
 	return st
 }
 

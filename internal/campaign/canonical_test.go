@@ -19,6 +19,7 @@ func dirtyResult() Result {
 			Detections:       3,
 			FailedExecutions: 1,
 			HungExecutions:   2,
+			Fleet:            &FleetStats{WorkerDeaths: 2, WorkerRespawns: 2, TasksRetried: 1},
 		},
 		Outcomes: []PlanOutcome{
 			{Seed: 1, Index: 0, Class: "crash", Signature: "aa", WallMicros: 500},
@@ -36,6 +37,12 @@ func TestCanonicalizeZeroesEnvironmentFields(t *testing.T) {
 	if got.Stats.Workers != 0 || got.Stats.WallNanos != 0 ||
 		got.Stats.ExecutionsPerSec != 0 || got.Stats.RawExecutions != 0 {
 		t.Errorf("environment fields not zeroed: %+v", got.Stats)
+	}
+	// Fleet supervision counters measure the host (which worker died),
+	// not the simulation: scrubbed, so chaos-farm and failure-free runs
+	// canonicalize to the same bytes.
+	if got.Stats.Fleet != nil {
+		t.Errorf("fleet counters not scrubbed: %+v", got.Stats.Fleet)
 	}
 	if got.Stats.Seeds != 2 || got.Stats.Detections != 3 ||
 		got.Stats.FailedExecutions != 1 || got.Stats.HungExecutions != 2 {
@@ -64,6 +71,7 @@ func TestCanonicalizeEquivalence(t *testing.T) {
 	b.Stats.WallNanos = 1
 	b.Stats.ExecutionsPerSec = 0.001
 	b.Stats.RawExecutions = 12345
+	b.Stats.Fleet = &FleetStats{WorkerDeaths: 7, TasksRetried: 7}
 	for i := range b.Outcomes {
 		b.Outcomes[i].WallMicros = int64(i) * 31337
 	}

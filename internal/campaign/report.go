@@ -81,6 +81,16 @@ type Stats struct {
 	// counts are a pure function of (target, seed, plan set) — forks never
 	// race — so they survive canonicalization.
 	SnapshotFallbacks *SnapshotFallbacks `json:"snapshot_fallbacks,omitempty"`
+	// Fleet carries the farm supervision counters for campaigns that ran
+	// under a coordinator/worker fleet: worker deaths attributed to this
+	// cell's tasks, task retries, and poison-task quarantines. Nil
+	// (omitted) for single-process campaigns and for fleet campaigns that
+	// saw no supervision events, so historical artifacts keep their bytes.
+	// Unlike every other deterministic counter, fleet counters measure the
+	// host environment (which worker died, when) — canonicalization nils
+	// them, which is exactly the claim that worker failures never leak
+	// into campaign results.
+	Fleet *FleetStats `json:"fleet,omitempty"`
 	// WallNanos is the campaign's wall-clock time; ExecutionsPerSec is
 	// RawExecutions normalized by it.
 	WallNanos        int64   `json:"wall_ns"`
@@ -104,6 +114,31 @@ func (f *SnapshotFallbacks) total() int {
 	}
 	return f.Unsnapshotable + f.StrictPast + f.RestoreError + f.Watchdog
 }
+
+// FleetStats aggregates the farm supervision layer's outcomes: how many
+// workers died, how many were respawned, how many tasks were retried on a
+// healthy worker after a death, and how many tasks were quarantined as
+// poison (killed MaxTaskKills distinct workers). The counters live here —
+// not in the farm package — so they can ride inside Stats; every field is
+// emitted without omitempty so downstream checks can assert
+// tasks_quarantined == 0 on healthy chaos runs.
+type FleetStats struct {
+	WorkerDeaths     int `json:"worker_deaths"`
+	WorkerRespawns   int `json:"worker_respawns"`
+	TasksRetried     int `json:"tasks_retried"`
+	TasksQuarantined int `json:"tasks_quarantined"`
+}
+
+// Add accumulates g into f (merging per-part fleet counters).
+func (f *FleetStats) Add(g FleetStats) {
+	f.WorkerDeaths += g.WorkerDeaths
+	f.WorkerRespawns += g.WorkerRespawns
+	f.TasksRetried += g.TasksRetried
+	f.TasksQuarantined += g.TasksQuarantined
+}
+
+// Zero reports whether no supervision event was recorded.
+func (f FleetStats) Zero() bool { return f == FleetStats{} }
 
 func (s Stats) String() string {
 	out := fmt.Sprintf("%d execs in %.2fs (%.1f exec/s, %d workers, %d seeds, %d classes, %d signatures, %d detections)",
@@ -131,18 +166,27 @@ func (s Stats) String() string {
 	if s.CorpusInvalidatedSeeds > 0 {
 		out += fmt.Sprintf(", %d CORPUS-INVALIDATED SEEDS", s.CorpusInvalidatedSeeds)
 	}
+	if s.Fleet != nil && !s.Fleet.Zero() {
+		out += fmt.Sprintf(", fleet: %d worker deaths, %d retried", s.Fleet.WorkerDeaths, s.Fleet.TasksRetried)
+		if s.Fleet.TasksQuarantined > 0 {
+			out += fmt.Sprintf(", %d QUARANTINED", s.Fleet.TasksQuarantined)
+		}
+	}
 	return out
 }
 
-// ExecutionFailure is one panicked or watchdog-flagged execution in the
-// campaign artifact: enough to reproduce (plan ID + seed) and triage
-// (kind + detail) without digging through worker logs.
+// ExecutionFailure is one panicked, watchdog-flagged, or quarantined
+// execution in the campaign artifact: enough to reproduce (plan ID + seed)
+// and triage (kind + detail) without digging through worker logs.
 type ExecutionFailure struct {
 	Seed int64 `json:"seed"`
-	// Index is the plan's position in the strategy's order.
+	// Index is the plan's position in the strategy's order; -1 for
+	// failures that precede any plan (reference runs, quarantined tasks).
 	Index int    `json:"index"`
 	Plan  string `json:"plan"`
-	// Kind is "panic" (worker guard) or "watchdog" (event-budget livelock).
+	// Kind is "panic" (worker guard), "watchdog" (event-budget livelock),
+	// or "quarantine" (a farm task that killed MaxTaskKills workers and
+	// was recorded as failed instead of aborting the campaign).
 	Kind   string `json:"kind"`
 	Detail string `json:"detail"`
 }

@@ -20,6 +20,15 @@ import (
 // therefore diff two streams to detect behavioural drift, not just read
 // them.
 //
+// Fleet supervision counters (Stats.Fleet: worker deaths, task retries,
+// quarantines) are deliberately NOT emitted here: they measure the host
+// environment, and including them would break the stream's central
+// contract — a farm campaign with injected worker crashes must emit the
+// same bytes as a failure-free run, since retried tasks re-execute
+// deterministically. Fleet health surfaces instead in the (non-canonical)
+// artifact stats, the phfarm fleet report, and the coordinator journal's
+// death/retry NDJSON lines.
+//
 // Event kinds, in emission order per campaign:
 //
 //	campaign_start   identity + configuration

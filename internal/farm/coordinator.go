@@ -13,11 +13,21 @@ import (
 
 // TaskResult is one task's outcome as the coordinator saw it: the
 // worker's full campaign.Result, or the error that stopped it. Res is
-// nil for tasks that never completed (cancellation, worker death).
+// nil for tasks that never completed (cancellation, worker death,
+// quarantine). The supervision fields are populated only by
+// RunSupervised: Deaths lists every worker death attributed to the task,
+// Retries counts requeues after such deaths, and Quarantine is non-nil
+// when the task killed enough distinct workers to be declared poison —
+// in which case Res stays nil and the merge records a synthetic failed
+// cell instead of aborting the campaign.
 type TaskResult struct {
 	Spec TaskSpec
 	Res  *campaign.Result
 	Err  string
+
+	Deaths     []DeathRecord
+	Retries    int
+	Quarantine *QuarantineRecord
 }
 
 // Coordinator drives a set of workers through a task list. Dispatch is
@@ -121,17 +131,19 @@ func (c *Coordinator) Run(ctx context.Context, transports []Transport, tasks []T
 	return results, interrupted, nil
 }
 
-// serve runs one worker's protocol session: wait for ready, then feed
-// it tasks until the queue drains, the context dies, or the transport
-// breaks. Errors are per-task (recorded in results) except transport
-// breakage, which ends the session — the still-queued tasks stay
-// available to the surviving workers.
+// serve runs one worker's protocol session: wait for ready (and check
+// its protocol-version magic), then feed it tasks until the queue
+// drains, the context dies, or the transport breaks. Errors are
+// per-task (recorded in results) except transport breakage, which ends
+// the session — the still-queued tasks stay available to the surviving
+// workers. This is the unsupervised dispatch loop; RunSupervised wraps
+// the same session shape with death detection, respawn, and retry.
 func (c *Coordinator) serve(ctx context.Context, in io.Writer, out io.Reader, tasks []TaskSpec, queue <-chan int, results []TaskResult, mu *sync.Mutex) {
 	enc := json.NewEncoder(in)
-	dec := json.NewDecoder(out)
+	fs := newFrameScanner(out, "worker")
 
-	var hello wireMsg
-	if err := dec.Decode(&hello); err != nil || hello.Type != msgReady {
+	hello, _, err := fs.next()
+	if err != nil || hello.Type != msgReady || hello.Proto != ProtocolVersion {
 		return
 	}
 	for id := range queue {
@@ -144,8 +156,8 @@ func (c *Coordinator) serve(ctx context.Context, in io.Writer, out io.Reader, ta
 		}
 		done := false
 		for !done {
-			var msg wireMsg
-			if err := dec.Decode(&msg); err != nil {
+			msg, _, err := fs.next()
+			if err != nil {
 				return // transport broke mid-task; the task stays incomplete
 			}
 			switch msg.Type {

@@ -1,0 +1,174 @@
+package farm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FaultTransport wraps any Transport and injects one scripted fault into
+// the worker→coordinator stream, deterministically: the relay counts
+// protocol frames as they pass and fires the fault exactly at the
+// configured frame, every run. It is the test substrate for the
+// supervision layer — chaos with a reproducible script instead of
+// kill -9 and hope.
+//
+// Fault kinds:
+//
+//	kill   stop relaying and close the stream (clean EOF — a worker
+//	       that exited or was OOM-killed between writes)
+//	stall  swallow the triggering frame and everything after it (a
+//	       livelocked or wedged worker: the stream stays open, silent,
+//	       until the coordinator's task deadline fires)
+//	torn   forward half of the triggering frame's bytes, then close (a
+//	       worker killed mid-write: the coordinator sees a malformed
+//	       partial line — a ProtocolError)
+//
+// The coordinator→worker direction passes through untouched.
+const (
+	FaultKill  = "kill"
+	FaultStall = "stall"
+	FaultTorn  = "torn"
+)
+
+// Fault scripts one injection. Frame is 1-based: the Nth matching frame
+// is the one consumed by the fault. Task, when non-nil, restricts
+// counting to frames carrying that task_id — the handle the poison-task
+// tests use to kill every worker that touches one task. (Frames for
+// task 0 omit the task_id field on the wire, so task-scoped faults
+// target IDs >= 1.)
+type Fault struct {
+	Kind  string
+	Frame int
+	Task  *int
+}
+
+// ParseChaos parses a chaos script: comma-separated kind@frame entries,
+// e.g. "kill@4,stall@9,torn@6". Entry i scripts the fault for worker
+// slot i's first incarnation; respawns come up clean. An entry "-"
+// leaves its slot fault-free.
+func ParseChaos(s string) ([]Fault, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Fault
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "-" {
+			out = append(out, Fault{})
+			continue
+		}
+		kind, at, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("farm: chaos entry %q: want kind@frame", entry)
+		}
+		switch kind {
+		case FaultKill, FaultStall, FaultTorn:
+		default:
+			return nil, fmt.Errorf("farm: chaos entry %q: unknown fault kind %q", entry, kind)
+		}
+		frame, err := strconv.Atoi(at)
+		if err != nil || frame < 1 {
+			return nil, fmt.Errorf("farm: chaos entry %q: frame must be a positive integer", entry)
+		}
+		out = append(out, Fault{Kind: kind, Frame: frame})
+	}
+	return out, nil
+}
+
+// FaultTransport applies one Fault to an Inner transport's output
+// stream. A zero-Kind fault passes everything through.
+type FaultTransport struct {
+	Inner Transport
+	Fault Fault
+}
+
+func (t *FaultTransport) Start() (io.WriteCloser, io.Reader, error) {
+	in, out, err := t.Inner.Start()
+	if err != nil {
+		return nil, nil, err
+	}
+	if t.Fault.Kind == "" {
+		return in, out, nil
+	}
+	pr, pw := io.Pipe()
+	go t.relay(out, pw)
+	return in, pr, nil
+}
+
+// relay copies worker frames to the coordinator until the fault fires.
+// After firing it keeps draining the worker (so a blocked writer doesn't
+// deadlock the teardown) but never forwards another byte.
+func (t *FaultTransport) relay(out io.Reader, pw *io.PipeWriter) {
+	sc := bufio.NewScanner(out)
+	sc.Buffer(make([]byte, 64<<10), maxFrameBytes)
+	matched := 0
+	fired := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if fired {
+			continue // draining post-fault
+		}
+		if t.matches(line) {
+			matched++
+			if matched == t.Fault.Frame {
+				fired = true
+				switch t.Fault.Kind {
+				case FaultKill:
+					t.Inner.Kill()
+					pw.Close() // reader sees clean EOF
+				case FaultStall:
+					// Swallow silently; the stream stays open and the
+					// coordinator's deadline is the only way out.
+				case FaultTorn:
+					t.Inner.Kill()
+					half := line[:len(line)/2]
+					_, _ = pw.Write(half) // no newline: a torn partial frame
+					pw.Close()
+				}
+				continue
+			}
+		}
+		msg := make([]byte, 0, len(line)+1)
+		msg = append(msg, line...)
+		msg = append(msg, '\n')
+		if _, err := pw.Write(msg); err != nil {
+			return // coordinator hung up
+		}
+	}
+	if !fired || t.Fault.Kind == FaultStall {
+		// Worker stream ended (crash, kill, or clean exit): propagate EOF
+		// so a stalled coordinator session unblocks once its deadline
+		// kills the worker.
+		pw.Close()
+	}
+}
+
+// matches reports whether a frame counts toward the fault's trigger.
+func (t *FaultTransport) matches(line []byte) bool {
+	if t.Fault.Task == nil {
+		return true
+	}
+	var probe struct {
+		TaskID *int `json:"task_id"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil || probe.TaskID == nil {
+		return false
+	}
+	return *probe.TaskID == *t.Fault.Task
+}
+
+func (t *FaultTransport) Kill() { t.Inner.Kill() }
+
+func (t *FaultTransport) Wait() error { return t.Inner.Wait() }
+
+// StderrTail exposes the inner transport's stderr capture when present.
+func (t *FaultTransport) StderrTail() string {
+	if st, ok := t.Inner.(stderrTailer); ok {
+		return st.StderrTail()
+	}
+	return ""
+}

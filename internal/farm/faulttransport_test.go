@@ -1,0 +1,177 @@
+package farm
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// scriptedTransport is a fake worker that emits a fixed frame sequence
+// and records whether it was killed — the minimal inner transport for
+// exercising FaultTransport's relay in isolation.
+type scriptedTransport struct {
+	lines []string
+
+	mu     sync.Mutex
+	killed bool
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+func (s *scriptedTransport) Start() (io.WriteCloser, io.Reader, error) {
+	return nopWriteCloser{io.Discard}, strings.NewReader(strings.Join(s.lines, "\n") + "\n"), nil
+}
+
+func (s *scriptedTransport) Kill() {
+	s.mu.Lock()
+	s.killed = true
+	s.mu.Unlock()
+}
+
+func (s *scriptedTransport) Wait() error { return nil }
+
+func (s *scriptedTransport) wasKilled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
+}
+
+func readAll(t *testing.T, r io.Reader) []string {
+	t.Helper()
+	var out []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading faulted stream: %v", err)
+	}
+	return out
+}
+
+func TestParseChaos(t *testing.T) {
+	faults, err := ParseChaos("kill@4, stall@9 ,torn@6,-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: FaultKill, Frame: 4},
+		{Kind: FaultStall, Frame: 9},
+		{Kind: FaultTorn, Frame: 6},
+		{},
+	}
+	if len(faults) != len(want) {
+		t.Fatalf("got %d faults, want %d", len(faults), len(want))
+	}
+	for i := range want {
+		if faults[i] != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, faults[i], want[i])
+		}
+	}
+
+	if faults, err := ParseChaos("  "); err != nil || faults != nil {
+		t.Errorf("blank script: got %v, %v", faults, err)
+	}
+	for _, bad := range []string{"kill", "explode@3", "kill@zero", "kill@0", "kill@-2"} {
+		if _, err := ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFaultKill(t *testing.T) {
+	inner := &scriptedTransport{lines: []string{`{"n":1}`, `{"n":2}`, `{"n":3}`, `{"n":4}`}}
+	ft := &FaultTransport{Inner: inner, Fault: Fault{Kind: FaultKill, Frame: 3}}
+	_, out, err := ft.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, out)
+	if len(got) != 2 || got[0] != `{"n":1}` || got[1] != `{"n":2}` {
+		t.Errorf("kill@3 forwarded %v, want frames 1-2 then EOF", got)
+	}
+	if !inner.wasKilled() {
+		t.Error("kill fault did not kill the inner transport")
+	}
+}
+
+func TestFaultStall(t *testing.T) {
+	inner := &scriptedTransport{lines: []string{`{"n":1}`, `{"n":2}`, `{"n":3}`}}
+	ft := &FaultTransport{Inner: inner, Fault: Fault{Kind: FaultStall, Frame: 2}}
+	_, out, err := ft.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stall swallows frame 2 onward; on a finite stream the relay
+	// still propagates EOF when the worker side ends, so the read
+	// terminates deterministically with only frame 1 delivered.
+	got := readAll(t, out)
+	if len(got) != 1 || got[0] != `{"n":1}` {
+		t.Errorf("stall@2 forwarded %v, want just frame 1", got)
+	}
+	if inner.wasKilled() {
+		t.Error("stall fault killed the worker; it should leave it wedged")
+	}
+}
+
+func TestFaultTorn(t *testing.T) {
+	inner := &scriptedTransport{lines: []string{`{"n":1}`, `{"type":"result","task_id":7}`, `{"n":3}`}}
+	ft := &FaultTransport{Inner: inner, Fault: Fault{Kind: FaultTorn, Frame: 2}}
+	_, out, err := ft.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := `{"type":"result","task_id":7}`
+	want := `{"n":1}` + "\n" + full[:len(full)/2]
+	if string(data) != want {
+		t.Errorf("torn@2 stream = %q, want %q", data, want)
+	}
+	if !inner.wasKilled() {
+		t.Error("torn fault did not kill the inner transport")
+	}
+}
+
+func TestFaultTaskScoped(t *testing.T) {
+	task := 2
+	inner := &scriptedTransport{lines: []string{
+		`{"type":"ready"}`,              // no task_id: not counted
+		`{"type":"record","task_id":1}`, // other task: not counted
+		`{"type":"record","task_id":2}`, // match 1 → fires
+		`{"type":"result","task_id":2}`, // post-fault: drained, not forwarded
+	}}
+	ft := &FaultTransport{Inner: inner, Fault: Fault{Kind: FaultKill, Frame: 1, Task: &task}}
+	_, out, err := ft.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, out)
+	if len(got) != 2 || got[0] != `{"type":"ready"}` || got[1] != `{"type":"record","task_id":1}` {
+		t.Errorf("task-scoped kill forwarded %v, want the two non-matching frames", got)
+	}
+	if !inner.wasKilled() {
+		t.Error("task-scoped kill did not kill the inner transport")
+	}
+}
+
+func TestFaultZeroKindPassthrough(t *testing.T) {
+	inner := &scriptedTransport{lines: []string{`{"n":1}`, `{"n":2}`}}
+	ft := &FaultTransport{Inner: inner}
+	_, out, err := ft.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, out); len(got) != 2 {
+		t.Errorf("zero-kind fault altered the stream: %v", got)
+	}
+	if inner.wasKilled() {
+		t.Error("zero-kind fault killed the worker")
+	}
+}

@@ -1,0 +1,247 @@
+package farm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// The coordinator journal makes a farm run crash-resumable: one
+// append-only NDJSON file, one fsynced line per settled task, so a
+// phfarm killed mid-campaign (OOM, node preemption, operator SIGKILL)
+// restarts with -resume and re-dispatches only the tasks whose results
+// never landed. Because each line carries the task's full deterministic
+// result, a resumed run's merged artifact is byte-identical to an
+// uninterrupted one — the journal is a cache of pure-function outputs,
+// not a log of side effects.
+//
+// Format: line 1 is a header {v, kind:"header", fingerprint}; every
+// subsequent line is a result, quarantine, or death entry. The
+// fingerprint hashes the task list, so a journal can never resume a
+// different campaign (changed seeds, targets, flags) into silently
+// missing work. A torn final line — the fsync that never finished — is
+// dropped on replay; a malformed line anywhere else means real
+// corruption and fails loudly.
+
+// journalVersion stamps every line; readers reject versions they don't
+// understand rather than guessing at semantics.
+const journalVersion = 1
+
+// journalFile is the journal's filename inside the -journal directory.
+const journalFile = "journal.ndjson"
+
+type journalLine struct {
+	V    int    `json:"v"`
+	Kind string `json:"kind"` // "header", "result", "quarantine", "death"
+	// header
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// result / quarantine
+	TaskID     int               `json:"task_id,omitempty"`
+	Result     *campaign.Result  `json:"result,omitempty"`
+	Err        string            `json:"err,omitempty"`
+	Quarantine *QuarantineRecord `json:"quarantine,omitempty"`
+	// death
+	Death *DeathRecord `json:"death,omitempty"`
+}
+
+// ResumedTask is one settled task recovered from a journal: a completed
+// result, a deterministic task error, or a quarantine verdict.
+type ResumedTask struct {
+	Res        *campaign.Result
+	Err        string
+	Quarantine *QuarantineRecord
+}
+
+// Journal appends settled-task lines to the journal file, fsyncing each
+// one: a line either fully lands (and survives resume) or tears at the
+// tail (and its task re-runs — deterministically, so no harm done).
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// TasksFingerprint hashes the full task list — every field that shapes
+// results — into the identity a journal is bound to.
+func TasksFingerprint(tasks []TaskSpec) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, spec := range tasks {
+		_ = enc.Encode(spec)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// OpenJournal opens dir's journal for a campaign with the given task
+// fingerprint. With resume false any existing journal is truncated and a
+// fresh header written. With resume true the existing journal is
+// replayed first: header version and fingerprint are verified, settled
+// tasks are returned keyed by ID, a torn final line is tolerated (that
+// task simply re-runs), and the file is reopened for appending.
+func OpenJournal(dir, fingerprint string, resume bool) (*Journal, map[int]ResumedTask, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("farm: journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	var resumed map[int]ResumedTask
+	validLen := int64(0)
+	if resume {
+		var err error
+		resumed, validLen, err = replayJournal(path, fingerprint)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("farm: open journal: %w", err)
+	}
+	if resume {
+		// Chop the torn tail (a line the dying process never finished)
+		// before appending, so the replacement line starts on a clean
+		// boundary instead of concatenating onto the fragment.
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("farm: truncate journal tail: %w", err)
+		}
+		if _, err := f.Seek(validLen, 0); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("farm: seek journal: %w", err)
+		}
+	}
+	j := &Journal{f: f}
+	// A fresh journal — or a resumed one whose previous process died
+	// before the header landed — needs the header first.
+	if validLen == 0 {
+		if err := j.append(journalLine{Kind: "header", Fingerprint: fingerprint}); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, resumed, nil
+}
+
+// replayJournal reads an existing journal, validating the header and
+// collecting settled tasks. A missing or empty file resumes as a fresh
+// run. The returned length covers every intact line; a torn final line —
+// unterminated, or terminated but unparseable with nothing after it — is
+// excluded (its task just re-runs), while a malformed line followed by
+// more data is corruption and fails loudly.
+func replayJournal(path, fingerprint string) (map[int]ResumedTask, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("farm: read journal: %w", err)
+	}
+
+	resumed := map[int]ResumedTask{}
+	sawHeader := false
+	var deferred error // fatal only if intact content follows the bad line
+	validLen := int64(0)
+	lineNo := 0
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: torn mid-write, dropped
+		}
+		line := data[off : off+nl]
+		off += nl + 1
+		if deferred != nil {
+			return nil, 0, deferred
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			validLen = int64(off)
+			continue
+		}
+		lineNo++
+		var jl journalLine
+		if err := json.Unmarshal(line, &jl); err != nil {
+			deferred = fmt.Errorf("farm: journal line %d corrupt: %w", lineNo, err)
+			continue
+		}
+		if jl.V != journalVersion {
+			return nil, 0, fmt.Errorf("farm: journal version %d, want %d", jl.V, journalVersion)
+		}
+		switch jl.Kind {
+		case "header":
+			if jl.Fingerprint != fingerprint {
+				return nil, 0, fmt.Errorf("farm: journal belongs to a different campaign (fingerprint %.12s..., want %.12s...)",
+					jl.Fingerprint, fingerprint)
+			}
+			sawHeader = true
+		case "result":
+			resumed[jl.TaskID] = ResumedTask{Res: jl.Result, Err: jl.Err}
+		case "quarantine":
+			if jl.Quarantine != nil {
+				resumed[jl.Quarantine.TaskID] = ResumedTask{Quarantine: jl.Quarantine}
+			}
+		case "death":
+			// Deaths are observability, not state: the dead worker's task
+			// either settled later (a result line follows) or re-runs.
+		default:
+			deferred = fmt.Errorf("farm: journal line %d has unknown kind %q", lineNo, jl.Kind)
+		}
+		validLen = int64(off)
+	}
+	// deferred still set here means the bad line was the last intact one:
+	// a torn tail from the fatal write, dropped by design (validLen stops
+	// before it).
+	if validLen > 0 && !sawHeader {
+		return nil, 0, fmt.Errorf("farm: journal has no header line")
+	}
+	return resumed, validLen, nil
+}
+
+// Result journals one settled task (completed result or deterministic
+// task error).
+func (j *Journal) Result(id int, res *campaign.Result, errStr string) error {
+	return j.append(journalLine{Kind: "result", TaskID: id, Result: res, Err: errStr})
+}
+
+// Quarantine journals a poison-task verdict.
+func (j *Journal) Quarantine(q *QuarantineRecord) error {
+	return j.append(journalLine{Kind: "quarantine", TaskID: q.TaskID, Quarantine: q})
+}
+
+// Death journals a worker death record (observability only; replay
+// ignores it for state).
+func (j *Journal) Death(d DeathRecord) error {
+	return j.append(journalLine{Kind: "death", Death: &d})
+}
+
+func (j *Journal) append(jl journalLine) error {
+	jl.V = journalVersion
+	data, err := json.Marshal(jl)
+	if err != nil {
+		return fmt.Errorf("farm: marshal journal line: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("farm: write journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("farm: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -105,6 +105,17 @@ func mergeStats(parts []campaign.Result, merged campaign.Result) campaign.Stats 
 		st.CorpusInvalidatedSeeds += p.Stats.CorpusInvalidatedSeeds
 		st.WallNanos += p.Stats.WallNanos
 	}
+	// Fleet counters sum across parts (a quarantined shard carries its
+	// own); nil stays nil so healthy merges keep their historical bytes.
+	var fleet campaign.FleetStats
+	for _, p := range parts {
+		if p.Stats.Fleet != nil {
+			fleet.Add(*p.Stats.Fleet)
+		}
+	}
+	if !fleet.Zero() {
+		st.Fleet = &fleet
+	}
 	classes := map[string]bool{}
 	sigs := map[string]bool{}
 	for _, out := range merged.Outcomes {

@@ -5,7 +5,8 @@
 //
 // The pieces:
 //
-//   - protocol.go  the task unit (TaskSpec) and the NDJSON wire messages
+//   - protocol.go  the task unit (TaskSpec), the NDJSON wire messages,
+//     the version handshake, and typed ProtocolError framing
 //   - transport.go how a worker is launched and spoken to (subprocess
 //     over stdin/stdout pipes, or an in-process goroutine for tests —
 //     a TCP transport slots in behind the same interface)
@@ -15,6 +16,13 @@
 //     except when cross-seed learning forbids it)
 //   - coordinator.go pull-based task dispatch, cancellation, partial
 //     results
+//   - supervise.go worker supervision: death detection (EOF, deadline,
+//     protocol), capped-backoff respawn, deterministic task retry, and
+//     poison-task quarantine
+//   - journal.go   the crash-resumable coordinator journal: one fsynced
+//     NDJSON line per completed task, torn-tail-tolerant resume
+//   - faulttransport.go deterministic fault injection for testing: kill,
+//     stall, or tear a worker stream at scripted frames
 //   - merge.go     deterministic shard merging — the proof obligation
 //     that farmed == single-process, field by field
 //   - resolve.go   target/strategy/seed name resolution shared with the
@@ -31,6 +39,14 @@
 package farm
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
 	"repro/internal/campaign"
 )
 
@@ -107,19 +123,116 @@ const (
 	msgShutdown = "shutdown" // drain and exit cleanly
 
 	// worker → coordinator
-	msgReady  = "ready"  // worker is up and idle
+	msgReady  = "ready"  // worker is up and idle; carries Proto
 	msgRecord = "record" // one per-execution record, streamed mid-task
 	msgResult = "result" // the task's full campaign.Result
 	msgError  = "error"  // the task failed; Error explains
 )
 
+// ProtocolVersion is the magic the worker's ready handshake must carry.
+// The coordinator rejects a worker announcing any other version before
+// handing it a task, so a stale binary (or a non-worker process wired
+// into a transport by mistake) dies at the handshake instead of
+// half-speaking the protocol mid-campaign.
+const ProtocolVersion = "phfarm/1"
+
 // wireMsg is the single envelope both directions use; Type selects
 // which payload fields are meaningful.
 type wireMsg struct {
-	Type   string                `json:"type"`
+	Type string `json:"type"`
+	// Proto is the protocol version announced on msgReady.
+	Proto  string                `json:"proto,omitempty"`
 	Task   *TaskSpec             `json:"task,omitempty"`
 	TaskID int                   `json:"task_id,omitempty"`
 	Record *campaign.PlanOutcome `json:"record,omitempty"`
 	Result *campaign.Result      `json:"result,omitempty"`
 	Error  string                `json:"error,omitempty"`
+}
+
+// ProtocolError is a typed wire-protocol violation: a frame that is not
+// valid JSON (torn tails included — a worker killed mid-write leaves a
+// partial line), or a structurally invalid message. It identifies the
+// peer and carries the offending line, sanitized, so a supervision death
+// record or a worker's stderr names the exact bytes that broke the
+// session instead of panicking or silently skipping the frame.
+type ProtocolError struct {
+	// Peer identifies who sent the bad frame ("worker 2 spawn 1",
+	// "coordinator").
+	Peer string
+	// Line is the offending frame, sanitized and truncated.
+	Line string
+	// Err is the underlying decode error.
+	Err error
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("farm: protocol violation from %s: %v (frame: %q)", e.Peer, e.Err, e.Line)
+}
+
+func (e *ProtocolError) Unwrap() error { return e.Err }
+
+// maxFrameBytes bounds one NDJSON frame. Task results for large campaigns
+// carry every collected outcome, so the ceiling is generous; a frame that
+// exceeds it is a protocol violation, not an allocation request.
+const maxFrameBytes = 256 << 20
+
+// evidenceLimit bounds the sanitized copies of wire frames kept as death
+// evidence.
+const evidenceLimit = 240
+
+// sanitizeEvidence makes a wire frame or process output safe to embed in
+// reports: control characters escaped, length capped.
+func sanitizeEvidence(s string) string {
+	if len(s) > evidenceLimit {
+		s = s[:evidenceLimit] + "..."
+	}
+	return strconv.Quote(s)
+}
+
+// frameScanner reads one protocol frame (one NDJSON line) at a time.
+// Malformed and truncated frames come back as *ProtocolError carrying the
+// peer identity and the offending line; a cleanly closed stream returns
+// io.EOF. It replaces the json.Decoder the protocol used to ride on,
+// whose error for a torn frame ("unexpected EOF") was indistinguishable
+// from transport loss and whose recovery behavior on garbage input was
+// undefined.
+type frameScanner struct {
+	sc   *bufio.Scanner
+	peer string
+}
+
+func newFrameScanner(r io.Reader, peer string) *frameScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxFrameBytes)
+	return &frameScanner{sc: sc, peer: peer}
+}
+
+// next returns the next frame. The raw (sanitized) line is returned
+// alongside the decoded message so callers can keep last-frame evidence
+// without re-marshaling.
+func (f *frameScanner) next() (wireMsg, string, error) {
+	for {
+		if !f.sc.Scan() {
+			if err := f.sc.Err(); err != nil {
+				if errors.Is(err, bufio.ErrTooLong) {
+					return wireMsg{}, "", &ProtocolError{Peer: f.peer, Line: "(oversized frame)", Err: err}
+				}
+				return wireMsg{}, "", err
+			}
+			return wireMsg{}, "", io.EOF
+		}
+		line := f.sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue // blank lines are inter-frame noise, not frames
+		}
+		raw := sanitizeEvidence(string(line))
+		var msg wireMsg
+		if err := json.Unmarshal(line, &msg); err != nil {
+			return wireMsg{}, raw, &ProtocolError{Peer: f.peer, Line: raw, Err: err}
+		}
+		if msg.Type == "" {
+			return wireMsg{}, raw, &ProtocolError{Peer: f.peer, Line: raw, Err: errors.New("frame has no type")}
+		}
+		return msg, raw, nil
+	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package farm
+
+// raceSlowdown scales test deadlines that convict stalled workers; the
+// race detector slows engine executions roughly an order of magnitude,
+// so tight deadlines that are generous in normal runs would misconvict
+// healthy tasks under -race.
+const raceSlowdown = 1

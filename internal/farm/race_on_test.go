@@ -1,0 +1,6 @@
+//go:build race
+
+package farm
+
+// raceSlowdown: see race_off_test.go.
+const raceSlowdown = 15

@@ -55,10 +55,17 @@ func Plan(targets, strategies []string, base TaskSpec) []TaskSpec {
 }
 
 // Collate groups task results by cell in task (= matrix) order and
-// merges every cell whose tasks all completed. Cells with a missing or
+// merges every cell whose tasks all settled. Cells with a missing or
 // failed task — a cancelled run's tail — are returned separately so the
 // caller can report them; their completed shards are discarded rather
 // than presented as a valid (but silently truncated) campaign.
+//
+// A quarantined task (Res nil, Quarantine set) is settled, not missing:
+// it merges as the synthetic failed cell QuarantineResult builds, so a
+// poison task costs its own seeds' results and nothing else. Supervision
+// history on the cell's tasks (deaths, retries, quarantines) lands in
+// the merged result's Stats.Fleet — counters canonicalization scrubs,
+// so a chaos run's canonical artifact still matches a failure-free one.
 func Collate(results []TaskResult) (merged []campaign.Result, incomplete []Cell) {
 	order := []Cell{}
 	parts := map[Cell][]TaskResult{}
@@ -71,19 +78,32 @@ func Collate(results []TaskResult) (merged []campaign.Result, incomplete []Cell)
 	}
 	for _, c := range order {
 		rs := make([]campaign.Result, 0, len(parts[c]))
+		var fleet campaign.FleetStats
 		ok := true
 		for _, tr := range parts[c] {
-			if tr.Res == nil {
-				ok = false
-				break
+			fleet.WorkerDeaths += len(tr.Deaths)
+			if tr.Retries > 0 {
+				fleet.TasksRetried++
 			}
-			rs = append(rs, *tr.Res)
+			switch {
+			case tr.Res != nil:
+				rs = append(rs, *tr.Res)
+			case tr.Quarantine != nil:
+				fleet.TasksQuarantined++
+				rs = append(rs, QuarantineResult(tr.Spec, tr.Quarantine))
+			default:
+				ok = false
+			}
 		}
 		if !ok {
 			incomplete = append(incomplete, c)
 			continue
 		}
-		merged = append(merged, MergeCell(rs))
+		m := MergeCell(rs)
+		if !fleet.Zero() {
+			m.Stats.Fleet = &fleet
+		}
+		merged = append(merged, m)
 	}
 	return merged, incomplete
 }

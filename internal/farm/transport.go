@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sync"
 )
 
 // Transport launches one worker and exposes its two message pipes. The
@@ -27,13 +28,17 @@ type Transport interface {
 
 // ProcessTransport runs a worker as a subprocess speaking the protocol
 // over its stdin/stdout; stderr passes through to the coordinator's so
-// worker diagnostics stay visible.
+// worker diagnostics stay visible, while the last few KB are also kept
+// in a ring so a death record can quote what the worker said on the way
+// down.
 type ProcessTransport struct {
 	Path   string
 	Args   []string
+	Env    []string  // nil = inherit; otherwise the full environment
 	Stderr io.Writer // nil = os.Stderr
 
-	cmd *exec.Cmd
+	cmd  *exec.Cmd
+	tail *tailWriter
 }
 
 // NewProcessTransport returns a transport that will exec path with args
@@ -44,10 +49,13 @@ func NewProcessTransport(path string, args ...string) *ProcessTransport {
 
 func (t *ProcessTransport) Start() (io.WriteCloser, io.Reader, error) {
 	cmd := exec.Command(t.Path, t.Args...)
-	cmd.Stderr = t.Stderr
-	if cmd.Stderr == nil {
-		cmd.Stderr = os.Stderr
+	cmd.Env = t.Env
+	stderr := t.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
 	}
+	t.tail = &tailWriter{}
+	cmd.Stderr = io.MultiWriter(stderr, t.tail)
 	in, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, nil, fmt.Errorf("farm: worker stdin: %w", err)
@@ -74,6 +82,48 @@ func (t *ProcessTransport) Wait() error {
 		return nil
 	}
 	return t.cmd.Wait()
+}
+
+// StderrTail returns the last few KB the worker wrote to stderr —
+// death evidence for the supervision layer. Empty before Start.
+func (t *ProcessTransport) StderrTail() string {
+	if t.tail == nil {
+		return ""
+	}
+	return t.tail.String()
+}
+
+// stderrTailer is the optional transport capability the supervisor
+// probes for when assembling death evidence.
+type stderrTailer interface {
+	StderrTail() string
+}
+
+// tailWriter keeps the last tailLimit bytes written through it. Writes
+// are serialized (the subprocess's stderr copier is a single goroutine)
+// but reads can race a dying worker's final writes, so a mutex guards
+// the buffer.
+type tailWriter struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+const tailLimit = 4 << 10
+
+func (t *tailWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > tailLimit {
+		t.buf = t.buf[len(t.buf)-tailLimit:]
+	}
+	return len(p), nil
+}
+
+func (t *tailWriter) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
 }
 
 // InProcTransport runs WorkerLoop in a goroutine connected by pipes —

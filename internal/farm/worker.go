@@ -9,25 +9,35 @@ import (
 	"repro/internal/campaign"
 )
 
-// WorkerLoop is the worker side of the farm protocol: announce ready,
-// then serve tasks from r until a shutdown message or EOF. Each task
-// runs through the unchanged campaign.Engine; per-execution records
-// stream to w as they enter the deterministic execution set, followed
-// by one result (or error) message. All writes happen on the calling
-// goroutine — the engine's OnOutcome hook fires from its aggregation
-// loop, which RunTask executes synchronously — so the stream needs no
-// locking and stays strictly ordered.
+// WorkerLoop is the worker side of the farm protocol: announce ready
+// (with the protocol version magic), then serve tasks from r until a
+// shutdown message or EOF. Each task runs through the unchanged
+// campaign.Engine; per-execution records stream to w as they enter the
+// deterministic execution set, followed by one result (or error)
+// message. All writes happen on the calling goroutine — the engine's
+// OnOutcome hook fires from its aggregation loop, which RunTask executes
+// synchronously — so the stream needs no locking and stays strictly
+// ordered.
+//
+// Malformed coordinator frames surface as *ProtocolError (the offending
+// line included) rather than a decode panic or a silently skipped
+// message: a worker that cannot trust its instruction stream must die
+// loudly, because the supervision layer treats its death as evidence.
 func WorkerLoop(r io.Reader, w io.Writer) error {
 	enc := json.NewEncoder(w)
-	dec := json.NewDecoder(r)
-	if err := enc.Encode(wireMsg{Type: msgReady}); err != nil {
+	fs := newFrameScanner(r, "coordinator")
+	if err := enc.Encode(wireMsg{Type: msgReady, Proto: ProtocolVersion}); err != nil {
 		return fmt.Errorf("farm: worker hello: %w", err)
 	}
 	for {
-		var msg wireMsg
-		if err := dec.Decode(&msg); err != nil {
+		msg, _, err := fs.next()
+		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) {
 				return nil // coordinator hung up; clean exit
+			}
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				return pe
 			}
 			return fmt.Errorf("farm: worker read: %w", err)
 		}
@@ -36,7 +46,7 @@ func WorkerLoop(r io.Reader, w io.Writer) error {
 			return nil
 		case msgTask:
 			if msg.Task == nil {
-				return fmt.Errorf("farm: task message without task")
+				return &ProtocolError{Peer: "coordinator", Line: "(task frame)", Err: errors.New("task message without task")}
 			}
 			spec := *msg.Task
 			var streamErr error
@@ -56,7 +66,7 @@ func WorkerLoop(r io.Reader, w io.Writer) error {
 				return fmt.Errorf("farm: worker reply: %w", err)
 			}
 		default:
-			return fmt.Errorf("farm: worker got unknown message type %q", msg.Type)
+			return &ProtocolError{Peer: "coordinator", Line: sanitizeEvidence(msg.Type), Err: fmt.Errorf("unknown message type %q", msg.Type)}
 		}
 	}
 }
