@@ -494,6 +494,7 @@ const (
 	benchE5MaxExec  = 400
 	benchE6MaxExec  = 800
 	benchE10MaxExec = 200
+	benchE11MaxExec = 200
 )
 
 func minPruned(ls []bench.LearnedCell) int {
@@ -728,6 +729,62 @@ func BenchmarkE10_SnapshotSubstrate(b *testing.B) {
 		}
 		fmt.Printf("  (artifact: BENCH_E10.json — fallbacks and on/off byte-identity pinned per row)\n")
 	})
+}
+
+// ---------------------------------------------------------------------
+// E11 — exhaustive mode: bounded systematic exploration vs sampling.
+// ---------------------------------------------------------------------
+
+func BenchmarkE11_ExhaustiveVsSampled(b *testing.B) {
+	// The explorer enumerates every delivery schedule within the standard
+	// bound (at most one drop plus one delay, learned-model POR on) and
+	// either stops at the first violation — with a minimized witness — or
+	// certifies the whole bounded space violation-free. The guided and
+	// random columns sample the same targets under a fixed execution
+	// budget. Everything in the artifact is virtual-time deterministic;
+	// cmd/benchcheck -e11 recomputes it and fails on drift.
+	var art bench.E11
+	for i := 0; i < b.N; i++ {
+		art = bench.ComputeE11(benchE11MaxExec, 4)
+	}
+	violations := 0
+	var reduction float64
+	for _, r := range art.Rows {
+		if r.ExploreOutcome == "violation" {
+			violations++
+		}
+		if r.ExploreExecutions > 0 {
+			ratio := float64(r.ScheduleSpace) / float64(r.ExploreExecutions)
+			if ratio > reduction {
+				reduction = ratio
+			}
+		}
+	}
+	b.ReportMetric(float64(violations), "explore-violations")
+	b.ReportMetric(reduction, "best-space/executed")
+	if err := bench.WriteFile("BENCH_E11.json", art); err != nil {
+		b.Fatalf("E11: write artifact: %v", err)
+	}
+	printOnce("E11", func() {
+		fmt.Printf("\nE11 — exhaustive mode (-explore): bounded schedule enumeration vs sampling\n")
+		fmt.Printf("  bound: ≤%d drop + ≤%d delay per schedule, POR on\n", art.BoundDrops, art.BoundDelays)
+		fmt.Printf("  %-13s %-14s %-10s %-12s %-12s %-14s %s\n",
+			"bug", "explore", "execs", "space", "collapsed", "guided (execs)", "random (execs)")
+		for _, r := range art.Rows {
+			fmt.Printf("  %-13s %-14s %-10d %-12d %-12d %-14s %s\n",
+				r.Target, r.ExploreOutcome, r.ExploreExecutions, r.ScheduleSpace, r.SchedulesCollapsed,
+				cellE11(r.Guided), cellE11(r.Random))
+		}
+		fmt.Printf("  (explore stops at the first violation; \"certificate\" means the entire\n")
+		fmt.Printf("   bounded space is violation-free; artifact: BENCH_E11.json)\n")
+	})
+}
+
+func cellE11(c bench.Cell) string {
+	if c.Detected {
+		return fmt.Sprintf("YES (%d)", c.Executions)
+	}
+	return fmt.Sprintf("no (%d)", c.Executions)
 }
 
 // ---------------------------------------------------------------------

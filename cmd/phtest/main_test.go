@@ -26,6 +26,10 @@ func TestRejectedFlagsExitTwo(t *testing.T) {
 		{"-ranked"},
 		{"-minimize", "-explain"},
 		{"-snapshot", "-fixed"},
+		{"-explore", "-guided"},
+		{"-explore", "-prune"},
+		{"-explore", "-snapshot"},
+		{"-explore", "-explain"},
 		{"-targets", "no-such-bug"},
 		{"-seeds", "1,x"},
 		{"-not-a-flag"},
@@ -124,6 +128,46 @@ func TestCampaignArtifactRoundTrip(t *testing.T) {
 	}
 	if len(got.Outcomes) == 0 {
 		t.Fatal("Collect artifact has no per-plan outcomes")
+	}
+}
+
+// TestExploreArtifactDeterministic runs the exhaustive mode through the
+// full CLI twice and asserts the artifact documents are byte-identical,
+// schema-stamped, and carry the expected outcome (the CI smoke's
+// in-process twin).
+func TestExploreArtifactDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	for _, p := range paths {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-explore", "-targets", "k8s-56261", "-json", p}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("explore exited %d, want 0 (a found violation is a successful run)\nstderr: %s", code, stderr.String())
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("explore artifacts differ across identical reruns")
+	}
+	var doc exploreArtifact
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Schema != schemaExplore {
+		t.Fatalf("schema %q, want %q", doc.Schema, schemaExplore)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Result == nil || doc.Runs[0].Result.Outcome != "violation" {
+		t.Fatalf("unexpected runs: %+v", doc.Runs)
+	}
+	if doc.Runs[0].Result.Witness == nil || doc.Runs[0].Result.Witness.MinimalID == "" {
+		t.Fatal("violation run carries no minimized witness")
 	}
 }
 

@@ -79,6 +79,11 @@ type Server struct {
 	subsOrder   []string // cached sorted sub keys; nil means stale
 	storeSubID  uint64
 	lastEventAt sim.Time
+
+	// pushSlab arena-allocates the per-subscriber single-event push
+	// slices (relay sends one per subscriber per event — the hottest
+	// allocation on the watch path).
+	pushSlab sim.Slab[WatchEvent]
 }
 
 // New creates and wires an apiserver into the world and begins its initial
@@ -313,7 +318,7 @@ func (s *Server) relay(ev WatchEvent, key string) {
 		}
 		sub.lastSent = ev.Revision
 		s.world.Network().Send(s.id, sub.client, KindWatchPush,
-			&WatchPushMsg{SubID: sub.subID, Events: []WatchEvent{cloneEvent(ev)}})
+			&WatchPushMsg{SubID: sub.subID, Events: s.pushSlab.One(cloneEvent(ev))})
 	}
 }
 

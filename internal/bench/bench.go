@@ -24,6 +24,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/workload"
 )
 
@@ -34,6 +35,7 @@ const (
 	SchemaE5  = "bench-e5/v1"
 	SchemaE6  = "bench-e6/v1"
 	SchemaE10 = "bench-e10/v1"
+	SchemaE11 = "bench-e11/v1"
 )
 
 // Cell is one (target, strategy) campaign's deterministic outcome.
@@ -240,6 +242,91 @@ func ComputeE10(maxExec, workers int) E10 {
 		})
 	}
 	return art
+}
+
+// E11Row is one target's exhaustive-vs-sampled comparison: the bounded
+// systematic explorer against the guided planner campaign and the random
+// baseline, all measured in executions-to-first-detection (virtual-time
+// determinism means execution counts ARE the tool's time axis; wall-clock
+// never enters the artifact).
+type E11Row struct {
+	Target string `json:"target"`
+	Oracle string `json:"oracle"`
+	// Exhaustive exploration under the standard E11 bound (one drop plus
+	// one delay per schedule, POR on). ExploreOutcome is "violation",
+	// "certificate", or "budget-exhausted"; ExploreExecutions counts
+	// schedules executed until the stop; the space/collapse counters
+	// record how much the reduction bought.
+	ExploreOutcome     string `json:"explore_outcome"`
+	ExploreExecutions  uint64 `json:"explore_executions"`
+	ExploreWitness     string `json:"explore_witness,omitempty"`
+	ScheduleSpace      uint64 `json:"schedule_space"`
+	SchedulesCollapsed uint64 `json:"schedules_collapsed"`
+	// Guided / Random are the sampling columns under the same budget.
+	Guided Cell `json:"guided"`
+	Random Cell `json:"random"`
+}
+
+// E11 is the exhaustive-mode artifact: ROADMAP item 6's evidence that a
+// bounded systematic sweep either finds the seeded bugs within small
+// schedule counts or certifies their absence within the bound.
+type E11 struct {
+	Schema        string   `json:"schema"`
+	MaxExecutions int      `json:"max_executions"`
+	BoundDrops    int      `json:"bound_drops"`
+	BoundDelays   int      `json:"bound_delays"`
+	Rows          []E11Row `json:"rows"`
+}
+
+// e11MaxSchedules bounds one exploration; large enough that every target
+// either detects or certifies (a budget abort would make the row
+// meaningless).
+const e11MaxSchedules = 20000
+
+// ComputeE11 runs the exhaustive-vs-sampled comparison on all five
+// seeded bugs. The explorer is serial and deterministic; the campaign
+// columns are deterministic at any worker count, so the artifact is a
+// pure function of maxExec.
+func ComputeE11(maxExec, workers int) E11 {
+	art := E11{Schema: SchemaE11, MaxExecutions: maxExec, BoundDrops: 1, BoundDelays: 1}
+	eng := campaign.New(campaign.Config{Workers: workers, MaxExecutions: maxExec, Guided: true, Snapshot: true})
+	engRand := campaign.New(campaign.Config{Workers: workers, MaxExecutions: maxExec, Snapshot: true})
+	for _, t := range workload.AllTargets() {
+		res := explore.Run(explore.Config{
+			Target: t, Seed: 1,
+			Bounds:   explore.Bounds{Drops: 1, Delays: 1, MaxSchedules: e11MaxSchedules},
+			POR:      true,
+			Snapshot: true,
+		})
+		g := eng.Run(t, core.NewPlanner())
+		r := engRand.Run(t, baselines.Random{Seed: 11, N: maxExec})
+		row := E11Row{
+			Target:             t.Name,
+			Oracle:             t.Bug,
+			ExploreOutcome:     res.Outcome,
+			ExploreExecutions:  res.Stats.SchedulesExecuted,
+			ScheduleSpace:      res.Stats.ScheduleSpace,
+			SchedulesCollapsed: res.Stats.SchedulesCollapsed,
+			Guided:             cellOf(t, "partial-history", g.Campaign, g.Detected),
+			Random:             cellOf(t, "random", r.Campaign, r.Detected),
+		}
+		if res.Witness != nil {
+			row.ExploreWitness = res.Witness.MinimalID
+		}
+		art.Rows = append(art.Rows, row)
+	}
+	return art
+}
+
+func ReadE11(path string) (E11, error) {
+	var art E11
+	if err := readJSON(path, &art); err != nil {
+		return E11{}, err
+	}
+	if art.Schema != SchemaE11 {
+		return E11{}, fmt.Errorf("bench: %s: schema %q, want %q", path, art.Schema, SchemaE11)
+	}
+	return art, nil
 }
 
 func mustCanonicalJSON(art campaign.Artifact) []byte {

@@ -498,7 +498,7 @@ func (e *Engine) explainBucket(t core.Target, agg *aggregator, b *FailureBucket,
 	runner := core.PlanRunner(core.RunPlanSeed)
 	var pt *planTree
 	if e.cfg.Snapshot {
-		pt = buildPlanTree(t, ex.plan, ex.seed, refs[ex.seed])
+		pt = buildPlanTree(t, ex.plan, ex.seed, refs[ex.seed], nil)
 	}
 	if pt != nil {
 		runner = func(rt core.Target, q core.Plan, seed int64) core.Execution {

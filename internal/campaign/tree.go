@@ -84,7 +84,12 @@ type subCount struct {
 // finishes the run so the base execution's own result and complete
 // perturbed trace are available. Returns nil when the substrate cannot be
 // built — the caller then probes with full replays.
-func buildPlanTree(t core.Target, base core.Plan, seed int64, ref *trace.Trace) (pt *planTree) {
+//
+// A non-nil explicit slice overrides the quantile heuristic: rungs are
+// placed captureMargin before each requested instant instead (the
+// explorer knows its choice-point send times up front). Placement remains
+// a heuristic either way — soundness is enforced per-fork by divergence.
+func buildPlanTree(t core.Target, base core.Plan, seed int64, ref *trace.Trace, explicit []sim.Time) (pt *planTree) {
 	defer func() {
 		if recover() != nil {
 			pt = nil
@@ -123,7 +128,11 @@ func buildPlanTree(t core.Target, base core.Plan, seed int64, ref *trace.Trace) 
 	pt.baseTrace = rec.T
 
 	end := pt.buildEnd.Add(t.Horizon)
-	for _, cand := range treeCandidateTimes(pt, end) {
+	cands := treeCandidateTimes(pt, end)
+	if explicit != nil {
+		cands = explicitCandidateTimes(pt, explicit, end)
+	}
+	for _, cand := range cands {
 		if cand < k.Now() {
 			continue // a previous capture slid past this candidate
 		}
@@ -189,6 +198,32 @@ func treeCandidateTimes(pt *planTree, end sim.Time) []sim.Time {
 	return out
 }
 
+// explicitCandidateTimes converts caller-requested capture instants into
+// a rung schedule: the build boundary first, then each requested instant
+// shifted captureMargin early (a snapshot must precede the event it
+// serves), sorted, deduplicated, clamped inside (buildEnd, end), and
+// capped at maxCheckpoints.
+func explicitCandidateTimes(pt *planTree, explicit []sim.Time, end sim.Time) []sim.Time {
+	shifted := make([]sim.Time, 0, len(explicit))
+	for _, at := range explicit {
+		cand := at.Add(-captureMargin)
+		if cand > pt.buildEnd && cand < end {
+			shifted = append(shifted, cand)
+		}
+	}
+	sort.Slice(shifted, func(i, j int) bool { return shifted[i] < shifted[j] })
+	out := []sim.Time{pt.buildEnd}
+	for _, cand := range shifted {
+		if len(out) == maxCheckpoints {
+			break
+		}
+		if out[len(out)-1] != cand {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
 // subplanMultiset flattens a plan into its sub-plan multiset, keyed by
 // ID+Describe (IDs alone omit some secondary parameters).
 func subplanMultiset(p core.Plan) map[string]subCount {
@@ -211,11 +246,20 @@ func subplanMultiset(p core.Plan) map[string]subCount {
 	return out
 }
 
-// isOccurrenceGap reports whether p is an occurrence-counted gap plan —
-// the one plan kind whose interceptor carries state a snapshot cannot hold.
-func isOccurrenceGap(p core.Plan) bool {
-	gp, ok := p.(core.GapPlan)
-	return ok && gp.Occurrence > 0
+// isOccurrenceCounted reports whether p counts matching deliveries at
+// runtime — the plan kinds whose interceptor or gate carries state a
+// snapshot cannot hold. Covers send-side occurrence gaps and the
+// delivery-coordinate plans (drop/delay gates) the explorer emits.
+func isOccurrenceCounted(p core.Plan) bool {
+	switch q := p.(type) {
+	case core.GapPlan:
+		return q.Occurrence > 0
+	case core.DropDeliveryPlan:
+		return true
+	case core.DelayDeliveryPlan:
+		return true
+	}
+	return false
 }
 
 // divergence returns the latest instant up to which an execution of q is
@@ -258,7 +302,7 @@ func (pt *planTree) divergence(q core.Plan) (sim.Time, bool) {
 		if sub == nil {
 			sub = inQ.plan
 		}
-		occ := isOccurrenceGap(sub)
+		occ := isOccurrenceCounted(sub)
 		if occ && pt.baseDrops > 0 {
 			// The base trace lost watch pushes; its match stream is
 			// incomplete and no occurrence bound is trustworthy.

@@ -59,7 +59,7 @@ func TestCheckpointTreeActuallyForks(t *testing.T) {
 	if detected == nil {
 		t.Fatal("no plan detects on k8s-59848: tree test is vacuous")
 	}
-	pt := buildPlanTree(target, detected, seed, ref)
+	pt := buildPlanTree(target, detected, seed, ref, nil)
 	if pt == nil {
 		t.Fatal("buildPlanTree returned nil for a snapshotable target")
 	}

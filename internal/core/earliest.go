@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -31,9 +33,15 @@ func EarliestEffect(p Plan, ref *trace.Trace) (sim.Time, bool) {
 		return p.From, true
 	case GapPlan:
 		if p.Occurrence > 0 {
-			return firstMatchingDelivery(p, ref), true
+			return firstDeliveryMatch(ref, p.Victim, p.Kind, p.Name, p.Type), true
 		}
 		return p.From, true
+	case DropDeliveryPlan:
+		// Delivery-counted gates start counting at the first matching
+		// arrival; the reference delivery's send time bounds it from below.
+		return firstDeliveryMatch(ref, p.Victim, p.Kind, p.Name, p.Type), true
+	case DelayDeliveryPlan:
+		return firstDeliveryMatch(ref, p.Victim, p.Kind, p.Name, p.Type), true
 	case TimeTravelPlan:
 		return p.FreezeAt, true
 	case CrashPlan:
@@ -65,19 +73,20 @@ func EarliestEffect(p Plan, ref *trace.Trace) (sim.Time, bool) {
 	}
 }
 
-// firstMatchingDelivery returns the send time of the first reference-run
-// delivery the gap plan's interceptor would count, or NoEffect when the
-// reference contains none (then the interceptor state cannot diverge
-// before some other perturbation does).
-func firstMatchingDelivery(p GapPlan, ref *trace.Trace) sim.Time {
+// firstDeliveryMatch returns the send time of the first reference-run
+// delivery an occurrence-counting plan (send-side gap interceptor or
+// delivery-side gate) would count, or NoEffect when the reference contains
+// none (then the counter state cannot diverge before some other
+// perturbation does).
+func firstDeliveryMatch(ref *trace.Trace, victim sim.NodeID, kind cluster.Kind, name string, typ apiserver.EventType) sim.Time {
 	if ref == nil {
 		return 0 // unknown reference: only the build boundary is safe
 	}
 	for _, d := range ref.Deliveries {
-		if d.To != p.Victim || d.Kind != p.Kind || d.Name != p.Name {
+		if d.To != victim || d.Kind != kind || d.Name != name {
 			continue
 		}
-		if p.Type != "" && d.EventType != p.Type {
+		if typ != "" && d.EventType != typ {
 			continue
 		}
 		return d.Time

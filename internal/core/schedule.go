@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/infra"
+	"repro/internal/sim"
+)
+
+// Delivery-coordinate plans: the systematic explorer's decision vocabulary
+// (internal/explore). Where GapPlan counts matching events at SEND time
+// through an Interceptor, these plans rule at DELIVERY time through a
+// sim.DeliveryGate, so their occurrence coordinate counts exactly the
+// arrival stream the receiver observes — the same stream the trace
+// recorder numbers. A schedule the explorer discovered by gating a live
+// run therefore replays exactly as a plan under core.RunPlanSeed: the
+// witness and the exploration step are the same execution.
+//
+// Occurrence counting is per matching event within arriving watch pushes,
+// counted once per network message sequence number. A message the gate
+// itself deferred (Delay verdict) is not re-counted on re-arrival.
+
+// DropDeliveryPlan drops the watch-push message whose payload carries the
+// Occurrence-th arrival matching (Victim, Kind, Name, Type) — an
+// observability gap placed at a delivery coordinate.
+type DropDeliveryPlan struct {
+	Victim     sim.NodeID
+	Kind       cluster.Kind
+	Name       string
+	Type       apiserver.EventType // empty = any type
+	Occurrence int                 // 1-based arrival count; must be > 0
+}
+
+// ID implements Plan.
+func (p DropDeliveryPlan) ID() string {
+	return fmt.Sprintf("dropdel/%s/%s/%s/%s#%d", p.Victim, p.Kind, p.Name, p.Type, p.Occurrence)
+}
+
+// Describe implements Plan.
+func (p DropDeliveryPlan) Describe() string {
+	return fmt.Sprintf("drop delivery #%d of %s %s/%s to %s", p.Occurrence, p.Type, p.Kind, p.Name, p.Victim)
+}
+
+// Apply implements Plan.
+func (p DropDeliveryPlan) Apply(c *infra.Cluster) {
+	g := &deliveryCounter{victim: p.Victim, kind: p.Kind, name: p.Name, typ: p.Type}
+	done := false
+	c.World.Network().AddDeliveryGate(sim.DeliveryGateFunc(func(m *sim.Message) sim.Decision {
+		if done {
+			return sim.Decision{Verdict: sim.Pass}
+		}
+		if g.matches(m, p.Occurrence) {
+			done = true
+			return sim.Decision{Verdict: sim.Drop}
+		}
+		return sim.Decision{Verdict: sim.Pass}
+	}))
+}
+
+// DelayDeliveryPlan defers the watch-push message carrying the
+// Occurrence-th matching arrival by Delay extra virtual time — a bounded
+// staleness injection at a single delivery coordinate. The deferred
+// message re-enters the gate on re-arrival and passes without recounting.
+type DelayDeliveryPlan struct {
+	Victim     sim.NodeID
+	Kind       cluster.Kind
+	Name       string
+	Type       apiserver.EventType // empty = any type
+	Occurrence int                 // 1-based arrival count; must be > 0
+	Delay      sim.Duration
+}
+
+// ID implements Plan.
+func (p DelayDeliveryPlan) ID() string {
+	return fmt.Sprintf("delaydel/%s/%s/%s/%s#%d+%s", p.Victim, p.Kind, p.Name, p.Type, p.Occurrence, p.Delay)
+}
+
+// Describe implements Plan.
+func (p DelayDeliveryPlan) Describe() string {
+	return fmt.Sprintf("delay delivery #%d of %s %s/%s to %s by %s", p.Occurrence, p.Type, p.Kind, p.Name, p.Victim, p.Delay)
+}
+
+// Apply implements Plan.
+func (p DelayDeliveryPlan) Apply(c *infra.Cluster) {
+	g := &deliveryCounter{victim: p.Victim, kind: p.Kind, name: p.Name, typ: p.Type}
+	deferred := map[uint64]bool{}
+	done := false
+	c.World.Network().AddDeliveryGate(sim.DeliveryGateFunc(func(m *sim.Message) sim.Decision {
+		if deferred[m.Seq] {
+			// Our own deferral re-arriving: it was counted when first seen.
+			delete(deferred, m.Seq)
+			return sim.Decision{Verdict: sim.Pass}
+		}
+		if done {
+			return sim.Decision{Verdict: sim.Pass}
+		}
+		if g.matches(m, p.Occurrence) {
+			done = true
+			deferred[m.Seq] = true
+			d := p.Delay
+			if d <= 0 {
+				d = sim.Millisecond
+			}
+			return sim.Decision{Verdict: sim.Delay, Delay: d}
+		}
+		return sim.Decision{Verdict: sim.Pass}
+	}))
+}
+
+// deliveryCounter counts matching events inside arriving watch pushes.
+// matches reports whether the target occurrence is reached by message m.
+type deliveryCounter struct {
+	victim sim.NodeID
+	kind   cluster.Kind
+	name   string
+	typ    apiserver.EventType
+	seen   int
+}
+
+func (g *deliveryCounter) matches(m *sim.Message, occurrence int) bool {
+	if m.To != g.victim || m.Kind != apiserver.KindWatchPush {
+		return false
+	}
+	push, ok := m.Payload.(*apiserver.WatchPushMsg)
+	if !ok {
+		return false
+	}
+	hit := false
+	for _, ev := range push.Events {
+		if ev.Object == nil || ev.Object.Meta.Kind != g.kind || ev.Object.Meta.Name != g.name {
+			continue
+		}
+		if g.typ != "" && ev.Type != g.typ {
+			continue
+		}
+		g.seen++
+		if g.seen == occurrence {
+			hit = true
+		}
+	}
+	return hit
+}

@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/oracle"
@@ -201,6 +203,10 @@ func affectedComponent(leaves []core.Plan, ref, pert *trace.Trace) sim.NodeID {
 		switch q := leaf.(type) {
 		case core.GapPlan:
 			return q.Victim
+		case core.DropDeliveryPlan:
+			return q.Victim
+		case core.DelayDeliveryPlan:
+			return q.Victim
 		case core.TimeTravelPlan:
 			return q.Component
 		case core.CrashPlan:
@@ -294,6 +300,26 @@ func perturbationSteps(leaf core.Plan, ref *trace.Trace) []Step {
 			return steps
 		}
 		return []Step{{Kind: StepPerturbation, Time: int64(q.From), Detail: leaf.Describe()}}
+	case core.DropDeliveryPlan:
+		if d, ok := findDeliveryOccurrence(ref, q.Victim, q.Kind, q.Name, q.Type, q.Occurrence); ok {
+			return []Step{
+				{Kind: StepPerturbation, Time: int64(d.Time), Detail: leaf.Describe()},
+				{Kind: StepSuppressed, Time: int64(d.Time),
+					Detail: fmt.Sprintf("%s %s/%s (rev %d) to %s dropped at delivery — the reference run delivered it at %s",
+						d.EventType, d.Kind, d.Name, d.Revision, d.To, d.Time)},
+			}
+		}
+		return []Step{{Kind: StepPerturbation, Time: -1, Detail: leaf.Describe()}}
+	case core.DelayDeliveryPlan:
+		if d, ok := findDeliveryOccurrence(ref, q.Victim, q.Kind, q.Name, q.Type, q.Occurrence); ok {
+			return []Step{
+				{Kind: StepPerturbation, Time: int64(d.Time), Detail: leaf.Describe()},
+				{Kind: StepSuppressed, Time: int64(d.Time),
+					Detail: fmt.Sprintf("%s %s/%s (rev %d) to %s deferred by %s — the reference run delivered it at %s",
+						d.EventType, d.Kind, d.Name, d.Revision, d.To, q.Delay, d.Time)},
+			}
+		}
+		return []Step{{Kind: StepPerturbation, Time: -1, Detail: leaf.Describe()}}
 	case core.StalenessPlan:
 		steps := []Step{{Kind: StepPerturbation, Time: int64(q.From), Detail: leaf.Describe()}}
 		if n, first, ok := stalledDeliveries(ref, q.Victim, q.From, q.Until); ok {
@@ -343,6 +369,26 @@ func findReferenceDelivery(ref *trace.Trace, q core.GapPlan) (trace.Delivery, bo
 			continue
 		}
 		if d.Time >= q.From && (q.Until == 0 || d.Time <= q.Until) {
+			return d, true
+		}
+	}
+	return trace.Delivery{}, false
+}
+
+// findDeliveryOccurrence locates the occurrence-th reference delivery
+// matching a delivery-coordinate plan, counting matching deliveries in
+// arrival order — the same stream the delivery gate counts.
+func findDeliveryOccurrence(ref *trace.Trace, victim sim.NodeID, kind cluster.Kind, name string, typ apiserver.EventType, occurrence int) (trace.Delivery, bool) {
+	seen := 0
+	for _, d := range ref.Deliveries {
+		if d.To != victim || d.Kind != kind || d.Name != name {
+			continue
+		}
+		if typ != "" && d.EventType != typ {
+			continue
+		}
+		seen++
+		if seen == occurrence {
 			return d, true
 		}
 	}

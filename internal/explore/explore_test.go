@@ -1,0 +1,153 @@
+package explore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/workload"
+)
+
+// The seeded 56261 bug (scheduler misses a node deletion) is reachable by
+// dropping one consumed delivery, so the explorer must find it and
+// minimize to exactly that coordinate.
+func TestExploreFindsWitness56261(t *testing.T) {
+	res := Run(Config{
+		Target: workload.Target56261(), Seed: 1,
+		Bounds:   Bounds{Drops: 1, Delays: 1},
+		POR:      true,
+		Snapshot: true,
+	})
+	if res.Outcome != OutcomeViolation {
+		t.Fatalf("outcome = %s, want %s", res.Outcome, OutcomeViolation)
+	}
+	w := res.Witness
+	if w == nil || w.Explanation == nil {
+		t.Fatal("violation outcome without witness/explanation")
+	}
+	if w.MinimalID != "dropdel/scheduler/nodes/n1/DELETED#1" {
+		t.Fatalf("minimal witness = %s, want the node-deletion drop", w.MinimalID)
+	}
+	chain := w.Explanation.Chain
+	if len(chain) == 0 || chain[len(chain)-1].Kind != explain.StepViolation {
+		t.Fatalf("witness chain does not terminate in a violation step: %+v", chain)
+	}
+	if res.Stats.ScheduleSpace < 2*res.Stats.SchedulesExecuted {
+		t.Fatalf("POR reduction below 2x: space=%d executed=%d",
+			res.Stats.ScheduleSpace, res.Stats.SchedulesExecuted)
+	}
+}
+
+// POR soundness cross-check: on a drops-only bound the full (no-POR)
+// exploration must find the same violation, minimizing to the identical
+// witness. This is the same assertion CI runs via phtest -explore.
+func TestExplorePORCrossCheck(t *testing.T) {
+	var minimal [2]string
+	for i, por := range []bool{true, false} {
+		res := Run(Config{
+			Target: workload.Target56261(), Seed: 1,
+			Bounds:   Bounds{Drops: 1},
+			POR:      por,
+			Snapshot: true,
+		})
+		if res.Outcome != OutcomeViolation {
+			t.Fatalf("por=%v: outcome = %s, want violation", por, res.Outcome)
+		}
+		minimal[i] = res.Witness.MinimalID
+	}
+	if minimal[0] != minimal[1] {
+		t.Fatalf("POR changed the minimized witness: with=%s without=%s", minimal[0], minimal[1])
+	}
+}
+
+// A target whose bug the bounded vocabulary cannot reach must certify,
+// and the certificate must be byte-identical across reruns and across
+// snapshot on/off (forks are a performance detail, not a semantic one).
+func TestExploreCertificateDeterministic(t *testing.T) {
+	var blobs [][]byte
+	for _, snapshot := range []bool{true, true, false} {
+		res := Run(Config{
+			Target: workload.Target59848(), Seed: 1,
+			Bounds:   Bounds{Drops: 1, Delays: 1},
+			POR:      true,
+			Snapshot: snapshot,
+		})
+		if res.Outcome != OutcomeCertificate {
+			t.Fatalf("snapshot=%v: outcome = %s, want certificate", snapshot, res.Outcome)
+		}
+		st := res.Stats
+		if st.SchedulesExecuted+st.SchedulesCollapsed != st.ScheduleSpace {
+			t.Fatalf("collapse accounting broken: executed=%d collapsed=%d space=%d",
+				st.SchedulesExecuted, st.SchedulesCollapsed, st.ScheduleSpace)
+		}
+		blob, err := Marshal(res.Certificate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatal("certificate not byte-identical across reruns")
+	}
+	if !bytes.Equal(blobs[0], blobs[2]) {
+		t.Fatal("certificate differs between snapshot on and off")
+	}
+}
+
+// Checkpoint-tree forking must actually engage on a snapshotable
+// certificate run — otherwise "cheap revisits" silently degrades to full
+// replays everywhere.
+func TestExploreForksEngage(t *testing.T) {
+	res := Run(Config{
+		Target: workload.Target59848(), Seed: 1,
+		Bounds:   Bounds{Drops: 1},
+		POR:      true,
+		Snapshot: true,
+	})
+	if res.Outcome != OutcomeCertificate {
+		t.Fatalf("outcome = %s, want certificate", res.Outcome)
+	}
+	if res.Forks == 0 {
+		t.Fatalf("no executions served by checkpoint forks (replays=%d)", res.Replays)
+	}
+}
+
+// An exploration that cannot finish within MaxSchedules must abort
+// without a certificate — a truncated search proves nothing.
+func TestExploreBudgetAbort(t *testing.T) {
+	res := Run(Config{
+		Target: workload.Target59848(), Seed: 1,
+		Bounds:   Bounds{Drops: 1, Delays: 1, MaxSchedules: 3},
+		POR:      true,
+		Snapshot: false,
+	})
+	if res.Outcome != OutcomeBudget {
+		t.Fatalf("outcome = %s, want %s", res.Outcome, OutcomeBudget)
+	}
+	if res.Certificate != nil {
+		t.Fatal("budget abort must not emit a certificate")
+	}
+}
+
+// The window bound clips the choice points: starting the window after
+// the 56261 trigger delivery makes the same bound certify.
+func TestExploreWindowClipsChoicePoints(t *testing.T) {
+	full := Run(Config{
+		Target: workload.Target56261(), Seed: 1,
+		Bounds: Bounds{Drops: 1}, POR: true, Snapshot: false,
+	})
+	if full.Outcome != OutcomeViolation {
+		t.Fatalf("full window: outcome = %s, want violation", full.Outcome)
+	}
+	clipped := Run(Config{
+		Target: workload.Target56261(), Seed: 1,
+		Bounds: Bounds{Start: 2_000_000_000, Drops: 1}, POR: true, Snapshot: false,
+	})
+	if clipped.Outcome != OutcomeCertificate {
+		t.Fatalf("clipped window: outcome = %s, want certificate", clipped.Outcome)
+	}
+	if clipped.Stats.ChoicePoints >= full.Stats.ChoicePoints {
+		t.Fatalf("window did not clip choice points: %d >= %d",
+			clipped.Stats.ChoicePoints, full.Stats.ChoicePoints)
+	}
+}

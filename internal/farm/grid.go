@@ -17,6 +17,13 @@ type Toggle struct {
 	Ranked   bool   `json:"ranked,omitempty"`
 	Snapshot bool   `json:"snapshot,omitempty"`
 	Explain  bool   `json:"explain,omitempty"`
+	// TaskDeadlineSec overrides the supervisor's per-task completion
+	// deadline for every task of this toggle, in seconds (0 = inherit
+	// the farm-wide -task-deadline, or the scaled default). A grid axis
+	// for deadline experiments: slow toggles (full replay, big event
+	// budgets) can buy wall clock without loosening the watchdog on the
+	// fast ones.
+	TaskDeadlineSec int `json:"task_deadline_sec,omitempty"`
 }
 
 // Grid is a declarative experiment specification: the full cross
@@ -98,6 +105,9 @@ func (g *Grid) validate() error {
 		}); err != nil {
 			return fmt.Errorf("toggle %q: %w", t.Name, err)
 		}
+		if t.TaskDeadlineSec < 0 {
+			return fmt.Errorf("toggle %q: task_deadline_sec must be >= 0", t.Name)
+		}
 	}
 	if g.Repeats < 0 {
 		return fmt.Errorf("repeats must be >= 0")
@@ -142,17 +152,18 @@ func (g Grid) Expand(parallel int) []Experiment {
 				seeds[i] = s + int64(r)*stride
 			}
 			base := TaskSpec{
-				Seeds:         seeds,
-				MaxExecutions: g.MaxExecutions,
-				Parallel:      parallel,
-				Guided:        tog.Guided,
-				Prune:         tog.Prune,
-				Ranked:        tog.Ranked,
-				Snapshot:      tog.Snapshot,
-				Explain:       tog.Explain,
-				KeepGoing:     g.KeepGoing,
-				RandomSeed:    g.RandomSeed,
-				RandomN:       g.RandomN,
+				Seeds:           seeds,
+				MaxExecutions:   g.MaxExecutions,
+				Parallel:        parallel,
+				TaskDeadlineSec: tog.TaskDeadlineSec,
+				Guided:          tog.Guided,
+				Prune:           tog.Prune,
+				Ranked:          tog.Ranked,
+				Snapshot:        tog.Snapshot,
+				Explain:         tog.Explain,
+				KeepGoing:       g.KeepGoing,
+				RandomSeed:      g.RandomSeed,
+				RandomN:         g.RandomN,
 			}
 			out = append(out, Experiment{
 				Toggle: tog,

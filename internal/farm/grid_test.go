@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 )
 
 func writeGrid(t *testing.T, body string) string {
@@ -47,7 +48,9 @@ func TestLoadGridValidation(t *testing.T) {
 		"unnamed toggle":  `{"name":"g","targets":["a"],"strategies":["s"],"seeds":[1],"toggles":[{"guided":true}]}`,
 		"dup toggle":      `{"name":"g","targets":["a"],"strategies":["s"],"seeds":[1],"toggles":[{"name":"t"},{"name":"t"}]}`,
 		"ranked no prune": `{"name":"g","targets":["a"],"strategies":["s"],"seeds":[1],"toggles":[{"name":"t","ranked":true}]}`,
-		"bad json":        `{`,
+		"negative deadline": `{"name":"g","targets":["a"],"strategies":["s"],"seeds":[1],` +
+			`"toggles":[{"name":"t","task_deadline_sec":-5}]}`,
+		"bad json": `{`,
 	}
 	for label, body := range cases {
 		if _, err := LoadGrid(writeGrid(t, body)); err == nil {
@@ -99,6 +102,50 @@ func TestExpandSeedShiftAndOrder(t *testing.T) {
 	}
 	if !reflect.DeepEqual(exps, g.Expand(2)) {
 		t.Error("Expand is not deterministic")
+	}
+}
+
+// TestToggleTaskDeadlineAxis: a per-toggle deadline override propagates
+// to every expanded task of that toggle and outranks both the
+// coordinator's global Deadline hook and the scaled default.
+func TestToggleTaskDeadlineAxis(t *testing.T) {
+	g := Grid{
+		Name:       "g",
+		Targets:    []string{"k8s-59848"},
+		Strategies: []string{"partial-history"},
+		Seeds:      []int64{1},
+		Toggles: []Toggle{
+			{Name: "fast"},
+			{Name: "slow", TaskDeadlineSec: 900},
+		},
+	}
+	exps := g.Expand(1)
+	if len(exps) != 2 {
+		t.Fatalf("got %d experiments, want 2", len(exps))
+	}
+	for _, task := range exps[0].Tasks {
+		if task.TaskDeadlineSec != 0 {
+			t.Errorf("fast toggle task carries deadline %d, want 0", task.TaskDeadlineSec)
+		}
+	}
+	for _, task := range exps[1].Tasks {
+		if task.TaskDeadlineSec != 900 {
+			t.Errorf("slow toggle task carries deadline %d, want 900", task.TaskDeadlineSec)
+		}
+	}
+
+	// Precedence at the supervisor: spec override > global hook > default.
+	sup := &Supervisor{Deadline: func(TaskSpec) time.Duration { return 5 * time.Minute }}
+	withOverride := exps[1].Tasks[0]
+	if got := sup.deadline(withOverride); got != 900*time.Second {
+		t.Errorf("spec override: deadline %s, want 900s", got)
+	}
+	noOverride := exps[0].Tasks[0]
+	if got := sup.deadline(noOverride); got != 5*time.Minute {
+		t.Errorf("global hook: deadline %s, want 5m", got)
+	}
+	if got := (&Supervisor{}).deadline(noOverride); got != DefaultTaskDeadline(noOverride) {
+		t.Errorf("default: deadline %s, want %s", got, DefaultTaskDeadline(noOverride))
 	}
 }
 

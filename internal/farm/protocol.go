@@ -87,6 +87,11 @@ type TaskSpec struct {
 	Ranked        bool    `json:"ranked,omitempty"`
 	Snapshot      bool    `json:"snapshot,omitempty"`
 	EventBudget   uint64  `json:"event_budget,omitempty"`
+	// TaskDeadlineSec is a per-task supervisor deadline override in
+	// seconds (0 = none). It outranks both the coordinator's global
+	// Deadline hook and the scaled default — the task is the unit the
+	// watchdog kills, so the most specific deadline wins.
+	TaskDeadlineSec int `json:"task_deadline_sec,omitempty"`
 
 	// Coverage carries the cell's slice of the persistent corpus, when
 	// the coordinator runs with one.

@@ -124,6 +124,8 @@ type FlagRules struct {
 	Minimize bool // phtest's deprecated -minimize alias; always false elsewhere
 	Snapshot bool
 	Fixed    bool
+	Guided   bool
+	Explore  bool // phtest's exhaustive mode; always false in the farm
 }
 
 // ValidateFlags fails fast on flag combinations that parse fine but make
@@ -142,6 +144,23 @@ func ValidateFlags(r FlagRules) error {
 	}
 	if r.Snapshot && r.Fixed {
 		return fmt.Errorf("-snapshot is incompatible with -fixed: fixed-variant runs are correctness baselines and must execute full replays")
+	}
+	if r.Explore {
+		// Exhaustive mode is its own engine: the campaign scheduling and
+		// reporting switches have no effect there, and accepting them
+		// would silently run something other than what was asked for.
+		// (-fixed IS allowed: certifying a fixed variant is the healthy
+		// baseline the certificate exists for.)
+		switch {
+		case r.Guided:
+			return fmt.Errorf("-explore is incompatible with -guided: exhaustive mode enumerates the schedule space, there is nothing for coverage guidance to schedule")
+		case r.Prune:
+			return fmt.Errorf("-explore is incompatible with -prune: exhaustive mode applies the learned model as partial-order reduction internally (-explore-por)")
+		case r.Snapshot:
+			return fmt.Errorf("-explore is incompatible with -snapshot: exhaustive mode manages its own checkpoint-tree forking")
+		case r.Explain, r.Minimize:
+			return fmt.Errorf("-explore is incompatible with -explain: witnesses are always minimized and explained")
+		}
 	}
 	return nil
 }

@@ -27,6 +27,13 @@ func TestValidateFlags(t *testing.T) {
 		{"fixed-alone", FlagRules{Fixed: true}, ""},
 		{"snapshot-with-fixed", FlagRules{Snapshot: true, Fixed: true}, "-snapshot is incompatible with -fixed"},
 		{"everything-valid", FlagRules{Prune: true, Ranked: true, Explain: true, Snapshot: true}, ""},
+		{"explore-alone", FlagRules{Explore: true}, ""},
+		{"explore-with-fixed", FlagRules{Explore: true, Fixed: true}, ""},
+		{"explore-with-guided", FlagRules{Explore: true, Guided: true}, "-explore is incompatible with -guided"},
+		{"explore-with-prune", FlagRules{Explore: true, Prune: true}, "-explore is incompatible with -prune"},
+		{"explore-with-snapshot", FlagRules{Explore: true, Snapshot: true}, "-explore is incompatible with -snapshot"},
+		{"explore-with-explain", FlagRules{Explore: true, Explain: true}, "-explore is incompatible with -explain"},
+		{"explore-with-minimize", FlagRules{Explore: true, Minimize: true}, "-explore is incompatible with -explain"},
 	}
 	for _, tc := range cases {
 		tc := tc

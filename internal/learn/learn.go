@@ -310,6 +310,28 @@ func (m *Model) Components() []sim.NodeID {
 // components.
 func (m *Model) ConsumedCount() int { return len(m.consumed) }
 
+// ConsumedDelivery reports whether a specific delivery — identified by
+// its receiver-side coordinate (To, Kind, Name, EventType, Occurrence) —
+// is in the receiver's consumed set. This is the explorer's
+// delivery-independence oracle: the consumed set over-approximates the
+// deliveries a component's behavior can depend on (attribution window OR
+// acted-on object OR deletion-adjacent), so a delivery outside it
+// provably commutes with the component's actions under the mined model,
+// and perturbing its schedule cannot change any oracle-visible state.
+func (m *Model) ConsumedDelivery(d trace.Delivery) bool {
+	p := m.Profiles[d.To]
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Consumed {
+		e := c.Delivery
+		if e.Kind == d.Kind && e.Name == d.Name && e.EventType == d.EventType && e.Occurrence == d.Occurrence {
+			return true
+		}
+	}
+	return false
+}
+
 // consumedTo returns the indices of consumed deliveries addressed to a
 // component within [from, until] (until == 0 means "until the end"),
 // widened by the reaction window on both sides — the conservative slack

@@ -1,0 +1,92 @@
+package sim
+
+import "testing"
+
+// Delivery gates are the systematic explorer's choice-point surface;
+// these tests pin the contract the explorer's drop/delay plans rely on:
+// gates rule at delivery time, the first non-Pass verdict wins while
+// every gate still sees every arrival, a Delay re-enters the gates on
+// re-arrival, and an empty gate list changes nothing.
+
+func TestDeliveryGateDrop(t *testing.T) {
+	k, n, _, b := newTestNet(t)
+	seen := 0
+	n.AddDeliveryGate(DeliveryGateFunc(func(m *Message) Decision {
+		seen++
+		if m.Payload.(int) == 1 {
+			return Decision{Verdict: Drop}
+		}
+		return Decision{}
+	}))
+	n.Send("a", "b", "rpc", 0)
+	n.Send("a", "b", "rpc", 1)
+	n.Send("a", "b", "rpc", 2)
+	k.Drain()
+	if len(b.got) != 2 || b.got[0].Payload.(int) != 0 || b.got[1].Payload.(int) != 2 {
+		t.Fatalf("gated delivery: %v", b.got)
+	}
+	if seen != 3 {
+		t.Fatalf("gate saw %d arrivals, want all 3", seen)
+	}
+	if st := n.Stats(); st.Dropped != 1 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeliveryGateDelayReentersGates(t *testing.T) {
+	k, n, _, b := newTestNet(t)
+	arrivals := 0
+	n.AddDeliveryGate(DeliveryGateFunc(func(m *Message) Decision {
+		arrivals++
+		// Defer only the first arrival: a stateful gate must not
+		// re-match its own deferral on re-arrival.
+		if arrivals == 1 {
+			return Decision{Verdict: Delay, Delay: 5 * Millisecond}
+		}
+		return Decision{}
+	}))
+	n.Send("a", "b", "rpc", 7)
+	k.Drain()
+	if len(b.got) != 1 {
+		t.Fatalf("got %d messages, want 1", len(b.got))
+	}
+	if arrivals != 2 {
+		t.Fatalf("gate ruled %d times, want 2 (arrival + re-arrival)", arrivals)
+	}
+	if k.Now() != Time(6*Millisecond) {
+		t.Fatalf("delivered at %v, want 1ms latency + 5ms gate delay", k.Now())
+	}
+}
+
+func TestDeliveryGateFirstNonPassWins(t *testing.T) {
+	k, n, _, b := newTestNet(t)
+	var second int
+	n.AddDeliveryGate(DeliveryGateFunc(func(*Message) Decision {
+		return Decision{Verdict: Drop}
+	}))
+	n.AddDeliveryGate(DeliveryGateFunc(func(*Message) Decision {
+		second++
+		return Decision{Verdict: Delay, Delay: Millisecond} // outvoted by the first gate
+	}))
+	n.Send("a", "b", "rpc", 0)
+	k.Drain()
+	if len(b.got) != 0 {
+		t.Fatalf("first gate's Drop should win: %v", b.got)
+	}
+	if second != 1 {
+		t.Fatalf("second gate saw %d arrivals, want 1 (all gates see the stream)", second)
+	}
+}
+
+func TestRemoveDeliveryGates(t *testing.T) {
+	k, n, _, b := newTestNet(t)
+	n.AddDeliveryGate(DeliveryGateFunc(func(*Message) Decision {
+		return Decision{Verdict: Drop}
+	}))
+	n.RemoveDeliveryGates()
+	n.Send("a", "b", "rpc", 0)
+	k.Drain()
+	if len(b.got) != 1 {
+		t.Fatalf("no gates registered, message should deliver: %v", b.got)
+	}
+}

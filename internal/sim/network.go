@@ -94,6 +94,32 @@ type Observer interface {
 	OnDrop(m *Message, reason string)
 }
 
+// DeliveryGate rules on a message at DELIVERY time — after partition and
+// receiver-down checks, immediately before observers and the handler run.
+// This is the systematic explorer's choice-point surface: unlike an
+// Interceptor (which sees messages at send time, before crashes and
+// partitions have had their say), a gate sees exactly the arrival stream
+// the receiver would observe, so occurrence counting at the gate matches
+// the trace recorder's delivery coordinates.
+//
+// Every registered gate sees every arriving message, in registration
+// order, and the first non-Pass verdict wins. Evaluating all gates (rather
+// than short-circuiting) keeps each gate's internal counters a pure
+// function of the arrival stream, independent of what other gates decide
+// about the same message. Hold is not a valid gate verdict and is treated
+// as Pass. A Delay verdict re-enqueues the message; it will re-enter every
+// gate on re-arrival, so stateful gates must remember ruled-on sequence
+// numbers to avoid re-matching their own deferral.
+type DeliveryGate interface {
+	OnArrival(m *Message) Decision
+}
+
+// DeliveryGateFunc adapts a function to the DeliveryGate interface.
+type DeliveryGateFunc func(m *Message) Decision
+
+// OnArrival calls f(m).
+func (f DeliveryGateFunc) OnArrival(m *Message) Decision { return f(m) }
+
 type linkKey struct{ from, to NodeID }
 
 type linkState struct {
@@ -154,6 +180,7 @@ type Network struct {
 	lastAt  map[linkKey]Time // per-link FIFO frontier (stream ordering)
 	quality map[linkKey]LinkQuality
 	icpts   []Interceptor
+	gates   []DeliveryGate
 	obs     []Observer
 	stats   NetStats
 
@@ -238,6 +265,13 @@ func (n *Network) AddInterceptor(i Interceptor) { n.icpts = append(n.icpts, i) }
 
 // RemoveInterceptors clears all interceptors.
 func (n *Network) RemoveInterceptors() { n.icpts = nil }
+
+// AddDeliveryGate appends a delivery gate; gates run in registration order
+// on every arriving message and the first non-Pass verdict wins.
+func (n *Network) AddDeliveryGate(g DeliveryGate) { n.gates = append(n.gates, g) }
+
+// RemoveDeliveryGates clears all delivery gates.
+func (n *Network) RemoveDeliveryGates() { n.gates = nil }
 
 // AddObserver appends a lifecycle observer.
 func (n *Network) AddObserver(o Observer) { n.obs = append(n.obs, o) }
@@ -458,6 +492,29 @@ func (n *Network) deliver(m *Message) {
 		n.stats.Dropped++
 		n.drop(m, "no-such-node")
 		return
+	}
+	if len(n.gates) > 0 {
+		// All gates see the arrival (their counters track the same stream);
+		// the first non-Pass verdict decides the message's fate.
+		verdict, delay := Pass, Duration(0)
+		for _, g := range n.gates {
+			d := g.OnArrival(m)
+			if d.Verdict != Pass && verdict == Pass {
+				verdict, delay = d.Verdict, d.Delay
+			}
+		}
+		switch verdict {
+		case Drop:
+			n.stats.Dropped++
+			n.drop(m, "gated")
+			return
+		case Delay:
+			if delay <= 0 {
+				delay = Millisecond
+			}
+			n.k.At(n.k.Now().Add(delay), func() { n.deliver(m) })
+			return
+		}
 	}
 	n.stats.Delivered++
 	for _, o := range n.obs {

@@ -1,0 +1,51 @@
+package sim
+
+// Slab is a chunked arena for the short, immutable-once-sent slices the
+// actors allocate on every watch push (the same discipline as the
+// kernel's event chunk and the network's message chunk): instead of one
+// `make` per push, allocations carve capped sub-slices out of a chunk
+// and a fresh chunk is made only every slabChunkSize elements. Handed-out
+// slices are never reused or reclaimed — holders (in-flight messages,
+// recorders, delayed deliveries) stay valid forever — so the only effect
+// is fewer, larger allocations.
+//
+// Slices are handed out with a full slice expression (cap == len), so a
+// holder that appends reallocates instead of scribbling over the next
+// allocation. The zero value is ready to use. Snapshot restore paths
+// construct fresh servers (and therefore fresh zero-value slabs), so
+// checkpoint forks never share a chunk.
+type Slab[T any] struct {
+	chunk []T
+}
+
+const slabChunkSize = 256
+
+func (s *Slab[T]) alloc(n int) []T {
+	if n > len(s.chunk) {
+		size := slabChunkSize
+		if n > size {
+			size = n
+		}
+		s.chunk = make([]T, size)
+	}
+	out := s.chunk[:n:n]
+	s.chunk = s.chunk[n:]
+	return out
+}
+
+// Clone returns a slab-backed copy of src (nil for an empty src).
+func (s *Slab[T]) Clone(src []T) []T {
+	if len(src) == 0 {
+		return nil
+	}
+	out := s.alloc(len(src))
+	copy(out, src)
+	return out
+}
+
+// One returns a slab-backed single-element slice holding v.
+func (s *Slab[T]) One(v T) []T {
+	out := s.alloc(1)
+	out[0] = v
+	return out
+}

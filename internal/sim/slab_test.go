@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+func TestSlabCloneIsPrivateAndCapped(t *testing.T) {
+	var s Slab[int]
+	src := []int{1, 2, 3}
+	a := s.Clone(src)
+	b := s.Clone([]int{4, 5})
+	src[0] = 99
+	if a[0] != 1 || a[1] != 2 || a[2] != 3 {
+		t.Fatalf("clone aliases its source: %v", a)
+	}
+	if cap(a) != len(a) || cap(b) != len(b) {
+		t.Fatalf("handed-out slices must be capped (cap==len): %d/%d, %d/%d", cap(a), len(a), cap(b), len(b))
+	}
+	// An append by one holder must not scribble over the next allocation.
+	a = append(a, 42)
+	if b[0] != 4 || b[1] != 5 {
+		t.Fatalf("append overwrote a later allocation: %v", b)
+	}
+	if s.Clone(nil) != nil {
+		t.Fatal("empty clone should be nil")
+	}
+}
+
+func TestSlabOneAndLargeAlloc(t *testing.T) {
+	var s Slab[byte]
+	one := s.One(7)
+	if len(one) != 1 || one[0] != 7 || cap(one) != 1 {
+		t.Fatalf("One: %v cap=%d", one, cap(one))
+	}
+	// Requests larger than a chunk get their own allocation and do not
+	// disturb earlier handouts.
+	big := s.Clone(make([]byte, slabChunkSize*3))
+	if len(big) != slabChunkSize*3 {
+		t.Fatalf("large clone len %d", len(big))
+	}
+	if one[0] != 7 {
+		t.Fatal("large alloc disturbed an earlier handout")
+	}
+}

@@ -133,6 +133,11 @@ type Server struct {
 	// leaseTickFn caches the leaseTickFire method value (the tick re-arms
 	// itself constantly; binding the method fresh each time allocates).
 	leaseTickFn func()
+
+	// pushSlab arena-allocates the per-watcher copies of notify batches
+	// (the store mutates its own batch buffer after notifying, so each
+	// push needs a private copy — slab-carved rather than one make each).
+	pushSlab sim.Slab[history.Event]
 }
 
 // NewServer wires a store actor into the world under the given node ID.
@@ -248,8 +253,7 @@ func (s *Server) register() {
 		req := body.(*WatchRequest)
 		subID, client := req.SubID, from
 		h, err := s.st.Watch(req.Prefix, req.StartRev, func(events []history.Event) {
-			cp := make([]history.Event, len(events))
-			copy(cp, events)
+			cp := s.pushSlab.Clone(events)
 			s.world.Network().Send(s.id, client, KindWatchPush, &WatchPush{SubID: subID, Events: cp})
 		})
 		if err != nil {

@@ -151,8 +151,7 @@ func RestoreServer(w *sim.World, snap *Snapshot) *Server {
 	for _, sub := range snap.Subs {
 		subID, client := sub.SubID, sub.Client
 		notify := func(events []history.Event) {
-			cp := make([]history.Event, len(events))
-			copy(cp, events)
+			cp := s.pushSlab.Clone(events)
 			s.world.Network().Send(s.id, client, KindWatchPush, &WatchPush{SubID: subID, Events: cp})
 		}
 		st.watchers[sub.WatcherID] = &watcher{id: sub.WatcherID, prefix: sub.Prefix, notify: notify}

@@ -54,6 +54,38 @@ func (t *Trace) StateHash() uint64 {
 	return h.Sum64()
 }
 
+// StateHashUpTo is StateHash restricted to the execution prefix at or
+// before virtual time upto: deliveries by arrival time, commits by commit
+// time. The systematic explorer keys its visited-state set on this — two
+// schedules whose prefixes hash alike have delivered the same
+// decision-relevant sequences to every component and committed the same
+// ground truth, so exploring past one of them covers both (timing
+// differences inside the prefix are deliberately abstracted away, exactly
+// as in StateHash).
+func (t *Trace) StateHashUpTo(upto sim.Time) uint64 {
+	h := fnv.New64a()
+	for _, id := range t.Components() {
+		h.Write([]byte("@"))
+		h.Write([]byte(id))
+		for _, d := range t.Deliveries {
+			if d.To != id || d.Time > upto {
+				continue
+			}
+			writeDelivery(h, d)
+		}
+	}
+	h.Write([]byte("#commits"))
+	for _, e := range t.Commits {
+		if sim.Time(e.Time) > upto {
+			continue
+		}
+		h.Write([]byte{byte(e.Type)})
+		h.Write([]byte(e.Key))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
 // ComponentHashes returns the per-component delivery hashes, keyed by
 // component, for diagnostics and finer-grained coverage accounting.
 func (t *Trace) ComponentHashes() map[sim.NodeID]uint64 {

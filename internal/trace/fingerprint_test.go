@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/apiserver"
 	"repro/internal/cluster"
+	"repro/internal/sim"
 	"repro/internal/history"
 )
 
@@ -63,6 +64,39 @@ func TestStateHashSensitivity(t *testing.T) {
 	term.Deliveries[0].Terminating = true
 	if base.StateHash() == term.StateHash() {
 		t.Fatal("terminating marker not reflected in the state hash")
+	}
+}
+
+func TestStateHashUpTo(t *testing.T) {
+	tr := fingerprintFixture()
+	for i := range tr.Deliveries {
+		tr.Deliveries[i].Time = sim.Time((i + 1) * 10)
+	}
+	tr.Commits[0].Time = 15
+	tr.Commits[1].Time = 25
+
+	if tr.StateHashUpTo(sim.Time(1<<62)) != tr.StateHash() {
+		t.Fatal("unbounded prefix hash differs from full StateHash")
+	}
+	// Two traces sharing a prefix must hash alike at the prefix boundary
+	// no matter how their suffixes differ — the visited-set property.
+	other := fingerprintFixture()
+	for i := range other.Deliveries {
+		other.Deliveries[i].Time = sim.Time((i + 1) * 10)
+	}
+	other.Commits[0].Time = 15
+	other.Commits[1].Time = 25
+	other.Deliveries[2].Name = "p2" // diverge strictly after t=20
+	other.Commits[1].Key = "/registry/pods/p2"
+	if tr.StateHashUpTo(20) != other.StateHashUpTo(20) {
+		t.Fatal("suffix divergence leaked into the prefix hash")
+	}
+	if tr.StateHashUpTo(30) == other.StateHashUpTo(30) {
+		t.Fatal("post-divergence prefixes collided")
+	}
+	// Prefixes that admit different suffixes must differ.
+	if tr.StateHashUpTo(10) == tr.StateHashUpTo(30) {
+		t.Fatal("distinct prefixes collided")
 	}
 }
 
