@@ -19,8 +19,13 @@ import (
 // witness and the exploration step are the same execution.
 //
 // Occurrence counting is per matching event within arriving watch pushes,
-// counted once per network message sequence number. A message the gate
-// itself deferred (Delay verdict) is not re-counted on re-arrival.
+// counted once per network message sequence number. Gates all see every
+// arrival — including the RE-arrival of a message some other gate's Delay
+// verdict re-enqueued — so each counter remembers the Seqs it has already
+// ruled on and never counts a sequence number twice. Without that, a
+// composed schedule (delay occurrence 1 + drop occurrence 2 on the same
+// coordinate) would let the drop gate count the delayed push twice and
+// fire on the re-arrival instead of the intended 2nd delivery.
 
 // DropDeliveryPlan drops the watch-push message whose payload carries the
 // Occurrence-th arrival matching (Victim, Kind, Name, Type) — an
@@ -62,7 +67,8 @@ func (p DropDeliveryPlan) Apply(c *infra.Cluster) {
 // DelayDeliveryPlan defers the watch-push message carrying the
 // Occurrence-th matching arrival by Delay extra virtual time — a bounded
 // staleness injection at a single delivery coordinate. The deferred
-// message re-enters the gate on re-arrival and passes without recounting.
+// message re-enters every gate on re-arrival and passes without
+// recounting (deliveryCounter rules on each Seq at most once).
 type DelayDeliveryPlan struct {
 	Victim     sim.NodeID
 	Kind       cluster.Kind
@@ -85,20 +91,15 @@ func (p DelayDeliveryPlan) Describe() string {
 // Apply implements Plan.
 func (p DelayDeliveryPlan) Apply(c *infra.Cluster) {
 	g := &deliveryCounter{victim: p.Victim, kind: p.Kind, name: p.Name, typ: p.Type}
-	deferred := map[uint64]bool{}
 	done := false
 	c.World.Network().AddDeliveryGate(sim.DeliveryGateFunc(func(m *sim.Message) sim.Decision {
-		if deferred[m.Seq] {
-			// Our own deferral re-arriving: it was counted when first seen.
-			delete(deferred, m.Seq)
-			return sim.Decision{Verdict: sim.Pass}
-		}
 		if done {
+			// Covers our own deferral re-arriving: the hit set done, and
+			// the counter already ruled on its Seq when first seen.
 			return sim.Decision{Verdict: sim.Pass}
 		}
 		if g.matches(m, p.Occurrence) {
 			done = true
-			deferred[m.Seq] = true
 			d := p.Delay
 			if d <= 0 {
 				d = sim.Millisecond
@@ -111,22 +112,35 @@ func (p DelayDeliveryPlan) Apply(c *infra.Cluster) {
 
 // deliveryCounter counts matching events inside arriving watch pushes.
 // matches reports whether the target occurrence is reached by message m.
+// Each network Seq is ruled on at most once: a Delay verdict (this gate's
+// or any other gate's) re-enqueues the message through Network.deliver,
+// which re-runs every gate, and that re-arrival must not advance the
+// occurrence count — the coordinate vocabulary counts message sequence
+// numbers, not gate invocations.
 type deliveryCounter struct {
 	victim sim.NodeID
 	kind   cluster.Kind
 	name   string
 	typ    apiserver.EventType
 	seen   int
+	ruled  map[uint64]bool
 }
 
 func (g *deliveryCounter) matches(m *sim.Message, occurrence int) bool {
 	if m.To != g.victim || m.Kind != apiserver.KindWatchPush {
 		return false
 	}
+	if g.ruled[m.Seq] {
+		return false
+	}
 	push, ok := m.Payload.(*apiserver.WatchPushMsg)
 	if !ok {
 		return false
 	}
+	if g.ruled == nil {
+		g.ruled = make(map[uint64]bool)
+	}
+	g.ruled[m.Seq] = true
 	hit := false
 	for _, ev := range push.Events {
 		if ev.Object == nil || ev.Object.Meta.Kind != g.kind || ev.Object.Meta.Name != g.name {

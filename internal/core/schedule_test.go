@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// A composed schedule must keep its occurrence coordinates independent: a
+// Delay verdict re-enqueues the message through every gate, and the drop
+// gate must NOT count that re-arrival as a fresh delivery. With a short
+// delay (re-arrival lands before the next real modification) a recounting
+// drop gate would fire on the delayed 1st occurrence instead of the
+// intended 2nd — the receiver would lose 'a' and see 'b', inverted from
+// the schedule's meaning.
+func TestDelayThenDropComposedOccurrences(t *testing.T) {
+	c := smallCluster()
+	SequencePlan{Name: "composed", Plans: []Plan{
+		DelayDeliveryPlan{Victim: "kubelet-k1", Kind: cluster.KindPod, Name: "p1",
+			Type: apiserver.Modified, Occurrence: 1, Delay: sim.Millisecond},
+		DropDeliveryPlan{Victim: "kubelet-k1", Kind: cluster.KindPod, Name: "p1",
+			Type: apiserver.Modified, Occurrence: 2},
+	}}.Apply(c)
+
+	var delivered []string
+	gated := 0
+	c.World.Network().AddObserver(observerFuncs{
+		onDrop: func(m *sim.Message, reason string) {
+			if m.Kind == apiserver.KindWatchPush && m.To == "kubelet-k1" && reason == "gated" {
+				gated++
+			}
+		},
+		onDeliver: func(m *sim.Message) {
+			if m.Kind != apiserver.KindWatchPush || m.To != "kubelet-k1" {
+				return
+			}
+			for _, ev := range m.Payload.(*apiserver.WatchPushMsg).Events {
+				if ev.Object.Meta.Name == "p1" && ev.Type == apiserver.Modified {
+					delivered = append(delivered, ev.Object.Pod.Image)
+				}
+			}
+		},
+	})
+
+	// Unassigned pod (scheduler disabled): no kubelet writes status, so
+	// the only MODIFIED events are the admin updates below — occurrence
+	// coordinates are exactly 'a', 'b', 'c'.
+	c.Admin.CreatePod("p1", "", "v1", nil)
+	c.RunFor(500 * sim.Millisecond)
+	for i := 0; i < 3; i++ {
+		v := string(rune('a' + i))
+		c.Admin.Conn().Get(cluster.KindPod, "p1", true, func(obj *cluster.Object, found bool, err error) {
+			if err != nil || !found {
+				return
+			}
+			upd := obj.Clone()
+			upd.Pod.Image = v
+			c.Admin.Conn().Update(upd, func(*cluster.Object, error) {})
+		})
+		c.RunFor(200 * sim.Millisecond)
+	}
+
+	if gated != 1 {
+		t.Fatalf("gated drops = %d, want exactly 1", gated)
+	}
+	seen := map[string]bool{}
+	for _, img := range delivered {
+		seen[img] = true
+	}
+	if !seen["a"] {
+		t.Fatalf("occurrence 1 ('a') was dropped on re-arrival instead of delivered late; delivered=%v", delivered)
+	}
+	if seen["b"] {
+		t.Fatalf("occurrence 2 ('b') was delivered — the drop fired on the wrong message; delivered=%v", delivered)
+	}
+	if !seen["c"] {
+		t.Fatalf("occurrence 3 ('c') should be unaffected; delivered=%v", delivered)
+	}
+}

@@ -14,10 +14,11 @@
 //     schedule is an ordinary replayable plan — the witness IS the
 //     exploration step;
 //   - partial-order reduction comes from the mined read-dependency model
-//     (learn.Mine): a delivery outside its receiver's consumed set
-//     commutes with the receiver's actions, so schedules differing only
-//     there collapse into one representative;
-//   - the visited-state set keys on trace.StateHashUpTo prefixes, and a
+//     (learn.Mine): a drop or delay of a delivery outside its receiver's
+//     consumed set commutes with the receiver's actions, so schedules
+//     differing only there collapse into one representative (crash
+//     decisions are exempt — crashing a receiver never commutes);
+//   - the visited-state set keys on the full-run trace.StateHash, and a
 //     revisit with no more remaining freedom than a prior visit prunes
 //     the whole subtree; schedule executions fork from PR 7 checkpoint
 //     trees (campaign.Forker) instead of replaying from t=0;
@@ -121,7 +122,7 @@ type Stats struct {
 	SchedulesCollapsed uint64 `json:"schedules_collapsed"`
 	CollapsedPOR       uint64 `json:"collapsed_por"`
 	CollapsedVisited   uint64 `json:"collapsed_visited"`
-	// StatesVisited counts distinct StateHashUpTo keys reached.
+	// StatesVisited counts distinct full-run StateHash keys reached.
 	StatesVisited int `json:"states_visited"`
 }
 
@@ -169,7 +170,6 @@ type explorer struct {
 	sufDrop   []int      // decisions[i:] kind counts, len(decisions)+1
 	sufDelay  []int
 	sufCrash  []int
-	hashEnd   sim.Time
 	visited   map[uint64][]visitEntry
 	stats     Stats
 	witness   core.SequencePlan
@@ -193,7 +193,7 @@ func Run(cfg Config) *Result {
 		b.MaxSchedules = DefaultMaxSchedules
 	}
 	t := cfg.Target
-	ref, _ := core.ReferenceSeed(t, cfg.Seed)
+	ref, refViolations := core.ReferenceSeed(t, cfg.Seed)
 	model := learn.Mine(ref, 0)
 
 	wStart := b.Start
@@ -202,7 +202,7 @@ func Run(cfg Config) *Result {
 		wEnd = wStart.Add(b.Window)
 	}
 
-	e := &explorer{cfg: cfg, bounds: b, ref: ref, hashEnd: wEnd,
+	e := &explorer{cfg: cfg, bounds: b, ref: ref,
 		visited: make(map[uint64][]visitEntry)}
 
 	// Choice points: window deliveries to components under test.
@@ -222,7 +222,14 @@ func Run(cfg Config) *Result {
 	if cfg.POR {
 		reduced = nil
 		for _, d := range full {
-			if d.consumed && !d.commuting {
+			// Crash decisions are exempt from the reduction: the
+			// delivery-independence argument (an unconsumed delivery
+			// commutes with its receiver's actions) says nothing about
+			// crash-restarting the receiver at that delivery's time —
+			// a state-destroying perturbation with no commuting
+			// representative. Only drops/delays of dead deliveries and
+			// provably-identity delays collapse.
+			if d.kind == kindCrash || (d.consumed && !d.commuting) {
 				reduced = append(reduced, d)
 			}
 		}
@@ -243,10 +250,18 @@ func Run(cfg Config) *Result {
 	}
 	e.forker = campaign.NewForker(t, cfg.Seed, ref, cands)
 
-	// The empty schedule is the reference run — already executed.
+	// The empty schedule is the reference run — already executed. If it
+	// already violates the oracle, the empty schedule IS the witness: a
+	// "no violation within bound" certificate over a baseline that fails
+	// unperturbed would be meaningless.
 	e.stats.SchedulesExecuted = 1
-	e.visited[ref.StateHashUpTo(wEnd)] = []visitEntry{{0, b.Drops, b.Delays, b.Crashes}}
-	e.dfs(nil, 0, b.Drops, b.Delays, b.Crashes)
+	if len(refViolations) > 0 {
+		e.witness = core.SequencePlan{Name: "explore"}
+		e.found = true
+	} else {
+		e.visited[ref.StateHash()] = []visitEntry{{0, b.Drops, b.Delays, b.Crashes}}
+		e.dfs(nil, 0, b.Drops, b.Delays, b.Crashes)
+	}
 	e.stats.StatesVisited = len(e.visited)
 
 	// Collapse accounting holds in every outcome; on an exhaustive finish
@@ -362,7 +377,12 @@ func (e *explorer) dfs(prefix []core.Plan, next, drops, delays, crashes int) boo
 			e.found = true
 			return true
 		}
-		key := tr.StateHashUpTo(e.hashEnd)
+		// Key on the FULL-run fingerprint, not a window-clipped prefix:
+		// with Window > 0 a delay can push deliveries past the window
+		// end, so two runs identical inside the window may still diverge
+		// afterwards — and the oracle can fire in that suffix. A prefix
+		// key could collapse a subtree holding the only violation.
+		key := tr.StateHash()
 		if e.dominated(key, j+1, ndr, nde, ncr) {
 			e.stats.CollapsedVisited += e.spaceFrom(j+1, ndr, nde, ncr) - 1
 			continue
@@ -497,7 +517,14 @@ func binom(n, k int) uint64 {
 	}
 	out := uint64(1)
 	for i := 1; i <= k; i++ {
-		out = satMul(out, uint64(n-k+i)) / uint64(i)
+		f := uint64(n - k + i)
+		if out > satCap/f {
+			// Saturate HERE, before the division: dividing a capped
+			// product by i would yield an arbitrary sub-cap value that
+			// downstream saturating arithmetic treats as exact.
+			return satCap
+		}
+		out = out * f / uint64(i)
 	}
 	return out
 }

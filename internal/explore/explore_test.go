@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/apiserver"
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/explain"
+	"repro/internal/infra"
 	"repro/internal/workload"
 )
 
@@ -38,25 +42,62 @@ func TestExploreFindsWitness56261(t *testing.T) {
 	}
 }
 
-// POR soundness cross-check: on a drops-only bound the full (no-POR)
-// exploration must find the same violation, minimizing to the identical
-// witness. This is the same assertion CI runs via phtest -explore.
+// POR soundness cross-check: the full (no-POR) exploration must find the
+// same violation as the reduced one, minimizing to the identical witness.
+// Run on a drops-only bound (the delivery-independence reduction) AND on
+// a crashes>0 bound (crash decisions must be exempt from the reduction —
+// crashing a receiver never commutes, so reducing them would prune
+// schedules with no representative). These are the same assertions CI
+// runs via phtest -explore.
 func TestExplorePORCrossCheck(t *testing.T) {
-	var minimal [2]string
+	for _, bounds := range []Bounds{
+		{Drops: 1},
+		{Drops: 1, Crashes: 1},
+	} {
+		var minimal [2]string
+		for i, por := range []bool{true, false} {
+			res := Run(Config{
+				Target: workload.Target56261(), Seed: 1,
+				Bounds:   bounds,
+				POR:      por,
+				Snapshot: true,
+			})
+			if res.Outcome != OutcomeViolation {
+				t.Fatalf("bounds=%+v por=%v: outcome = %s, want violation", bounds, por, res.Outcome)
+			}
+			minimal[i] = res.Witness.MinimalID
+		}
+		if minimal[0] != minimal[1] {
+			t.Fatalf("bounds=%+v: POR changed the minimized witness: with=%s without=%s",
+				bounds, minimal[0], minimal[1])
+		}
+	}
+}
+
+// Crash decisions must survive the reduction verbatim: on a crashes-only
+// bound the reduced decision list equals the full one, so POR on and off
+// execute the identical schedule set.
+func TestExplorePORKeepsCrashDecisions(t *testing.T) {
+	var executed [2]uint64
 	for i, por := range []bool{true, false} {
 		res := Run(Config{
-			Target: workload.Target56261(), Seed: 1,
-			Bounds:   Bounds{Drops: 1},
+			Target: workload.Target59848(), Seed: 1,
+			Bounds:   Bounds{Crashes: 1},
 			POR:      por,
 			Snapshot: true,
 		})
-		if res.Outcome != OutcomeViolation {
-			t.Fatalf("por=%v: outcome = %s, want violation", por, res.Outcome)
+		if res.Outcome != OutcomeCertificate {
+			t.Fatalf("por=%v: outcome = %s, want certificate", por, res.Outcome)
 		}
-		minimal[i] = res.Witness.MinimalID
+		if por && res.Stats.DecisionsReduced != res.Stats.DecisionsFull {
+			t.Fatalf("POR reduced crash decisions: full=%d reduced=%d",
+				res.Stats.DecisionsFull, res.Stats.DecisionsReduced)
+		}
+		executed[i] = res.Stats.SchedulesExecuted
 	}
-	if minimal[0] != minimal[1] {
-		t.Fatalf("POR changed the minimized witness: with=%s without=%s", minimal[0], minimal[1])
+	if executed[0] != executed[1] {
+		t.Fatalf("crashes-only bound executed %d schedules with POR vs %d without",
+			executed[0], executed[1])
 	}
 }
 
@@ -126,6 +167,71 @@ func TestExploreBudgetAbort(t *testing.T) {
 	}
 	if res.Certificate != nil {
 		t.Fatal("budget abort must not emit a certificate")
+	}
+}
+
+// A target whose UNPERTURBED run already violates must yield a violation
+// with the empty schedule as witness — never a "no violation within
+// bound" certificate. The fixture bakes the known 56261-detecting gap
+// into the workload itself, so the reference run fails with no
+// exploration decision applied.
+func TestExploreReferenceViolationIsWitness(t *testing.T) {
+	target := workload.Target56261()
+	inner := target.Workload
+	target.Workload = func(c *infra.Cluster) {
+		core.GapPlan{Victim: "scheduler", Kind: cluster.KindNode, Name: "n1",
+			Type: apiserver.Deleted, Occurrence: 1}.Apply(c)
+		inner(c)
+	}
+	res := Run(Config{
+		Target: target, Seed: 1,
+		Bounds:   Bounds{Drops: 1},
+		POR:      true,
+		Snapshot: false,
+	})
+	if res.Outcome != OutcomeViolation {
+		t.Fatalf("outcome = %s, want %s (baseline already violates)", res.Outcome, OutcomeViolation)
+	}
+	if res.Certificate != nil {
+		t.Fatal("violating baseline must not emit a certificate")
+	}
+	if res.Stats.SchedulesExecuted != 1 {
+		t.Fatalf("executed = %d, want 1 (the reference run is the witness)", res.Stats.SchedulesExecuted)
+	}
+	w := res.Witness
+	if w == nil || w.Explanation == nil {
+		t.Fatal("violation outcome without witness/explanation")
+	}
+	chain := w.Explanation.Chain
+	if len(chain) == 0 || chain[len(chain)-1].Kind != explain.StepViolation {
+		t.Fatalf("witness chain does not terminate in a violation step: %+v", chain)
+	}
+}
+
+// binom must pin to the saturation cap the moment any intermediate
+// product saturates — dividing a capped value would fabricate a
+// precise-looking sub-cap count that downstream saturating arithmetic
+// trusts as exact.
+func TestBinomSaturationPinsToCap(t *testing.T) {
+	if got := binom(10, 3); got != 120 {
+		t.Fatalf("binom(10,3) = %d, want 120", got)
+	}
+	if got := binom(200, 100); got != satCap {
+		t.Fatalf("binom(200,100) = %d, want satCap %d", got, satCap)
+	}
+	// Monotonicity across the saturation boundary: once saturated, wider
+	// inputs must never report a smaller (seemingly exact) space.
+	prev := uint64(0)
+	for n := 60; n <= 70; n++ {
+		got := binom(n, n/2)
+		if got < prev {
+			t.Fatalf("binom(%d,%d) = %d < binom(%d,%d) = %d: saturation leaked a sub-cap value",
+				n, n/2, got, n-1, (n-1)/2, prev)
+		}
+		prev = got
+	}
+	if got := chooseUpTo(500, 250); got != satCap {
+		t.Fatalf("chooseUpTo(500,250) = %d, want satCap %d", got, satCap)
 	}
 }
 

@@ -56,12 +56,13 @@ func (t *Trace) StateHash() uint64 {
 
 // StateHashUpTo is StateHash restricted to the execution prefix at or
 // before virtual time upto: deliveries by arrival time, commits by commit
-// time. The systematic explorer keys its visited-state set on this — two
-// schedules whose prefixes hash alike have delivered the same
+// time. Two schedules whose prefixes hash alike have delivered the same
 // decision-relevant sequences to every component and committed the same
-// ground truth, so exploring past one of them covers both (timing
-// differences inside the prefix are deliberately abstracted away, exactly
-// as in StateHash).
+// ground truth up to that instant (timing differences inside the prefix
+// are deliberately abstracted away, exactly as in StateHash). Note the
+// systematic explorer keys its visited-state set on the FULL-run
+// StateHash, not a prefix: a delay can push behaviour past any clipping
+// point, so prefix equality alone does not imply suffix equality.
 func (t *Trace) StateHashUpTo(upto sim.Time) uint64 {
 	h := fnv.New64a()
 	for _, id := range t.Components() {
