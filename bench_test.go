@@ -487,14 +487,14 @@ func BenchmarkE5_Sec7_BugMatrix(b *testing.B) {
 	})
 }
 
-// benchE5MaxExec, benchE6MaxExec and benchE10MaxExec pin the artifact
-// parameters; they are recorded in the emitted JSON and re-used by
-// cmd/benchcheck.
+// benchE5MaxExec through benchE12MaxExec pin the artifact parameters;
+// they are recorded in the emitted JSON and re-used by cmd/benchcheck.
 const (
 	benchE5MaxExec  = 400
 	benchE6MaxExec  = 800
 	benchE10MaxExec = 200
 	benchE11MaxExec = 200
+	benchE12MaxExec = 6
 )
 
 func minPruned(ls []bench.LearnedCell) int {
@@ -785,6 +785,81 @@ func cellE11(c bench.Cell) string {
 		return fmt.Sprintf("YES (%d)", c.Executions)
 	}
 	return fmt.Sprintf("no (%d)", c.Executions)
+}
+
+// ---------------------------------------------------------------------
+// E12 — serving-path scaling: indexed vs unindexed cost at cluster scale.
+// ---------------------------------------------------------------------
+
+func BenchmarkE12_ServingScale(b *testing.B) {
+	// The deterministic side: per-event relay cost and list-scan cost on
+	// the rack-drain target at 10, 100 and 500 nodes, indexed vs the
+	// legacy scan-everything paths, plus campaign byte-identity between
+	// the two at the 100-node point. Committed as BENCH_E12.json and
+	// guarded by cmd/benchcheck -e12: an "optimization" that changes a
+	// single relayed event or list reply is drift, not speedup.
+	var art bench.E12
+	for i := 0; i < b.N; i++ {
+		art = bench.ComputeE12(benchE12MaxExec, 4)
+	}
+	for _, r := range art.Rows {
+		if !r.BehaviourIdentical {
+			b.Errorf("E12 %s: serving paths diverged behaviourally", r.Target)
+		}
+		if r.SubVisitsUnindexed <= r.SubVisitsIndexed {
+			b.Errorf("E12 %s: unindexed relay visited %d subs vs %d indexed; the index bought nothing",
+				r.Target, r.SubVisitsUnindexed, r.SubVisitsIndexed)
+		}
+	}
+	if !art.ArtifactIdentical || !art.TelemetryIdentical {
+		b.Errorf("E12: indexed vs unindexed campaigns diverged (artifact=%v telemetry=%v)",
+			art.ArtifactIdentical, art.TelemetryIdentical)
+	}
+	if !art.IdentityDetected {
+		b.Error("E12: identity campaigns missed the rack-drain bug")
+	}
+	if err := bench.WriteFile("BENCH_E12.json", art); err != nil {
+		b.Fatalf("E12: write artifact: %v", err)
+	}
+
+	// Wall-clock side: whole-campaign throughput (executions/sec, single
+	// worker so wall time = CPU time) at each scale point, both paths.
+	// Never part of the artifact.
+	type row struct {
+		nodes                  int
+		execs                  int
+		indexedPS, unindexedPS float64
+	}
+	var rows []row
+	for _, p := range []workload.ScaleProfile{workload.Scale10, workload.Scale100, workload.Scale500} {
+		t := workload.ScaleRackDrainTarget(p)
+		cfg := campaign.Config{Workers: 1, MaxExecutions: benchE12MaxExec, KeepGoing: true}
+		perSec := func(t core.Target) (int, float64) {
+			res := campaign.New(cfg).Run(t, core.NewPlanner())
+			return res.Campaign.Executions, float64(res.Campaign.Executions) / (float64(res.Stats.WallNanos) / 1e9)
+		}
+		execs, idx := perSec(t)
+		_, un := perSec(workload.UnindexedServing(t))
+		rows = append(rows, row{nodes: p.NumNodes(), execs: execs, indexedPS: idx, unindexedPS: un})
+	}
+	b.ReportMetric(rows[1].indexedPS, "exec/s-100-indexed")
+	b.ReportMetric(rows[1].unindexedPS, "exec/s-100-unindexed")
+
+	printOnce("E12", func() {
+		fmt.Printf("\nE12 — serving-path scaling on scale-rackdrain (healthy run + %d-exec campaigns)\n", benchE12MaxExec)
+		fmt.Printf("  %-7s %-13s %-23s %-23s %-12s %s\n",
+			"nodes", "relay-events", "sub-visits idx/unidx", "list-keys idx/unidx", "exec/s idx", "exec/s unidx")
+		for i, r := range art.Rows {
+			fmt.Printf("  %-7d %-13d %-23s %-23s %-12.2f %.2f\n",
+				r.Nodes, r.RelayEvents,
+				fmt.Sprintf("%d / %d", r.SubVisitsIndexed, r.SubVisitsUnindexed),
+				fmt.Sprintf("%d / %d", r.ListKeysIndexed, r.ListKeysUnindexed),
+				rows[i].indexedPS, rows[i].unindexedPS)
+		}
+		fmt.Printf("  (both paths byte-identical at 100 nodes: artifact=%v telemetry=%v;\n",
+			art.ArtifactIdentical, art.TelemetryIdentical)
+		fmt.Printf("   indexed relay visits == watch sends — O(interested subs); artifact: BENCH_E12.json)\n")
+	})
 }
 
 // ---------------------------------------------------------------------

@@ -1,10 +1,12 @@
 // Command benchcheck guards the committed benchmark artifacts against
-// drift. BENCH_E5.json, BENCH_E6.json, BENCH_E10.json and
-// BENCH_E11.json record the deterministic results of the E5 (Section 7
-// bug-finding matrix), E6 (§6.1 planner efficiency), E10
+// drift. BENCH_E5.json, BENCH_E6.json, BENCH_E10.json, BENCH_E11.json
+// and BENCH_E12.json record the deterministic results of the E5
+// (Section 7 bug-finding matrix), E6 (§6.1 planner efficiency), E10
 // (snapshot-substrate equivalence: checkpoint-tree forking with zero
-// fallbacks and snapshot-on/off byte-identity on all five targets) and
-// E11 (exhaustive-mode exploration vs guided/random sampling)
+// fallbacks and snapshot-on/off byte-identity on all five targets),
+// E11 (exhaustive-mode exploration vs guided/random sampling) and E12
+// (serving-path scaling: indexed vs unindexed relay/list cost at 10,
+// 100 and 500 nodes, with campaign byte-identity between the paths)
 // experiments; benchcheck recomputes each from scratch —
 // through the same internal/bench code path the benchmarks use — and
 // fails with a field-level diff when a committed artifact disagrees with
@@ -14,7 +16,7 @@
 //
 // Usage:
 //
-//	benchcheck [-e5 BENCH_E5.json] [-e6 BENCH_E6.json] [-e10 BENCH_E10.json] [-e11 BENCH_E11.json] [-parallel N] [-write] [-json]
+//	benchcheck [-e5 BENCH_E5.json] [-e6 BENCH_E6.json] [-e10 BENCH_E10.json] [-e11 BENCH_E11.json] [-e12 BENCH_E12.json] [-parallel N] [-write] [-json]
 //
 // With -json, stdout carries exactly one machine-readable report
 // (per-artifact field-level diff entries, bench.DiffEntry form) and all
@@ -58,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	e6Path := fs.String("e6", "BENCH_E6.json", "committed E6 artifact path")
 	e10Path := fs.String("e10", "BENCH_E10.json", "committed E10 artifact path")
 	e11Path := fs.String("e11", "BENCH_E11.json", "committed E11 artifact path")
+	e12Path := fs.String("e12", "BENCH_E12.json", "committed E12 artifact path")
 	parallel := fs.Int("parallel", 4, "worker-pool width for the recomputation (does not affect results)")
 	write := fs.Bool("write", false, "regenerate the artifacts instead of checking them")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable field-level diff report on stdout")
@@ -73,7 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *write {
 		// Default parameters match bench_test.go (recorded in the files).
-		if err := regenerate(status, *e5Path, *e6Path, *e10Path, *e11Path, *parallel); err != nil {
+		if err := regenerate(status, *e5Path, *e6Path, *e10Path, *e11Path, *e12Path, *parallel); err != nil {
 			fmt.Fprintln(stderr, "benchcheck:", err)
 			return 1
 		}
@@ -85,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkE6(status, *e6Path, *parallel),
 		checkE10(status, *e10Path, *parallel),
 		checkE11(status, *e11Path, *parallel),
+		checkE12(status, *e12Path, *parallel),
 	}
 	drift := false
 	for _, r := range reports {
@@ -112,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func regenerate(status io.Writer, e5Path, e6Path, e10Path, e11Path string, workers int) error {
+func regenerate(status io.Writer, e5Path, e6Path, e10Path, e11Path, e12Path string, workers int) error {
 	fmt.Fprintf(status, "benchcheck: computing E5 (max %d executions)...\n", 400)
 	if err := bench.WriteFile(e5Path, bench.ComputeE5(400, workers)); err != nil {
 		return err
@@ -129,7 +133,11 @@ func regenerate(status io.Writer, e5Path, e6Path, e10Path, e11Path string, worke
 	if err := bench.WriteFile(e11Path, bench.ComputeE11(200, workers)); err != nil {
 		return err
 	}
-	fmt.Fprintf(status, "benchcheck: wrote %s, %s, %s and %s\n", e5Path, e6Path, e10Path, e11Path)
+	fmt.Fprintf(status, "benchcheck: computing E12 (max %d executions)...\n", 6)
+	if err := bench.WriteFile(e12Path, bench.ComputeE12(6, workers)); err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "benchcheck: wrote %s, %s, %s, %s and %s\n", e5Path, e6Path, e10Path, e11Path, e12Path)
 	return nil
 }
 
@@ -172,6 +180,16 @@ func checkE11(status io.Writer, path string, workers int) artifactReport {
 	}
 	fmt.Fprintf(status, "benchcheck: recomputing %s (max %d executions)...\n", path, committed.MaxExecutions)
 	entries := bench.DiffEntries(committed, bench.ComputeE11(committed.MaxExecutions, workers))
+	return artifactReport{Path: path, Drift: len(entries) > 0, Entries: entries}
+}
+
+func checkE12(status io.Writer, path string, workers int) artifactReport {
+	committed, err := bench.ReadE12(path)
+	if err != nil {
+		return artifactReport{Path: path, Drift: true, Error: err.Error()}
+	}
+	fmt.Fprintf(status, "benchcheck: recomputing %s (max %d executions)...\n", path, committed.MaxExecutions)
+	entries := bench.DiffEntries(committed, bench.ComputeE12(committed.MaxExecutions, workers))
 	return artifactReport{Path: path, Drift: len(entries) > 0, Entries: entries}
 }
 

@@ -36,6 +36,18 @@ type Config struct {
 	RecoverGaps bool
 	// RPCTimeout bounds calls to the store.
 	RPCTimeout sim.Duration
+	// BatchWatch coalesces watch delivery: instead of one push per
+	// subscriber per committed event, each store push (a batch of
+	// committed events) flushes at most one message per subscriber,
+	// carrying every event that subscriber is owed. Event order within a
+	// subscriber's stream is unchanged.
+	BatchWatch bool
+	// UnindexedServing routes relay, cached lists, and cached gets
+	// through the legacy paths (scan all subs per event, re-sort and
+	// re-decode the whole cache per list). Kept for byte-identity pinning
+	// tests and the E12 indexed-vs-unindexed benchmark; production config
+	// leaves it false.
+	UnindexedServing bool
 }
 
 // DefaultConfig returns production-like settings.
@@ -50,10 +62,38 @@ func DefaultConfig(storeNode sim.NodeID) Config {
 }
 
 type clientSub struct {
+	key      string // subscription key ("client/subID"), the map key
 	subID    uint64
 	client   sim.NodeID
 	kind     cluster.Kind
 	lastSent int64 // highest revision pushed
+}
+
+// decodedObj is one entry of the ModRevision-keyed decode memo: obj is
+// the decode of the cached value at revision rev. Same discipline as the
+// store layer's memo (store.go): a pure cache, never part of snapshots or
+// equality, self-invalidating by revision compare; memoized objects are
+// shared across replies and MUST be treated as immutable by receivers
+// (the sim.Message payload contract — informers clone on ingest).
+type decodedObj struct {
+	rev int64
+	obj *cluster.Object
+}
+
+// ServeStats counts serving-path work. Pure observability — never part
+// of snapshots or byte-identity comparisons. E12 uses the relay counters
+// to demonstrate per-event relay cost is O(interested subs), not
+// O(all subs).
+type ServeStats struct {
+	RelayEvents     uint64 // committed events offered to relay
+	RelaySubVisits  uint64 // subscriber entries examined across all relays
+	RelaySends      uint64 // watch push messages emitted (a batch counts once)
+	ListServed      uint64 // cached list requests answered
+	ListKeysScanned uint64 // cache keys visited answering cached lists
+	DecodeHits      uint64 // cached-read decodes answered from the memo
+	DecodeMisses    uint64 // cached-read decodes that ran cluster.Decode
+	WindowTrims     uint64 // head advances of the retained event window
+	WindowCompacts  uint64 // allocations that reclaimed the window's dead prefix
 }
 
 // Server is one apiserver instance: a watch cache over the store plus a
@@ -74,9 +114,16 @@ type Server struct {
 	cache       map[string]store.KV
 	cachedRev   int64
 	window      []history.Event
+	winHead     int   // logical window start: window[winHead:] is the live window
 	minStartRev int64 // newest revision no longer replayable from the window
 	subs        map[string]*clientSub
-	subsOrder   []string // cached sorted sub keys; nil means stale
+	subsOrder   []string                   // cached sorted sub keys; nil means stale
+	subsByKind  map[cluster.Kind][]string  // per-kind relay index over subsOrder; nil means stale
+	kindKeys    map[cluster.Kind][]string  // per-kind sorted cache keys, maintained incrementally
+	kindBroken  bool                       // true disables kindKeys (unparseable key seen); lists fall back to full scans
+	decoded     map[string]decodedObj      // ModRevision-keyed decode memo; pure cache, excluded from snapshots
+	batch       map[string][]WatchEvent    // per-sub pending watch events under Config.BatchWatch
+	stats       ServeStats
 	storeSubID  uint64
 	lastEventAt sim.Time
 
@@ -90,11 +137,12 @@ type Server struct {
 // cache sync.
 func New(w *sim.World, id sim.NodeID, cfg Config) *Server {
 	s := &Server{
-		id:    id,
-		world: w,
-		cfg:   cfg,
-		cache: make(map[string]store.KV),
-		subs:  make(map[string]*clientSub),
+		id:       id,
+		world:    w,
+		cfg:      cfg,
+		cache:    make(map[string]store.KV),
+		subs:     make(map[string]*clientSub),
+		kindKeys: make(map[cluster.Kind][]string),
 	}
 	s.rpcSrv = sim.NewRPCServer(w.Network(), id)
 	s.rpcCl = sim.NewRPCClient(w.Network(), id, cfg.RPCTimeout)
@@ -126,8 +174,15 @@ func (s *Server) Crash() {
 	s.rpcCl.Reset()
 	s.cache = make(map[string]store.KV)
 	s.window = nil
+	s.winHead = 0
 	s.cachedRev = 0
 	s.subs = make(map[string]*clientSub)
+	s.subsOrder = nil
+	s.subsByKind = nil
+	s.kindKeys = make(map[cluster.Kind][]string)
+	s.kindBroken = false
+	s.decoded = nil
+	s.batch = nil
 }
 
 // Restart implements sim.Process: rebuild the cache from the store.
@@ -174,8 +229,10 @@ func (s *Server) bootstrap() {
 			for _, kv := range resp.KVs {
 				s.cache[kv.Key] = kv
 			}
+			s.rebuildKindIndex()
 			s.cachedRev = resp.Revision
 			s.window = nil
+			s.winHead = 0
 			// Events before the relist revision cannot be replayed to
 			// clients anymore.
 			s.minStartRev = resp.Revision
@@ -222,11 +279,13 @@ func (s *Server) applyEvents(events []history.Event, allowRecover bool) {
 		if e.Revision > s.cachedRev+1 && allowRecover && s.cfg.RecoverGaps {
 			// Gap detected: pull the missing span, then the rest.
 			rest := events[i:]
+			s.flushWatchBatches()
 			s.recoverGap(rest)
 			return
 		}
 		s.applyOne(e)
 	}
+	s.flushWatchBatches()
 	s.lastEventAt = s.world.Now()
 }
 
@@ -267,6 +326,9 @@ func (s *Server) applyOne(e history.Event) {
 			kv.Version = 1
 		}
 		s.cache[e.Key] = kv
+		if !existed {
+			s.kindIndexInsert(e.Key)
+		}
 		obj, err := cluster.Decode(e.Value, e.Revision)
 		if err != nil {
 			return
@@ -279,6 +341,10 @@ func (s *Server) applyOne(e history.Event) {
 	case history.Delete:
 		prev, existed := s.cache[e.Key]
 		delete(s.cache, e.Key)
+		if existed {
+			s.kindIndexRemove(e.Key)
+		}
+		delete(s.decoded, e.Key)
 		var obj *cluster.Object
 		if existed {
 			if o, err := cluster.Decode(prev.Value, e.Revision); err == nil {
@@ -298,10 +364,22 @@ func (s *Server) applyOne(e history.Event) {
 	}
 	s.cachedRev = e.Revision
 	s.window = append(s.window, e)
-	if s.cfg.WindowSize > 0 && len(s.window) > s.cfg.WindowSize {
-		trim := len(s.window) - s.cfg.WindowSize
-		s.minStartRev = s.window[trim-1].Revision
-		s.window = append([]history.Event(nil), s.window[trim:]...)
+	if s.cfg.WindowSize > 0 && len(s.window)-s.winHead > s.cfg.WindowSize {
+		// Amortized trim: advance the logical head instead of copying the
+		// retained suffix on every committed event. The dead prefix is
+		// reclaimed in one fresh allocation once it has grown to a full
+		// window, so trimming is O(1) amortized and the backing array
+		// never exceeds 2× WindowSize live slots. Compaction must
+		// allocate (not slide in place): snapshots share the backing
+		// array copy-on-write.
+		s.winHead++
+		s.minStartRev = s.window[s.winHead-1].Revision
+		s.stats.WindowTrims++
+		if s.winHead >= s.cfg.WindowSize {
+			s.window = append([]history.Event(nil), s.window[s.winHead:]...)
+			s.winHead = 0
+			s.stats.WindowCompacts++
+		}
 	}
 	s.relay(relay, e.Key)
 }
@@ -311,16 +389,174 @@ func (s *Server) relay(ev WatchEvent, key string) {
 	if err != nil {
 		return
 	}
-	for _, sk := range s.sortedSubs() {
+	s.stats.RelayEvents++
+	if s.cfg.UnindexedServing {
+		// Legacy path: every committed event scans all subscribers and
+		// filters by kind — O(all subs) per event.
+		for _, sk := range s.sortedSubs() {
+			sub, ok := s.subs[sk]
+			s.stats.RelaySubVisits++
+			if !ok || sub.kind != kind || ev.Revision <= sub.lastSent {
+				continue
+			}
+			s.relayTo(sub, ev)
+		}
+		return
+	}
+	for _, sk := range s.subsOfKind(kind) {
 		sub, ok := s.subs[sk]
-		if !ok || sub.kind != kind || ev.Revision <= sub.lastSent {
+		s.stats.RelaySubVisits++
+		if !ok || ev.Revision <= sub.lastSent {
 			continue
 		}
-		sub.lastSent = ev.Revision
-		s.world.Network().Send(s.id, sub.client, KindWatchPush,
-			&WatchPushMsg{SubID: sub.subID, Events: s.pushSlab.One(cloneEvent(ev))})
+		s.relayTo(sub, ev)
 	}
 }
+
+// relayTo delivers (or, under BatchWatch, buffers) one event to one
+// subscriber and advances its high-water mark.
+func (s *Server) relayTo(sub *clientSub, ev WatchEvent) {
+	sub.lastSent = ev.Revision
+	if s.cfg.BatchWatch {
+		if s.batch == nil {
+			s.batch = make(map[string][]WatchEvent)
+		}
+		s.batch[sub.key] = append(s.batch[sub.key], cloneEvent(ev))
+		return
+	}
+	s.stats.RelaySends++
+	s.world.Network().Send(s.id, sub.client, KindWatchPush,
+		&WatchPushMsg{SubID: sub.subID, Events: s.pushSlab.One(cloneEvent(ev))})
+}
+
+// flushWatchBatches emits one watch push per subscriber carrying every
+// event buffered for it during the current store batch, in sorted
+// subscription-key order (the same client-visible order as the unbatched
+// path). Subscriptions cannot change mid-batch — applyEvents runs inside
+// a single kernel event — but canceled leftovers are dropped defensively.
+func (s *Server) flushWatchBatches() {
+	if len(s.batch) == 0 {
+		return
+	}
+	for _, sk := range s.sortedSubs() {
+		evs := s.batch[sk]
+		if len(evs) == 0 {
+			continue
+		}
+		delete(s.batch, sk)
+		sub, ok := s.subs[sk]
+		if !ok {
+			continue
+		}
+		s.stats.RelaySends++
+		s.world.Network().Send(s.id, sub.client, KindWatchPush,
+			&WatchPushMsg{SubID: sub.subID, Events: evs})
+	}
+	for sk := range s.batch {
+		delete(s.batch, sk)
+	}
+}
+
+// subsOfKind returns the sorted subscription keys watching kind. The
+// index is derived from sortedSubs — per-kind relative order matches the
+// full scan exactly, so send order is unchanged — and is invalidated
+// wherever subsOrder is (subscribe, cancel, crash).
+func (s *Server) subsOfKind(kind cluster.Kind) []string {
+	if s.subsByKind == nil {
+		s.subsByKind = make(map[cluster.Kind][]string, 4)
+		for _, sk := range s.sortedSubs() {
+			if sub, ok := s.subs[sk]; ok {
+				s.subsByKind[sub.kind] = append(s.subsByKind[sub.kind], sk)
+			}
+		}
+	}
+	return s.subsByKind[kind]
+}
+
+// rebuildKindIndex reconstructs the per-kind sorted key index from the
+// cache (bootstrap relist and snapshot restore).
+func (s *Server) rebuildKindIndex() {
+	s.kindKeys = make(map[cluster.Kind][]string)
+	s.kindBroken = false
+	for key := range s.cache {
+		kind, _, err := cluster.ParseKey(key)
+		if err != nil {
+			s.kindBroken = true
+			s.kindKeys = nil
+			return
+		}
+		s.kindKeys[kind] = append(s.kindKeys[kind], key)
+	}
+	for _, keys := range s.kindKeys {
+		sort.Strings(keys)
+	}
+}
+
+// kindIndexInsert adds a newly cached key to its kind's sorted slice.
+// Registry keys are "/registry/<kind>/<name>", so a kind's keys are
+// exactly the contiguous prefix range the legacy full-sort scan served —
+// per-kind sorted order and the filtered global order coincide.
+func (s *Server) kindIndexInsert(key string) {
+	if s.kindBroken {
+		return
+	}
+	kind, _, err := cluster.ParseKey(key)
+	if err != nil {
+		// An unparseable key would still prefix-match legacy scans;
+		// rather than silently diverge, disable the index and fall back.
+		s.kindBroken = true
+		s.kindKeys = nil
+		return
+	}
+	keys := s.kindKeys[kind]
+	i := sort.SearchStrings(keys, key)
+	if i < len(keys) && keys[i] == key {
+		return
+	}
+	keys = append(keys, "")
+	copy(keys[i+1:], keys[i:])
+	keys[i] = key
+	s.kindKeys[kind] = keys
+}
+
+// kindIndexRemove drops a deleted key from its kind's sorted slice.
+func (s *Server) kindIndexRemove(key string) {
+	if s.kindBroken {
+		return
+	}
+	kind, _, err := cluster.ParseKey(key)
+	if err != nil {
+		return
+	}
+	keys := s.kindKeys[kind]
+	i := sort.SearchStrings(keys, key)
+	if i < len(keys) && keys[i] == key {
+		s.kindKeys[kind] = append(keys[:i], keys[i+1:]...)
+	}
+}
+
+// decodeCached returns the decoded object for a cached KV through the
+// ModRevision-keyed memo (the store layer's PR 7 pattern). The memoized
+// object is shared across replies; receivers treat payloads as immutable.
+func (s *Server) decodeCached(key string, kv store.KV) (*cluster.Object, error) {
+	if d, ok := s.decoded[key]; ok && d.rev == kv.ModRevision {
+		s.stats.DecodeHits++
+		return d.obj, nil
+	}
+	obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.DecodeMisses++
+	if s.decoded == nil {
+		s.decoded = make(map[string]decodedObj)
+	}
+	s.decoded[key] = decodedObj{rev: kv.ModRevision, obj: obj}
+	return obj, nil
+}
+
+// Stats returns a copy of the serving-path counters.
+func (s *Server) Stats() ServeStats { return s.stats }
 
 func cloneEvent(ev WatchEvent) WatchEvent {
 	ev.Object = ev.Object.Clone()
@@ -535,12 +771,13 @@ func (s *Server) register() {
 			return nil, ErrTooOldResourceVersion
 		}
 		key := fmt.Sprintf("%s/%d", from, req.SubID)
-		sub := &clientSub{subID: req.SubID, client: from, kind: req.Kind, lastSent: req.StartRev}
+		sub := &clientSub{key: key, subID: req.SubID, client: from, kind: req.Kind, lastSent: req.StartRev}
 		s.subs[key] = sub
 		s.subsOrder = nil
+		s.subsByKind = nil
 		// Replay the window backlog beyond the client's start revision.
 		var backlog []WatchEvent
-		for _, e := range s.window {
+		for _, e := range s.window[s.winHead:] {
 			if e.Revision <= req.StartRev {
 				continue
 			}
@@ -561,6 +798,7 @@ func (s *Server) register() {
 		req := body.(*CancelWatchRequest)
 		delete(s.subs, fmt.Sprintf("%s/%d", from, req.SubID))
 		s.subsOrder = nil
+		s.subsByKind = nil
 		return &struct{}{}, nil
 	})
 }
@@ -607,14 +845,33 @@ func (s *Server) storeTxn(req *store.TxnRequest, cb func(*store.TxnResponse, err
 }
 
 func (s *Server) listCached(kind cluster.Kind) (*ListResponse, error) {
-	prefix := cluster.KindPrefix(kind)
 	out := &ListResponse{Revision: s.cachedRev}
-	for _, key := range sortedCacheKeys(s.cache) {
-		if !strings.HasPrefix(key, prefix) {
+	s.stats.ListServed++
+	if s.cfg.UnindexedServing || s.kindBroken {
+		// Legacy path: re-sort every cache key and re-decode every
+		// matching object on each call.
+		prefix := cluster.KindPrefix(kind)
+		for _, key := range sortedCacheKeys(s.cache) {
+			s.stats.ListKeysScanned++
+			if !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			kv := s.cache[key]
+			obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+			if err != nil {
+				continue
+			}
+			out.Objects = append(out.Objects, obj)
+		}
+		return out, nil
+	}
+	for _, key := range s.kindKeys[kind] {
+		s.stats.ListKeysScanned++
+		kv, ok := s.cache[key]
+		if !ok {
 			continue
 		}
-		kv := s.cache[key]
-		obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+		obj, err := s.decodeCached(key, kv)
 		if err != nil {
 			continue
 		}
@@ -633,11 +890,20 @@ func sortedCacheKeys(m map[string]store.KV) []string {
 }
 
 func (s *Server) getCached(kind cluster.Kind, name string) (*GetResponse, error) {
-	kv, ok := s.cache[cluster.Key(kind, name)]
+	key := cluster.Key(kind, name)
+	kv, ok := s.cache[key]
 	if !ok {
 		return &GetResponse{Found: false, Revision: s.cachedRev}, nil
 	}
-	obj, err := cluster.Decode(kv.Value, kv.ModRevision)
+	var (
+		obj *cluster.Object
+		err error
+	)
+	if s.cfg.UnindexedServing {
+		obj, err = cluster.Decode(kv.Value, kv.ModRevision)
+	} else {
+		obj, err = s.decodeCached(key, kv)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -22,7 +22,7 @@ type Snapshot struct {
 	Epoch       uint64
 	Cache       map[string]store.KV
 	CachedRev   int64
-	Window      []history.Event // cap == len; shared with the source server
+	Window      []history.Event // logical window (head already trimmed); cap == len; shared with the source server
 	MinStartRev int64
 	Subs        []ClientSubSnapshot // sorted by subscription key
 	StoreSubID  uint64
@@ -48,7 +48,7 @@ func (s *Server) Snapshot() *Snapshot {
 		Epoch:       s.epoch,
 		Cache:       make(map[string]store.KV, len(s.cache)),
 		CachedRev:   s.cachedRev,
-		Window:      s.window[:len(s.window):len(s.window)],
+		Window:      s.window[s.winHead:len(s.window):len(s.window)],
 		MinStartRev: s.minStartRev,
 		StoreSubID:  s.storeSubID,
 		LastEventAt: s.lastEventAt,
@@ -93,9 +93,13 @@ func Restore(w *sim.World, snap *Snapshot) *Server {
 	for k, kv := range snap.Cache {
 		s.cache[k] = kv
 	}
+	// Serving-path acceleration state (per-kind key index, decode memo,
+	// sub indexes) is rebuildable and deliberately not part of snapshots.
+	s.rebuildKindIndex()
 	for _, sub := range snap.Subs {
 		key := fmt.Sprintf("%s/%d", sub.Client, sub.SubID)
 		s.subs[key] = &clientSub{
+			key:      key,
 			subID:    sub.SubID,
 			client:   sub.Client,
 			kind:     sub.Kind,

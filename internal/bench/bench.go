@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/apiserver"
 	"repro/internal/baselines"
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -36,6 +37,7 @@ const (
 	SchemaE6  = "bench-e6/v1"
 	SchemaE10 = "bench-e10/v1"
 	SchemaE11 = "bench-e11/v1"
+	SchemaE12 = "bench-e12/v1"
 )
 
 // Cell is one (target, strategy) campaign's deterministic outcome.
@@ -325,6 +327,124 @@ func ReadE11(path string) (E11, error) {
 	}
 	if art.Schema != SchemaE11 {
 		return E11{}, fmt.Errorf("bench: %s: schema %q, want %q", path, art.Schema, SchemaE11)
+	}
+	return art, nil
+}
+
+// E12Row is one scale point's serving-cost audit: the serving counters
+// of a single unperturbed rack-drain execution under the indexed and the
+// legacy scan-everything paths. Relay sub-visits grow with cluster size
+// on the unindexed path and stay proportional to relayed events on the
+// indexed one — the committed rows pin that shape. The counters are
+// virtual-time deterministic (pure observability, never snapshotted), so
+// the artifact is byte-stable across machines.
+type E12Row struct {
+	Nodes  int    `json:"nodes"`
+	Target string `json:"target"`
+	// RelayEvents / RelaySends are path-independent (asserted by
+	// BehaviourIdentical); the Indexed/Unindexed pairs are the cost axes.
+	RelayEvents        uint64 `json:"relay_events"`
+	RelaySends         uint64 `json:"relay_sends"`
+	SubVisitsIndexed   uint64 `json:"relay_sub_visits_indexed"`
+	SubVisitsUnindexed uint64 `json:"relay_sub_visits_unindexed"`
+	ListKeysIndexed    uint64 `json:"list_keys_scanned_indexed"`
+	ListKeysUnindexed  uint64 `json:"list_keys_scanned_unindexed"`
+	// BehaviourIdentical records that both paths relayed the same events,
+	// pushed the same number of watch messages, and answered the same
+	// lists: the indexes are accelerations, not behaviour changes.
+	BehaviourIdentical bool `json:"behaviour_identical"`
+}
+
+// E12 is the serving-path scaling artifact: per-scale-point cost rows
+// plus campaign byte-identity between the indexed and unindexed serving
+// paths at the 100-node point. The wall-clock side (executions/sec)
+// lives in BenchmarkE12 and never enters the artifact.
+type E12 struct {
+	Schema        string   `json:"schema"`
+	MaxExecutions int      `json:"max_executions"`
+	Rows          []E12Row `json:"rows"`
+	// The identity columns re-run the 100-node rack-drain campaign with
+	// every apiserver pinned to the unindexed path and byte-compare the
+	// canonicalized campaign.json and raw NDJSON telemetry against the
+	// indexed run. Committed true: an index that leaks into behaviour is
+	// drift benchcheck refuses.
+	IdentityTarget     string `json:"identity_target"`
+	IdentityDetected   bool   `json:"identity_detected"`
+	IdentityExecutions int    `json:"identity_executions"`
+	ArtifactIdentical  bool   `json:"artifact_identical"`
+	TelemetryIdentical bool   `json:"telemetry_identical"`
+}
+
+// ComputeE12 measures the serving paths at 10, 100 and 500 nodes and
+// runs the 100-node identity campaigns. Deterministic at any worker
+// count, so the artifact is a pure function of maxExec.
+func ComputeE12(maxExec, workers int) E12 {
+	art := E12{Schema: SchemaE12, MaxExecutions: maxExec}
+	for _, p := range []workload.ScaleProfile{workload.Scale10, workload.Scale100, workload.Scale500} {
+		t := workload.ScaleRackDrainTarget(p)
+		si := healthyServeStats(t)
+		su := healthyServeStats(workload.UnindexedServing(t))
+		art.Rows = append(art.Rows, E12Row{
+			Nodes:              p.NumNodes(),
+			Target:             t.Name,
+			RelayEvents:        si.RelayEvents,
+			RelaySends:         si.RelaySends,
+			SubVisitsIndexed:   si.RelaySubVisits,
+			SubVisitsUnindexed: su.RelaySubVisits,
+			ListKeysIndexed:    si.ListKeysScanned,
+			ListKeysUnindexed:  su.ListKeysScanned,
+			BehaviourIdentical: si.RelayEvents == su.RelayEvents &&
+				si.RelaySends == su.RelaySends &&
+				si.ListServed == su.ListServed,
+		})
+	}
+
+	t := workload.ScaleRackDrainTarget(workload.Scale100)
+	cfg := campaign.Config{Workers: workers, MaxExecutions: maxExec, KeepGoing: true, Collect: true}
+	idx := campaign.New(cfg).Run(t, core.NewPlanner())
+	un := campaign.New(cfg).Run(workload.UnindexedServing(t), core.NewPlanner())
+	var ndIdx, ndUn bytes.Buffer
+	mustNDJSON(&ndIdx, idx, cfg)
+	mustNDJSON(&ndUn, un, cfg)
+	art.IdentityTarget = t.Name
+	art.IdentityDetected = idx.Detected && un.Detected
+	art.IdentityExecutions = idx.Campaign.Executions
+	art.ArtifactIdentical = bytes.Equal(
+		mustCanonicalJSON(campaign.BuildArtifact(idx, cfg)),
+		mustCanonicalJSON(campaign.BuildArtifact(un, cfg)))
+	art.TelemetryIdentical = bytes.Equal(ndIdx.Bytes(), ndUn.Bytes())
+	return art
+}
+
+// healthyServeStats runs one unperturbed execution of the target and
+// sums the serving counters across its apiservers.
+func healthyServeStats(t core.Target) apiserver.ServeStats {
+	c := t.Build(1)
+	t.Workload(c)
+	c.RunFor(t.Horizon)
+	var total apiserver.ServeStats
+	for _, api := range c.APIs {
+		s := api.Stats()
+		total.RelayEvents += s.RelayEvents
+		total.RelaySubVisits += s.RelaySubVisits
+		total.RelaySends += s.RelaySends
+		total.ListServed += s.ListServed
+		total.ListKeysScanned += s.ListKeysScanned
+		total.DecodeHits += s.DecodeHits
+		total.DecodeMisses += s.DecodeMisses
+		total.WindowTrims += s.WindowTrims
+		total.WindowCompacts += s.WindowCompacts
+	}
+	return total
+}
+
+func ReadE12(path string) (E12, error) {
+	var art E12
+	if err := readJSON(path, &art); err != nil {
+		return E12{}, err
+	}
+	if art.Schema != SchemaE12 {
+		return E12{}, fmt.Errorf("bench: %s: schema %q, want %q", path, art.Schema, SchemaE12)
 	}
 	return art, nil
 }

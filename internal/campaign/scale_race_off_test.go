@@ -1,0 +1,9 @@
+//go:build !race
+
+package campaign
+
+// raceDetector gates the heaviest 100-node equivalence tests: the race
+// detector slows campaign executions by roughly an order of magnitude,
+// and the CI scale-smoke step proves the same byte-identity end-to-end
+// (phtest runs compared with cmp) without it.
+const raceDetector = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package campaign
+
+// raceDetector: see scale_race_off_test.go.
+const raceDetector = true

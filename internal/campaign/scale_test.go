@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The cluster-scale equivalence suite: the determinism guarantees the
+// engine makes for the two-node seeded targets must survive 100-node
+// topology worlds, where the serving-path indexes, the window-trim
+// amortization, and topology-derived latencies are all load-bearing.
+
+func scaleTarget() core.Target {
+	return workload.ScaleRackDrainTarget(workload.Scale100)
+}
+
+func planner() core.Strategy { return core.NewPlanner() }
+
+// TestScaleCampaignByteIdentity: at a 100-node target, an unguided
+// campaign produces byte-identical canonicalized artifacts and telemetry
+// at 1 and 4 workers, and with prefix-checkpoint forking on. (The CI
+// scale-smoke step re-proves this end-to-end through the CLI; under the
+// race detector this test alone would dominate the whole suite, so it is
+// gated off there.)
+func TestScaleCampaignByteIdentity(t *testing.T) {
+	if raceDetector {
+		t.Skip("race mode: covered by TestScaleTopologyChaosSoak and the CI scale-smoke step")
+	}
+	target := scaleTarget()
+	cfg := Config{
+		Workers:       1,
+		Seeds:         []int64{1},
+		MaxExecutions: 6,
+		Collect:       true,
+		KeepGoing:     true,
+	}
+	want := New(cfg).Run(target, planner())
+	if want.Stats.FailedExecutions != 0 || want.Stats.HungExecutions != 0 {
+		t.Fatalf("scale campaign had broken executions: %+v", want.Stats)
+	}
+	if want.Campaign.Executions == 0 {
+		t.Fatal("scale campaign executed nothing; equivalence is vacuous")
+	}
+	cfgW := cfg
+	cfgW.Workers = 4
+	got := New(cfgW).Run(target, planner())
+	assertEquivalent(t, want, got, cfg, cfgW)
+
+	cfgSnap := cfgW
+	cfgSnap.Snapshot = true
+	snap := New(cfgSnap).Run(target, planner())
+	assertEquivalent(t, got, snap, cfgW, cfgSnap)
+	if snap.Stats.FailedExecutions != 0 || snap.Stats.HungExecutions != 0 {
+		t.Fatalf("forked scale campaign had broken executions: %+v", snap.Stats)
+	}
+}
+
+// TestScaleCampaignDetects pins that the 100-node rack-drain world still
+// finds its seeded bug (a missed node-deletion livelocking the mass
+// reschedule) within a small unguided budget — the same property the CI
+// scale smoke asserts end-to-end.
+func TestScaleCampaignDetects(t *testing.T) {
+	if raceDetector {
+		t.Skip("race mode: detection at scale is asserted by the CI scale-smoke step")
+	}
+	res := New(Config{Workers: 2, Seeds: []int64{1}, MaxExecutions: 10}).Run(scaleTarget(), planner())
+	if !res.Detected {
+		t.Fatalf("100-node rack-drain campaign found nothing in %d executions", res.Campaign.Executions)
+	}
+	if res.Stats.FailedExecutions != 0 || res.Stats.HungExecutions != 0 {
+		t.Fatalf("campaign had broken executions: %+v", res.Stats)
+	}
+}
+
+// TestScaleTopologyChaosSoak: gray-failure plans (flaky/slow links,
+// compaction pressure) over a 100-node topology world, full replay vs
+// prefix-checkpoint forking. Topology link latencies replace the flat
+// base deterministically, so forks must restore the same latency ladder;
+// degraded links draw RNG on top of it. This is the topology entry in
+// the CI chaos-soak step and runs under -race there.
+func TestScaleTopologyChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the 100-node soak is CI-scale work")
+	}
+	cfg := Config{
+		Workers:       2,
+		Seeds:         []int64{1},
+		MaxExecutions: 4,
+		Collect:       true,
+		KeepGoing:     true,
+	}
+	off, on := runBoth(t, scaleTarget(), grayPlanner, cfg)
+	cfgOff, cfgOn := cfg, cfg
+	cfgOff.Snapshot, cfgOn.Snapshot = false, true
+	assertEquivalent(t, off, on, cfgOff, cfgOn)
+	if on.Stats.FailedExecutions != 0 || on.Stats.HungExecutions != 0 {
+		t.Fatalf("topology gray soak had broken executions under forking: %+v", on.Stats)
+	}
+	if off.Campaign.Executions == 0 {
+		t.Fatal("topology gray soak executed nothing")
+	}
+}

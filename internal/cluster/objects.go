@@ -54,10 +54,17 @@ type PodSpec struct {
 	App      string   `json:"app,omitempty"`   // owning application/operator name
 }
 
-// NodeSpec describes a worker node.
+// NodeSpec describes a worker node. Rack/Zone/DC are topology labels set
+// by the kubelet at registration; empty labels mean the node is outside
+// any modeled topology (all existing small-world targets), and omitempty
+// keeps their encodings — and thus every store revision — byte-identical
+// to the pre-topology model.
 type NodeSpec struct {
-	Ready    bool `json:"ready"`
-	Capacity int  `json:"capacity"` // max pods
+	Ready    bool   `json:"ready"`
+	Capacity int    `json:"capacity"` // max pods
+	Rack     string `json:"rack,omitempty"`
+	Zone     string `json:"zone,omitempty"`
+	DC       string `json:"dc,omitempty"`
 }
 
 // PVCPhase is the lifecycle phase of a persistent volume claim.
@@ -82,6 +89,10 @@ type CassandraSpec struct {
 	Replicas        int      `json:"replicas"`                  // desired members
 	ReadyMembers    []string `json:"readyMembers,omitempty"`    // status: member pods seen ready
 	Decommissioning string   `json:"decommissioning,omitempty"` // member currently draining
+	// Racks, when non-empty, places member i in Racks[i%len(Racks)] and
+	// switches the operator to rack-aware decommission ordering (drain
+	// the most-populated rack first). Empty keeps the flat ordering.
+	Racks []string `json:"racks,omitempty"`
 }
 
 // AppSetSpec describes a replicated application (a Deployment/ReplicaSet
@@ -202,6 +213,7 @@ func (o *Object) Clone() *Object {
 	if o.Cassandra != nil {
 		cs := *o.Cassandra
 		cs.ReadyMembers = append([]string(nil), o.Cassandra.ReadyMembers...)
+		cs.Racks = append([]string(nil), o.Cassandra.Racks...)
 		c.Cassandra = &cs
 	}
 	if o.Region != nil {

@@ -30,13 +30,28 @@ func AllTargetNames() []string {
 	return out
 }
 
+// ScaleTargetNames returns the names of the canonical scale targets.
+// They are not part of AllTargetNames (and so not of "all"): the
+// committed evaluation artifacts pin the five-target matrix. They
+// resolve by name, or all at once via the "scale" spec.
+func ScaleTargetNames() []string {
+	all := workload.ScaleTargets()
+	out := make([]string, len(all))
+	for i, t := range all {
+		out[i] = t.Name
+	}
+	return out
+}
+
 // ResolveTargets parses a comma-separated target list ("all" for every
-// target); fixed swaps in the fixed component variants (the
-// no-detection correctness baseline).
+// matrix target, "scale" for the cluster-scale targets); fixed swaps in
+// the fixed component variants (the no-detection correctness baseline).
 func ResolveTargets(spec string, fixed bool) ([]core.Target, error) {
 	var names []string
 	if spec == "all" {
 		names = AllTargetNames()
+	} else if spec == "scale" {
+		names = ScaleTargetNames()
 	} else {
 		for _, name := range strings.Split(spec, ",") {
 			names = append(names, strings.TrimSpace(name))
@@ -53,7 +68,8 @@ func ResolveTargets(spec string, fixed bool) ([]core.Target, error) {
 	return out, nil
 }
 
-// ResolveTarget resolves one target by name.
+// ResolveTarget resolves one target by name, searching the matrix
+// targets and then the scale targets.
 func ResolveTarget(name string, fixed bool) (core.Target, error) {
 	for _, t := range workload.AllTargets() {
 		if t.Name == name {
@@ -63,7 +79,16 @@ func ResolveTarget(name string, fixed bool) (core.Target, error) {
 			return t, nil
 		}
 	}
-	return core.Target{}, fmt.Errorf("unknown target %q (have: %s)", name, strings.Join(AllTargetNames(), ", "))
+	for _, t := range workload.ScaleTargets() {
+		if t.Name == name {
+			if fixed {
+				return workload.Fixed(t), nil
+			}
+			return t, nil
+		}
+	}
+	have := append(AllTargetNames(), ScaleTargetNames()...)
+	return core.Target{}, fmt.Errorf("unknown target %q (have: %s)", name, strings.Join(have, ", "))
 }
 
 // ResolveStrategies parses a comma-separated strategy list ("all" for

@@ -60,8 +60,19 @@ type Options struct {
 	// Regions, when non-nil, runs region servers and the assignment
 	// manager.
 	Regions *RegionOptions
+	// Topology, when non-nil, builds a racked multi-DC world: Nodes (if
+	// empty) is generated as Racks × NodesPerRack rack-major names, every
+	// process gets a sim.Location, and the network serves
+	// topology-derived link latencies.
+	Topology *TopologyOptions
 	// APIWindowSize overrides the apiserver watch window (0 = default).
 	APIWindowSize int
+	// APIBatchWatch enables batched watch delivery on all apiservers
+	// (one push per subscriber per committed store batch).
+	APIBatchWatch bool
+	// APIUnindexedServing pins all apiservers to the legacy
+	// scan-everything serving paths (byte-identity pinning and E12).
+	APIUnindexedServing bool
 	// StoreRetainLimit bounds the store's retained history (0 = unlimited).
 	StoreRetainLimit int
 	// OraclePeriod is how often invariants are evaluated.
@@ -123,7 +134,19 @@ func New(opts Options) *Cluster {
 	if opts.OraclePatience == 0 {
 		opts.OraclePatience = 2 * sim.Second
 	}
+	var topo *TopologyOptions
+	if opts.Topology != nil {
+		tn := opts.Topology.normalized()
+		topo = &tn
+		opts.Topology = topo
+		if len(opts.Nodes) == 0 {
+			opts.Nodes = topo.NodeNames()
+		}
+	}
 	w := sim.NewWorld(sim.WorldConfig{Seed: opts.Seed, Latency: sim.Millisecond, Jitter: sim.Millisecond / 2})
+	if topo != nil {
+		w.Network().SetTopologyLatency(topo.ladder())
+	}
 	c := &Cluster{
 		Opts:          opts,
 		World:         w,
@@ -145,15 +168,41 @@ func New(opts Options) *Cluster {
 		if opts.APIWindowSize > 0 {
 			cfg.WindowSize = opts.APIWindowSize
 		}
+		cfg.BatchWatch = opts.APIBatchWatch
+		cfg.UnindexedServing = opts.APIUnindexedServing
 		api := apiserver.New(w, APIServerID(i), cfg)
 		c.APIs = append(c.APIs, api)
 		apiIDs = append(apiIDs, api.ID())
 	}
+	if topo != nil && topo.PerRackAPIAffinity {
+		for i, api := range c.APIs {
+			w.Network().SetLocation(api.ID(), topo.locationOfRack(i%topo.Racks))
+		}
+	}
 
-	for _, node := range opts.Nodes {
+	for i, node := range opts.Nodes {
 		host := kubelet.NewHost(node)
 		cfg := kubelet.DefaultConfig(node, apiIDs)
 		cfg.SafeRestartSync = opts.KubeletSafeRestart
+		if topo != nil {
+			rack := i / topo.NodesPerRack
+			loc := topo.locationOfRack(rack)
+			cfg.Rack, cfg.Zone, cfg.DC = loc.Rack, loc.Zone, loc.DC
+			if topo.PerRackAPIAffinity && len(apiIDs) > 1 {
+				// Prefer the rack's own apiserver; keep the rest in the
+				// usual order as failover.
+				p := rack % len(apiIDs)
+				order := make([]sim.NodeID, 0, len(apiIDs))
+				order = append(order, apiIDs[p])
+				for j, id := range apiIDs {
+					if j != p {
+						order = append(order, id)
+					}
+				}
+				cfg.APIServers = order
+			}
+			w.Network().SetLocation(kubelet.NodeID(node), loc)
+		}
 		c.Hosts[node] = host
 		c.Kubelet[node] = kubelet.New(w, host, cfg)
 	}
@@ -187,6 +236,18 @@ func New(opts Options) *Cluster {
 			APIServer: apiIDs[0],
 			Mode:      opts.Regions.Mode,
 		})
+	}
+
+	if topo != nil {
+		// Every process without an explicit placement — the store, the
+		// non-affine apiservers, scheduler, controllers, operators,
+		// region servers — lives in the control rack of the first DC.
+		ctrl := topo.controlLocation()
+		for _, id := range w.Network().Nodes() {
+			if w.Network().LocationOf(id).IsZero() {
+				w.Network().SetLocation(id, ctrl)
+			}
+		}
 	}
 
 	c.Admin = newAdmin(c)

@@ -93,6 +93,13 @@ type Config struct {
 	HeartbeatInterval sim.Duration
 	// Capacity is the node's pod capacity, advertised on registration.
 	Capacity int
+	// Rack, Zone, and DC are topology labels advertised on the node
+	// object at registration. Empty labels (all existing small-world
+	// targets) keep node encodings byte-identical to the pre-topology
+	// model.
+	Rack string
+	Zone string
+	DC   string
 	// SafeRestartSync, when true, makes the first sync after a (re)start
 	// use a quorum list instead of the upstream's cache — the mitigation
 	// for the Figure 2 bug. False reproduces stock-Kubernetes behaviour.
@@ -167,6 +174,9 @@ func (k *Kubelet) ID() sim.NodeID { return k.id }
 // Host returns the machine this kubelet manages.
 func (k *Kubelet) Host() *Host { return k.host }
 
+// Config returns the kubelet's configuration.
+func (k *Kubelet) Config() Config { return k.cfg }
+
 // Upstream returns the apiserver the kubelet currently syncs from.
 func (k *Kubelet) Upstream() sim.NodeID { return k.cfg.APIServers[k.apiIdx] }
 
@@ -236,7 +246,13 @@ func (k *Kubelet) registerNode(epoch uint64) {
 	if k.down || epoch != k.epoch {
 		return
 	}
-	node := cluster.NewNode(k.cfg.NodeName, k.uids.Next(), cluster.NodeSpec{Ready: true, Capacity: k.cfg.Capacity})
+	node := cluster.NewNode(k.cfg.NodeName, k.uids.Next(), cluster.NodeSpec{
+		Ready:    true,
+		Capacity: k.cfg.Capacity,
+		Rack:     k.cfg.Rack,
+		Zone:     k.cfg.Zone,
+		DC:       k.cfg.DC,
+	})
 	node.Meta.Labels = map[string]string{"heartbeat": fmt.Sprint(int64(k.world.Now()))}
 	k.conn.Create(node, func(_ *cluster.Object, err error) {
 		if err == nil || k.down || epoch != k.epoch {

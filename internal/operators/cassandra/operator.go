@@ -365,29 +365,86 @@ func (o *Operator) ensurePVC(epoch uint64, member string) {
 	})
 }
 
+// rackOfOrdinal returns the rack member ordinal ord occupies under the
+// CR's round-robin rack assignment ("" when racks are not configured).
+func rackOfOrdinal(racks []string, ord int) string {
+	if len(racks) == 0 || ord < 0 {
+		return ""
+	}
+	return racks[ord%len(racks)]
+}
+
+// decommissionTarget picks which member of names (sorted by ordinal) to
+// drain. Without racks this is the flat ordering the operator always had:
+// the last (highest-ordinal) entry. With racks configured it is
+// rack-aware: the highest-ordinal member of the most-populated rack(s) —
+// scale-down rebalances unbalanced racks first, mirroring
+// cass-operator's scale_down_unbalanced_racks scenario. When racks are
+// balanced every rack is most-populated and the choice degenerates to
+// the flat tail, so balanced worlds behave exactly as before.
+func (o *Operator) decommissionTarget(racks, names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	if len(racks) == 0 {
+		return names[len(names)-1]
+	}
+	counts := make(map[string]int, len(racks))
+	for _, n := range names {
+		if r := rackOfOrdinal(racks, o.ordinalOf(n)); r != "" {
+			counts[r]++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	best, target := -1, ""
+	for _, n := range names {
+		ord := o.ordinalOf(n)
+		r := rackOfOrdinal(racks, ord)
+		if r != "" && counts[r] == max && ord > best {
+			best, target = ord, n
+		}
+	}
+	if target == "" {
+		return names[len(names)-1]
+	}
+	return target
+}
+
 // startDecommission picks the member to remove and begins draining it.
 //
-// Stock behaviour (#400): the target is the *last entry of the CR status's
-// ReadyMembers list* — state the operator wrote on an earlier reconcile and
+// Stock behaviour (#400): the target is chosen from the CR status's
+// ReadyMembers list — state the operator wrote on an earlier reconcile and
 // has now read back through a possibly stale cache. If that status lags the
 // real membership, the operator drains the wrong member, or a member that
 // no longer exists (wedging the scale-down).
 //
-// Fixed behaviour: the target is the highest-ordinal live pod.
+// Fixed behaviour: the target is chosen from the live pod list. Either
+// way the choice within the list is decommissionTarget's (rack-aware when
+// the CR configures racks, flat tail otherwise).
 func (o *Operator) startDecommission(epoch uint64, cr *cluster.Object, live []*cluster.Object) {
+	racks := cr.Cassandra.Racks
+	liveNames := make([]string, 0, len(live))
+	for _, m := range live {
+		liveNames = append(liveNames, m.Meta.Name)
+	}
 	var target string
 	if o.cfg.Fixes.Fix400 {
-		target = live[len(live)-1].Meta.Name
+		target = o.decommissionTarget(racks, liveNames)
 	} else {
 		rm := cr.Cassandra.ReadyMembers
 		if len(rm) == 0 {
 			// No status yet: fall back to the live view.
-			target = live[len(live)-1].Meta.Name
+			target = o.decommissionTarget(racks, liveNames)
 		} else {
-			target = rm[len(rm)-1]
+			target = o.decommissionTarget(racks, rm)
 		}
 	}
-	trueTail := live[len(live)-1].Meta.Name
+	trueTail := o.decommissionTarget(racks, liveNames)
 	upd := cr.Clone()
 	upd.Cassandra.Decommissioning = target
 	o.conn.Update(upd, func(_ *cluster.Object, err error) {

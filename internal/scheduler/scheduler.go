@@ -157,18 +157,34 @@ func (s *Scheduler) reconcile(podName string) (controller.Result, error) {
 	return controller.Result{}, nil
 }
 
-// pickNode chooses the ready cached node with most free capacity
-// (deterministic tie-break by name). The choice uses only S' — the
-// scheduler cannot know about nodes or deletions it never observed.
+// pickNode chooses the ready cached node with most free capacity,
+// breaking ties by topology spread (fewest pods already in the node's
+// rack) and then by name. Nodes without a rack label all share one
+// neutral rack, so unlabeled worlds order exactly as before the spread
+// rule existed. The choice uses only S' — the scheduler cannot know
+// about nodes or deletions it never observed.
 func (s *Scheduler) pickNode() (string, error) {
 	type cand struct {
-		name string
-		free int
+		name     string
+		free     int
+		rackLoad int
 	}
 	used := make(map[string]int)
 	for _, p := range s.podInf.ListCached() {
 		if p.Pod != nil && p.Pod.NodeName != "" && !p.Terminating() {
 			used[p.Pod.NodeName]++
+		}
+	}
+	rackOf := make(map[string]string)
+	for _, n := range s.nodeInf.ListCached() {
+		if n.Node != nil && n.Node.Rack != "" {
+			rackOf[n.Meta.Name] = n.Node.Rack
+		}
+	}
+	rackLoad := make(map[string]int)
+	for node, count := range used {
+		if rack, ok := rackOf[node]; ok {
+			rackLoad[rack] += count
 		}
 	}
 	var cands []cand
@@ -178,7 +194,7 @@ func (s *Scheduler) pickNode() (string, error) {
 		}
 		free := n.Node.Capacity - used[n.Meta.Name]
 		if free > 0 {
-			cands = append(cands, cand{n.Meta.Name, free})
+			cands = append(cands, cand{n.Meta.Name, free, rackLoad[n.Node.Rack]})
 		}
 	}
 	if len(cands) == 0 {
@@ -187,6 +203,9 @@ func (s *Scheduler) pickNode() (string, error) {
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].free != cands[j].free {
 			return cands[i].free > cands[j].free
+		}
+		if cands[i].rackLoad != cands[j].rackLoad {
+			return cands[i].rackLoad < cands[j].rackLoad
 		}
 		return cands[i].name < cands[j].name
 	})

@@ -120,6 +120,51 @@ type DeliveryGateFunc func(m *Message) Decision
 // OnArrival calls f(m).
 func (f DeliveryGateFunc) OnArrival(m *Message) Decision { return f(m) }
 
+// Location places a node in the physical topology: the rack it sits in,
+// an availability zone, and a datacenter. Empty fields mean "unplaced";
+// a node with a zero Location is outside the topology entirely and keeps
+// the network's base latency on all of its links.
+type Location struct {
+	Rack string
+	Zone string
+	DC   string
+}
+
+// IsZero reports whether the location is entirely unset.
+func (l Location) IsZero() bool { return l == Location{} }
+
+func (l Location) String() string {
+	return fmt.Sprintf("dc=%s zone=%s rack=%s", l.DC, l.Zone, l.Rack)
+}
+
+// TopologyLatency is the topology-derived one-way latency ladder:
+// intra-rack < intra-DC < cross-DC. A zero value disables topology
+// latencies (every link uses the network's base latency). Latency class
+// selection is a pure function of the two endpoints' Locations — healthy
+// links draw zero RNG beyond the base jitter, so unperturbed runs on
+// unlabeled worlds stay byte-identical with this feature compiled in.
+type TopologyLatency struct {
+	IntraRack Duration
+	IntraDC   Duration
+	CrossDC   Duration
+}
+
+// active reports whether any class latency is configured.
+func (t TopologyLatency) active() bool { return t != TopologyLatency{} }
+
+// classFor returns the class latency between two placed endpoints:
+// different DCs are CrossDC, the same non-empty rack is IntraRack, and
+// everything else (same DC, different or unknown racks) is IntraDC.
+func (t TopologyLatency) classFor(a, b Location) Duration {
+	if a.DC != b.DC {
+		return t.CrossDC
+	}
+	if a.Rack != "" && a.Rack == b.Rack {
+		return t.IntraRack
+	}
+	return t.IntraDC
+}
+
 type linkKey struct{ from, to NodeID }
 
 type linkState struct {
@@ -179,6 +224,8 @@ type Network struct {
 	held    map[uint64]*Message
 	lastAt  map[linkKey]Time // per-link FIFO frontier (stream ordering)
 	quality map[linkKey]LinkQuality
+	locs    map[NodeID]Location
+	topo    TopologyLatency
 	icpts   []Interceptor
 	gates   []DeliveryGate
 	obs     []Observer
@@ -214,6 +261,7 @@ func NewNetwork(k *Kernel, latency, jitter Duration) *Network {
 		held:    make(map[uint64]*Message),
 		lastAt:  make(map[linkKey]Time),
 		quality: make(map[linkKey]LinkQuality),
+		locs:    make(map[NodeID]Location),
 	}
 }
 
@@ -343,6 +391,42 @@ func (n *Network) LinkQualityOf(from, to NodeID) LinkQuality {
 	return n.quality[linkKey{from, to}]
 }
 
+// SetLocation places node id in the topology. A zero Location removes the
+// placement (the node reverts to base latency on all links).
+func (n *Network) SetLocation(id NodeID, loc Location) {
+	if loc.IsZero() {
+		delete(n.locs, id)
+		return
+	}
+	n.locs[id] = loc
+}
+
+// LocationOf returns a node's placement (the zero value if unplaced).
+func (n *Network) LocationOf(id NodeID) Location { return n.locs[id] }
+
+// SetTopologyLatency installs the topology latency ladder. A zero value
+// disables topology-derived latencies.
+func (n *Network) SetTopologyLatency(t TopologyLatency) { n.topo = t }
+
+// Topology returns the configured latency ladder.
+func (n *Network) Topology() TopologyLatency { return n.topo }
+
+// baseLatency returns the one-way base latency for the directed link
+// from->to: the topology class latency when a ladder is configured and
+// both endpoints are placed, the network-wide base otherwise. Pure
+// lookup — no RNG is consumed, so topology-free worlds keep the exact
+// draw sequence they always had.
+func (n *Network) baseLatency(from, to NodeID) Duration {
+	if n.topo.active() {
+		if la, ok := n.locs[from]; ok {
+			if lb, ok := n.locs[to]; ok {
+				return n.topo.classFor(la, lb)
+			}
+		}
+	}
+	return n.latency
+}
+
 // reorderBound returns the displacement bound for reorder/duplicate
 // scheduling on a degraded link.
 func (q LinkQuality) reorderBound() Duration {
@@ -402,7 +486,7 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) uint64 {
 		return m.Seq
 	}
 
-	lat := n.latency + n.links[key].extraDelay + extra
+	lat := n.baseLatency(from, to) + n.links[key].extraDelay + extra
 	if n.jitter > 0 {
 		lat += Duration(n.k.Rand().Int63n(int64(n.jitter)))
 	}

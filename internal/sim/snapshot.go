@@ -155,24 +155,28 @@ func (k *Kernel) RestorePending(at Time, seq uint64, tag EventTag, fn func()) (*
 // components re-register themselves — and held messages are forbidden at
 // capture (checked by the caller via HeldCount).
 type NetworkSnapshot struct {
-	Seq     uint64
-	Down    map[NodeID]bool
-	Links   map[linkKey]linkState
-	LastAt  map[linkKey]Time
-	Quality map[linkKey]LinkQuality
-	Stats   NetStats
+	Seq       uint64
+	Down      map[NodeID]bool
+	Links     map[linkKey]linkState
+	LastAt    map[linkKey]Time
+	Quality   map[linkKey]LinkQuality
+	Locations map[NodeID]Location
+	Topo      TopologyLatency
+	Stats     NetStats
 }
 
 // Snapshot captures the network's mutable state. The caller must have
 // verified HeldCount() == 0.
 func (n *Network) Snapshot() NetworkSnapshot {
 	s := NetworkSnapshot{
-		Seq:     n.seq,
-		Down:    make(map[NodeID]bool, len(n.down)),
-		Links:   make(map[linkKey]linkState, len(n.links)),
-		LastAt:  make(map[linkKey]Time, len(n.lastAt)),
-		Quality: make(map[linkKey]LinkQuality, len(n.quality)),
-		Stats:   n.stats,
+		Seq:       n.seq,
+		Down:      make(map[NodeID]bool, len(n.down)),
+		Links:     make(map[linkKey]linkState, len(n.links)),
+		LastAt:    make(map[linkKey]Time, len(n.lastAt)),
+		Quality:   make(map[linkKey]LinkQuality, len(n.quality)),
+		Locations: make(map[NodeID]Location, len(n.locs)),
+		Topo:      n.topo,
+		Stats:     n.stats,
 	}
 	for k, v := range n.down {
 		s.Down[k] = v
@@ -185,6 +189,9 @@ func (n *Network) Snapshot() NetworkSnapshot {
 	}
 	for k, v := range n.quality {
 		s.Quality[k] = v
+	}
+	for k, v := range n.locs {
+		s.Locations[k] = v
 	}
 	return s
 }
@@ -208,6 +215,11 @@ func (n *Network) RestoreRouting(s NetworkSnapshot) {
 	for k, v := range s.Quality {
 		n.quality[k] = v
 	}
+	n.locs = make(map[NodeID]Location, len(s.Locations))
+	for k, v := range s.Locations {
+		n.locs[k] = v
+	}
+	n.topo = s.Topo
 }
 
 // RestoreDown re-applies captured down flags. Must run after every
